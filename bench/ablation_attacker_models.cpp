@@ -1,0 +1,49 @@
+// Ablation — attacker strategies: what the forged announcement carries does
+// not matter (no list, own list, augmented list, valid-list-with-wrong-
+// origin are all caught); only escaping the prefix match (sub-prefix
+// hijack) defeats the mechanism. See ablation_subprefix for that case.
+#include <iostream>
+
+#include "bench_util.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+int main() {
+  const topo::AsGraph& graph = paper_topology(460);
+
+  std::cout << "=== Ablation: attacker list-forging strategies ===\n";
+  std::cout << "paper (Sec 4.1): 'Although AS 3 could attach its own MOAS list that "
+               "includes AS 1, AS 2, and AS 3, this list would not be in agreement "
+               "with the MOAS list advertised by AS 1 and AS 2.'\n\n";
+
+  util::TablePrinter table({"strategy", "normal_bgp_affected_pct", "full_moas_affected_pct", "alarms_per_run"});
+  for (core::AttackerStrategy strategy :
+       {core::AttackerStrategy::NoList, core::AttackerStrategy::OwnList,
+        core::AttackerStrategy::AugmentedList,
+        core::AttackerStrategy::ValidListForgedOrigin}) {
+    core::ExperimentConfig config;
+    config.num_origins = 2;
+    config.strategy = strategy;
+
+    config.deployment = core::Deployment::None;
+    core::Experiment normal(graph, config);
+    util::Rng rng_a(7);
+    const auto without = normal.run_point(0.15, kOriginSets, kAttackerSets, rng_a);
+
+    config.deployment = core::Deployment::Full;
+    core::Experiment full(graph, config);
+    util::Rng rng_b(7);
+    const auto with = full.run_point(0.15, kOriginSets, kAttackerSets, rng_b);
+
+    table.add_row({core::to_string(strategy),
+                   util::fmt_double(without.mean_affected * 100.0, 2),
+                   util::fmt_double(with.mean_affected * 100.0, 2),
+                   util::fmt_double(with.mean_alarms, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nevery list-forging strategy collapses to the same structural "
+               "residual under full detection.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation — alarm resolution back-ends (Section 4.4 and related work):
+// the oracle (the simulation-section assumption), a DNS MOASRR service with
+// availability/forgery problems, the IRR registry with stale records, and
+// no resolver at all (alarm-only monitoring).
+#include <iostream>
+
+#include "bench_util.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+namespace {
+
+core::SweepPoint run(const topo::AsGraph& graph, core::ExperimentConfig config) {
+  config.deployment = core::Deployment::Full;
+  core::Experiment experiment(graph, config);
+  util::Rng rng(5);
+  return experiment.run_point(0.15, kOriginSets, kAttackerSets, rng);
+}
+
+}  // namespace
+
+int main() {
+  const topo::AsGraph& graph = paper_topology(460);
+
+  std::cout << "=== Ablation: origin-resolution back-ends (Sec 4.4) ===\n";
+  std::cout << "paper: DNS-based checking is proposed but 'DNS operations rely on the "
+               "routing to function correctly' and IRR records are 'outdated or "
+               "inaccurate'\n\n";
+
+  util::TablePrinter table({"resolver", "adopting_false_pct", "no_route_pct",
+                            "alarms_per_run"});
+
+  {
+    core::ExperimentConfig config;
+    config.resolver = core::ResolverKind::Oracle;
+    const auto p = run(graph, config);
+    table.add_row({"oracle (paper's assumption)",
+                   util::fmt_double(p.mean_adopted_false * 100.0, 2),
+                   util::fmt_double(p.mean_no_route * 100.0, 2),
+                   util::fmt_double(p.mean_alarms, 1)});
+  }
+  for (double unavail : {0.25, 0.5, 0.9}) {
+    core::ExperimentConfig config;
+    config.resolver = core::ResolverKind::Dns;
+    config.dns_unavailability = unavail;
+    const auto p = run(graph, config);
+    table.add_row({"dns, " + util::fmt_double(unavail * 100.0, 0) + "% unavailable",
+                   util::fmt_double(p.mean_adopted_false * 100.0, 2),
+                   util::fmt_double(p.mean_no_route * 100.0, 2),
+                   util::fmt_double(p.mean_alarms, 1)});
+  }
+  for (double stale : {0.25, 0.75}) {
+    core::ExperimentConfig config;
+    config.resolver = core::ResolverKind::Irr;
+    config.irr_staleness = stale;
+    const auto p = run(graph, config);
+    table.add_row({"irr, " + util::fmt_double(stale * 100.0, 0) + "% stale records",
+                   util::fmt_double(p.mean_adopted_false * 100.0, 2),
+                   util::fmt_double(p.mean_no_route * 100.0, 2),
+                   util::fmt_double(p.mean_alarms, 1)});
+  }
+  {
+    core::ExperimentConfig config;
+    config.resolver = core::ResolverKind::None;
+    const auto p = run(graph, config);
+    table.add_row({"none (alarm-only monitoring)",
+                   util::fmt_double(p.mean_adopted_false * 100.0, 2),
+                   util::fmt_double(p.mean_no_route * 100.0, 2),
+                   util::fmt_double(p.mean_alarms, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ndetection is only as good as conflict resolution: a degraded DNS or "
+               "stale IRR pushes the residual toward the alarm-only (plain-BGP-like) "
+               "level, while alarms keep firing either way.\n";
+  return 0;
+}

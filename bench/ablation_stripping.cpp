@@ -1,0 +1,40 @@
+// Ablation — community-attribute stripping (Section 4.3): the community
+// attribute is optional transitive, so conforming routers may drop it.
+// Sweep the fraction of stripping routers and measure false alarms (alarms
+// that implicate no attacker) and residual protection.
+#include <iostream>
+
+#include "bench_util.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+int main() {
+  const topo::AsGraph& graph = paper_topology(460);
+
+  std::cout << "=== Ablation: community-attribute stripping (Sec 4.3) ===\n";
+  std::cout << "paper: dropped MOAS lists cause false alarms but 'should not cause an "
+               "invalid case to be considered valid'\n\n";
+
+  util::TablePrinter table({"strip_pct", "false_alarms_per_run", "true_alarms_per_run",
+                            "adopting_false_pct", "no_route_pct"});
+  for (double strip : {0.0, 0.1, 0.25, 0.5, 0.75}) {
+    core::ExperimentConfig config;
+    config.deployment = core::Deployment::Full;
+    config.num_origins = 2;  // a real MOAS list is in play
+    config.strip_fraction = strip;
+    core::Experiment experiment(graph, config);
+    util::Rng rng(42);
+    const core::SweepPoint point = experiment.run_point(0.10, kOriginSets, kAttackerSets, rng);
+    table.add_row({util::fmt_double(strip * 100.0, 0),
+                   util::fmt_double(point.mean_false_alarms, 1),
+                   util::fmt_double(point.mean_alarms - point.mean_false_alarms, 1),
+                   util::fmt_double(point.mean_adopted_false * 100.0, 2),
+                   util::fmt_double(point.mean_no_route * 100.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfalse alarms grow with stripping, but adoption of false routes does "
+               "not: resolution still identifies the true origin set.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation — the Section 4.3 escape: "it could falsely announce a route to
+// a prefix longer than p". MOAS-list checking is per-prefix, so a
+// more-specific hijack never produces a list conflict and wins on
+// longest-prefix match everywhere.
+#include <iostream>
+
+#include "bench_util.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+int main() {
+  const topo::AsGraph& graph = paper_topology(460);
+
+  std::cout << "=== Ablation: sub-prefix hijack escapes MOAS-list checking (Sec 4.3) ===\n\n";
+
+  util::TablePrinter table({"attack", "deployment", "affected_pct", "alarms_per_run"});
+  for (auto strategy :
+       {core::AttackerStrategy::OwnList, core::AttackerStrategy::SubPrefixHijack}) {
+    for (auto deployment : {core::Deployment::None, core::Deployment::Full}) {
+      core::ExperimentConfig config;
+      config.strategy = strategy;
+      config.deployment = deployment;
+      core::Experiment experiment(graph, config);
+      util::Rng rng(13);
+      const auto point = experiment.run_point(0.04, kOriginSets, kAttackerSets, rng);
+      table.add_row({core::to_string(strategy), core::to_string(deployment),
+                     util::fmt_double(point.mean_affected * 100.0, 2),
+                     util::fmt_double(point.mean_alarms, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nthe same-prefix attack is crushed by detection; the more-specific "
+               "attack sails through with zero alarms — the limitation that later "
+               "motivated prefix-coverage checks (sub-prefix hijack detection in "
+               "RPKI/ROA max-length and systems like ARTEMIS).\n";
+  return 0;
+}

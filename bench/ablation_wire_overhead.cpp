@@ -1,0 +1,63 @@
+// Ablation — byte cost of the MOAS list (Section 4.3): "The attachment of
+// a MOAS list also adds to the overall size of the routing table and route
+// announcements ... about 99% of all MOAS cases involve 3 or fewer origin
+// ASes. Thus the MOAS list itself should be relatively short."
+//
+// Measured with the real RFC 4271 wire encoding, plus the table-wide cost
+// for a 2001-scale table (~100k routes, <3000 of them multi-origin).
+#include <iostream>
+
+#include "moas/bgp/wire.h"
+#include "moas/core/moas_list.h"
+#include "moas/util/strings.h"
+#include "moas/util/table.h"
+
+using namespace moas;
+
+namespace {
+
+std::size_t update_size(std::size_t n_origins) {
+  bgp::Route route;
+  route.prefix = *net::Prefix::parse("135.38.0.0/16");
+  route.attrs.path = bgp::AsPath({701, 1239, 4006});
+  if (n_origins > 0) {
+    bgp::AsnSet origins;
+    for (std::size_t i = 0; i < n_origins; ++i) {
+      origins.insert(static_cast<bgp::Asn>(4006 + i));
+    }
+    route.attrs.communities = core::encode_moas_list(origins);
+  }
+  return bgp::wire::encode_sim_update(bgp::Update::announce(route)).size();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: wire-format overhead of the MOAS list (Sec 4.3) ===\n\n";
+
+  util::TablePrinter table({"moas_list_size", "update_bytes", "overhead_bytes",
+                            "overhead_pct"});
+  const std::size_t bare = update_size(0);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{5}, std::size_t{10}}) {
+    const std::size_t size = update_size(n);
+    table.add_row({n == 0 ? "(none)" : std::to_string(n) + " origins",
+                   std::to_string(size), std::to_string(size - bare),
+                   util::fmt_double(100.0 * static_cast<double>(size - bare) /
+                                        static_cast<double>(bare),
+                                    1)});
+  }
+  table.print(std::cout);
+
+  // Routing-table level: the paper's measurements — <3000 multi-origin
+  // routes in a ~100k-route table, 96.14% with 2 origins, 2.7% with 3.
+  const double moas_routes = 3000.0;
+  const double extra = moas_routes * (0.9614 * static_cast<double>(update_size(2) - bare) +
+                                      0.027 * static_cast<double>(update_size(3) - bare) +
+                                      0.0116 * static_cast<double>(update_size(4) - bare));
+  std::cout << "\ntable-wide cost for a 2001-scale table (~100k routes, <3000 "
+               "multi-origin):\n  "
+            << util::fmt_double(extra / 1024.0, 1)
+            << " KiB extra — negligible against a multi-megabyte full table.\n";
+  return 0;
+}

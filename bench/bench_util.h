@@ -1,0 +1,50 @@
+// Shared plumbing for the figure-reproduction benches: the fixed synthetic
+// Internet, the paper's three sampled topologies (250/460/630 ASes), the
+// attacker-fraction x-axis of Figures 9-11, and a uniform way to print a
+// sweep as the rows the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moas/core/experiment.h"
+#include "moas/topo/graph.h"
+#include "moas/util/table.h"
+
+namespace moas::bench {
+
+/// The deterministic "full Internet" all benches sample from (~2500 ASes).
+const topo::AsGraph& shared_internet();
+
+/// The paper's sampled topology of roughly `target` ASes (cached).
+const topo::AsGraph& paper_topology(std::size_t target);
+
+/// Figures 9-11 x-axis: attacker percentage of all ASes.
+std::vector<double> paper_attacker_fractions();
+
+/// The paper's per-point run budget: 3 origin sets x 5 attacker sets.
+inline constexpr std::size_t kOriginSets = 3;
+inline constexpr std::size_t kAttackerSets = 5;
+
+/// Run one curve: a sweep over paper_attacker_fractions(). The paper uses
+/// 3 origin sets x 5 attacker sets = 15 runs per point; figure benches pass
+/// `attacker_sets` = 10 (30 runs) for tighter error bars.
+std::vector<core::SweepPoint> run_curve(const topo::AsGraph& graph,
+                                        const core::ExperimentConfig& config,
+                                        std::uint64_t seed,
+                                        std::size_t attacker_sets = kAttackerSets);
+
+/// Label -> curve, printed as one table with a column per curve (mirrors
+/// the multi-series figures).
+struct Curve {
+  std::string label;
+  std::vector<core::SweepPoint> points;
+};
+
+util::TablePrinter curves_table(const std::vector<Curve>& curves);
+
+/// Print the standard bench banner + the table (+ CSV).
+void print_report(const std::string& title, const std::string& paper_note,
+                  const std::vector<Curve>& curves);
+
+}  // namespace moas::bench

@@ -1,0 +1,33 @@
+// Figure 5 — "Duration of MOAS": histogram of the number of days each MOAS
+// case was observed (total active days, not necessarily contiguous).
+#include <iostream>
+
+#include "moas/measure/observer.h"
+#include "moas/measure/report.h"
+#include "moas/measure/trace_gen.h"
+#include "moas/util/rng.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+
+int main() {
+  util::Rng rng(1997);
+  const measure::SyntheticTrace trace = measure::generate_trace(measure::TraceConfig{}, rng);
+  measure::MoasObserver observer;
+  observer.ingest_all(trace);
+
+  std::cout << "=== Figure 5: duration of MOAS cases ===\n";
+  std::cout << "paper: most cases are short-lived — 35.9% last a single day — with a "
+               "long tail of persistent (valid multi-homing) cases\n\n";
+  const auto rows = measure::build_fig5_histogram(observer);
+  measure::fig5_table(rows).print(std::cout);
+
+  const auto summary = observer.summarize();
+  std::cout << "\none-day cases: " << summary.one_day_cases << " of " << summary.total_cases
+            << " (" << util::fmt_double(summary.one_day_fraction * 100.0, 1)
+            << "%; paper: 35.9%)\n";
+  std::cout << "of the one-day cases, attributable to the 4/7/1998 event: "
+            << util::fmt_double(summary.one_day_spike_share * 100.0, 1)
+            << "% (paper: 82.7%)\n";
+  return 0;
+}

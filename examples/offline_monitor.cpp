@@ -1,0 +1,85 @@
+// The Section 4.2 off-line deployment path, end to end: no router is
+// modified; a monitoring process periodically reads the routing tables of a
+// few well-connected vantage ASes and raises MOAS alarms on inconsistency.
+// We stage a hijack against a converged 120-AS network and watch the
+// monitor catch it on its next scan.
+#include <iostream>
+
+#include "moas/core/attacker.h"
+#include "moas/core/monitor.h"
+#include "moas/topo/gen_internet.h"
+#include "moas/topo/route_views.h"
+#include "moas/topo/sampler.h"
+
+using namespace moas;
+
+int main() {
+  util::Rng rng(42);
+  topo::InternetConfig internet_config;
+  internet_config.tier1 = 6;
+  internet_config.tier2 = 30;
+  internet_config.tier3 = 60;
+  internet_config.stubs = 900;
+  const topo::AsGraph internet = topo::generate_internet(internet_config, rng);
+  const topo::AsGraph graph = topo::sample_to_size(internet, 120, rng);
+  std::cout << "sampled " << graph.node_count() << "-AS topology\n";
+
+  bgp::Network network;
+  for (bgp::Asn asn : graph.nodes()) network.add_router(asn);
+  for (const auto& edge : graph.edges()) network.connect(edge.a, edge.b, edge.rel_of_b);
+
+  // The victim: a random stub announcing its prefix; the network converges.
+  const auto stubs = graph.stubs();
+  const bgp::Asn origin = stubs[rng.index(stubs.size())];
+  const net::Prefix victim = topo::prefix_for_asn(origin);
+  network.router(origin).originate(victim);
+  network.run_to_quiescence();
+  std::cout << "AS" << origin << " announced " << victim.to_string()
+            << "; network converged at t=" << network.clock().now() << "s\n";
+
+  // The monitor watches the five best-connected ASes (a RouteViews-like
+  // peer set), scanning every 30 simulated seconds.
+  std::vector<bgp::Asn> vantages = graph.nodes();
+  std::sort(vantages.begin(), vantages.end(),
+            [&](bgp::Asn a, bgp::Asn b) { return graph.degree(a) > graph.degree(b); });
+  vantages.resize(5);
+  core::MoasMonitor monitor(vantages);
+  std::cout << "monitor vantages:";
+  for (bgp::Asn v : vantages) std::cout << " AS" << v;
+  std::cout << "\n\n";
+
+  std::cout << "scan at t=" << network.clock().now() << "s: "
+            << monitor.scan(network).size() << " alarms (healthy network)\n";
+
+  // The hijack.
+  bgp::Asn attacker = origin;
+  while (attacker == origin) attacker = rng.pick(graph.nodes());
+  core::AttackPlan plan;
+  plan.attacker = attacker;
+  plan.target = victim;
+  plan.valid_origins = {origin};
+  plan.strategy = core::AttackerStrategy::NoList;
+  const double attack_time = network.clock().now();
+  core::launch_attack(network, plan);
+  std::cout << "AS" << attacker << " hijacks " << victim.to_string() << " at t="
+            << attack_time << "s\n";
+
+  // Periodic scans until the monitor fires.
+  for (int scan = 1; scan <= 20; ++scan) {
+    network.clock().run_until(attack_time + 30.0 * scan);
+    const auto alarms = monitor.scan(network);
+    std::cout << "scan at t=" << network.clock().now() << "s: " << alarms.size()
+              << " alarms\n";
+    if (!alarms.empty()) {
+      for (const auto& alarm : alarms) std::cout << "  " << alarm.to_string() << "\n";
+      std::cout << "\ndetected " << network.clock().now() - attack_time
+                << "s after the hijack, with zero router modifications —\n"
+                   "the price is the scan period (the paper's daily table dumps "
+                   "imply up to a day).\n";
+      return 0;
+    }
+  }
+  std::cout << "monitor never fired — the vantages all converged to the same "
+               "(hijacked or valid) origin, the single-vantage blind spot.\n";
+  return 1;
+}

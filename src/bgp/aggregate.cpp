@@ -1,0 +1,103 @@
+#include "moas/bgp/aggregate.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+namespace {
+
+/// Flatten a path into the plain list of ASes a sequence walk visits;
+/// AS_SET members are appended in sorted order (their internal order is
+/// meaningless).
+std::vector<Asn> flatten(const AsPath& path) {
+  std::vector<Asn> out;
+  for (const auto& seg : path.segments()) {
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+AsnSet aggregate_origins(const std::vector<Route>& components) {
+  AsnSet out;
+  for (const Route& r : components) {
+    for (Asn asn : r.origin_candidates()) out.insert(asn);
+  }
+  return out;
+}
+
+AggregationResult aggregate_routes(const net::Prefix& target,
+                                   const std::vector<Route>& components) {
+  MOAS_REQUIRE(!components.empty(), "nothing to aggregate");
+  for (const Route& r : components) {
+    MOAS_REQUIRE(target.contains(r.prefix), "component outside the aggregate block");
+  }
+
+  // Longest common leading sequence across the flattened paths — but only
+  // as far as every path's leading AS_SEQUENCE extends (a leading AS_SET
+  // contributes nothing deterministic to keep).
+  std::size_t common_len = 0;
+  {
+    // Length of the leading sequence segment of each path.
+    std::size_t min_leading = ~std::size_t{0};
+    for (const Route& r : components) {
+      const auto& segs = r.attrs.path.segments();
+      const std::size_t lead =
+          (!segs.empty() && segs.front().kind == PathSegment::Kind::Sequence)
+              ? segs.front().asns.size()
+              : 0;
+      min_leading = std::min(min_leading, lead);
+    }
+    const std::vector<Asn> reference = flatten(components.front().attrs.path);
+    for (std::size_t i = 0; i < min_leading; ++i) {
+      const Asn asn = reference[i];
+      const bool all_match = std::all_of(
+          components.begin(), components.end(), [&](const Route& r) {
+            const auto flat = flatten(r.attrs.path);
+            return i < flat.size() && flat[i] == asn;
+          });
+      if (!all_match) break;
+      common_len = i + 1;
+    }
+  }
+
+  Route aggregate;
+  aggregate.prefix = target;
+
+  const std::vector<Asn> reference = flatten(components.front().attrs.path);
+  std::vector<Asn> common(reference.begin(),
+                          reference.begin() + static_cast<std::ptrdiff_t>(common_len));
+  AsnSet rest;
+  for (const Route& r : components) {
+    const auto flat = flatten(r.attrs.path);
+    for (std::size_t i = common_len; i < flat.size(); ++i) rest.insert(flat[i]);
+  }
+  // ASes in the common head never repeat inside the set segment.
+  for (Asn asn : common) rest.erase(asn);
+
+  AsPath path;
+  if (!common.empty()) path.append_sequence(common);
+  if (!rest.empty()) path.append_set(std::move(rest));
+  aggregate.attrs.path = std::move(path);
+
+  // Worst origin code wins; communities merge by union.
+  aggregate.attrs.origin_code = OriginCode::Igp;
+  for (const Route& r : components) {
+    aggregate.attrs.origin_code =
+        std::max(aggregate.attrs.origin_code, r.attrs.origin_code);
+    for (Community c : r.attrs.communities.values()) aggregate.attrs.communities.add(c);
+  }
+
+  // Exactness: do the component prefixes minimize to exactly {target}?
+  net::PrefixSet covered;
+  for (const Route& r : components) covered.insert(r.prefix);
+  covered.minimize();
+  AggregationResult result{std::move(aggregate), false};
+  result.exact = covered.size() == 1 && covered.contains(target);
+  return result;
+}
+
+}  // namespace moas::bgp

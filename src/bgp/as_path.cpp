@@ -1,0 +1,131 @@
+#include "moas/bgp/as_path.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+#include "moas/util/strings.h"
+
+namespace moas::bgp {
+
+AsPath::AsPath(std::vector<Asn> sequence) {
+  if (!sequence.empty()) {
+    segments_.push_back(PathSegment{PathSegment::Kind::Sequence, std::move(sequence)});
+  }
+}
+
+void AsPath::prepend(Asn asn) {
+  MOAS_REQUIRE(asn != kNoAs, "cannot prepend the null ASN");
+  if (segments_.empty() || segments_.front().kind != PathSegment::Kind::Sequence) {
+    segments_.insert(segments_.begin(), PathSegment{PathSegment::Kind::Sequence, {asn}});
+  } else {
+    auto& seq = segments_.front().asns;
+    seq.insert(seq.begin(), asn);
+  }
+}
+
+void AsPath::append_set(AsnSet asns) {
+  MOAS_REQUIRE(!asns.empty(), "AS_SET segment must be non-empty");
+  PathSegment seg{PathSegment::Kind::Set, {asns.begin(), asns.end()}};
+  segments_.push_back(std::move(seg));
+}
+
+void AsPath::append_sequence(const std::vector<Asn>& asns) {
+  for (Asn asn : asns) {
+    MOAS_REQUIRE(asn != kNoAs, "cannot append the null ASN");
+    if (segments_.empty() || segments_.back().kind != PathSegment::Kind::Sequence) {
+      segments_.push_back(PathSegment{PathSegment::Kind::Sequence, {asn}});
+    } else {
+      segments_.back().asns.push_back(asn);
+    }
+  }
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (const auto& seg : segments_) {
+    if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end()) return true;
+  }
+  return false;
+}
+
+std::size_t AsPath::selection_length() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) {
+    n += seg.kind == PathSegment::Kind::Sequence ? seg.asns.size() : 1;
+  }
+  return n;
+}
+
+std::optional<Asn> AsPath::first() const {
+  if (segments_.empty()) return std::nullopt;
+  const auto& seg = segments_.front();
+  if (seg.kind == PathSegment::Kind::Sequence) return seg.asns.front();
+  return std::nullopt;  // ambiguous: path starts with an aggregate set
+}
+
+std::optional<Asn> AsPath::origin() const {
+  if (segments_.empty()) return std::nullopt;
+  const auto& seg = segments_.back();
+  if (seg.kind == PathSegment::Kind::Sequence) return seg.asns.back();
+  return std::nullopt;
+}
+
+AsnSet AsPath::origin_candidates() const {
+  if (segments_.empty()) return {};
+  const auto& seg = segments_.back();
+  if (seg.kind == PathSegment::Kind::Sequence) return {seg.asns.back()};
+  return {seg.asns.begin(), seg.asns.end()};
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (seg.kind == PathSegment::Kind::Sequence) {
+      for (Asn asn : seg.asns) {
+        if (!out.empty()) out += ' ';
+        out += std::to_string(asn);
+      }
+    } else {
+      if (!out.empty()) out += ' ';
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    }
+  }
+  return out;
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view s) {
+  AsPath path;
+  for (const auto& raw : util::split(s, ' ')) {
+    const auto token = util::trim(raw);
+    if (token.empty()) continue;
+    if (token.front() == '{') {
+      if (token.back() != '}') return std::nullopt;
+      AsnSet set;
+      for (const auto& member : util::split(token.substr(1, token.size() - 2), ',')) {
+        std::uint64_t asn = 0;
+        if (!util::parse_u64(util::trim(member), asn) || asn > ~0u) return std::nullopt;
+        set.insert(static_cast<Asn>(asn));
+      }
+      if (set.empty()) return std::nullopt;
+      path.append_set(std::move(set));
+    } else {
+      std::uint64_t asn = 0;
+      if (!util::parse_u64(token, asn) || asn > ~0u) return std::nullopt;
+      // Extend a trailing sequence segment, or start one.
+      if (path.segments_.empty() ||
+          path.segments_.back().kind != PathSegment::Kind::Sequence) {
+        path.segments_.push_back(
+            PathSegment{PathSegment::Kind::Sequence, {static_cast<Asn>(asn)}});
+      } else {
+        path.segments_.back().asns.push_back(static_cast<Asn>(asn));
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace moas::bgp

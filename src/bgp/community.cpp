@@ -1,0 +1,30 @@
+#include "moas/bgp/community.h"
+
+#include "moas/util/strings.h"
+
+namespace moas::bgp {
+
+std::string Community::to_string() const {
+  return std::to_string(asn()) + ":" + std::to_string(value());
+}
+
+std::optional<Community> Community::parse(std::string_view s) {
+  const auto colon = s.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::uint64_t asn = 0;
+  std::uint64_t value = 0;
+  if (!util::parse_u64(s.substr(0, colon), asn) || asn > 0xffffu) return std::nullopt;
+  if (!util::parse_u64(s.substr(colon + 1), value) || value > 0xffffu) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(asn), static_cast<std::uint16_t>(value));
+}
+
+std::string CommunitySet::to_string() const {
+  std::string out;
+  for (const auto& c : values_) {
+    if (!out.empty()) out += ' ';
+    out += c.to_string();
+  }
+  return out;
+}
+
+}  // namespace moas::bgp

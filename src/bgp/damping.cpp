@@ -1,0 +1,81 @@
+#include "moas/bgp/damping.h"
+
+#include <cmath>
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+FlapDamper::FlapDamper(Config config) : config_(config) {
+  MOAS_REQUIRE(config_.half_life > 0.0, "half-life must be positive");
+  MOAS_REQUIRE(config_.reuse_threshold > 0.0, "reuse threshold must be positive");
+  MOAS_REQUIRE(config_.suppress_threshold > config_.reuse_threshold,
+               "suppress threshold must exceed reuse threshold");
+  MOAS_REQUIRE(config_.max_penalty >= config_.suppress_threshold,
+               "penalty ceiling below suppress threshold");
+}
+
+FlapDamper::RouteState& FlapDamper::refresh(Asn peer, const net::Prefix& prefix,
+                                            sim::Time now) {
+  RouteState& state = state_[{peer, prefix}];
+  if (now > state.stamped_at && state.penalty > 0.0) {
+    const double elapsed = now - state.stamped_at;
+    state.penalty *= std::exp2(-elapsed / config_.half_life);
+    if (state.penalty < 1.0) state.penalty = 0.0;  // denormal housekeeping
+  }
+  state.stamped_at = now;
+  if (state.suppressed && state.penalty < config_.reuse_threshold) {
+    state.suppressed = false;
+  }
+  return state;
+}
+
+double FlapDamper::add_penalty(Asn peer, const net::Prefix& prefix, sim::Time now,
+                               double amount) {
+  RouteState& state = refresh(peer, prefix, now);
+  state.penalty = std::min(state.penalty + amount, config_.max_penalty);
+  if (state.penalty >= config_.suppress_threshold) state.suppressed = true;
+  return state.penalty;
+}
+
+double FlapDamper::on_withdrawal(Asn peer, const net::Prefix& prefix, sim::Time now) {
+  return add_penalty(peer, prefix, now, config_.withdrawal_penalty);
+}
+
+double FlapDamper::on_attribute_change(Asn peer, const net::Prefix& prefix, sim::Time now) {
+  return add_penalty(peer, prefix, now, config_.attribute_change_penalty);
+}
+
+bool FlapDamper::suppressed(Asn peer, const net::Prefix& prefix, sim::Time now) {
+  auto it = state_.find({peer, prefix});
+  if (it == state_.end()) return false;
+  return refresh(peer, prefix, now).suppressed;
+}
+
+double FlapDamper::penalty(Asn peer, const net::Prefix& prefix, sim::Time now) {
+  auto it = state_.find({peer, prefix});
+  if (it == state_.end()) return 0.0;
+  return refresh(peer, prefix, now).penalty;
+}
+
+sim::Time FlapDamper::reuse_time(Asn peer, const net::Prefix& prefix, sim::Time now) {
+  auto it = state_.find({peer, prefix});
+  if (it == state_.end()) return now;
+  RouteState& state = refresh(peer, prefix, now);
+  if (!state.suppressed) return now;
+  // penalty * 2^(-t / half_life) = reuse  =>  t = half_life * log2(p / reuse)
+  const double t = config_.half_life * std::log2(state.penalty / config_.reuse_threshold);
+  return now + t;
+}
+
+void FlapDamper::clear_peer(Asn peer) {
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (it->first.first == peer) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace moas::bgp

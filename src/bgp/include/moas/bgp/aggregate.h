@@ -1,0 +1,40 @@
+// Route aggregation (RFC 4271 §9.2.2.2, simplified).
+//
+// Aggregating routes to adjacent prefixes produces a single announcement
+// whose AS path keeps the longest common leading AS_SEQUENCE and collapses
+// the rest into one AS_SET — the mechanism behind the paper's footnote 1
+// ("in the case of route aggregation, an element in the AS path may include
+// a set of ASes"). Communities (and therefore MOAS lists) are merged by
+// union, which is why an aggregate of differently-originated blocks itself
+// looks like a MOAS announcement.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "moas/bgp/route.h"
+#include "moas/net/prefix_set.h"
+
+namespace moas::bgp {
+
+struct AggregationResult {
+  Route route;       // the aggregate announcement
+  bool exact = false;  // true if the components tile `target` exactly
+};
+
+/// Aggregate `components` into one announcement for `target`.
+///
+/// Requirements: at least one component; every component's prefix inside
+/// `target`. The result's path = longest common leading sequence across
+/// all flattened component paths + an AS_SET of every remaining AS (if
+/// any); its communities = union of component communities; origin code =
+/// the worst (highest) component code; `exact` reports whether the
+/// components cover every address of `target`.
+AggregationResult aggregate_routes(const net::Prefix& target,
+                                   const std::vector<Route>& components);
+
+/// The origin ASes an aggregate claims: union of component origin sets
+/// (used by the MOAS detector's footnote-3 handling of AS_SETs).
+AsnSet aggregate_origins(const std::vector<Route>& components);
+
+}  // namespace moas::bgp

@@ -1,0 +1,83 @@
+// BGP AS_PATH attribute.
+//
+// An AS path is a list of segments; a segment is either an ordered AS_SEQUENCE
+// or an unordered AS_SET (produced by route aggregation — the paper's
+// footnote 1). The "origin AS" is the last element; when the last segment is
+// a set, any member is a candidate origin.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "moas/bgp/asn.h"
+
+namespace moas::bgp {
+
+/// One path segment.
+struct PathSegment {
+  enum class Kind { Sequence, Set };
+
+  Kind kind = Kind::Sequence;
+  /// Members; kept in announcement order for Sequence, sorted for Set.
+  std::vector<Asn> asns;
+
+  friend auto operator<=>(const PathSegment&, const PathSegment&) = default;
+};
+
+class AsPath {
+ public:
+  /// Empty path (a locally originated route before export).
+  AsPath() = default;
+
+  /// Convenience: a single AS_SEQUENCE.
+  explicit AsPath(std::vector<Asn> sequence);
+
+  /// Prepend an AS at the front (export-time). Extends the front sequence
+  /// segment, creating one if the path starts with a set.
+  void prepend(Asn asn);
+
+  /// Append an AS_SET segment at the back (aggregation).
+  void append_set(AsnSet asns);
+
+  /// Append ASes at the back, extending a trailing sequence segment or
+  /// starting a new one (wire decoding, path construction).
+  void append_sequence(const std::vector<Asn>& asns);
+
+  /// True if `asn` appears anywhere in the path (loop detection).
+  bool contains(Asn asn) const;
+
+  /// Route-selection length: each sequence member counts 1, each set segment
+  /// counts 1 total (RFC 4271 §9.1.2.2 rule).
+  std::size_t selection_length() const;
+
+  /// First AS on the path (the advertising neighbor), if any.
+  std::optional<Asn> first() const;
+
+  /// The unique origin AS: the last element when the path ends in a
+  /// sequence; nullopt for an empty path or one ending in an AS_SET.
+  std::optional<Asn> origin() const;
+
+  /// All candidate origins: {last sequence element} or the members of the
+  /// trailing set. Empty for an empty path.
+  AsnSet origin_candidates() const;
+
+  bool empty() const { return segments_.empty(); }
+  const std::vector<PathSegment>& segments() const { return segments_; }
+
+  /// "3 2 1" with set segments braced: "3 {4,5}".
+  std::string to_string() const;
+
+  /// Parse the to_string format. Returns nullopt on malformed input.
+  static std::optional<AsPath> parse(std::string_view s);
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<PathSegment> segments_;
+};
+
+}  // namespace moas::bgp

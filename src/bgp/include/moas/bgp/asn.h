@@ -1,0 +1,28 @@
+// Autonomous System numbers.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+namespace moas::bgp {
+
+/// AS number. The paper predates 4-octet ASNs (RFC 4893), but nothing in the
+/// mechanism depends on width, so we use 32 bits and let the community
+/// encoding reject ASNs that do not fit its 2-octet field.
+using Asn = std::uint32_t;
+
+/// An unordered set of ASNs (origin sets, MOAS lists, attacker sets, ...).
+using AsnSet = std::set<Asn>;
+
+/// Reserved value meaning "no AS" (0 is unallocated in the real registry).
+inline constexpr Asn kNoAs = 0;
+
+/// Private-use ASN range (RFC 1930 era): used by the ASE multi-homing model.
+inline constexpr Asn kPrivateAsnFirst = 64512;
+inline constexpr Asn kPrivateAsnLast = 65535;
+
+inline bool is_private_asn(Asn asn) {
+  return asn >= kPrivateAsnFirst && asn <= kPrivateAsnLast;
+}
+
+}  // namespace moas::bgp

@@ -1,0 +1,75 @@
+// BGP COMMUNITIES attribute (RFC 1997).
+//
+// A community is a 4-octet value, conventionally written AS:value with the
+// AS number in the high two octets. The MOAS-list mechanism (the paper's
+// Section 4.2) reserves one value of the low two octets, MLVal, so that the
+// community X:MLVal means "AS X may originate this prefix".
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "moas/bgp/asn.h"
+
+namespace moas::bgp {
+
+/// One community value.
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr explicit Community(std::uint32_t raw) : raw_(raw) {}
+  constexpr Community(std::uint16_t asn, std::uint16_t value)
+      : raw_((std::uint32_t{asn} << 16) | value) {}
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr std::uint16_t asn() const { return static_cast<std::uint16_t>(raw_ >> 16); }
+  constexpr std::uint16_t value() const { return static_cast<std::uint16_t>(raw_ & 0xffffu); }
+
+  /// "AS:value".
+  std::string to_string() const;
+
+  /// Parse "AS:value" (both decimal, both <= 65535).
+  static std::optional<Community> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// RFC 1997 well-known communities.
+inline constexpr Community kNoExport{0xffffff01u};
+inline constexpr Community kNoAdvertise{0xffffff02u};
+inline constexpr Community kNoExportSubconfed{0xffffff03u};
+
+/// An (order-irrelevant, duplicate-free) set of communities, as carried on a
+/// route announcement.
+class CommunitySet {
+ public:
+  CommunitySet() = default;
+  CommunitySet(std::initializer_list<Community> cs) : values_(cs) {}
+
+  void add(Community c) { values_.insert(c); }
+  void remove(Community c) { values_.erase(c); }
+  bool contains(Community c) const { return values_.contains(c); }
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  void clear() { values_.clear(); }
+
+  const std::set<Community>& values() const { return values_; }
+
+  /// "AS:val AS:val ..." in ascending raw order.
+  std::string to_string() const;
+
+  friend auto operator<=>(const CommunitySet&, const CommunitySet&) = default;
+
+ private:
+  std::set<Community> values_;
+};
+
+}  // namespace moas::bgp

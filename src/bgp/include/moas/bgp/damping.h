@@ -1,0 +1,72 @@
+// Route flap damping (RFC 2439, simplified to the classic figure-of-merit
+// model).
+//
+// Each (peer, prefix) pair accumulates a penalty on every flap (withdrawal
+// or attribute change); the penalty decays exponentially with a configured
+// half-life. Crossing the suppress threshold mutes the route; decaying
+// below the reuse threshold unmutes it. The MOAS measurement section's
+// fault events are exactly the kind of churn damping was designed to
+// absorb, which makes it a natural substrate ablation: damping delays both
+// the false announcement *and* the valid route's recovery.
+#pragma once
+
+#include <map>
+
+#include "moas/bgp/asn.h"
+#include "moas/net/prefix.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::bgp {
+
+class FlapDamper {
+ public:
+  struct Config {
+    double withdrawal_penalty = 1000.0;
+    double attribute_change_penalty = 500.0;
+    double suppress_threshold = 2000.0;
+    double reuse_threshold = 750.0;
+    double max_penalty = 12000.0;  // RFC: ceiling at ~4x suppress
+    sim::Time half_life = 900.0;   // 15 minutes
+  };
+
+  FlapDamper() : FlapDamper(Config()) {}
+  explicit FlapDamper(Config config);
+
+  /// Record a withdrawal flap at virtual time `now`; returns the new
+  /// penalty.
+  double on_withdrawal(Asn peer, const net::Prefix& prefix, sim::Time now);
+
+  /// Record a re-announcement / attribute change flap.
+  double on_attribute_change(Asn peer, const net::Prefix& prefix, sim::Time now);
+
+  /// Whether the route from `peer` is currently suppressed.
+  bool suppressed(Asn peer, const net::Prefix& prefix, sim::Time now);
+
+  /// Current (decayed) penalty; 0 if the pair has no history.
+  double penalty(Asn peer, const net::Prefix& prefix, sim::Time now);
+
+  /// When a currently-suppressed route becomes reusable (absolute time);
+  /// `now` if it is not suppressed.
+  sim::Time reuse_time(Asn peer, const net::Prefix& prefix, sim::Time now);
+
+  /// Drop all state for a peer (session reset clears damping history).
+  void clear_peer(Asn peer);
+
+  std::size_t tracked_routes() const { return state_.size(); }
+
+ private:
+  struct RouteState {
+    double penalty = 0.0;
+    sim::Time stamped_at = 0.0;
+    bool suppressed = false;
+  };
+
+  /// Decay the stored penalty to `now` and update bookkeeping.
+  RouteState& refresh(Asn peer, const net::Prefix& prefix, sim::Time now);
+  double add_penalty(Asn peer, const net::Prefix& prefix, sim::Time now, double amount);
+
+  Config config_;
+  std::map<std::pair<Asn, net::Prefix>, RouteState> state_;
+};
+
+}  // namespace moas::bgp

@@ -1,0 +1,86 @@
+// A network of BGP routers coupled through the discrete-event engine.
+//
+// The Network owns one Router per AS, delivers updates over links with
+// configurable delay (plus seeded jitter so message races are explored), and
+// runs the whole system to quiescence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "moas/bgp/router.h"
+#include "moas/sim/event_queue.h"
+#include "moas/util/rng.h"
+
+namespace moas::bgp {
+
+class Network {
+ public:
+  struct Config {
+    PolicyMode mode = PolicyMode::ShortestPath;
+    /// Base one-way propagation + processing delay per link (seconds).
+    double link_delay = 0.05;
+    /// Uniform extra delay in [0, jitter) added per message.
+    double jitter = 0.02;
+    std::uint64_t seed = 1;
+  };
+
+  Network();  // default Config
+  explicit Network(Config config);
+
+  /// Create a router for `asn`. Must not already exist.
+  Router& add_router(Asn asn);
+
+  /// Connect two existing routers. `rel_of_b` is b's relationship as seen
+  /// from a (e.g. Customer means b is a's customer); the reverse edge gets
+  /// the mirrored relationship.
+  void connect(Asn a, Asn b, Relationship rel_of_b = Relationship::Peer);
+
+  bool has_router(Asn asn) const { return routers_.contains(asn); }
+  Router& router(Asn asn);
+  const Router& router(Asn asn) const;
+  std::vector<Asn> asns() const;
+  std::size_t size() const { return routers_.size(); }
+
+  sim::EventQueue& clock() { return clock_; }
+  const sim::EventQueue& clock() const { return clock_; }
+
+  /// Drain the event queue. Returns true if the network quiesced within
+  /// `max_events`; false means the cap was hit (a modeling bug — callers
+  /// should treat it as fatal).
+  bool run_to_quiescence(std::size_t max_events = 50'000'000);
+
+  /// Updates handed to the transport so far.
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Fail or restore the peering between a and b (failure injection).
+  /// Failing drops all in-flight messages on the link and makes both
+  /// routers flush each other's routes (session reset); restoring triggers
+  /// the initial route exchange again. Requires an existing connection.
+  void set_link_up(Asn a, Asn b, bool up);
+  bool link_up(Asn a, Asn b) const;
+
+  /// Messages dropped because their link was down when they would arrive.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  void deliver(Asn from, Asn to, const Update& update);
+
+  Config config_;
+  sim::EventQueue clock_;
+  util::Rng rng_;
+  std::map<Asn, std::unique_ptr<Router>> routers_;
+  /// Last scheduled delivery per directed link: BGP speaks over TCP, so
+  /// updates between two peers must stay FIFO even with jittered delays.
+  std::map<std::pair<Asn, Asn>, sim::Time> link_clock_;
+  /// Links currently failed (unordered endpoint pair stored as a < b).
+  std::set<std::pair<Asn, Asn>> failed_links_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace moas::bgp

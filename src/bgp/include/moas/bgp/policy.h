@@ -1,0 +1,45 @@
+// Routing policy: business relationships and import/export rules.
+//
+// Two modes are supported:
+//  - ShortestPath: every route is exported to every peer and selection is by
+//    path length. This matches the SSFnet configuration the paper simulated.
+//  - GaoRexford: classic valley-free policy. Import assigns LOCAL_PREF by
+//    relationship (customer > peer > provider); export sends customer and
+//    locally originated routes to everyone but peer/provider routes only to
+//    customers. Used for the policy-sensitivity ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace moas::bgp {
+
+/// The neighbor's relationship to this AS (how we see them).
+enum class Relationship : std::uint8_t {
+  Customer,  // the neighbor buys transit from us
+  Peer,      // settlement-free peer
+  Provider,  // we buy transit from the neighbor
+};
+
+/// Inverse viewpoint: if B is A's customer, A is B's provider.
+Relationship reverse(Relationship rel);
+
+const char* to_string(Relationship rel);
+
+enum class PolicyMode : std::uint8_t { ShortestPath, GaoRexford };
+
+const char* to_string(PolicyMode mode);
+
+/// LOCAL_PREF assigned when importing a route from a neighbor with the given
+/// relationship.
+std::uint32_t import_local_pref(PolicyMode mode, Relationship neighbor);
+
+/// LOCAL_PREF for locally originated routes (always wins the local decision).
+inline constexpr std::uint32_t kLocalRouteLocalPref = 1000;
+
+/// Whether a route learned from `learned_from` may be exported to `to`.
+/// Locally originated routes pass `std::nullopt`-like semantics via
+/// `export_local_allowed` (always true).
+bool export_allowed(PolicyMode mode, Relationship learned_from, Relationship to);
+
+}  // namespace moas::bgp

@@ -1,0 +1,81 @@
+// Routing information bases and the BGP decision process.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "moas/bgp/route.h"
+#include "moas/net/prefix.h"
+
+namespace moas::bgp {
+
+/// A route candidate along with the peer it was learned from
+/// (learned_from == self for locally originated routes).
+struct RibEntry {
+  Route route;
+  Asn learned_from = kNoAs;
+
+  friend auto operator<=>(const RibEntry&, const RibEntry&) = default;
+};
+
+/// Compares only the attribute key of the decision process: higher
+/// LOCAL_PREF, then shorter AS path, then lower ORIGIN code, then lower MED.
+/// Returns <0 if a is preferred, >0 if b is preferred, 0 if equally good.
+int compare_candidate_keys(const RibEntry& a, const RibEntry& b);
+
+/// Full decision-process comparison: compare_candidate_keys, then lowest
+/// neighbor ASN as the deterministic tie-break. Returns 0 only for
+/// equally-keyed candidates from the same neighbor.
+int compare_candidates(const RibEntry& a, const RibEntry& b);
+
+/// Picks the best candidate, or nullptr if `candidates` is empty.
+const RibEntry* select_best(const std::vector<const RibEntry*>& candidates);
+
+/// Adj-RIB-In: per prefix, the latest route from each peer.
+class AdjRibIn {
+ public:
+  /// Install/replace the route from `peer`. Returns true if this changed
+  /// the stored entry.
+  bool set(Asn peer, Route route);
+
+  /// Drop the route for `prefix` from `peer`; true if one existed.
+  bool erase(Asn peer, const net::Prefix& prefix);
+
+  /// All candidates for a prefix (may be empty).
+  std::vector<const RibEntry*> candidates(const net::Prefix& prefix) const;
+
+  /// The entry from a specific peer, or nullptr.
+  const RibEntry* from_peer(const net::Prefix& prefix, Asn peer) const;
+
+  /// Erase every candidate for `prefix` whose origin candidates intersect
+  /// `origins`; returns the number erased.
+  std::size_t erase_by_origin(const net::Prefix& prefix, const AsnSet& origins);
+
+  /// Drop everything learned from `peer` (session reset); returns the
+  /// affected prefixes.
+  std::vector<net::Prefix> erase_peer(Asn peer);
+
+  /// Prefixes with at least one candidate.
+  std::vector<net::Prefix> prefixes() const;
+
+  std::size_t size() const;
+
+ private:
+  std::map<net::Prefix, std::map<Asn, RibEntry>> table_;
+};
+
+/// Loc-RIB: the selected best route per prefix.
+class LocRib {
+ public:
+  void set(const net::Prefix& prefix, RibEntry entry);
+  bool erase(const net::Prefix& prefix);
+  const RibEntry* best(const net::Prefix& prefix) const;
+  std::vector<net::Prefix> prefixes() const;
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<net::Prefix, RibEntry> table_;
+};
+
+}  // namespace moas::bgp

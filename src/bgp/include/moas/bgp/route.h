@@ -1,0 +1,61 @@
+// A BGP route: a prefix plus the path attributes it was announced with.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "moas/bgp/as_path.h"
+#include "moas/bgp/community.h"
+#include "moas/net/prefix.h"
+
+namespace moas::bgp {
+
+/// ORIGIN attribute codes (RFC 4271 §5.1.1); lower is preferred.
+enum class OriginCode : std::uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+/// The path attributes the simulator models. NEXT_HOP is implicit: at the
+/// AS level the next hop is the advertising neighbor.
+struct PathAttributes {
+  AsPath path;
+  OriginCode origin_code = OriginCode::Igp;
+  std::uint32_t local_pref = 100;  // assigned by import policy, not transitive
+  std::uint32_t med = 0;
+  CommunitySet communities;
+
+  friend auto operator<=>(const PathAttributes&, const PathAttributes&) = default;
+};
+
+struct Route {
+  net::Prefix prefix;
+  PathAttributes attrs;
+
+  /// The unique origin AS, if the path ends in a plain sequence.
+  std::optional<Asn> origin_as() const { return attrs.path.origin(); }
+
+  /// All candidate origins (handles trailing AS_SETs from aggregation).
+  AsnSet origin_candidates() const { return attrs.path.origin_candidates(); }
+
+  /// "prefix via <path> [communities]".
+  std::string to_string() const;
+
+  friend auto operator<=>(const Route&, const Route&) = default;
+};
+
+/// One BGP UPDATE at the abstraction level of the simulator: either an
+/// announcement of a route or a withdrawal of a prefix.
+struct Update {
+  enum class Kind { Announce, Withdraw };
+
+  Kind kind = Kind::Announce;
+  net::Prefix prefix;
+  std::optional<Route> route;  // set iff kind == Announce
+
+  static Update announce(Route r);
+  static Update withdraw(net::Prefix p);
+
+  std::string to_string() const;
+};
+
+}  // namespace moas::bgp

@@ -1,0 +1,184 @@
+// An AS-level BGP speaker.
+//
+// One Router models the externally visible routing behavior of one AS (the
+// abstraction the paper's SSFnet simulation uses): it keeps per-peer
+// Adj-RIB-In tables, runs the decision process, and re-advertises its best
+// routes subject to export policy, optional MRAI pacing, an optional import
+// validator (the MOAS detector), and an optional export filter (used to
+// model compromised routers that suppress valid routes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "moas/bgp/damping.h"
+#include "moas/bgp/policy.h"
+#include "moas/bgp/rib.h"
+#include "moas/bgp/route.h"
+#include "moas/bgp/validator.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::bgp {
+
+class Router final : public RouterContext {
+ public:
+  /// Transport callback: deliver `update` from this router to peer `to`.
+  /// Provided by the Network (adds link delay); may be a direct call in
+  /// unit tests.
+  using SendFn = std::function<void(Asn from, Asn to, const Update& update)>;
+
+  /// Filter applied to every outgoing update; return false to suppress.
+  /// Used by the experiment harness to model compromised routers.
+  using ExportFilter = std::function<bool(const Update& update, Asn to)>;
+
+  /// `clock` may be null: then MRAI pacing is unavailable and
+  /// current_time() reports 0.
+  Router(Asn asn, PolicyMode mode, SendFn send, sim::EventQueue* clock);
+
+  Asn asn() const { return asn_; }
+  PolicyMode policy_mode() const { return mode_; }
+
+  // --- configuration -------------------------------------------------------
+
+  /// Register a peer with its relationship as seen from this AS.
+  void add_peer(Asn peer, Relationship rel);
+  bool has_peer(Asn peer) const { return peers_.contains(peer); }
+  std::vector<Asn> peers() const;
+
+  /// Install the import validator (defaults to accept-all).
+  void set_validator(std::shared_ptr<ImportValidator> validator);
+  ImportValidator& validator() { return *validator_; }
+
+  void set_export_filter(ExportFilter filter) { export_filter_ = std::move(filter); }
+
+  /// Drop the (optional, transitive) community attribute from everything
+  /// this router re-advertises — the RFC-permitted behavior the paper's
+  /// Section 4.3 discusses. Locally originated routes keep their
+  /// communities.
+  void set_strip_communities(bool strip) { strip_communities_ = strip; }
+  bool strips_communities() const { return strip_communities_; }
+
+  /// Minimum route advertisement interval per (peer, prefix); 0 disables.
+  /// Requires a clock.
+  void set_mrai(sim::Time seconds);
+  sim::Time mrai() const { return mrai_; }
+
+  /// Keep the currently selected route when a challenger only ties its
+  /// attribute key (the "prefer oldest route" stability step many BGP
+  /// implementations apply before the router-id tie-break). On by default;
+  /// turning it off makes equal-key contests deterministic by neighbor ASN.
+  void set_prefer_established(bool prefer) { prefer_established_ = prefer; }
+  bool prefers_established() const { return prefer_established_; }
+
+  /// Enable RFC 2439 route flap damping on import. Flapping (peer, prefix)
+  /// pairs accumulate penalty; suppressed routes are excluded from the
+  /// decision process until their penalty decays below the reuse
+  /// threshold (a re-decide is scheduled automatically). Requires a clock.
+  void enable_flap_damping(FlapDamper::Config config);
+  bool flap_damping_enabled() const { return damper_.has_value(); }
+  const FlapDamper* flap_damper() const { return damper_ ? &*damper_ : nullptr; }
+
+  // --- protocol operations --------------------------------------------------
+
+  /// Originate a prefix locally (installs into Loc-RIB and advertises).
+  void originate(const net::Prefix& prefix, CommunitySet communities = {},
+                 OriginCode origin_code = OriginCode::Igp);
+
+  /// Withdraw a local origination.
+  void withdraw_origination(const net::Prefix& prefix);
+
+  /// Entry point for updates arriving from a peer.
+  void handle_update(Asn from, const Update& update);
+
+  /// Session with `peer` went down: flush everything learned from it,
+  /// reselect, and forget what was advertised to it (nothing can be
+  /// withdrawn over a dead session).
+  void peer_down(Asn peer);
+
+  /// Session with `peer` came (back) up: advertise the current Loc-RIB to
+  /// it, as the initial route exchange after session establishment does.
+  void peer_up(Asn peer);
+
+  // --- queries ---------------------------------------------------------------
+
+  /// Best route currently selected for `prefix` (nullptr if none).
+  const RibEntry* best(const net::Prefix& prefix) const { return loc_rib_.best(prefix); }
+
+  /// Origin AS of the selected best route, if any.
+  std::optional<Asn> best_origin(const net::Prefix& prefix) const;
+
+  const AdjRibIn& adj_rib_in() const { return adj_in_; }
+  const LocRib& loc_rib() const { return loc_rib_; }
+  bool originates(const net::Prefix& prefix) const { return local_.contains(prefix); }
+
+  struct Stats {
+    std::uint64_t updates_received = 0;
+    std::uint64_t updates_sent = 0;
+    std::uint64_t announcements_rejected = 0;  // validator vetoes
+    std::uint64_t loops_detected = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t best_changes = 0;
+    std::uint64_t candidates_damped = 0;  // suppressed by flap damping
+  };
+  const Stats& stats() const { return stats_; }
+
+  // --- RouterContext (for validators) ---------------------------------------
+  Asn self() const override { return asn_; }
+  sim::Time current_time() const override { return clock_ ? clock_->now() : 0.0; }
+  std::size_t invalidate_origins(const net::Prefix& prefix,
+                                 const AsnSet& false_origins) override;
+
+ private:
+  struct PeerState {
+    Relationship rel = Relationship::Peer;
+    /// What we last advertised for each prefix (for withdraw bookkeeping
+    /// and duplicate suppression).
+    std::map<net::Prefix, Route> advertised;
+    /// MRAI state per prefix.
+    std::map<net::Prefix, sim::Time> next_allowed;
+    std::map<net::Prefix, std::optional<Update>> pending;
+  };
+
+  /// Re-run the decision process for `prefix`; export on change.
+  void decide(const net::Prefix& prefix);
+
+  /// Advertise the current best (or withdrawal) for `prefix` to all peers.
+  void export_prefix(const net::Prefix& prefix);
+
+  /// Apply export policy/transforms and pass to the MRAI stage.
+  void send_to_peer(Asn peer, PeerState& state, const net::Prefix& prefix);
+
+  /// MRAI-paced transmission of a concrete update.
+  void transmit(Asn peer, PeerState& state, Update update);
+  void flush_pending(Asn peer, const net::Prefix& prefix);
+
+  /// Build the update we owe `peer` for `prefix` right now (announce, or
+  /// withdraw if nothing is exportable), without MRAI or dedup applied.
+  std::optional<Update> build_export(const PeerState& state, const net::Prefix& prefix) const;
+
+  Asn asn_;
+  PolicyMode mode_;
+  SendFn send_;
+  sim::EventQueue* clock_;
+
+  std::map<Asn, PeerState> peers_;
+  AdjRibIn adj_in_;
+  LocRib loc_rib_;
+  std::map<net::Prefix, Route> local_;  // locally originated
+
+  std::shared_ptr<ImportValidator> validator_;
+  ExportFilter export_filter_;
+  bool strip_communities_ = false;
+  bool prefer_established_ = true;
+  sim::Time mrai_ = 0.0;
+  std::optional<FlapDamper> damper_;
+
+  Stats stats_;
+};
+
+}  // namespace moas::bgp

@@ -1,0 +1,99 @@
+// BGP session finite-state machine (RFC 4271 §8, simplified).
+//
+// Models the lifecycle of one side of a peering: Idle -> Connect ->
+// OpenSent -> OpenConfirm -> Established, with ConnectRetry, Hold and
+// Keepalive timers driven by the discrete-event engine. The routing
+// experiments run with permanently-established sessions; this module
+// exists for the failure-injection tests (session resets flush routes and
+// trigger withdraw storms) and to keep the substrate honest about what
+// "a BGP peering" is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "moas/bgp/asn.h"
+#include "moas/bgp/wire.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::bgp {
+
+enum class SessionState : std::uint8_t {
+  Idle,
+  Connect,
+  OpenSent,
+  OpenConfirm,
+  Established,
+};
+
+const char* to_string(SessionState state);
+
+/// One side of a BGP session.
+class Session {
+ public:
+  struct Config {
+    Asn local_as = kNoAs;
+    std::uint32_t bgp_identifier = 0;  // tie-break for simultaneous opens
+    sim::Time hold_time = 90.0;
+    sim::Time keepalive_interval = 30.0;  // canonical: hold/3
+    sim::Time connect_retry = 120.0;
+  };
+
+  /// Callbacks: `send` transmits raw wire bytes toward the peer; `on_up` /
+  /// `on_down` report session establishment and loss (the router flushes
+  /// the peer's routes on down).
+  Session(Config config, sim::EventQueue& clock,
+          std::function<void(std::vector<std::uint8_t>)> send,
+          std::function<void()> on_up, std::function<void()> on_down);
+
+  SessionState state() const { return state_; }
+  bool established() const { return state_ == SessionState::Established; }
+
+  /// Operator actions.
+  void start();  // ManualStart: leave Idle, attempt the session
+  void stop();   // ManualStop: drop to Idle, notify the peer
+
+  /// Transport events.
+  void tcp_connected();  // the underlying transport came up
+  void tcp_failed();     // connection attempt failed / transport lost
+
+  /// A message arrived from the peer (raw wire bytes).
+  void receive(std::span<const std::uint8_t> data);
+
+  struct Stats {
+    std::uint64_t opens_sent = 0;
+    std::uint64_t keepalives_sent = 0;
+    std::uint64_t notifications_sent = 0;
+    std::uint64_t hold_expirations = 0;
+    std::uint64_t times_established = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void enter(SessionState next);
+  void send_open();
+  void send_keepalive();
+  void send_notification(std::uint8_t code, std::uint8_t subcode);
+  void reset_to_idle(bool notify_peer, std::uint8_t code, std::uint8_t subcode);
+
+  void arm_hold_timer();
+  void arm_keepalive_timer();
+  void arm_connect_retry();
+  void cancel_timers();
+
+  Config config_;
+  sim::EventQueue& clock_;
+  std::function<void(std::vector<std::uint8_t>)> send_;
+  std::function<void()> on_up_;
+  std::function<void()> on_down_;
+
+  SessionState state_ = SessionState::Idle;
+  sim::EventId hold_timer_ = 0;
+  sim::EventId keepalive_timer_ = 0;
+  sim::EventId connect_retry_timer_ = 0;
+  sim::Time negotiated_hold_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace moas::bgp

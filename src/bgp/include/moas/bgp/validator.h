@@ -1,0 +1,54 @@
+// Import-validation hook.
+//
+// The MOAS detector (src/core) plugs into the router through this interface.
+// Keeping the interface here lets the BGP engine stay ignorant of the
+// detection mechanism while the detector can veto announcements and purge
+// routes it has identified as false.
+#pragma once
+
+#include <memory>
+
+#include "moas/bgp/route.h"
+#include "moas/net/prefix.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::bgp {
+
+/// The narrow view of a router a validator is allowed to touch.
+class RouterContext {
+ public:
+  virtual ~RouterContext() = default;
+
+  /// This router's ASN.
+  virtual Asn self() const = 0;
+
+  /// Current virtual time (0 if the router runs without a clock).
+  virtual sim::Time current_time() const = 0;
+
+  /// Purge previously accepted routes for `prefix` whose origin falls in
+  /// `false_origins`, and reselect. Used when a conflict is resolved and
+  /// already-installed routes turn out to be bogus.
+  virtual std::size_t invalidate_origins(const net::Prefix& prefix,
+                                         const AsnSet& false_origins) = 0;
+};
+
+/// Decides whether an arriving announcement may enter the Adj-RIB-In.
+class ImportValidator {
+ public:
+  virtual ~ImportValidator() = default;
+
+  /// Return false to reject the route. May call ctx.invalidate_origins().
+  virtual bool accept(const Route& route, Asn from_peer, RouterContext& ctx) = 0;
+
+  /// Observe withdrawals (default: ignore).
+  virtual void on_withdraw(const net::Prefix& /*prefix*/, Asn /*from_peer*/,
+                           RouterContext& /*ctx*/) {}
+};
+
+/// The default validator: plain BGP, accept everything.
+class AcceptAllValidator final : public ImportValidator {
+ public:
+  bool accept(const Route&, Asn, RouterContext&) override { return true; }
+};
+
+}  // namespace moas::bgp

@@ -1,0 +1,114 @@
+// BGP-4 wire format (RFC 4271 §4) for the message types the simulator
+// models, plus the RFC 1997 COMMUNITIES attribute encoding the MOAS list
+// travels in.
+//
+// The simulator itself exchanges in-memory Update objects; this module
+// exists so that (a) the byte-level cost of a MOAS list can be measured
+// honestly (Section 4.3 discusses the size overhead), (b) dumps can be
+// written/read in a real interchange format, and (c) the encoding logic is
+// tested against the RFC's corner cases (extended-length attributes,
+// AS_SET segments, prefix padding).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "moas/bgp/route.h"
+
+namespace moas::bgp::wire {
+
+/// Malformed input while decoding.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Message types (RFC 4271 §4.1).
+enum class MessageType : std::uint8_t {
+  Open = 1,
+  Update = 2,
+  Notification = 3,
+  Keepalive = 4,
+};
+
+/// Fixed header size: 16-byte marker + 2-byte length + 1-byte type.
+inline constexpr std::size_t kHeaderSize = 19;
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+/// Path-attribute type codes used here.
+enum class AttrType : std::uint8_t {
+  Origin = 1,
+  AsPath = 2,
+  NextHop = 3,
+  Med = 4,
+  LocalPref = 5,
+  Communities = 8,
+};
+
+/// The content of one UPDATE message. A single message may withdraw several
+/// prefixes and announce several prefixes sharing one attribute set.
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;
+  std::optional<PathAttributes> attrs;  // required when nlri is non-empty
+  std::vector<net::Prefix> nlri;
+};
+
+struct EncodeOptions {
+  /// Include LOCAL_PREF (IBGP sessions only; EBGP must not send it).
+  bool include_local_pref = false;
+  /// NEXT_HOP value; the AS-level simulator has no concrete next hop, so a
+  /// placeholder is used unless the caller knows better.
+  net::Ipv4Addr next_hop = net::Ipv4Addr(0u);
+};
+
+/// Encode an UPDATE. Throws std::invalid_argument for unencodable input
+/// (ASN > 0xffff — this is the 2-octet era — or an over-long message).
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        const EncodeOptions& options = EncodeOptions());
+
+/// Decode an UPDATE (must include the header). Throws WireError.
+UpdateMessage decode_update(std::span<const std::uint8_t> data);
+
+/// OPEN message content (§4.2), minus optional parameters.
+struct OpenMessage {
+  std::uint8_t version = 4;
+  std::uint16_t my_as = 0;
+  std::uint16_t hold_time = 180;
+  std::uint32_t bgp_identifier = 0;
+};
+
+std::vector<std::uint8_t> encode_open(const OpenMessage& open);
+OpenMessage decode_open(std::span<const std::uint8_t> data);
+
+/// KEEPALIVE: header only.
+std::vector<std::uint8_t> encode_keepalive();
+
+/// NOTIFICATION (§4.5): error code, subcode, diagnostic data.
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+};
+
+std::vector<std::uint8_t> encode_notification(const NotificationMessage& notification);
+NotificationMessage decode_notification(std::span<const std::uint8_t> data);
+
+/// Peek at a message's type (validates the header). Throws WireError.
+MessageType message_type(std::span<const std::uint8_t> data);
+
+/// Convert between the simulator's Update and wire messages.
+std::vector<std::uint8_t> encode_sim_update(const Update& update,
+                                            const EncodeOptions& options = EncodeOptions());
+/// A decoded message may carry several announcements/withdrawals; expand to
+/// simulator updates (announcements share the attribute set).
+std::vector<Update> to_sim_updates(const UpdateMessage& message);
+
+/// The extra bytes a MOAS list of `n_origins` adds to an announcement
+/// (Section 4.3's overhead discussion): n x 4 community octets plus the
+/// attribute header when no communities were present at all.
+std::size_t moas_list_overhead_bytes(std::size_t n_origins, bool had_communities);
+
+}  // namespace moas::bgp::wire

@@ -1,0 +1,99 @@
+#include "moas/bgp/network.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+Network::Network() : Network(Config()) {}
+
+Network::Network(Config config) : config_(config), rng_(config.seed) {
+  MOAS_REQUIRE(config_.link_delay >= 0.0, "link delay must be non-negative");
+  MOAS_REQUIRE(config_.jitter >= 0.0, "jitter must be non-negative");
+}
+
+Router& Network::add_router(Asn asn) {
+  MOAS_REQUIRE(!routers_.contains(asn), "router already exists");
+  auto router = std::make_unique<Router>(
+      asn, config_.mode,
+      [this](Asn from, Asn to, const Update& update) { deliver(from, to, update); },
+      &clock_);
+  Router& ref = *router;
+  routers_.emplace(asn, std::move(router));
+  return ref;
+}
+
+void Network::connect(Asn a, Asn b, Relationship rel_of_b) {
+  router(a).add_peer(b, rel_of_b);
+  router(b).add_peer(a, reverse(rel_of_b));
+}
+
+Router& Network::router(Asn asn) {
+  auto it = routers_.find(asn);
+  MOAS_REQUIRE(it != routers_.end(), "unknown router " + std::to_string(asn));
+  return *it->second;
+}
+
+const Router& Network::router(Asn asn) const {
+  auto it = routers_.find(asn);
+  MOAS_REQUIRE(it != routers_.end(), "unknown router " + std::to_string(asn));
+  return *it->second;
+}
+
+std::vector<Asn> Network::asns() const {
+  std::vector<Asn> out;
+  out.reserve(routers_.size());
+  for (const auto& [asn, _] : routers_) out.push_back(asn);
+  return out;
+}
+
+bool Network::run_to_quiescence(std::size_t max_events) {
+  return clock_.run(max_events) < max_events || clock_.empty();
+}
+
+void Network::set_link_up(Asn a, Asn b, bool up) {
+  MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
+  const auto key = std::minmax(a, b);
+  if (!up) {
+    if (!failed_links_.insert(key).second) return;  // already down
+    router(a).peer_down(b);
+    router(b).peer_down(a);
+  } else {
+    if (failed_links_.erase(key) == 0) return;  // already up
+    router(a).peer_up(b);
+    router(b).peer_up(a);
+  }
+}
+
+bool Network::link_up(Asn a, Asn b) const {
+  return !failed_links_.contains(std::minmax(a, b));
+}
+
+void Network::deliver(Asn from, Asn to, const Update& update) {
+  if (!link_up(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_sent_;
+  const double delay =
+      config_.link_delay + (config_.jitter > 0.0 ? rng_.uniform01() * config_.jitter : 0.0);
+  // FIFO per directed link: a BGP session is a TCP stream, so a later
+  // update must never overtake an earlier one (an overtaken stale
+  // announcement would act as a bogus implicit withdraw at the receiver).
+  sim::Time at = clock_.now() + delay;
+  auto& last = link_clock_[{from, to}];
+  if (at <= last) at = last + 1e-9;
+  last = at;
+  // Copy the update into the event: the sender may mutate its state freely
+  // while the message is "on the wire".
+  clock_.schedule_at(at, [this, from, to, update] {
+    if (!link_up(from, to)) {  // the link failed while the message was in flight
+      ++messages_dropped_;
+      return;
+    }
+    auto it = routers_.find(to);
+    MOAS_ENSURE(it != routers_.end(), "message addressed to unknown router");
+    it->second->handle_update(from, update);
+  });
+}
+
+}  // namespace moas::bgp

@@ -1,0 +1,45 @@
+#include "moas/bgp/policy.h"
+
+namespace moas::bgp {
+
+Relationship reverse(Relationship rel) {
+  switch (rel) {
+    case Relationship::Customer: return Relationship::Provider;
+    case Relationship::Provider: return Relationship::Customer;
+    case Relationship::Peer: return Relationship::Peer;
+  }
+  return Relationship::Peer;
+}
+
+const char* to_string(Relationship rel) {
+  switch (rel) {
+    case Relationship::Customer: return "customer";
+    case Relationship::Peer: return "peer";
+    case Relationship::Provider: return "provider";
+  }
+  return "?";
+}
+
+const char* to_string(PolicyMode mode) {
+  return mode == PolicyMode::ShortestPath ? "shortest-path" : "gao-rexford";
+}
+
+std::uint32_t import_local_pref(PolicyMode mode, Relationship neighbor) {
+  if (mode == PolicyMode::ShortestPath) return 100;
+  switch (neighbor) {
+    case Relationship::Customer: return 300;
+    case Relationship::Peer: return 200;
+    case Relationship::Provider: return 100;
+  }
+  return 100;
+}
+
+bool export_allowed(PolicyMode mode, Relationship learned_from, Relationship to) {
+  if (mode == PolicyMode::ShortestPath) return true;
+  // Valley-free: routes from customers go everywhere; routes from peers or
+  // providers go only to customers.
+  if (learned_from == Relationship::Customer) return true;
+  return to == Relationship::Customer;
+}
+
+}  // namespace moas::bgp

@@ -1,0 +1,138 @@
+#include "moas/bgp/rib.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+int compare_candidate_keys(const RibEntry& a, const RibEntry& b) {
+  if (a.route.attrs.local_pref != b.route.attrs.local_pref) {
+    return a.route.attrs.local_pref > b.route.attrs.local_pref ? -1 : 1;
+  }
+  const auto alen = a.route.attrs.path.selection_length();
+  const auto blen = b.route.attrs.path.selection_length();
+  if (alen != blen) return alen < blen ? -1 : 1;
+  if (a.route.attrs.origin_code != b.route.attrs.origin_code) {
+    return a.route.attrs.origin_code < b.route.attrs.origin_code ? -1 : 1;
+  }
+  if (a.route.attrs.med != b.route.attrs.med) {
+    return a.route.attrs.med < b.route.attrs.med ? -1 : 1;
+  }
+  return 0;
+}
+
+int compare_candidates(const RibEntry& a, const RibEntry& b) {
+  const int keys = compare_candidate_keys(a, b);
+  if (keys != 0) return keys;
+  if (a.learned_from != b.learned_from) return a.learned_from < b.learned_from ? -1 : 1;
+  return 0;
+}
+
+const RibEntry* select_best(const std::vector<const RibEntry*>& candidates) {
+  const RibEntry* best = nullptr;
+  for (const RibEntry* c : candidates) {
+    if (!best || compare_candidates(*c, *best) < 0) best = c;
+  }
+  return best;
+}
+
+bool AdjRibIn::set(Asn peer, Route route) {
+  auto& per_peer = table_[route.prefix];
+  RibEntry entry{std::move(route), peer};
+  auto [it, inserted] = per_peer.try_emplace(peer, entry);
+  if (inserted) return true;
+  if (it->second == entry) return false;
+  it->second = std::move(entry);
+  return true;
+}
+
+bool AdjRibIn::erase(Asn peer, const net::Prefix& prefix) {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return false;
+  const bool erased = it->second.erase(peer) > 0;
+  if (it->second.empty()) table_.erase(it);
+  return erased;
+}
+
+std::vector<const RibEntry*> AdjRibIn::candidates(const net::Prefix& prefix) const {
+  std::vector<const RibEntry*> out;
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [peer, entry] : it->second) out.push_back(&entry);
+  return out;
+}
+
+const RibEntry* AdjRibIn::from_peer(const net::Prefix& prefix, Asn peer) const {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return nullptr;
+  auto jt = it->second.find(peer);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+std::size_t AdjRibIn::erase_by_origin(const net::Prefix& prefix, const AsnSet& origins) {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return 0;
+  std::size_t erased = 0;
+  for (auto jt = it->second.begin(); jt != it->second.end();) {
+    const AsnSet cand = jt->second.route.origin_candidates();
+    const bool hit = std::any_of(cand.begin(), cand.end(),
+                                 [&](Asn a) { return origins.contains(a); });
+    if (hit) {
+      jt = it->second.erase(jt);
+      ++erased;
+    } else {
+      ++jt;
+    }
+  }
+  if (it->second.empty()) table_.erase(it);
+  return erased;
+}
+
+std::vector<net::Prefix> AdjRibIn::erase_peer(Asn peer) {
+  std::vector<net::Prefix> affected;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.erase(peer) > 0) affected.push_back(it->first);
+    if (it->second.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
+}
+
+std::vector<net::Prefix> AdjRibIn::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(table_.size());
+  for (const auto& [prefix, _] : table_) out.push_back(prefix);
+  return out;
+}
+
+std::size_t AdjRibIn::size() const {
+  std::size_t n = 0;
+  for (const auto& [_, per_peer] : table_) n += per_peer.size();
+  return n;
+}
+
+void LocRib::set(const net::Prefix& prefix, RibEntry entry) {
+  MOAS_REQUIRE(entry.route.prefix == prefix, "loc-rib entry prefix mismatch");
+  table_[prefix] = std::move(entry);
+}
+
+bool LocRib::erase(const net::Prefix& prefix) { return table_.erase(prefix) > 0; }
+
+const RibEntry* LocRib::best(const net::Prefix& prefix) const {
+  auto it = table_.find(prefix);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> LocRib::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(table_.size());
+  for (const auto& [prefix, _] : table_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace moas::bgp

@@ -1,0 +1,36 @@
+#include "moas/bgp/route.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+std::string Route::to_string() const {
+  std::string out = prefix.to_string() + " via <" + attrs.path.to_string() + ">";
+  if (!attrs.communities.empty()) out += " [" + attrs.communities.to_string() + "]";
+  return out;
+}
+
+Update Update::announce(Route r) {
+  Update u;
+  u.kind = Kind::Announce;
+  u.prefix = r.prefix;
+  u.route = std::move(r);
+  return u;
+}
+
+Update Update::withdraw(net::Prefix p) {
+  Update u;
+  u.kind = Kind::Withdraw;
+  u.prefix = p;
+  return u;
+}
+
+std::string Update::to_string() const {
+  if (kind == Kind::Announce) {
+    MOAS_ENSURE(route.has_value(), "announce update must carry a route");
+    return "ANNOUNCE " + route->to_string();
+  }
+  return "WITHDRAW " + prefix.to_string();
+}
+
+}  // namespace moas::bgp

@@ -1,0 +1,286 @@
+#include "moas/bgp/router.h"
+
+#include <utility>
+
+#include "moas/util/assert.h"
+#include "moas/util/log.h"
+
+namespace moas::bgp {
+
+Router::Router(Asn asn, PolicyMode mode, SendFn send, sim::EventQueue* clock)
+    : asn_(asn),
+      mode_(mode),
+      send_(std::move(send)),
+      clock_(clock),
+      validator_(std::make_shared<AcceptAllValidator>()) {
+  MOAS_REQUIRE(asn_ != kNoAs, "router needs a real ASN");
+  MOAS_REQUIRE(static_cast<bool>(send_), "router needs a transport callback");
+}
+
+void Router::add_peer(Asn peer, Relationship rel) {
+  MOAS_REQUIRE(peer != asn_, "cannot peer with self");
+  MOAS_REQUIRE(peer != kNoAs, "peer needs a real ASN");
+  MOAS_REQUIRE(!peers_.contains(peer), "peer already registered");
+  peers_[peer].rel = rel;
+}
+
+std::vector<Asn> Router::peers() const {
+  std::vector<Asn> out;
+  out.reserve(peers_.size());
+  for (const auto& [asn, _] : peers_) out.push_back(asn);
+  return out;
+}
+
+void Router::set_validator(std::shared_ptr<ImportValidator> validator) {
+  MOAS_REQUIRE(validator != nullptr, "validator must not be null");
+  validator_ = std::move(validator);
+}
+
+void Router::set_mrai(sim::Time seconds) {
+  MOAS_REQUIRE(seconds >= 0.0, "MRAI must be non-negative");
+  MOAS_REQUIRE(seconds == 0.0 || clock_ != nullptr, "MRAI pacing requires a clock");
+  mrai_ = seconds;
+}
+
+void Router::enable_flap_damping(FlapDamper::Config config) {
+  MOAS_REQUIRE(clock_ != nullptr, "flap damping requires a clock");
+  damper_.emplace(config);
+}
+
+void Router::originate(const net::Prefix& prefix, CommunitySet communities,
+                       OriginCode origin_code) {
+  Route route;
+  route.prefix = prefix;
+  route.attrs.path = AsPath({asn_});
+  route.attrs.origin_code = origin_code;
+  route.attrs.local_pref = kLocalRouteLocalPref;
+  route.attrs.communities = std::move(communities);
+  local_[prefix] = std::move(route);
+  decide(prefix);
+}
+
+void Router::withdraw_origination(const net::Prefix& prefix) {
+  if (local_.erase(prefix) == 0) return;
+  decide(prefix);
+}
+
+void Router::handle_update(Asn from, const Update& update) {
+  MOAS_REQUIRE(peers_.contains(from), "update from unknown peer");
+  ++stats_.updates_received;
+
+  if (update.kind == Update::Kind::Withdraw) {
+    const bool had = adj_in_.erase(from, update.prefix);
+    if (had && damper_) damper_->on_withdrawal(from, update.prefix, current_time());
+    validator_->on_withdraw(update.prefix, from, *this);
+    if (had) decide(update.prefix);
+    return;
+  }
+
+  MOAS_ENSURE(update.route.has_value(), "announce without a route");
+  Route route = *update.route;
+  MOAS_ENSURE(route.prefix == update.prefix, "update prefix mismatch");
+
+  // Loop detection: a path containing our own ASN is discarded. The
+  // announcement still implicitly withdraws whatever this peer sent before.
+  if (route.attrs.path.contains(asn_)) {
+    ++stats_.loops_detected;
+    if (adj_in_.erase(from, route.prefix)) decide(route.prefix);
+    return;
+  }
+
+  // Import policy: LOCAL_PREF is assigned locally by relationship.
+  route.attrs.local_pref = import_local_pref(mode_, peers_.at(from).rel);
+
+  // Flap accounting: a replacement announcement with different attributes
+  // is a flap (RFC 2439's attribute-change event).
+  if (damper_) {
+    const RibEntry* prior = adj_in_.from_peer(route.prefix, from);
+    if (prior && !(prior->route == route)) {
+      damper_->on_attribute_change(from, route.prefix, current_time());
+    }
+  }
+
+  // Validation (e.g. MOAS-list checking). The validator may purge
+  // previously installed routes through RouterContext::invalidate_origins.
+  if (!validator_->accept(route, from, *this)) {
+    ++stats_.announcements_rejected;
+    if (adj_in_.erase(from, route.prefix)) decide(route.prefix);
+    return;
+  }
+
+  if (adj_in_.set(from, std::move(route))) decide(update.prefix);
+}
+
+void Router::peer_down(Asn peer) {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  if (damper_) damper_->clear_peer(peer);
+  it->second.advertised.clear();
+  it->second.pending.clear();
+  it->second.next_allowed.clear();
+  for (const net::Prefix& prefix : adj_in_.erase_peer(peer)) decide(prefix);
+}
+
+void Router::peer_up(Asn peer) {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  for (const net::Prefix& prefix : loc_rib_.prefixes()) {
+    send_to_peer(peer, it->second, prefix);
+  }
+}
+
+std::optional<Asn> Router::best_origin(const net::Prefix& prefix) const {
+  const RibEntry* entry = loc_rib_.best(prefix);
+  if (!entry) return std::nullopt;
+  return entry->route.origin_as();
+}
+
+std::size_t Router::invalidate_origins(const net::Prefix& prefix,
+                                       const AsnSet& false_origins) {
+  const std::size_t n = adj_in_.erase_by_origin(prefix, false_origins);
+  if (n > 0) decide(prefix);
+  return n;
+}
+
+void Router::decide(const net::Prefix& prefix) {
+  ++stats_.decisions;
+
+  std::vector<const RibEntry*> candidates = adj_in_.candidates(prefix);
+
+  // Flap damping: suppressed candidates sit out the decision; a re-decide
+  // is scheduled for when the earliest of them becomes reusable.
+  if (damper_) {
+    const sim::Time now = current_time();
+    sim::Time earliest_reuse = 0.0;
+    std::erase_if(candidates, [&](const RibEntry* entry) {
+      if (!damper_->suppressed(entry->learned_from, prefix, now)) return false;
+      ++stats_.candidates_damped;
+      const sim::Time reuse = damper_->reuse_time(entry->learned_from, prefix, now);
+      if (earliest_reuse == 0.0 || reuse < earliest_reuse) earliest_reuse = reuse;
+      return true;
+    });
+    if (earliest_reuse > now && clock_) {
+      clock_->schedule_at(earliest_reuse + 1e-6, [this, prefix] { decide(prefix); });
+    }
+  }
+
+  RibEntry local_entry;
+  if (auto it = local_.find(prefix); it != local_.end()) {
+    local_entry = RibEntry{it->second, asn_};
+    candidates.push_back(&local_entry);
+  }
+
+  const RibEntry* best = select_best(candidates);
+  const RibEntry* old = loc_rib_.best(prefix);
+
+  // Route-age preference: if the established best is still a live candidate
+  // and the challenger merely ties its attribute key, keep the established
+  // route (stability; also what makes a converged network resist equally
+  // long bogus paths).
+  if (prefer_established_ && best && old) {
+    for (const RibEntry* candidate : candidates) {
+      if (*candidate == *old) {
+        if (compare_candidate_keys(*best, *candidate) == 0) best = candidate;
+        break;
+      }
+    }
+  }
+
+  bool changed = false;
+  if (!best) {
+    changed = loc_rib_.erase(prefix);
+  } else if (!old || !(*old == *best)) {
+    loc_rib_.set(prefix, *best);
+    changed = true;
+  }
+
+  if (changed) {
+    ++stats_.best_changes;
+    export_prefix(prefix);
+  }
+}
+
+void Router::export_prefix(const net::Prefix& prefix) {
+  for (auto& [peer, state] : peers_) send_to_peer(peer, state, prefix);
+}
+
+std::optional<Update> Router::build_export(const PeerState& state,
+                                           const net::Prefix& prefix) const {
+  const RibEntry* entry = loc_rib_.best(prefix);
+  if (!entry) return std::nullopt;
+
+  const bool locally_originated = entry->learned_from == asn_;
+  if (!locally_originated) {
+    const Relationship learned_rel = peers_.at(entry->learned_from).rel;
+    if (!export_allowed(mode_, learned_rel, state.rel)) return std::nullopt;
+  }
+
+  Route out = entry->route;
+  // Prepend our ASN unless the path already starts with it (locally
+  // originated routes are stored with path == {self}).
+  if (out.attrs.path.first() != std::optional<Asn>(asn_)) out.attrs.path.prepend(asn_);
+  // LOCAL_PREF is not transitive across EBGP; receivers assign their own.
+  out.attrs.local_pref = 100;
+  if (strip_communities_ && !locally_originated) out.attrs.communities.clear();
+  return Update::announce(std::move(out));
+}
+
+void Router::send_to_peer(Asn peer, PeerState& state, const net::Prefix& prefix) {
+  std::optional<Update> desired = build_export(state, prefix);
+
+  // Sender-side split horizon: never advertise a route back to the peer it
+  // was learned from (the receiver's loop check would reject it anyway).
+  if (desired) {
+    const RibEntry* entry = loc_rib_.best(prefix);
+    if (entry && entry->learned_from == peer) desired.reset();
+  }
+
+  auto advertised = state.advertised.find(prefix);
+  if (desired) {
+    if (advertised != state.advertised.end() && advertised->second == *desired->route) {
+      return;  // duplicate suppression
+    }
+    state.advertised[prefix] = *desired->route;
+    transmit(peer, state, std::move(*desired));
+  } else {
+    if (advertised == state.advertised.end()) return;
+    state.advertised.erase(advertised);
+    transmit(peer, state, Update::withdraw(prefix));
+  }
+}
+
+void Router::transmit(Asn peer, PeerState& state, Update update) {
+  if (export_filter_ && !export_filter_(update, peer)) return;
+
+  const net::Prefix prefix = update.prefix;
+  if (mrai_ > 0.0 && clock_) {
+    auto it = state.next_allowed.find(prefix);
+    const sim::Time now = clock_->now();
+    if (it != state.next_allowed.end() && now < it->second) {
+      auto& slot = state.pending[prefix];
+      const bool flush_already_scheduled = slot.has_value();
+      slot = std::move(update);  // newest update supersedes queued one
+      if (!flush_already_scheduled) {
+        const sim::Time at = it->second;
+        clock_->schedule_at(at, [this, peer, prefix] { flush_pending(peer, prefix); });
+      }
+      return;
+    }
+    state.next_allowed[prefix] = now + mrai_;
+  }
+
+  ++stats_.updates_sent;
+  send_(asn_, peer, update);
+}
+
+void Router::flush_pending(Asn peer, const net::Prefix& prefix) {
+  auto pit = peers_.find(peer);
+  if (pit == peers_.end()) return;
+  auto& slot = pit->second.pending[prefix];
+  if (!slot) return;
+  Update update = std::move(*slot);
+  slot.reset();
+  transmit(peer, pit->second, std::move(update));
+}
+
+}  // namespace moas::bgp

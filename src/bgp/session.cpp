@@ -1,0 +1,205 @@
+#include "moas/bgp/session.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp {
+
+namespace {
+
+// NOTIFICATION error codes (RFC 4271 §6).
+constexpr std::uint8_t kErrHoldTimerExpired = 4;
+constexpr std::uint8_t kErrCease = 6;
+
+}  // namespace
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Idle: return "Idle";
+    case SessionState::Connect: return "Connect";
+    case SessionState::OpenSent: return "OpenSent";
+    case SessionState::OpenConfirm: return "OpenConfirm";
+    case SessionState::Established: return "Established";
+  }
+  return "?";
+}
+
+Session::Session(Config config, sim::EventQueue& clock,
+                 std::function<void(std::vector<std::uint8_t>)> send,
+                 std::function<void()> on_up, std::function<void()> on_down)
+    : config_(config),
+      clock_(clock),
+      send_(std::move(send)),
+      on_up_(std::move(on_up)),
+      on_down_(std::move(on_down)) {
+  MOAS_REQUIRE(config_.local_as != kNoAs, "session needs a local ASN");
+  MOAS_REQUIRE(config_.local_as <= 0xffffu, "wire format carries 2-octet ASNs");
+  MOAS_REQUIRE(static_cast<bool>(send_), "session needs a transmit callback");
+  MOAS_REQUIRE(config_.hold_time == 0.0 || config_.hold_time >= 3.0,
+               "hold time must be zero or >= 3 seconds");
+}
+
+void Session::start() {
+  if (state_ != SessionState::Idle) return;
+  enter(SessionState::Connect);
+  arm_connect_retry();
+}
+
+void Session::stop() {
+  if (state_ == SessionState::Idle) return;
+  reset_to_idle(/*notify_peer=*/state_ >= SessionState::OpenSent, kErrCease, 0);
+}
+
+void Session::tcp_connected() {
+  if (state_ != SessionState::Connect) return;
+  clock_.cancel(connect_retry_timer_);
+  send_open();
+  enter(SessionState::OpenSent);
+  arm_hold_timer();
+}
+
+void Session::tcp_failed() {
+  if (state_ == SessionState::Idle) return;
+  const bool was_established = state_ == SessionState::Established;
+  cancel_timers();
+  enter(SessionState::Connect);
+  arm_connect_retry();
+  if (was_established && on_down_) on_down_();
+}
+
+void Session::receive(std::span<const std::uint8_t> data) {
+  if (state_ == SessionState::Idle || state_ == SessionState::Connect) {
+    return;  // no transport yet; ignore stray messages
+  }
+  wire::MessageType type;
+  try {
+    type = wire::message_type(data);
+  } catch (const wire::WireError&) {
+    reset_to_idle(/*notify_peer=*/true, 1 /*message header error*/, 0);
+    return;
+  }
+
+  switch (type) {
+    case wire::MessageType::Open: {
+      if (state_ != SessionState::OpenSent) {
+        // An OPEN in OpenConfirm/Established is a protocol error.
+        reset_to_idle(true, 5 /*FSM error*/, 0);
+        return;
+      }
+      wire::OpenMessage open;
+      try {
+        open = wire::decode_open(data);
+      } catch (const wire::WireError&) {
+        reset_to_idle(true, 2 /*OPEN message error*/, 0);
+        return;
+      }
+      negotiated_hold_ = std::min<sim::Time>(config_.hold_time, open.hold_time);
+      send_keepalive();
+      enter(SessionState::OpenConfirm);
+      arm_hold_timer();
+      break;
+    }
+    case wire::MessageType::Keepalive: {
+      if (state_ == SessionState::OpenConfirm) {
+        enter(SessionState::Established);
+        ++stats_.times_established;
+        arm_hold_timer();
+        arm_keepalive_timer();
+        if (on_up_) on_up_();
+      } else if (state_ == SessionState::Established) {
+        arm_hold_timer();
+      } else {
+        reset_to_idle(true, 5, 0);
+      }
+      break;
+    }
+    case wire::MessageType::Update: {
+      if (state_ != SessionState::Established) {
+        reset_to_idle(true, 5, 0);
+        return;
+      }
+      arm_hold_timer();  // any message refreshes the hold timer
+      // Routing payload handling lives in the Router; the FSM only tracks
+      // liveness.
+      break;
+    }
+    case wire::MessageType::Notification: {
+      const bool was_established = state_ == SessionState::Established;
+      cancel_timers();
+      enter(SessionState::Idle);
+      if (was_established && on_down_) on_down_();
+      break;
+    }
+  }
+}
+
+void Session::enter(SessionState next) { state_ = next; }
+
+void Session::send_open() {
+  wire::OpenMessage open;
+  open.my_as = static_cast<std::uint16_t>(config_.local_as);
+  open.hold_time = static_cast<std::uint16_t>(config_.hold_time);
+  open.bgp_identifier = config_.bgp_identifier;
+  ++stats_.opens_sent;
+  send_(wire::encode_open(open));
+}
+
+void Session::send_keepalive() {
+  ++stats_.keepalives_sent;
+  send_(wire::encode_keepalive());
+}
+
+void Session::send_notification(std::uint8_t code, std::uint8_t subcode) {
+  ++stats_.notifications_sent;
+  send_(wire::encode_notification({code, subcode, {}}));
+}
+
+void Session::reset_to_idle(bool notify_peer, std::uint8_t code, std::uint8_t subcode) {
+  const bool was_established = state_ == SessionState::Established;
+  if (notify_peer) send_notification(code, subcode);
+  cancel_timers();
+  enter(SessionState::Idle);
+  if (was_established && on_down_) on_down_();
+}
+
+void Session::arm_hold_timer() {
+  clock_.cancel(hold_timer_);
+  const sim::Time hold = negotiated_hold_ > 0.0 ? negotiated_hold_ : config_.hold_time;
+  if (hold <= 0.0) return;  // hold time zero: liveness checking disabled
+  hold_timer_ = clock_.schedule_after(hold, [this] {
+    ++stats_.hold_expirations;
+    reset_to_idle(/*notify_peer=*/true, kErrHoldTimerExpired, 0);
+  });
+}
+
+void Session::arm_keepalive_timer() {
+  clock_.cancel(keepalive_timer_);
+  if (config_.keepalive_interval <= 0.0) return;
+  keepalive_timer_ = clock_.schedule_after(config_.keepalive_interval, [this] {
+    if (state_ == SessionState::Established || state_ == SessionState::OpenConfirm) {
+      send_keepalive();
+      arm_keepalive_timer();
+    }
+  });
+}
+
+void Session::arm_connect_retry() {
+  clock_.cancel(connect_retry_timer_);
+  connect_retry_timer_ = clock_.schedule_after(config_.connect_retry, [this] {
+    if (state_ == SessionState::Connect) {
+      // Still waiting for the transport: try again (the harness decides
+      // when tcp_connected() fires; we just keep the timer honest).
+      arm_connect_retry();
+    }
+  });
+}
+
+void Session::cancel_timers() {
+  clock_.cancel(hold_timer_);
+  clock_.cancel(keepalive_timer_);
+  clock_.cancel(connect_retry_timer_);
+  hold_timer_ = keepalive_timer_ = connect_retry_timer_ = 0;
+}
+
+}  // namespace moas::bgp

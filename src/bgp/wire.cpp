@@ -1,0 +1,395 @@
+#include "moas/bgp/wire.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::bgp::wire {
+
+namespace {
+
+// Attribute flag bits (RFC 4271 §4.3).
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+// AS_PATH segment types.
+constexpr std::uint8_t kSegmentSet = 1;
+constexpr std::uint8_t kSegmentSequence = 2;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// Overwrite a previously written big-endian u16 at `pos`.
+  void patch_u16(std::size_t pos, std::uint16_t v) {
+    buf_[pos] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos + 1] = static_cast<std::uint8_t>(v);
+  }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw WireError("truncated message");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void write_prefix(Writer& w, const net::Prefix& prefix) {
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+  const std::uint32_t addr = prefix.network().value();
+  const unsigned octets = (prefix.length() + 7) / 8;
+  for (unsigned i = 0; i < octets; ++i) {
+    w.u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+  }
+}
+
+net::Prefix read_prefix(Reader& r) {
+  const unsigned length = r.u8();
+  if (length > 32) throw WireError("prefix length > 32");
+  const unsigned octets = (length + 7) / 8;
+  std::uint32_t addr = 0;
+  for (unsigned i = 0; i < octets; ++i) {
+    addr |= static_cast<std::uint32_t>(r.u8()) << (24 - 8 * i);
+  }
+  return net::Prefix(net::Ipv4Addr(addr), length);
+}
+
+void write_header(Writer& w, MessageType type) {
+  for (int i = 0; i < 16; ++i) w.u8(0xff);
+  w.u16(0);  // length, patched later
+  w.u8(static_cast<std::uint8_t>(type));
+}
+
+std::vector<std::uint8_t> finish(Writer& w) {
+  MOAS_REQUIRE(w.size() <= kMaxMessageSize, "message exceeds the 4096-octet BGP limit");
+  w.patch_u16(16, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+/// Validates the header and returns (type, body reader).
+std::pair<MessageType, Reader> open_message(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderSize) throw WireError("short header");
+  for (int i = 0; i < 16; ++i) {
+    if (data[static_cast<std::size_t>(i)] != 0xff) throw WireError("bad marker");
+  }
+  const std::size_t length = static_cast<std::size_t>((data[16] << 8) | data[17]);
+  if (length < kHeaderSize || length > kMaxMessageSize) throw WireError("bad length field");
+  if (length != data.size()) throw WireError("length field does not match buffer");
+  const std::uint8_t type = data[18];
+  if (type < 1 || type > 4) throw WireError("unknown message type");
+  return {static_cast<MessageType>(type), Reader(data.subspan(kHeaderSize))};
+}
+
+std::uint16_t narrow_asn(Asn asn) {
+  MOAS_REQUIRE(asn <= 0xffffu, "2-octet wire format cannot carry ASN " + std::to_string(asn));
+  return static_cast<std::uint16_t>(asn);
+}
+
+void write_attribute_header(Writer& w, std::uint8_t flags, AttrType type,
+                            std::size_t length) {
+  if (length > 0xff) flags |= kFlagExtendedLength;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (flags & kFlagExtendedLength) {
+    w.u16(static_cast<std::uint16_t>(length));
+  } else {
+    w.u8(static_cast<std::uint8_t>(length));
+  }
+}
+
+void write_attributes(Writer& w, const PathAttributes& attrs, const EncodeOptions& options) {
+  // ORIGIN — well-known mandatory.
+  write_attribute_header(w, kFlagTransitive, AttrType::Origin, 1);
+  w.u8(static_cast<std::uint8_t>(attrs.origin_code));
+
+  // AS_PATH — well-known mandatory.
+  std::size_t path_len = 0;
+  for (const auto& seg : attrs.path.segments()) path_len += 2 + 2 * seg.asns.size();
+  write_attribute_header(w, kFlagTransitive, AttrType::AsPath, path_len);
+  for (const auto& seg : attrs.path.segments()) {
+    w.u8(seg.kind == PathSegment::Kind::Set ? kSegmentSet : kSegmentSequence);
+    MOAS_REQUIRE(seg.asns.size() <= 255, "path segment too long for wire format");
+    w.u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn asn : seg.asns) w.u16(narrow_asn(asn));
+  }
+
+  // NEXT_HOP — well-known mandatory.
+  write_attribute_header(w, kFlagTransitive, AttrType::NextHop, 4);
+  w.u32(options.next_hop.value());
+
+  // MED — optional non-transitive; omitted when zero.
+  if (attrs.med != 0) {
+    write_attribute_header(w, kFlagOptional, AttrType::Med, 4);
+    w.u32(attrs.med);
+  }
+
+  // LOCAL_PREF — well-known on IBGP sessions only.
+  if (options.include_local_pref) {
+    write_attribute_header(w, kFlagTransitive, AttrType::LocalPref, 4);
+    w.u32(attrs.local_pref);
+  }
+
+  // COMMUNITIES — optional transitive (RFC 1997); the MOAS list rides here.
+  if (!attrs.communities.empty()) {
+    write_attribute_header(w, kFlagOptional | kFlagTransitive, AttrType::Communities,
+                           4 * attrs.communities.size());
+    for (Community c : attrs.communities.values()) w.u32(c.raw());
+  }
+}
+
+PathAttributes read_attributes(Reader& r, std::size_t total_length) {
+  PathAttributes attrs;
+  bool saw_origin = false;
+  bool saw_as_path = false;
+  bool saw_next_hop = false;
+  std::size_t consumed_target = r.remaining() - total_length;
+  while (r.remaining() > consumed_target) {
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type = r.u8();
+    const std::size_t length =
+        (flags & kFlagExtendedLength) ? r.u16() : static_cast<std::size_t>(r.u8());
+    Reader value(r.bytes(length));
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::Origin: {
+        if (length != 1) throw WireError("ORIGIN must be 1 octet");
+        const std::uint8_t code = value.u8();
+        if (code > 2) throw WireError("unknown ORIGIN code");
+        attrs.origin_code = static_cast<OriginCode>(code);
+        saw_origin = true;
+        break;
+      }
+      case AttrType::AsPath: {
+        AsPath path;
+        while (!value.done()) {
+          const std::uint8_t seg_type = value.u8();
+          const std::uint8_t count = value.u8();
+          if (seg_type == kSegmentSequence) {
+            std::vector<Asn> asns;
+            for (unsigned i = 0; i < count; ++i) asns.push_back(value.u16());
+            path.append_sequence(asns);
+          } else if (seg_type == kSegmentSet) {
+            if (count == 0) throw WireError("empty AS_SET segment");
+            AsnSet set;
+            for (unsigned i = 0; i < count; ++i) set.insert(value.u16());
+            path.append_set(std::move(set));
+          } else {
+            throw WireError("unknown AS_PATH segment type");
+          }
+        }
+        attrs.path = std::move(path);
+        saw_as_path = true;
+        break;
+      }
+      case AttrType::NextHop:
+        if (length != 4) throw WireError("NEXT_HOP must be 4 octets");
+        value.u32();  // the AS-level model does not keep it
+        saw_next_hop = true;
+        break;
+      case AttrType::Med:
+        if (length != 4) throw WireError("MED must be 4 octets");
+        attrs.med = value.u32();
+        break;
+      case AttrType::LocalPref:
+        if (length != 4) throw WireError("LOCAL_PREF must be 4 octets");
+        attrs.local_pref = value.u32();
+        break;
+      case AttrType::Communities: {
+        if (length % 4 != 0) throw WireError("COMMUNITIES length not a multiple of 4");
+        while (!value.done()) attrs.communities.add(Community(value.u32()));
+        break;
+      }
+      default:
+        if (!(flags & kFlagOptional)) {
+          throw WireError("unrecognized well-known attribute " + std::to_string(type));
+        }
+        break;  // unknown optional attribute: skip
+    }
+  }
+  if (r.remaining() != consumed_target) throw WireError("attribute lengths inconsistent");
+  if (!saw_origin || !saw_as_path || !saw_next_hop) {
+    throw WireError("missing well-known mandatory attribute");
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        const EncodeOptions& options) {
+  MOAS_REQUIRE(update.nlri.empty() || update.attrs.has_value(),
+               "announcements need path attributes");
+  Writer w;
+  write_header(w, MessageType::Update);
+
+  const std::size_t withdrawn_len_pos = w.size();
+  w.u16(0);
+  for (const auto& prefix : update.withdrawn) write_prefix(w, prefix);
+  w.patch_u16(withdrawn_len_pos,
+              static_cast<std::uint16_t>(w.size() - withdrawn_len_pos - 2));
+
+  const std::size_t attrs_len_pos = w.size();
+  w.u16(0);
+  if (update.attrs) write_attributes(w, *update.attrs, options);
+  w.patch_u16(attrs_len_pos, static_cast<std::uint16_t>(w.size() - attrs_len_pos - 2));
+
+  for (const auto& prefix : update.nlri) write_prefix(w, prefix);
+  return finish(w);
+}
+
+UpdateMessage decode_update(std::span<const std::uint8_t> data) {
+  auto [type, r] = open_message(data);
+  if (type != MessageType::Update) throw WireError("not an UPDATE message");
+
+  UpdateMessage out;
+  const std::size_t withdrawn_len = r.u16();
+  {
+    Reader withdrawn(r.bytes(withdrawn_len));
+    while (!withdrawn.done()) out.withdrawn.push_back(read_prefix(withdrawn));
+  }
+  const std::size_t attrs_len = r.u16();
+  if (attrs_len > 0) {
+    if (attrs_len > r.remaining()) throw WireError("attribute section truncated");
+    out.attrs = read_attributes(r, attrs_len);
+  }
+  while (!r.done()) out.nlri.push_back(read_prefix(r));
+  if (!out.nlri.empty() && !out.attrs) throw WireError("NLRI without path attributes");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
+  Writer w;
+  write_header(w, MessageType::Open);
+  w.u8(open.version);
+  w.u16(open.my_as);
+  w.u16(open.hold_time);
+  w.u32(open.bgp_identifier);
+  w.u8(0);  // no optional parameters
+  return finish(w);
+}
+
+OpenMessage decode_open(std::span<const std::uint8_t> data) {
+  auto [type, r] = open_message(data);
+  if (type != MessageType::Open) throw WireError("not an OPEN message");
+  OpenMessage out;
+  out.version = r.u8();
+  if (out.version != 4) throw WireError("unsupported BGP version");
+  out.my_as = r.u16();
+  out.hold_time = r.u16();
+  if (out.hold_time == 1 || out.hold_time == 2) throw WireError("illegal hold time");
+  out.bgp_identifier = r.u32();
+  const std::uint8_t opt_len = r.u8();
+  r.bytes(opt_len);  // skip optional parameters
+  if (!r.done()) throw WireError("trailing bytes in OPEN");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_keepalive() {
+  Writer w;
+  write_header(w, MessageType::Keepalive);
+  return finish(w);
+}
+
+std::vector<std::uint8_t> encode_notification(const NotificationMessage& notification) {
+  Writer w;
+  write_header(w, MessageType::Notification);
+  w.u8(notification.code);
+  w.u8(notification.subcode);
+  w.bytes(notification.data);
+  return finish(w);
+}
+
+NotificationMessage decode_notification(std::span<const std::uint8_t> data) {
+  auto [type, r] = open_message(data);
+  if (type != MessageType::Notification) throw WireError("not a NOTIFICATION message");
+  NotificationMessage out;
+  out.code = r.u8();
+  out.subcode = r.u8();
+  auto rest = r.bytes(r.remaining());
+  out.data.assign(rest.begin(), rest.end());
+  return out;
+}
+
+MessageType message_type(std::span<const std::uint8_t> data) {
+  auto [type, r] = open_message(data);
+  (void)r;
+  return type;
+}
+
+std::vector<std::uint8_t> encode_sim_update(const Update& update,
+                                            const EncodeOptions& options) {
+  UpdateMessage message;
+  if (update.kind == Update::Kind::Withdraw) {
+    message.withdrawn.push_back(update.prefix);
+  } else {
+    MOAS_REQUIRE(update.route.has_value(), "announce update without route");
+    message.attrs = update.route->attrs;
+    message.nlri.push_back(update.prefix);
+  }
+  return encode_update(message, options);
+}
+
+std::vector<Update> to_sim_updates(const UpdateMessage& message) {
+  std::vector<Update> out;
+  for (const auto& prefix : message.withdrawn) out.push_back(Update::withdraw(prefix));
+  for (const auto& prefix : message.nlri) {
+    MOAS_ENSURE(message.attrs.has_value(), "NLRI without attributes");
+    Route route;
+    route.prefix = prefix;
+    route.attrs = *message.attrs;
+    out.push_back(Update::announce(std::move(route)));
+  }
+  return out;
+}
+
+std::size_t moas_list_overhead_bytes(std::size_t n_origins, bool had_communities) {
+  const std::size_t values = 4 * n_origins;
+  if (had_communities) return values;
+  // Attribute header: flags + type + 1-byte length (lists of <= 63 origins).
+  return values + 3;
+}
+
+}  // namespace moas::bgp::wire

@@ -1,0 +1,35 @@
+#include "moas/core/alarm.h"
+
+#include <algorithm>
+
+#include "moas/core/moas_list.h"
+
+namespace moas::core {
+
+const char* to_string(MoasAlarm::Cause cause) {
+  switch (cause) {
+    case MoasAlarm::Cause::ListMismatch: return "list-mismatch";
+    case MoasAlarm::Cause::OriginNotInList: return "origin-not-in-list";
+    case MoasAlarm::Cause::BannedOriginSeen: return "banned-origin-seen";
+  }
+  return "?";
+}
+
+std::string MoasAlarm::to_string() const {
+  std::string out = "MOAS alarm at AS" + std::to_string(observer) + " for " +
+                    prefix.to_string() + " (" + core::to_string(cause) + "): reference " +
+                    list_to_string(reference_list) + " vs observed " +
+                    list_to_string(observed_list);
+  if (!offending_origins.empty()) {
+    out += ", offending origins " + list_to_string(offending_origins);
+  }
+  return out;
+}
+
+std::size_t AlarmLog::count(MoasAlarm::Cause cause) const {
+  return static_cast<std::size_t>(
+      std::count_if(alarms_.begin(), alarms_.end(),
+                    [cause](const MoasAlarm& a) { return a.cause == cause; }));
+}
+
+}  // namespace moas::core

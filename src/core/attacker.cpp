@@ -1,0 +1,61 @@
+#include "moas/core/attacker.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::core {
+
+const char* to_string(AttackerStrategy strategy) {
+  switch (strategy) {
+    case AttackerStrategy::NoList: return "no-list";
+    case AttackerStrategy::OwnList: return "own-list";
+    case AttackerStrategy::AugmentedList: return "augmented-list";
+    case AttackerStrategy::ValidListForgedOrigin: return "valid-list-forged-origin";
+    case AttackerStrategy::SubPrefixHijack: return "sub-prefix-hijack";
+  }
+  return "?";
+}
+
+net::Prefix attack_prefix(const AttackPlan& plan) {
+  if (plan.strategy == AttackerStrategy::SubPrefixHijack) {
+    MOAS_REQUIRE(plan.target.length() < 32, "victim prefix too long to de-aggregate");
+    return plan.target.children().first;
+  }
+  return plan.target;
+}
+
+bgp::CommunitySet attack_communities(const AttackPlan& plan) {
+  switch (plan.strategy) {
+    case AttackerStrategy::NoList:
+    case AttackerStrategy::SubPrefixHijack:
+      return {};
+    case AttackerStrategy::OwnList:
+      return encode_moas_list({plan.attacker});
+    case AttackerStrategy::AugmentedList: {
+      AsnSet list = plan.valid_origins;
+      list.insert(plan.attacker);
+      return encode_moas_list(list);
+    }
+    case AttackerStrategy::ValidListForgedOrigin:
+      return encode_moas_list(plan.valid_origins);
+  }
+  return {};
+}
+
+void launch_attack(bgp::Network& network, const AttackPlan& plan) {
+  MOAS_REQUIRE(network.has_router(plan.attacker), "attacker AS not in network");
+  bgp::Router& router = network.router(plan.attacker);
+
+  // A compromised router blocks the valid route from flowing through it:
+  // for the victim block it only ever exports its own false origination.
+  const net::Prefix victim = plan.target;
+  const bgp::Asn self = plan.attacker;
+  router.set_export_filter([victim, self](const bgp::Update& update, bgp::Asn /*to*/) {
+    if (!victim.overlaps(update.prefix)) return true;  // unrelated prefixes flow
+    if (update.kind != bgp::Update::Kind::Announce) return false;
+    return update.route->origin_as() == std::optional<bgp::Asn>(self);
+  });
+
+  router.originate(attack_prefix(plan), attack_communities(plan));
+}
+
+}  // namespace moas::core

@@ -1,0 +1,146 @@
+#include "moas/core/detector.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::core {
+
+namespace {
+
+bool intersects(const AsnSet& a, const AsnSet& b) {
+  return std::any_of(a.begin(), a.end(), [&](Asn x) { return b.contains(x); });
+}
+
+AsnSet difference(const AsnSet& a, const AsnSet& b) {
+  AsnSet out;
+  for (Asn x : a) {
+    if (!b.contains(x)) out.insert(x);
+  }
+  return out;
+}
+
+bool subset(const AsnSet& a, const AsnSet& b) {
+  return std::all_of(a.begin(), a.end(), [&](Asn x) { return b.contains(x); });
+}
+
+}  // namespace
+
+MoasDetector::MoasDetector(std::shared_ptr<AlarmLog> alarms,
+                           std::shared_ptr<OriginResolver> resolver)
+    : MoasDetector(std::move(alarms), std::move(resolver), Config()) {}
+
+MoasDetector::MoasDetector(std::shared_ptr<AlarmLog> alarms,
+                           std::shared_ptr<OriginResolver> resolver, Config config)
+    : alarms_(std::move(alarms)), resolver_(std::move(resolver)), config_(config) {
+  MOAS_REQUIRE(alarms_ != nullptr, "detector needs an alarm log");
+}
+
+bool MoasDetector::accept(const bgp::Route& route, bgp::Asn /*from_peer*/,
+                          bgp::RouterContext& ctx) {
+  ++stats_.routes_checked;
+  const net::Prefix prefix = route.prefix;
+  PrefixState& state = state_[prefix];
+
+  const AsnSet origins = route.origin_candidates();
+  const AsnSet incoming_list = effective_moas_list(route);
+
+  // Fast path: the origin was already identified as false.
+  if (intersects(origins, state.banned)) {
+    if (config_.alarm_on_banned_repeat) {
+      raise(ctx, prefix, state.reference, incoming_list, origins,
+            MoasAlarm::Cause::BannedOriginSeen);
+    }
+    ++stats_.rejections;
+    return false;
+  }
+
+  // Self-consistency: a route carrying an explicit list must include its
+  // own origin; otherwise it is bogus on its face.
+  if (config_.check_origin_in_list && has_explicit_moas_list(route) &&
+      !origins.empty() && !subset(origins, incoming_list)) {
+    raise(ctx, prefix, state.reference, incoming_list, origins,
+          MoasAlarm::Cause::OriginNotInList);
+    ++stats_.rejections;
+    return false;
+  }
+
+  if (state.reference.empty()) {
+    // First announcement for this prefix: adopt its list as the reference
+    // ("is simply accepted if this is the first and only announcement").
+    state.reference = incoming_list;
+    return true;
+  }
+
+  if (lists_consistent(state.reference, incoming_list)) return true;
+
+  return resolve_conflict(route, ctx, state, incoming_list);
+}
+
+bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::RouterContext& ctx,
+                                    PrefixState& state, const AsnSet& incoming_list) {
+  const net::Prefix prefix = route.prefix;
+  const AsnSet origins = route.origin_candidates();
+
+  raise(ctx, prefix, state.reference, incoming_list, origins,
+        MoasAlarm::Cause::ListMismatch);
+
+  std::optional<AsnSet> truth;
+  if (resolver_) truth = resolver_->resolve(prefix);
+
+  if (!truth) {
+    // Investigation came up empty: behave like plain BGP (accept) so the
+    // mechanism never makes availability worse, but keep the alarm on
+    // record. Do not overwrite the reference — later evidence may still
+    // resolve the conflict.
+    ++stats_.resolutions_failed;
+    return true;
+  }
+
+  // Ban every origin we have seen asserted that is not actually valid, and
+  // purge any such routes that made it into the RIB before the conflict
+  // surfaced.
+  AsnSet implicated = origins;
+  for (Asn asn : incoming_list) implicated.insert(asn);
+  for (Asn asn : state.reference) implicated.insert(asn);
+  const AsnSet false_origins = difference(implicated, *truth);
+  for (Asn asn : false_origins) state.banned.insert(asn);
+  state.reference = *truth;
+
+  if (!false_origins.empty()) {
+    stats_.purges += ctx.invalidate_origins(prefix, false_origins);
+  }
+
+  if (!subset(origins, *truth)) {
+    ++stats_.rejections;
+    return false;
+  }
+  return true;
+}
+
+void MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
+                         const AsnSet& reference, const AsnSet& observed,
+                         const AsnSet& offending, MoasAlarm::Cause cause) {
+  ++stats_.alarms_raised;
+  MoasAlarm alarm;
+  alarm.at = ctx.current_time();
+  alarm.observer = ctx.self();
+  alarm.prefix = prefix;
+  alarm.reference_list = reference;
+  alarm.observed_list = observed;
+  alarm.offending_origins = offending;
+  alarm.cause = cause;
+  alarms_->record(std::move(alarm));
+}
+
+AsnSet MoasDetector::reference_list(const net::Prefix& prefix) const {
+  auto it = state_.find(prefix);
+  return it == state_.end() ? AsnSet{} : it->second.reference;
+}
+
+AsnSet MoasDetector::banned_origins(const net::Prefix& prefix) const {
+  auto it = state_.find(prefix);
+  return it == state_.end() ? AsnSet{} : it->second.banned;
+}
+
+}  // namespace moas::core

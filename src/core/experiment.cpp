@@ -1,0 +1,291 @@
+#include "moas/core/experiment.h"
+
+#include <cmath>
+#include <memory>
+
+#include "moas/topo/metrics.h"
+#include "moas/topo/route_views.h"
+#include "moas/util/assert.h"
+#include "moas/util/stats.h"
+
+namespace moas::core {
+
+const char* to_string(Deployment deployment) {
+  switch (deployment) {
+    case Deployment::None: return "normal-bgp";
+    case Deployment::Partial: return "partial-moas";
+    case Deployment::Full: return "full-moas";
+  }
+  return "?";
+}
+
+Experiment::Experiment(const topo::AsGraph& graph, ExperimentConfig config)
+    : graph_(&graph), config_(config) {
+  MOAS_REQUIRE(graph.node_count() >= 3, "topology too small");
+  MOAS_REQUIRE(graph.is_connected(), "experiment topology must be connected");
+  MOAS_REQUIRE(!graph.stubs().empty(), "topology has no stub ASes to victimize");
+  MOAS_REQUIRE(config.num_origins >= 1 && config.num_origins <= 3,
+               "paper evaluates 1-2 origins; 3 supported for ablations");
+  MOAS_REQUIRE(config.deployment_fraction >= 0.0 && config.deployment_fraction <= 1.0,
+               "deployment fraction must be a probability");
+  MOAS_REQUIRE(config.strip_fraction >= 0.0 && config.strip_fraction <= 1.0,
+               "strip fraction must be a probability");
+}
+
+bgp::AsnSet Experiment::draw_origins(util::Rng& rng) const {
+  const std::vector<bgp::Asn> stubs = graph_->stubs();
+  MOAS_REQUIRE(stubs.size() >= config_.num_origins, "not enough stubs for origins");
+  bgp::AsnSet origins;
+  for (std::size_t i : rng.sample_indices(stubs.size(), config_.num_origins)) {
+    origins.insert(stubs[i]);
+  }
+  return origins;
+}
+
+bgp::AsnSet Experiment::draw_attackers(std::size_t count, const bgp::AsnSet& origins,
+                                       util::Rng& rng) const {
+  std::vector<bgp::Asn> pool;
+  switch (config_.placement) {
+    case AttackerPlacement::Anywhere: pool = graph_->nodes(); break;
+    case AttackerPlacement::StubsOnly: pool = graph_->stubs(); break;
+    case AttackerPlacement::TransitOnly: pool = graph_->transits(); break;
+  }
+  std::erase_if(pool, [&](bgp::Asn asn) { return origins.contains(asn); });
+  MOAS_REQUIRE(count <= pool.size(), "not enough candidate attackers");
+  bgp::AsnSet attackers;
+  for (std::size_t i : rng.sample_indices(pool.size(), count)) attackers.insert(pool[i]);
+  return attackers;
+}
+
+RunResult Experiment::run_once(std::size_t num_attackers, util::Rng& rng) const {
+  const bgp::AsnSet origins = draw_origins(rng);
+  const bgp::AsnSet attackers = draw_attackers(num_attackers, origins, rng);
+  return run_with(origins, attackers, rng.next());
+}
+
+RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                               std::uint64_t seed) const {
+  MOAS_REQUIRE(!origins.empty(), "need at least one valid origin");
+  for (bgp::Asn o : origins) {
+    MOAS_REQUIRE(graph_->has_node(o), "origin not in topology");
+    MOAS_REQUIRE(!attackers.contains(o), "an origin cannot also be an attacker");
+  }
+  util::Rng rng(seed);
+
+  const net::Prefix victim = topo::prefix_for_asn(*origins.begin());
+
+  // Ground truth / registry databases.
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(victim, origins);
+  std::shared_ptr<OriginResolver> resolver;
+  switch (config_.resolver) {
+    case ResolverKind::Oracle:
+      resolver = std::make_shared<OracleResolver>(truth);
+      break;
+    case ResolverKind::Dns: {
+      DnsResolver::Config dns;
+      dns.unavailability = config_.dns_unavailability;
+      dns.forgery = config_.dns_forgery;
+      if (!attackers.empty()) dns.forged_answer = attackers;
+      dns.seed = rng.next();
+      resolver = std::make_shared<DnsResolver>(truth, dns);
+      break;
+    }
+    case ResolverKind::Irr: {
+      auto stale = std::make_shared<PrefixOriginDb>();
+      if (!config_.irr_stale_origins.empty()) stale->set(victim, config_.irr_stale_origins);
+      IrrResolver::Config irr;
+      irr.staleness = config_.irr_staleness;
+      irr.seed = rng.next();
+      resolver = std::make_shared<IrrResolver>(truth, stale, irr);
+      break;
+    }
+    case ResolverKind::None:
+      resolver = nullptr;  // alarm-only detectors
+      break;
+  }
+
+  // Build the network.
+  bgp::Network::Config net_config;
+  net_config.mode = config_.policy;
+  net_config.link_delay = config_.link_delay;
+  net_config.jitter = config_.jitter;
+  net_config.seed = rng.next();
+  bgp::Network network(net_config);
+
+  const std::vector<bgp::Asn> all_ases = graph_->nodes();
+  for (bgp::Asn asn : all_ases) network.add_router(asn);
+  for (const auto& edge : graph_->edges()) {
+    network.connect(edge.a, edge.b, edge.rel_of_b);
+  }
+
+  // Detector deployment. The paper's partial deployment picks the capable
+  // half among *all* nodes; capability on a compromised node is moot, so we
+  // simply never give attackers a detector.
+  auto alarms = std::make_shared<AlarmLog>();
+  std::vector<std::shared_ptr<MoasDetector>> detectors;
+  bgp::AsnSet capable;
+  if (config_.deployment == Deployment::Full) {
+    for (bgp::Asn asn : all_ases) capable.insert(asn);
+  } else if (config_.deployment == Deployment::Partial) {
+    const auto want = static_cast<std::size_t>(
+        std::lround(config_.deployment_fraction * static_cast<double>(all_ases.size())));
+    for (std::size_t i : rng.sample_indices(all_ases.size(), want)) {
+      capable.insert(all_ases[i]);
+    }
+  }
+  for (bgp::Asn asn : capable) {
+    if (attackers.contains(asn)) continue;
+    auto detector = std::make_shared<MoasDetector>(alarms, resolver);
+    network.router(asn).set_validator(detector);
+    detectors.push_back(std::move(detector));
+  }
+
+  // Community-stripping routers (Section 4.3): random non-origin routers
+  // drop the optional transitive attribute on re-advertisement.
+  if (config_.strip_fraction > 0.0) {
+    std::vector<bgp::Asn> pool = all_ases;
+    std::erase_if(pool, [&](bgp::Asn asn) { return origins.contains(asn); });
+    const auto want = static_cast<std::size_t>(
+        std::lround(config_.strip_fraction * static_cast<double>(pool.size())));
+    for (std::size_t i : rng.sample_indices(pool.size(), want)) {
+      network.router(pool[i]).set_strip_communities(true);
+    }
+  }
+
+  if (config_.mrai > 0.0) {
+    for (bgp::Asn asn : all_ases) network.router(asn).set_mrai(config_.mrai);
+  }
+
+  // Origination. Valid origins attach the MOAS list when the prefix really
+  // is multi-origin; a single-origin prefix carries no list (the paper:
+  // "Routes that originate from a single AS need not attach a MOAS list").
+  bgp::CommunitySet origin_communities;
+  if (origins.size() > 1) origin_communities = encode_moas_list(origins);
+  for (bgp::Asn origin : origins) {
+    const double at = rng.uniform01() * 0.5;
+    network.clock().schedule_after(at, [&network, origin, victim, origin_communities] {
+      network.router(origin).originate(victim, origin_communities);
+    });
+  }
+
+  RunResult result;
+  if (config_.converge_before_attack) {
+    // Phase 1: the legitimate announcements converge (steady state).
+    result.quiesced = network.run_to_quiescence(config_.max_events);
+    MOAS_ENSURE(result.quiesced, "valid-route convergence failed within the event cap");
+  }
+
+  // Phase 2 (or a single racing phase): the fault/attack is injected.
+  for (bgp::Asn attacker : attackers) {
+    AttackPlan plan;
+    plan.attacker = attacker;
+    plan.target = victim;
+    plan.valid_origins = origins;
+    plan.strategy = config_.strategy;
+    const double at = rng.uniform01() * 0.5;
+    network.clock().schedule_after(at, [&network, plan] { launch_attack(network, plan); });
+  }
+  result.quiesced = network.run_to_quiescence(config_.max_events);
+  MOAS_ENSURE(result.quiesced, "simulation failed to quiesce within the event cap");
+
+  // Scoring. Under SubPrefixHijack the attacker wins a node whenever the
+  // more-specific route is present (longest-prefix match beats the valid
+  // covering route).
+  net::Prefix scored_prefix = victim;
+  if (config_.strategy == AttackerStrategy::SubPrefixHijack && !attackers.empty()) {
+    scored_prefix = victim.children().first;
+  }
+
+  result.total_ases = all_ases.size();
+  result.attackers = attackers.size();
+  result.origin_set = origins;
+  result.attacker_set = attackers;
+  for (bgp::Asn asn : all_ases) {
+    if (attackers.contains(asn)) continue;
+    ++result.population;
+    const bgp::Router& router = network.router(asn);
+    const auto hijacked_origin = router.best_origin(scored_prefix);
+    if (hijacked_origin && attackers.contains(*hijacked_origin)) {
+      ++result.adopted_false;
+      continue;
+    }
+    const auto valid_origin = router.best_origin(victim);
+    if (!valid_origin) {
+      ++result.no_route;
+    } else if (origins.contains(*valid_origin)) {
+      ++result.adopted_valid;
+    } else if (attackers.contains(*valid_origin)) {
+      ++result.adopted_false;
+    }
+  }
+
+  result.alarms = alarms->size();
+  for (const MoasAlarm& alarm : alarms->alarms()) {
+    const bool implicates_attacker =
+        std::any_of(attackers.begin(), attackers.end(), [&](bgp::Asn a) {
+          return alarm.offending_origins.contains(a) || alarm.observed_list.contains(a) ||
+                 alarm.reference_list.contains(a);
+        });
+    if (!implicates_attacker) ++result.false_alarms;
+  }
+  for (const auto& detector : detectors) result.rejections += detector->stats().rejections;
+  result.messages = network.messages_sent();
+  if (!attackers.empty()) {
+    result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
+  }
+  return result;
+}
+
+SweepPoint Experiment::run_point(double attacker_fraction, std::size_t origin_sets,
+                                 std::size_t attacker_sets, util::Rng& rng) const {
+  MOAS_REQUIRE(attacker_fraction >= 0.0 && attacker_fraction < 1.0,
+               "attacker fraction must be in [0, 1)");
+  std::size_t num_attackers = static_cast<std::size_t>(
+      std::lround(attacker_fraction * static_cast<double>(graph_->node_count())));
+  if (attacker_fraction > 0.0 && num_attackers == 0) num_attackers = 1;
+
+  SweepPoint point;
+  point.attacker_fraction = attacker_fraction;
+  util::Accumulator adopted;
+  util::Accumulator affected;
+  util::Accumulator no_route;
+  util::Accumulator alarm_count;
+  util::Accumulator false_alarm_count;
+  util::Accumulator cutoff;
+  for (std::size_t i = 0; i < origin_sets; ++i) {
+    const bgp::AsnSet origins = draw_origins(rng);
+    for (std::size_t j = 0; j < attacker_sets; ++j) {
+      const bgp::AsnSet attackers = draw_attackers(num_attackers, origins, rng);
+      const RunResult run = run_with(origins, attackers, rng.next());
+      adopted.add(run.adopted_false_fraction());
+      affected.add(run.affected_fraction());
+      no_route.add(run.no_route_fraction());
+      alarm_count.add(static_cast<double>(run.alarms));
+      false_alarm_count.add(static_cast<double>(run.false_alarms));
+      cutoff.add(run.structural_cutoff);
+    }
+  }
+  point.runs = adopted.count();
+  point.mean_adopted_false = adopted.mean();
+  point.stddev_adopted_false = adopted.stddev();
+  point.mean_affected = affected.mean();
+  point.mean_no_route = no_route.mean();
+  point.mean_alarms = alarm_count.mean();
+  point.mean_false_alarms = false_alarm_count.mean();
+  point.mean_structural_cutoff = cutoff.mean();
+  return point;
+}
+
+std::vector<SweepPoint> Experiment::sweep(const std::vector<double>& attacker_fractions,
+                                          std::size_t origin_sets, std::size_t attacker_sets,
+                                          util::Rng& rng) const {
+  std::vector<SweepPoint> out;
+  out.reserve(attacker_fractions.size());
+  for (double fraction : attacker_fractions) {
+    out.push_back(run_point(fraction, origin_sets, attacker_sets, rng));
+  }
+  return out;
+}
+
+}  // namespace moas::core

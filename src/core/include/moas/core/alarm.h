@@ -1,0 +1,55 @@
+// MOAS alarms.
+//
+// "Whenever a BGP router notices any inconsistency in the MOAS Lists
+//  received, it should generate an alarm signal; further investigation
+//  should be conducted to identify the cause of the inconsistency."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moas/bgp/asn.h"
+#include "moas/net/prefix.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::core {
+
+struct MoasAlarm {
+  enum class Cause : std::uint8_t {
+    ListMismatch,      // two announcements carry different MOAS lists
+    OriginNotInList,   // a route's own origin is missing from its list
+    BannedOriginSeen,  // a route from an origin already identified as false
+  };
+
+  sim::Time at = 0.0;
+  bgp::Asn observer = bgp::kNoAs;  // the AS that raised the alarm
+  net::Prefix prefix;
+  bgp::AsnSet reference_list;  // the list the observer held
+  bgp::AsnSet observed_list;   // the list on the offending announcement
+  bgp::AsnSet offending_origins;  // origin candidates of that announcement
+  Cause cause = Cause::ListMismatch;
+
+  std::string to_string() const;
+};
+
+const char* to_string(MoasAlarm::Cause cause);
+
+/// Append-only alarm sink shared by all detectors in one experiment.
+class AlarmLog {
+ public:
+  void record(MoasAlarm alarm) { alarms_.push_back(std::move(alarm)); }
+
+  const std::vector<MoasAlarm>& alarms() const { return alarms_; }
+  std::size_t size() const { return alarms_.size(); }
+  bool empty() const { return alarms_.empty(); }
+  void clear() { alarms_.clear(); }
+
+  /// Number of alarms with the given cause.
+  std::size_t count(MoasAlarm::Cause cause) const;
+
+ private:
+  std::vector<MoasAlarm> alarms_;
+};
+
+}  // namespace moas::core

@@ -1,0 +1,57 @@
+// Attacker models.
+//
+// An attacker (a faulty or compromised AS) falsely originates a route to a
+// victim prefix it cannot reach, and — being compromised — suppresses the
+// valid announcements that would otherwise flow through it ("an attacker
+// must block all the potential paths through which the valid route can
+// reach the router"). Strategies differ in what MOAS list the false
+// announcement carries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "moas/bgp/network.h"
+#include "moas/core/moas_list.h"
+
+namespace moas::core {
+
+enum class AttackerStrategy : std::uint8_t {
+  /// Originate with no MOAS list at all (a plain misconfiguration, like the
+  /// AS8584 / AS15412 events): effective list is {attacker}.
+  NoList,
+  /// Attach a list containing only the attacker.
+  OwnList,
+  /// Forge the valid list augmented with the attacker ("Although AS 3 could
+  /// attach its own MOAS list that includes AS 1, AS 2, and AS 3...").
+  AugmentedList,
+  /// Forge exactly the valid list while originating from the attacker: the
+  /// route's own origin is then missing from its list — caught by the
+  /// origin-in-list check.
+  ValidListForgedOrigin,
+  /// Announce a more-specific sub-prefix of the victim instead (the
+  /// limitation in Section 4.3 — MOAS checking does not catch this).
+  SubPrefixHijack,
+};
+
+const char* to_string(AttackerStrategy strategy);
+
+struct AttackPlan {
+  bgp::Asn attacker = bgp::kNoAs;
+  net::Prefix target;          // the victim prefix
+  AsnSet valid_origins;        // who really owns it (for list forging)
+  AttackerStrategy strategy = AttackerStrategy::OwnList;
+};
+
+/// The prefix the attacker actually announces (the lower half of the victim
+/// block for SubPrefixHijack, the victim prefix otherwise).
+net::Prefix attack_prefix(const AttackPlan& plan);
+
+/// The communities the false announcement carries under `plan.strategy`.
+bgp::CommunitySet attack_communities(const AttackPlan& plan);
+
+/// Configure the attacker's router: install the suppression export filter
+/// for the victim block and originate the false route.
+void launch_attack(bgp::Network& network, const AttackPlan& plan);
+
+}  // namespace moas::core

@@ -1,0 +1,83 @@
+// The MOAS-list consistency checker — the paper's detection mechanism,
+// packaged as a bgp::ImportValidator that plugs into a Router.
+//
+// Per prefix, the detector remembers the reference MOAS list it currently
+// believes, plus the set of origins it has identified as false ("banned").
+// Every arriving announcement is reduced to its effective MOAS list
+// (explicit list, else {origin} — footnote 3) and compared by set equality.
+// A mismatch raises an alarm; if a resolver is attached and answers, the
+// routes whose origins are not in the resolved set are rejected and any
+// already-installed ones are purged, which stops the false route from
+// propagating any further — exactly the behavior the paper's simulation
+// assumes. If resolution fails (or the detector runs alarm-only), the
+// announcement is accepted like plain BGP so that availability never
+// regresses below the baseline.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "moas/bgp/validator.h"
+#include "moas/core/alarm.h"
+#include "moas/core/moas_list.h"
+#include "moas/core/resolver.h"
+
+namespace moas::core {
+
+class MoasDetector final : public bgp::ImportValidator {
+ public:
+  struct Config {
+    /// Check that a route carrying an explicit list includes its own origin
+    /// (a self-inconsistent announcement is rejected on sight).
+    bool check_origin_in_list = true;
+    /// Re-raise an alarm when a banned origin shows up again (noisy; off by
+    /// default — the first detection already flagged it).
+    bool alarm_on_banned_repeat = false;
+  };
+
+  /// `alarms` collects alarms across routers (shared per experiment);
+  /// `resolver` may be null — then the detector only raises alarms and never
+  /// filters (the "off-line monitoring only" deployment).
+  MoasDetector(std::shared_ptr<AlarmLog> alarms, std::shared_ptr<OriginResolver> resolver);
+  MoasDetector(std::shared_ptr<AlarmLog> alarms, std::shared_ptr<OriginResolver> resolver,
+               Config config);
+
+  bool accept(const bgp::Route& route, bgp::Asn from_peer,
+              bgp::RouterContext& ctx) override;
+
+  struct Stats {
+    std::uint64_t routes_checked = 0;
+    std::uint64_t alarms_raised = 0;
+    std::uint64_t rejections = 0;          // announcements vetoed
+    std::uint64_t purges = 0;              // installed routes invalidated
+    std::uint64_t resolutions_failed = 0;  // conflict stayed unresolved
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The reference list currently held for `prefix` (empty if none yet).
+  AsnSet reference_list(const net::Prefix& prefix) const;
+
+  /// Origins this detector has identified as false for `prefix`.
+  AsnSet banned_origins(const net::Prefix& prefix) const;
+
+ private:
+  struct PrefixState {
+    AsnSet reference;  // the MOAS list we currently believe
+    AsnSet banned;     // origins resolved to be false
+  };
+
+  void raise(bgp::RouterContext& ctx, const net::Prefix& prefix, const AsnSet& reference,
+             const AsnSet& observed, const AsnSet& offending, MoasAlarm::Cause cause);
+
+  /// Handle a list conflict; returns whether the incoming route is accepted.
+  bool resolve_conflict(const bgp::Route& route, bgp::RouterContext& ctx,
+                        PrefixState& state, const AsnSet& incoming_list);
+
+  std::shared_ptr<AlarmLog> alarms_;
+  std::shared_ptr<OriginResolver> resolver_;
+  Config config_;
+  std::map<net::Prefix, PrefixState> state_;
+  Stats stats_;
+};
+
+}  // namespace moas::core

@@ -1,0 +1,156 @@
+// The paper's simulation harness (Section 5).
+//
+// One *run* places 1–2 valid origin ASes (random stubs) and M attacker ASes
+// (random over all ASes) on a sampled topology, lets everyone announce, runs
+// the network to quiescence and measures the fraction of non-attacker ASes
+// whose best route for the victim prefix points at an attacker. A *point*
+// averages several runs (the paper uses 15: 3 origin sets x 5 attacker
+// sets); a *sweep* walks the attacker fraction across the x-axis of
+// Figures 9–11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moas/bgp/network.h"
+#include "moas/core/attacker.h"
+#include "moas/core/detector.h"
+#include "moas/core/resolver.h"
+#include "moas/topo/graph.h"
+#include "moas/util/rng.h"
+
+namespace moas::core {
+
+enum class Deployment : std::uint8_t { None, Partial, Full };
+
+const char* to_string(Deployment deployment);
+
+enum class ResolverKind : std::uint8_t { Oracle, Dns, Irr, None };
+
+/// Where attackers may be placed.
+enum class AttackerPlacement : std::uint8_t { Anywhere, StubsOnly, TransitOnly };
+
+struct ExperimentConfig {
+  Deployment deployment = Deployment::Full;
+  double deployment_fraction = 0.5;  // MOAS-capable share under Partial
+
+  std::size_t num_origins = 1;  // 1 or 2 valid origin ASes
+  AttackerStrategy strategy = AttackerStrategy::OwnList;
+  AttackerPlacement placement = AttackerPlacement::Anywhere;
+
+  bgp::PolicyMode policy = bgp::PolicyMode::ShortestPath;
+  /// Per-router MRAI (seconds); 0 disables. Defaults to the BGP-4 standard
+  /// 30s, which (as in real BGP) suppresses the path-exploration storm on
+  /// dense topologies without changing the converged outcome.
+  double mrai = 30.0;
+  double strip_fraction = 0.0;  // routers that drop communities on export
+
+  ResolverKind resolver = ResolverKind::Oracle;
+  double dns_unavailability = 0.0;  // when resolver == Dns
+  double dns_forgery = 0.0;
+  double irr_staleness = 0.0;  // when resolver == Irr
+  bgp::AsnSet irr_stale_origins;  // what a stale IRR record answers
+
+  /// Off (default): valid and false announcements race from a cold start —
+  /// one SSFnet scenario per run, which is what reproduces the paper's
+  /// numbers (cut-off ASes never hear the valid route and adopt the false
+  /// one). On: the valid routes converge first and the attack hits a
+  /// steady-state network — an ablation showing that pre-seeded reference
+  /// lists make full deployment essentially immune.
+  bool converge_before_attack = false;
+
+  double link_delay = 0.05;
+  double jitter = 0.02;
+  std::size_t max_events = 50'000'000;
+};
+
+struct RunResult {
+  std::size_t total_ases = 0;
+  std::size_t attackers = 0;
+  std::size_t population = 0;  // non-attacker ASes (the paper's "remaining")
+
+  std::size_t adopted_false = 0;  // best route origin is an attacker
+  std::size_t adopted_valid = 0;  // best route origin is a valid origin
+  std::size_t no_route = 0;       // no route for the victim prefix at all
+
+  std::size_t alarms = 0;
+  std::size_t false_alarms = 0;  // alarms not implicating any attacker
+  std::size_t rejections = 0;    // detector vetoes across all routers
+  std::uint64_t messages = 0;
+  bool quiesced = true;
+
+  /// Graph-theoretic lower bound on residual damage under full detection:
+  /// the fraction of non-attackers the attacker set cuts off from every
+  /// valid origin.
+  double structural_cutoff = 0.0;
+
+  bgp::AsnSet origin_set;
+  bgp::AsnSet attacker_set;
+
+  double adopted_false_fraction() const {
+    return population == 0 ? 0.0
+                           : static_cast<double>(adopted_false) /
+                                 static_cast<double>(population);
+  }
+  double no_route_fraction() const {
+    return population == 0 ? 0.0
+                           : static_cast<double>(no_route) / static_cast<double>(population);
+  }
+  /// The paper's "affected" ASes: traffic for the victim prefix is either
+  /// hijacked (false best route) or lost (no route at all — a capable AS
+  /// that banned the false origin but was cut off from the valid one).
+  double affected_fraction() const {
+    return adopted_false_fraction() + no_route_fraction();
+  }
+};
+
+struct SweepPoint {
+  double attacker_fraction = 0.0;  // requested share of ASes
+  std::size_t runs = 0;
+  double mean_adopted_false = 0.0;  // fraction of non-attacker ASes, averaged
+  double stddev_adopted_false = 0.0;
+  double mean_affected = 0.0;  // adopted-false + no-route (the paper's metric)
+  double mean_no_route = 0.0;
+  double mean_alarms = 0.0;
+  double mean_false_alarms = 0.0;
+  double mean_structural_cutoff = 0.0;
+};
+
+class Experiment {
+ public:
+  /// `graph` must stay alive as long as the experiment. It must be
+  /// connected and contain at least one stub.
+  Experiment(const topo::AsGraph& graph, ExperimentConfig config);
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Draw random origins/attackers and run one simulation.
+  RunResult run_once(std::size_t num_attackers, util::Rng& rng) const;
+
+  /// Run with explicit placements (tests / demos).
+  RunResult run_with(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                     std::uint64_t seed) const;
+
+  /// One figure data point: `origin_sets` origin draws x `attacker_sets`
+  /// attacker draws (the paper's 3 x 5 = 15 runs).
+  SweepPoint run_point(double attacker_fraction, std::size_t origin_sets,
+                       std::size_t attacker_sets, util::Rng& rng) const;
+
+  /// A full curve.
+  std::vector<SweepPoint> sweep(const std::vector<double>& attacker_fractions,
+                                std::size_t origin_sets, std::size_t attacker_sets,
+                                util::Rng& rng) const;
+
+  /// Random distinct origin stubs per config().num_origins.
+  bgp::AsnSet draw_origins(util::Rng& rng) const;
+
+  /// Random attacker set avoiding `origins`, honoring placement.
+  bgp::AsnSet draw_attackers(std::size_t count, const bgp::AsnSet& origins,
+                             util::Rng& rng) const;
+
+ private:
+  const topo::AsGraph* graph_;
+  ExperimentConfig config_;
+};
+
+}  // namespace moas::core

@@ -1,0 +1,58 @@
+// The MOAS list (the paper's Section 4.1/4.2).
+//
+// A MOAS list is the set of ASes entitled to originate a prefix. It is
+// carried in the standard BGP community attribute: the community X:MLVal
+// asserts "AS X may originate this prefix". Consistency between two lists is
+// plain set equality — order and duplication never matter.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "moas/bgp/community.h"
+#include "moas/bgp/route.h"
+
+namespace moas::core {
+
+using bgp::Asn;
+using bgp::AsnSet;
+
+/// MLVal: the reserved low-half community value that tags a MOAS-list
+/// member. The draft reserves one of the 2^16 values; we pick 0xff9a
+/// ("MOAS" on a phone pad, 6627 decimal — the paper's 4/6/2001 case count).
+inline constexpr std::uint16_t kMoasListValue = 0xff9a;
+
+/// True if `c` is a MOAS-list member community.
+bool is_moas_community(bgp::Community c);
+
+/// The community encoding of one list member. Requires asn <= 0xffff (the
+/// community attribute has a 2-octet AS field; the paper predates 4-octet
+/// ASNs).
+bgp::Community moas_community(Asn asn);
+
+/// Encode a full MOAS list. Requires every member <= 0xffff.
+bgp::CommunitySet encode_moas_list(const AsnSet& origins);
+
+/// Extract the MOAS list carried on a community set (empty if none).
+AsnSet decode_moas_list(const bgp::CommunitySet& communities);
+
+/// Merge a MOAS list into an existing community set, replacing any MOAS
+/// communities already present and leaving other communities untouched.
+void attach_moas_list(bgp::CommunitySet& communities, const AsnSet& origins);
+
+/// The list a checker must use for a route (the paper's footnote 3):
+/// the explicit list if the route carries one, otherwise the implicit
+/// {origin candidates} of the AS path.
+AsnSet effective_moas_list(const bgp::Route& route);
+
+/// True if the route carries an explicit MOAS list.
+bool has_explicit_moas_list(const bgp::Route& route);
+
+/// Set equality — "the order in the list may differ, but the set of ASes
+/// included in each route announcement must be identical".
+bool lists_consistent(const AsnSet& a, const AsnSet& b);
+
+/// "{1, 2, 3}" for diagnostics.
+std::string list_to_string(const AsnSet& list);
+
+}  // namespace moas::core

@@ -1,0 +1,67 @@
+// DNS MOASRR records (the paper's Section 4.4, after Bates et al. [3]).
+//
+// "whenever a MOAS conflict for prefix p [occurs], the router performs a
+//  DNS lookup to verify the origin AS of p by specifying the DNS Resource
+//  Record type as MOASRR."
+//
+// We model the record and its zone addressing: a prefix maps to a name in
+// the in-addr.arpa reverse tree (one label per network octet), the record
+// body lists the entitled origin ASes, and a zone file serializes records
+// one per line. A DnssecState flag stands in for the DNSSEC signing that
+// [16]/[6] would provide.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "moas/bgp/asn.h"
+#include "moas/net/prefix.h"
+
+namespace moas::core {
+
+enum class DnssecState : std::uint8_t { Unsigned, Signed, BadSignature };
+
+const char* to_string(DnssecState state);
+
+struct MoasRr {
+  net::Prefix prefix;
+  bgp::AsnSet origins;
+  std::uint32_t ttl = 86400;
+  DnssecState dnssec = DnssecState::Unsigned;
+};
+
+/// The reverse-tree owner name for a prefix, e.g. 135.38.0.0/16 ->
+/// "38.135.in-addr.arpa" (whole-octet boundaries; non-octet lengths get an
+/// RFC 2317-style "<net>-<len>" final label).
+std::string moasrr_owner_name(const net::Prefix& prefix);
+
+/// One zone-file line: "<owner> <ttl> IN MOASRR <prefix> <as1> <as2> ..."
+/// with ";dnssec=<state>" appended for non-default states.
+std::string format_moasrr(const MoasRr& record);
+
+/// Parse a zone-file line (whitespace-tolerant); nullopt on malformed
+/// input.
+std::optional<MoasRr> parse_moasrr(const std::string& line);
+
+/// A zone: ordered records with lookup by prefix (exact match, as the
+/// paper's per-prefix check requires).
+class MoasrrZone {
+ public:
+  /// Add or replace the record for its prefix.
+  void add(MoasRr record);
+  const MoasRr* lookup(const net::Prefix& prefix) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Serialize / load a whole zone file. Lines starting with ';' are
+  /// comments. Throws std::invalid_argument on malformed records.
+  void save(std::ostream& os) const;
+  static MoasrrZone load(std::istream& is);
+
+ private:
+  std::vector<MoasRr> records_;
+};
+
+}  // namespace moas::core

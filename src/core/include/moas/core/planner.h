@@ -1,0 +1,36 @@
+// Incremental-deployment planning — an extension of the paper's
+// Experiment 3. The paper deploys checking at a *random* half of the ASes;
+// an operator rolling the mechanism out can do better by choosing *which*
+// ASes deploy first. Strategies:
+//
+//  - Random: the paper's baseline.
+//  - DegreeRanked: largest-degree ASes first (the transit core sees the
+//    most conflicting announcements and blocks the most propagation).
+//  - GreedyCoverage: pick nodes one at a time to maximize the number of
+//    adjacencies whose traffic passes a checking AS (a cheap submodular
+//    coverage proxy for "false routes must cross a checker").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moas/topo/graph.h"
+#include "moas/util/rng.h"
+
+namespace moas::core {
+
+enum class DeploymentStrategy : std::uint8_t { Random, DegreeRanked, GreedyCoverage };
+
+const char* to_string(DeploymentStrategy strategy);
+
+/// Pick `count` ASes to deploy MOAS checking at, by strategy. Deterministic
+/// for a given rng state (Random consumes the rng; the others do not).
+bgp::AsnSet plan_deployment(const topo::AsGraph& graph, std::size_t count,
+                            DeploymentStrategy strategy, util::Rng& rng);
+
+/// Coverage score used by GreedyCoverage: the fraction of edges with at
+/// least one endpoint in `deployed` (every hop a false route takes across
+/// such an edge meets a checker).
+double edge_coverage(const topo::AsGraph& graph, const bgp::AsnSet& deployed);
+
+}  // namespace moas::core

@@ -1,0 +1,110 @@
+// Origin resolution (the paper's Section 4.4).
+//
+// Once a MOAS alarm fires, something must decide which origin is the valid
+// one. The paper sketches a DNS-based lookup (MOASRR records); its
+// simulation assumes resolution succeeds ("they stop the further propagation
+// of a false route, e.g. by checking with DNS"). We model that assumption
+// with OracleResolver and provide knobbed DNS/IRR resolvers for the
+// limitation ablations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "moas/bgp/asn.h"
+#include "moas/net/prefix.h"
+#include "moas/util/rng.h"
+
+namespace moas::core {
+
+/// Ground-truth registry of who may originate what. Shared by resolvers and
+/// by the experiment harness (for scoring).
+class PrefixOriginDb {
+ public:
+  void set(const net::Prefix& prefix, bgp::AsnSet origins);
+  /// nullopt if the prefix is unregistered.
+  std::optional<bgp::AsnSet> lookup(const net::Prefix& prefix) const;
+  std::size_t size() const { return db_.size(); }
+
+ private:
+  std::map<net::Prefix, bgp::AsnSet> db_;
+};
+
+/// Resolves the set of valid origins for a prefix; nullopt means resolution
+/// failed (no record / infrastructure unavailable).
+class OriginResolver {
+ public:
+  virtual ~OriginResolver() = default;
+  virtual std::optional<bgp::AsnSet> resolve(const net::Prefix& prefix) = 0;
+  virtual std::string name() const = 0;
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t failures = 0;   // no answer
+    std::uint64_t corrupted = 0;  // answered with wrong data
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+/// Always answers with the truth — the simulation-section assumption.
+class OracleResolver final : public OriginResolver {
+ public:
+  explicit OracleResolver(std::shared_ptr<const PrefixOriginDb> truth);
+  std::optional<bgp::AsnSet> resolve(const net::Prefix& prefix) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::shared_ptr<const PrefixOriginDb> truth_;
+};
+
+/// DNS MOASRR model: queries fail with probability `unavailability` (DNS
+/// needs routing to work — the circular dependency [3] is criticized for),
+/// and with probability `forgery` return an attacker-chosen answer (the
+/// forgeable-DNS threat of [1]).
+class DnsResolver final : public OriginResolver {
+ public:
+  struct Config {
+    double unavailability = 0.0;
+    double forgery = 0.0;
+    bgp::AsnSet forged_answer;  // what a forged lookup returns
+    std::uint64_t seed = 7;
+  };
+
+  DnsResolver(std::shared_ptr<const PrefixOriginDb> db, Config config);
+  std::optional<bgp::AsnSet> resolve(const net::Prefix& prefix) override;
+  std::string name() const override { return "dns-moasrr"; }
+
+ private:
+  std::shared_ptr<const PrefixOriginDb> db_;
+  Config config_;
+  util::Rng rng_;
+};
+
+/// IRR model (the route-filtering baseline [21]): records exist but a
+/// fraction are stale — they answer with an outdated origin set.
+class IrrResolver final : public OriginResolver {
+ public:
+  struct Config {
+    double staleness = 0.0;  // probability a record is outdated
+    std::uint64_t seed = 11;
+  };
+
+  IrrResolver(std::shared_ptr<const PrefixOriginDb> current,
+              std::shared_ptr<const PrefixOriginDb> stale_snapshot, Config config);
+  std::optional<bgp::AsnSet> resolve(const net::Prefix& prefix) override;
+  std::string name() const override { return "irr"; }
+
+ private:
+  std::shared_ptr<const PrefixOriginDb> current_;
+  std::shared_ptr<const PrefixOriginDb> stale_;
+  Config config_;
+  util::Rng rng_;
+  std::map<net::Prefix, bool> record_is_stale_;  // sticky per-prefix decision
+};
+
+}  // namespace moas::core

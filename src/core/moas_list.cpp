@@ -1,0 +1,64 @@
+#include "moas/core/moas_list.h"
+
+#include <vector>
+
+#include "moas/util/assert.h"
+
+namespace moas::core {
+
+bool is_moas_community(bgp::Community c) { return c.value() == kMoasListValue; }
+
+bgp::Community moas_community(Asn asn) {
+  MOAS_REQUIRE(asn <= 0xffffu, "MOAS community encoding needs a 2-octet ASN");
+  MOAS_REQUIRE(asn != bgp::kNoAs, "MOAS list member must be a real ASN");
+  return bgp::Community(static_cast<std::uint16_t>(asn), kMoasListValue);
+}
+
+bgp::CommunitySet encode_moas_list(const AsnSet& origins) {
+  bgp::CommunitySet out;
+  for (Asn asn : origins) out.add(moas_community(asn));
+  return out;
+}
+
+AsnSet decode_moas_list(const bgp::CommunitySet& communities) {
+  AsnSet out;
+  for (bgp::Community c : communities.values()) {
+    if (is_moas_community(c)) out.insert(c.asn());
+  }
+  return out;
+}
+
+void attach_moas_list(bgp::CommunitySet& communities, const AsnSet& origins) {
+  std::vector<bgp::Community> stale;
+  for (bgp::Community c : communities.values()) {
+    if (is_moas_community(c)) stale.push_back(c);
+  }
+  for (bgp::Community c : stale) communities.remove(c);
+  for (Asn asn : origins) communities.add(moas_community(asn));
+}
+
+AsnSet effective_moas_list(const bgp::Route& route) {
+  AsnSet explicit_list = decode_moas_list(route.attrs.communities);
+  if (!explicit_list.empty()) return explicit_list;
+  return route.origin_candidates();
+}
+
+bool has_explicit_moas_list(const bgp::Route& route) {
+  return !decode_moas_list(route.attrs.communities).empty();
+}
+
+bool lists_consistent(const AsnSet& a, const AsnSet& b) { return a == b; }
+
+std::string list_to_string(const AsnSet& list) {
+  std::string out = "{";
+  bool first = true;
+  for (Asn asn : list) {
+    if (!first) out += ", ";
+    out += std::to_string(asn);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace moas::core

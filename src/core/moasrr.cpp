@@ -1,0 +1,135 @@
+#include "moas/core/moasrr.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "moas/util/assert.h"
+#include "moas/util/strings.h"
+
+namespace moas::core {
+
+const char* to_string(DnssecState state) {
+  switch (state) {
+    case DnssecState::Unsigned: return "unsigned";
+    case DnssecState::Signed: return "signed";
+    case DnssecState::BadSignature: return "bad-signature";
+  }
+  return "?";
+}
+
+std::string moasrr_owner_name(const net::Prefix& prefix) {
+  const std::uint32_t addr = prefix.network().value();
+  const unsigned whole_octets = prefix.length() / 8;
+  std::string name;
+  if (prefix.length() % 8 != 0) {
+    // RFC 2317-flavored label for non-octet boundaries.
+    const unsigned octet = (addr >> (24 - 8 * whole_octets)) & 0xffu;
+    name += std::to_string(octet) + "-" + std::to_string(prefix.length()) + ".";
+  }
+  for (unsigned i = whole_octets; i-- > 0;) {
+    name += std::to_string((addr >> (24 - 8 * i)) & 0xffu);
+    name += '.';
+  }
+  name += "in-addr.arpa";
+  return name;
+}
+
+std::string format_moasrr(const MoasRr& record) {
+  MOAS_REQUIRE(!record.origins.empty(), "MOASRR needs at least one origin");
+  std::ostringstream os;
+  os << moasrr_owner_name(record.prefix) << ' ' << record.ttl << " IN MOASRR "
+     << record.prefix.to_string();
+  for (bgp::Asn asn : record.origins) os << ' ' << asn;
+  if (record.dnssec != DnssecState::Unsigned) {
+    os << " ;dnssec=" << to_string(record.dnssec);
+  }
+  return os.str();
+}
+
+std::optional<MoasRr> parse_moasrr(const std::string& line) {
+  // Split off a possible ";dnssec=..." comment first.
+  std::string body = line;
+  DnssecState dnssec = DnssecState::Unsigned;
+  if (const auto pos = line.find(';'); pos != std::string::npos) {
+    body = line.substr(0, pos);
+    const auto comment = util::trim(line.substr(pos + 1));
+    if (comment.rfind("dnssec=", 0) == 0) {
+      const auto value = comment.substr(7);
+      if (value == "signed") {
+        dnssec = DnssecState::Signed;
+      } else if (value == "bad-signature") {
+        dnssec = DnssecState::BadSignature;
+      } else if (value != "unsigned") {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::istringstream is{body};
+  std::string owner;
+  std::uint32_t ttl = 0;
+  std::string klass;
+  std::string type;
+  std::string prefix_text;
+  is >> owner >> ttl >> klass >> type >> prefix_text;
+  if (is.fail() || klass != "IN" || type != "MOASRR") return std::nullopt;
+  const auto prefix = net::Prefix::parse(prefix_text);
+  if (!prefix) return std::nullopt;
+  if (owner != moasrr_owner_name(*prefix)) return std::nullopt;  // zone consistency
+
+  MoasRr record;
+  record.prefix = *prefix;
+  record.ttl = ttl;
+  record.dnssec = dnssec;
+  std::uint64_t asn = 0;
+  while (is >> asn) {
+    if (asn == 0 || asn > ~bgp::Asn{0}) return std::nullopt;
+    record.origins.insert(static_cast<bgp::Asn>(asn));
+  }
+  if (!is.eof()) return std::nullopt;  // trailing garbage
+  if (record.origins.empty()) return std::nullopt;
+  return record;
+}
+
+void MoasrrZone::add(MoasRr record) {
+  MOAS_REQUIRE(!record.origins.empty(), "MOASRR needs at least one origin");
+  auto it = std::find_if(records_.begin(), records_.end(), [&](const MoasRr& r) {
+    return r.prefix == record.prefix;
+  });
+  if (it != records_.end()) {
+    *it = std::move(record);
+  } else {
+    records_.push_back(std::move(record));
+  }
+}
+
+const MoasRr* MoasrrZone::lookup(const net::Prefix& prefix) const {
+  auto it = std::find_if(records_.begin(), records_.end(),
+                         [&](const MoasRr& r) { return r.prefix == prefix; });
+  return it == records_.end() ? nullptr : &*it;
+}
+
+void MoasrrZone::save(std::ostream& os) const {
+  os << "; moasguard MOASRR zone, " << records_.size() << " records\n";
+  for (const MoasRr& record : records_) os << format_moasrr(record) << '\n';
+}
+
+MoasrrZone MoasrrZone::load(std::istream& is) {
+  MoasrrZone zone;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    auto record = parse_moasrr(std::string(trimmed));
+    MOAS_REQUIRE(record.has_value(),
+                 "malformed MOASRR record at line " + std::to_string(lineno));
+    zone.add(std::move(*record));
+  }
+  return zone;
+}
+
+}  // namespace moas::core

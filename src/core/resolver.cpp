@@ -1,0 +1,83 @@
+#include "moas/core/resolver.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::core {
+
+void PrefixOriginDb::set(const net::Prefix& prefix, bgp::AsnSet origins) {
+  MOAS_REQUIRE(!origins.empty(), "origin set must be non-empty");
+  db_[prefix] = std::move(origins);
+}
+
+std::optional<bgp::AsnSet> PrefixOriginDb::lookup(const net::Prefix& prefix) const {
+  auto it = db_.find(prefix);
+  if (it == db_.end()) return std::nullopt;
+  return it->second;
+}
+
+OracleResolver::OracleResolver(std::shared_ptr<const PrefixOriginDb> truth)
+    : truth_(std::move(truth)) {
+  MOAS_REQUIRE(truth_ != nullptr, "oracle needs a truth database");
+}
+
+std::optional<bgp::AsnSet> OracleResolver::resolve(const net::Prefix& prefix) {
+  ++stats_.queries;
+  auto answer = truth_->lookup(prefix);
+  if (!answer) ++stats_.failures;
+  return answer;
+}
+
+DnsResolver::DnsResolver(std::shared_ptr<const PrefixOriginDb> db, Config config)
+    : db_(std::move(db)), config_(config), rng_(config.seed) {
+  MOAS_REQUIRE(db_ != nullptr, "DNS resolver needs a database");
+  MOAS_REQUIRE(config_.unavailability >= 0.0 && config_.unavailability <= 1.0,
+               "unavailability must be a probability");
+  MOAS_REQUIRE(config_.forgery >= 0.0 && config_.forgery <= 1.0,
+               "forgery must be a probability");
+}
+
+std::optional<bgp::AsnSet> DnsResolver::resolve(const net::Prefix& prefix) {
+  ++stats_.queries;
+  if (rng_.chance(config_.unavailability)) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  if (!config_.forged_answer.empty() && rng_.chance(config_.forgery)) {
+    ++stats_.corrupted;
+    return config_.forged_answer;
+  }
+  auto answer = db_->lookup(prefix);
+  if (!answer) ++stats_.failures;
+  return answer;
+}
+
+IrrResolver::IrrResolver(std::shared_ptr<const PrefixOriginDb> current,
+                         std::shared_ptr<const PrefixOriginDb> stale_snapshot, Config config)
+    : current_(std::move(current)),
+      stale_(std::move(stale_snapshot)),
+      config_(config),
+      rng_(config.seed) {
+  MOAS_REQUIRE(current_ != nullptr && stale_ != nullptr, "IRR needs both databases");
+  MOAS_REQUIRE(config_.staleness >= 0.0 && config_.staleness <= 1.0,
+               "staleness must be a probability");
+}
+
+std::optional<bgp::AsnSet> IrrResolver::resolve(const net::Prefix& prefix) {
+  ++stats_.queries;
+  auto [it, inserted] = record_is_stale_.try_emplace(prefix, false);
+  if (inserted) it->second = rng_.chance(config_.staleness);
+  if (it->second) {
+    auto old = stale_->lookup(prefix);
+    if (old) {
+      ++stats_.corrupted;
+      return old;
+    }
+    ++stats_.failures;
+    return std::nullopt;  // record simply missing from the registry
+  }
+  auto answer = current_->lookup(prefix);
+  if (!answer) ++stats_.failures;
+  return answer;
+}
+
+}  // namespace moas::core

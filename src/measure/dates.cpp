@@ -1,0 +1,51 @@
+#include "moas/measure/dates.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::measure {
+
+long to_serial(const CivilDate& date) {
+  MOAS_REQUIRE(date.month >= 1 && date.month <= 12, "month out of range");
+  MOAS_REQUIRE(date.day >= 1 && date.day <= 31, "day out of range");
+  // days_from_civil (Hinnant).
+  const int y = date.year - (date.month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy = (153 * (date.month + (date.month > 2 ? -3 : 9)) + 2) / 5 +
+                       date.day - 1;                                      // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097L + static_cast<long>(doe) - 719468L;
+}
+
+CivilDate from_serial(long serial) {
+  // civil_from_days (Hinnant).
+  serial += 719468L;
+  const long era = (serial >= 0 ? serial : serial - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(serial - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));  // [1, 12]
+  return CivilDate{y + (m <= 2 ? 1 : 0), m, d};
+}
+
+std::string mm_yy(const CivilDate& date) {
+  const int yy = date.year % 100;
+  auto two = [](int v) {
+    std::string s = std::to_string(v);
+    return s.size() == 1 ? "0" + s : s;
+  };
+  return two(static_cast<int>(date.month)) + "/" + two(yy);
+}
+
+CivilDate trace_date(int day_index) { return from_serial(to_serial(kTraceEpoch) + day_index); }
+
+int trace_day(const CivilDate& date) {
+  return static_cast<int>(to_serial(date) - to_serial(kTraceEpoch));
+}
+
+int trace_length_days() { return trace_day(kTraceEnd) + 1; }
+
+}  // namespace moas::measure

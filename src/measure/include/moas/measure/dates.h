@@ -1,0 +1,39 @@
+// Calendar helpers for the measurement window (11/8/1997 – 7/18/2001).
+#pragma once
+
+#include <string>
+
+namespace moas::measure {
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1..12
+  unsigned day = 1;    // 1..31
+};
+
+/// Days since 1970-01-01 (proleptic Gregorian; Howard Hinnant's algorithm).
+long to_serial(const CivilDate& date);
+
+/// Inverse of to_serial.
+CivilDate from_serial(long serial);
+
+/// "MM/YY" — the tick format of the paper's Figure 4.
+std::string mm_yy(const CivilDate& date);
+
+/// Trace epoch: day 0 of every synthetic trace is 1997-11-08 (the first day
+/// of the paper's measurement).
+inline constexpr CivilDate kTraceEpoch{1997, 11, 8};
+
+/// Last day of the measurement: 2001-07-18.
+inline constexpr CivilDate kTraceEnd{2001, 7, 18};
+
+/// Convert a trace day index to a calendar date.
+CivilDate trace_date(int day_index);
+
+/// Day index of a calendar date within the trace.
+int trace_day(const CivilDate& date);
+
+/// Number of days in the paper's window, inclusive of both endpoints.
+int trace_length_days();
+
+}  // namespace moas::measure

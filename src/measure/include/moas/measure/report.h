@@ -1,0 +1,41 @@
+// Report builders shared by the measurement benches and tests: they turn
+// observer output into the series/tables the paper's Figures 4 and 5 plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "moas/measure/observer.h"
+#include "moas/util/table.h"
+
+namespace moas::measure {
+
+/// Figure 4 series: daily counts bucketed by calendar month (mean within the
+/// month) plus the exact values of the spike days.
+struct Fig4Row {
+  std::string month;       // "MM/YY"
+  double mean_daily = 0.0;
+  std::size_t max_daily = 0;
+};
+
+std::vector<Fig4Row> build_fig4_series(const MoasObserver& observer);
+
+util::TablePrinter fig4_table(const std::vector<Fig4Row>& rows);
+
+/// Figure 5 rows: duration histogram bucketed into exponentially growing
+/// bins (1, 2, 3-4, 5-8, ... days).
+struct Fig5Row {
+  int bucket_lo = 0;
+  int bucket_hi = 0;  // inclusive
+  std::uint64_t cases = 0;
+  double fraction = 0.0;
+};
+
+std::vector<Fig5Row> build_fig5_histogram(const MoasObserver& observer);
+
+util::TablePrinter fig5_table(const std::vector<Fig5Row>& rows);
+
+/// The Section 3 headline statistics next to the paper's values.
+util::TablePrinter sec3_table(const TraceSummary& summary);
+
+}  // namespace moas::measure

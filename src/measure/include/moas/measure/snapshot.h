@@ -1,0 +1,21 @@
+// Bridge from the live simulator to the measurement pipeline: snapshot the
+// routing tables of a set of vantage ASes into the same DailyDump shape the
+// observer consumes. This is literally what the Oregon RouteViews collector
+// does — peer with many ASes and record, per prefix, the origin each peer's
+// best path reports.
+#pragma once
+
+#include <vector>
+
+#include "moas/bgp/network.h"
+#include "moas/measure/trace_gen.h"
+
+namespace moas::measure {
+
+/// Snapshot the given vantages' Loc-RIBs: for every prefix any vantage can
+/// reach, the set of origin ASes seen across the vantages' best routes.
+/// Routes whose path ends in an AS_SET contribute all member candidates.
+DailyDump snapshot_network(const bgp::Network& network,
+                           const std::vector<bgp::Asn>& vantages, int day);
+
+}  // namespace moas::measure

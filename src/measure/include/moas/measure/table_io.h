@@ -1,0 +1,33 @@
+// Textual interchange format for daily table dumps.
+//
+// The observer consumes DailyDump objects; this module round-trips them
+// through a line format so traces can be archived and re-analyzed the way
+// the paper processed stored RouteViews dumps:
+//
+//   # moasguard table dump
+//   day 42
+//   10.1.2.0/24 701 7018
+//   10.9.0.0/16 3561 15412 1239
+//
+// Each prefix line lists the origin ASes observed for that prefix that day.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "moas/measure/trace_gen.h"
+
+namespace moas::measure {
+
+void save_dump(const DailyDump& dump, std::ostream& os);
+
+/// Throws std::invalid_argument on malformed input.
+DailyDump load_dump(std::istream& is);
+
+/// Whole-trace archive: dumps for every day back to back.
+void save_trace(const SyntheticTrace& trace, std::ostream& os);
+
+/// Load an archive and return the dumps in day order.
+std::vector<DailyDump> load_trace(std::istream& is);
+
+}  // namespace moas::measure

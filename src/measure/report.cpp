@@ -1,0 +1,110 @@
+#include "moas/measure/report.h"
+
+#include <map>
+
+#include "moas/measure/dates.h"
+#include "moas/util/strings.h"
+
+namespace moas::measure {
+
+std::vector<Fig4Row> build_fig4_series(const MoasObserver& observer) {
+  // Bucket by (year, month).
+  std::map<std::pair<int, unsigned>, std::pair<double, std::size_t>> buckets;  // sum, n
+  std::map<std::pair<int, unsigned>, std::size_t> maxima;
+  const auto& daily = observer.daily_counts();
+  for (std::size_t day = 0; day < daily.size(); ++day) {
+    const CivilDate date = trace_date(static_cast<int>(day));
+    const auto key = std::make_pair(date.year, date.month);
+    auto& [sum, n] = buckets[key];
+    sum += static_cast<double>(daily[day]);
+    ++n;
+    auto& mx = maxima[key];
+    mx = std::max(mx, daily[day]);
+  }
+  std::vector<Fig4Row> rows;
+  rows.reserve(buckets.size());
+  for (const auto& [key, sum_n] : buckets) {
+    Fig4Row row;
+    row.month = mm_yy(CivilDate{key.first, key.second, 1});
+    row.mean_daily = sum_n.first / static_cast<double>(sum_n.second);
+    row.max_daily = maxima[key];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::TablePrinter fig4_table(const std::vector<Fig4Row>& rows) {
+  util::TablePrinter table({"month", "mean_daily_moas", "max_daily_moas"});
+  for (const auto& row : rows) {
+    table.add_row({row.month, util::fmt_double(row.mean_daily, 1),
+                   std::to_string(row.max_daily)});
+  }
+  return table;
+}
+
+std::vector<Fig5Row> build_fig5_histogram(const MoasObserver& observer) {
+  const util::Histogram hist = observer.duration_histogram();
+  std::vector<Fig5Row> rows;
+  if (hist.empty()) return rows;
+  // Exponential buckets: [1,1], [2,2], [3,4], [5,8], [9,16], ...
+  int lo = 1;
+  int width = 1;
+  const int max_duration = static_cast<int>(hist.max_key());
+  while (lo <= max_duration) {
+    const int hi = (lo <= 2) ? lo : lo + width - 1;
+    Fig5Row row;
+    row.bucket_lo = lo;
+    row.bucket_hi = hi;
+    for (int d = lo; d <= hi; ++d) row.cases += hist.count(d);
+    row.fraction = hist.total() == 0
+                       ? 0.0
+                       : static_cast<double>(row.cases) / static_cast<double>(hist.total());
+    rows.push_back(row);
+    if (lo <= 2) {
+      lo = hi + 1;
+      width = lo == 3 ? 2 : 1;
+    } else {
+      lo = hi + 1;
+      width *= 2;
+    }
+  }
+  return rows;
+}
+
+util::TablePrinter fig5_table(const std::vector<Fig5Row>& rows) {
+  util::TablePrinter table({"duration_days", "cases", "fraction"});
+  for (const auto& row : rows) {
+    const std::string bucket = row.bucket_lo == row.bucket_hi
+                                   ? std::to_string(row.bucket_lo)
+                                   : std::to_string(row.bucket_lo) + "-" +
+                                         std::to_string(row.bucket_hi);
+    table.add_row(
+        {bucket, std::to_string(row.cases), util::fmt_double(row.fraction * 100.0, 2) + "%"});
+  }
+  return table;
+}
+
+util::TablePrinter sec3_table(const TraceSummary& summary) {
+  util::TablePrinter table({"statistic", "paper", "measured"});
+  table.add_row({"total MOAS cases", "~38245", std::to_string(summary.total_cases)});
+  table.add_row({"one-day cases", "13730 (35.9%)",
+                 std::to_string(summary.one_day_cases) + " (" +
+                     util::fmt_double(summary.one_day_fraction * 100.0, 1) + "%)"});
+  table.add_row({"one-day cases from 4/7/1998", "82.7%",
+                 util::fmt_double(summary.one_day_spike_share * 100.0, 1) + "%"});
+  table.add_row({"median daily count 1998", "683",
+                 util::fmt_double(summary.median_daily_1998, 0)});
+  table.add_row({"median daily count 2001", "1294",
+                 util::fmt_double(summary.median_daily_2001, 0)});
+  table.add_row({"cases with 2 origins", "96.14%",
+                 util::fmt_double(summary.two_origin_fraction * 100.0, 2) + "%"});
+  table.add_row({"cases with 3 origins", "2.7%",
+                 util::fmt_double(summary.three_origin_fraction * 100.0, 2) + "%"});
+  table.add_row({"max daily count day", "4/7/1998",
+                 mm_yy(trace_date(summary.max_daily_count_day)) + " (day " +
+                     std::to_string(summary.max_daily_count_day) + ", " +
+                     std::to_string(summary.max_daily_count) + " cases)"});
+  return table;
+}
+
+}  // namespace moas::measure

@@ -1,0 +1,25 @@
+#include "moas/measure/snapshot.h"
+
+#include "moas/util/assert.h"
+
+namespace moas::measure {
+
+DailyDump snapshot_network(const bgp::Network& network,
+                           const std::vector<bgp::Asn>& vantages, int day) {
+  MOAS_REQUIRE(!vantages.empty(), "need at least one vantage");
+  DailyDump dump;
+  dump.day = day;
+  for (bgp::Asn vantage : vantages) {
+    const bgp::Router& router = network.router(vantage);
+    for (const net::Prefix& prefix : router.loc_rib().prefixes()) {
+      const bgp::RibEntry* best = router.loc_rib().best(prefix);
+      MOAS_ENSURE(best != nullptr, "loc-rib listed a prefix without a best route");
+      for (bgp::Asn origin : best->route.origin_candidates()) {
+        dump.origins[prefix].insert(origin);
+      }
+    }
+  }
+  return dump;
+}
+
+}  // namespace moas::measure

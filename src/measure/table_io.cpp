@@ -1,0 +1,96 @@
+#include "moas/measure/table_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "moas/util/assert.h"
+#include "moas/util/strings.h"
+
+namespace moas::measure {
+
+namespace {
+
+void write_one(const DailyDump& dump, std::ostream& os) {
+  os << "day " << dump.day << '\n';
+  for (const auto& [prefix, origins] : dump.origins) {
+    os << prefix.to_string();
+    for (bgp::Asn asn : origins) os << ' ' << asn;
+    os << '\n';
+  }
+}
+
+/// Reads one dump starting after its "day" line has been consumed into
+/// `day`. Stops before the next "day" line or at EOF.
+DailyDump read_body(int day, std::istream& is) {
+  DailyDump dump;
+  dump.day = day;
+  while (true) {
+    const auto pos = is.tellg();
+    std::string line;
+    if (!std::getline(is, line)) break;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.rfind("day ", 0) == 0) {
+      is.seekg(pos);  // belongs to the next dump
+      break;
+    }
+    std::istringstream ls{std::string(trimmed)};
+    std::string prefix_text;
+    ls >> prefix_text;
+    const auto prefix = net::Prefix::parse(prefix_text);
+    MOAS_REQUIRE(prefix.has_value(), "malformed prefix '" + prefix_text + "'");
+    bgp::AsnSet origins;
+    std::uint64_t asn = 0;
+    while (ls >> asn) {
+      MOAS_REQUIRE(asn != 0 && asn <= ~bgp::Asn{0}, "ASN out of range");
+      origins.insert(static_cast<bgp::Asn>(asn));
+    }
+    MOAS_REQUIRE(ls.eof(), "trailing garbage on table line");
+    MOAS_REQUIRE(!origins.empty(), "table line without origins");
+    dump.origins[*prefix] = std::move(origins);
+  }
+  return dump;
+}
+
+std::optional<int> read_day_header(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    MOAS_REQUIRE(trimmed.rfind("day ", 0) == 0, "expected a 'day <n>' header");
+    std::uint64_t day = 0;
+    MOAS_REQUIRE(util::parse_u64(util::trim(trimmed.substr(4)), day) && day <= 1u << 30,
+                 "malformed day number");
+    return static_cast<int>(day);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save_dump(const DailyDump& dump, std::ostream& os) {
+  os << "# moasguard table dump\n";
+  write_one(dump, os);
+}
+
+DailyDump load_dump(std::istream& is) {
+  const auto day = read_day_header(is);
+  MOAS_REQUIRE(day.has_value(), "no dump in input");
+  return read_body(*day, is);
+}
+
+void save_trace(const SyntheticTrace& trace, std::ostream& os) {
+  os << "# moasguard trace archive, " << trace.days << " days\n";
+  for (int day = 0; day < trace.days; ++day) write_one(trace.day_dump(day), os);
+}
+
+std::vector<DailyDump> load_trace(std::istream& is) {
+  std::vector<DailyDump> out;
+  while (auto day = read_day_header(is)) {
+    out.push_back(read_body(*day, is));
+  }
+  return out;
+}
+
+}  // namespace moas::measure

@@ -1,0 +1,38 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace moas::net {
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Bit i counted from the most significant bit (i == 0 is the top bit).
+  constexpr bool bit(unsigned i) const { return (value_ >> (31 - i)) & 1u; }
+
+  /// Dotted-quad "a.b.c.d".
+  std::string to_string() const;
+
+  /// Parse dotted-quad; rejects anything else (no shorthand forms).
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace moas::net

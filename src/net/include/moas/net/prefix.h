@@ -1,0 +1,59 @@
+// IPv4 address prefix (CIDR block) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "moas/net/ipv4.h"
+
+namespace moas::net {
+
+/// A canonical CIDR prefix: network address with all host bits zero, plus a
+/// mask length in [0, 32]. Construction normalizes the host bits, so two
+/// prefixes covering the same block always compare equal.
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  constexpr Prefix() = default;
+
+  /// Build from any address inside the block; host bits are cleared.
+  Prefix(Ipv4Addr addr, unsigned length);
+
+  Ipv4Addr network() const { return network_; }
+  unsigned length() const { return length_; }
+
+  /// Network mask as an address (e.g. /24 -> 255.255.255.0).
+  Ipv4Addr netmask() const;
+
+  /// True if the address falls inside this block.
+  bool contains(Ipv4Addr addr) const;
+
+  /// True if `other` is equal to or more specific than this block.
+  bool contains(const Prefix& other) const;
+
+  /// True if the blocks share any address (one contains the other).
+  bool overlaps(const Prefix& other) const;
+
+  /// The immediate parent block (length-1). Requires length > 0.
+  Prefix parent() const;
+
+  /// The two halves of this block. Requires length < 32.
+  std::pair<Prefix, Prefix> children() const;
+
+  /// "a.b.c.d/len".
+  std::string to_string() const;
+
+  /// Parse "a.b.c.d/len"; host bits may be set and are normalized away.
+  static std::optional<Prefix> parse(std::string_view s);
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Addr network_;
+  unsigned length_ = 0;
+};
+
+}  // namespace moas::net

@@ -1,0 +1,52 @@
+// A set of CIDR blocks with canonical minimization.
+//
+// Used by the aggregation engine (merging adjacent announcements) and handy
+// for filter-list style policy. Minimization removes blocks covered by
+// other members and merges sibling pairs into their parent until a fixpoint.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "moas/net/prefix.h"
+
+namespace moas::net {
+
+class PrefixSet {
+ public:
+  PrefixSet() = default;
+  PrefixSet(std::initializer_list<Prefix> prefixes);
+
+  /// Insert a block. Returns false if it was already present (exact match).
+  bool insert(const Prefix& prefix);
+  bool erase(const Prefix& prefix);
+
+  /// Exact membership.
+  bool contains(const Prefix& prefix) const { return blocks_.contains(prefix); }
+
+  /// True if some member covers the address / block.
+  bool covers(Ipv4Addr addr) const;
+  bool covers(const Prefix& prefix) const;
+
+  /// Canonicalize: drop blocks covered by other members, then merge sibling
+  /// pairs into parents, to a fixpoint. After minimization no member covers
+  /// another and no two members are mergeable.
+  void minimize();
+
+  /// Members in ascending order.
+  std::vector<Prefix> prefixes() const { return {blocks_.begin(), blocks_.end()}; }
+
+  std::size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  void clear() { blocks_.clear(); }
+
+  /// Total address space covered (counts overlaps once only if minimized).
+  std::uint64_t address_count() const;
+
+  friend auto operator<=>(const PrefixSet&, const PrefixSet&) = default;
+
+ private:
+  std::set<Prefix> blocks_;
+};
+
+}  // namespace moas::net

@@ -1,0 +1,146 @@
+// Binary trie keyed by IPv4 prefixes.
+//
+// Supports the three queries a routing table needs:
+//   - exact-match lookup of a prefix,
+//   - longest-prefix match of an address (packet forwarding),
+//   - enumeration of all entries covered by a block (aggregation, hijack
+//     analysis of more-specific announcements).
+//
+// The trie is a plain (uncompressed) binary trie: depth is bounded by 32,
+// so the constant factor is small and the code stays obviously correct.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "moas/net/prefix.h"
+#include "moas/util/assert.h"
+
+namespace moas::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `prefix`. Returns true if the prefix
+  /// was newly inserted, false if an existing value was replaced.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Exact-match lookup.
+  const T* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  T* find(const Prefix& prefix) {
+    Node* node = const_cast<Node*>(descend(prefix));
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address: the most specific stored prefix
+  /// containing `addr`, or nullopt.
+  std::optional<std::pair<Prefix, const T*>> longest_match(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, const T*>> best;
+    unsigned depth = 0;
+    while (node) {
+      if (node->value) best = {Prefix(addr, depth), &*node->value};
+      if (depth == 32) break;
+      node = node->child[addr.bit(depth)].get();
+      ++depth;
+    }
+    return best;
+  }
+
+  /// Remove the entry at `prefix`; returns true if something was removed.
+  /// Empty branches are pruned so memory does not grow monotonically.
+  bool erase(const Prefix& prefix) {
+    return erase_rec(root_.get(), prefix, 0);
+  }
+
+  /// Visit every (prefix, value) whose prefix is covered by `block`
+  /// (i.e. equal or more specific), in lexicographic order.
+  void for_each_covered(const Prefix& block,
+                        const std::function<void(const Prefix&, const T&)>& fn) const {
+    const Node* node = descend(block);
+    if (node) visit(node, block, fn);
+  }
+
+  /// Visit every entry in the trie.
+  void for_each(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit(root_.get(), Prefix(Ipv4Addr(0), 0), fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+    bool leaf() const { return !child[0] && !child[1]; }
+  };
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (unsigned depth = 0; node && depth < prefix.length(); ++depth) {
+      node = node->child[prefix.network().bit(depth)].get();
+    }
+    return node;
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      auto& next = node->child[prefix.network().bit(depth)];
+      if (!next) next = std::make_unique<Node>();
+      node = next.get();
+    }
+    return node;
+  }
+
+  // Returns true if `node` became removable (no value, no children) so the
+  // parent can drop the edge.
+  bool erase_rec(Node* node, const Prefix& prefix, unsigned depth) {
+    if (depth == prefix.length()) {
+      if (!node->value) return false;
+      node->value.reset();
+      --size_;
+      return true;
+    }
+    auto& next = node->child[prefix.network().bit(depth)];
+    if (!next) return false;
+    if (!erase_rec(next.get(), prefix, depth + 1)) return false;
+    if (!next->value && next->leaf()) next.reset();
+    return true;
+  }
+
+  void visit(const Node* node, const Prefix& at,
+             const std::function<void(const Prefix&, const T&)>& fn) const {
+    if (node->value) fn(at, *node->value);
+    if (at.length() == 32) return;
+    const auto [left, right] = at.children();
+    if (node->child[0]) visit(node->child[0].get(), left, fn);
+    if (node->child[1]) visit(node->child[1].get(), right, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace moas::net

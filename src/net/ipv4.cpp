@@ -1,0 +1,28 @@
+#include "moas/net/ipv4.h"
+
+#include "moas/util/strings.h"
+
+namespace moas::net {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out += '.';
+    out += std::to_string((value_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& part : parts) {
+    std::uint64_t octet = 0;
+    if (!util::parse_u64(part, octet) || octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(v);
+}
+
+}  // namespace moas::net

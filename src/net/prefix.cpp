@@ -1,0 +1,61 @@
+#include "moas/net/prefix.h"
+
+#include "moas/util/assert.h"
+#include "moas/util/strings.h"
+
+namespace moas::net {
+
+namespace {
+
+constexpr std::uint32_t mask_for(unsigned length) {
+  return length == 0 ? 0u : (~0u << (32 - length));
+}
+
+}  // namespace
+
+Prefix::Prefix(Ipv4Addr addr, unsigned length) : length_(length) {
+  MOAS_REQUIRE(length <= 32, "prefix length must be <= 32");
+  network_ = Ipv4Addr(addr.value() & mask_for(length));
+}
+
+Ipv4Addr Prefix::netmask() const { return Ipv4Addr(mask_for(length_)); }
+
+bool Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask_for(length_)) == network_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+Prefix Prefix::parent() const {
+  MOAS_REQUIRE(length_ > 0, "/0 has no parent");
+  return Prefix(network_, length_ - 1);
+}
+
+std::pair<Prefix, Prefix> Prefix::children() const {
+  MOAS_REQUIRE(length_ < 32, "/32 has no children");
+  const Prefix left(network_, length_ + 1);
+  const Prefix right(Ipv4Addr(network_.value() | (1u << (31 - length_))), length_ + 1);
+  return {left, right};
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint64_t len = 0;
+  if (!util::parse_u64(s.substr(slash + 1), len) || len > 32) return std::nullopt;
+  return Prefix(*addr, static_cast<unsigned>(len));
+}
+
+}  // namespace moas::net

@@ -1,0 +1,67 @@
+#include "moas/net/prefix_set.h"
+
+#include <algorithm>
+
+namespace moas::net {
+
+PrefixSet::PrefixSet(std::initializer_list<Prefix> prefixes) {
+  for (const Prefix& p : prefixes) blocks_.insert(p);
+}
+
+bool PrefixSet::insert(const Prefix& prefix) { return blocks_.insert(prefix).second; }
+
+bool PrefixSet::erase(const Prefix& prefix) { return blocks_.erase(prefix) > 0; }
+
+bool PrefixSet::covers(Ipv4Addr addr) const {
+  return std::any_of(blocks_.begin(), blocks_.end(),
+                     [&](const Prefix& p) { return p.contains(addr); });
+}
+
+bool PrefixSet::covers(const Prefix& prefix) const {
+  return std::any_of(blocks_.begin(), blocks_.end(),
+                     [&](const Prefix& p) { return p.contains(prefix); });
+}
+
+void PrefixSet::minimize() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Drop members covered by another member.
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      const bool covered = std::any_of(blocks_.begin(), blocks_.end(), [&](const Prefix& p) {
+        return p != *it && p.contains(*it);
+      });
+      if (covered) {
+        it = blocks_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    // Merge sibling pairs into their parent.
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      const Prefix& p = *it;
+      if (p.length() == 0) break;
+      const Prefix parent = p.parent();
+      const auto [left, right] = parent.children();
+      const Prefix& sibling = (p == left) ? right : left;
+      if (blocks_.contains(sibling)) {
+        blocks_.erase(sibling);
+        it = blocks_.erase(blocks_.find(p));
+        blocks_.insert(parent);
+        changed = true;
+        it = blocks_.begin();  // iterators invalidated; restart the pass
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::uint64_t PrefixSet::address_count() const {
+  std::uint64_t total = 0;
+  for (const Prefix& p : blocks_) total += 1ULL << (32 - p.length());
+  return total;
+}
+
+}  // namespace moas::net

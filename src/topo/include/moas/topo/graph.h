@@ -1,0 +1,87 @@
+// AS-level topology graph.
+//
+// Nodes are ASes annotated as transit (an ISP that appears mid-path) or stub
+// (an edge network); edges are BGP peering connections annotated with the
+// business relationship, which the Gao–Rexford policy mode consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "moas/bgp/asn.h"
+#include "moas/bgp/policy.h"
+
+namespace moas::topo {
+
+using bgp::Asn;
+using bgp::AsnSet;
+
+enum class AsKind : std::uint8_t { Stub, Transit };
+
+const char* to_string(AsKind kind);
+
+class AsGraph {
+ public:
+  /// Add a node; re-adding an existing node updates its kind.
+  void add_node(Asn asn, AsKind kind);
+
+  /// Add an undirected peering edge. `rel_of_b` is b's relationship as seen
+  /// from a (Customer: b is a's customer). Requires both endpoints present;
+  /// re-adding overwrites the relationship.
+  void add_edge(Asn a, Asn b, bgp::Relationship rel_of_b = bgp::Relationship::Peer);
+
+  /// Remove a node and all incident edges. Returns true if it existed.
+  bool remove_node(Asn asn);
+  bool remove_edge(Asn a, Asn b);
+
+  bool has_node(Asn asn) const { return adj_.contains(asn); }
+  bool has_edge(Asn a, Asn b) const;
+
+  AsKind kind(Asn asn) const;
+  bool is_stub(Asn asn) const { return kind(asn) == AsKind::Stub; }
+  bool is_transit(Asn asn) const { return kind(asn) == AsKind::Transit; }
+
+  /// Relationship of `b` as seen from `a`; nullopt if no such edge.
+  std::optional<bgp::Relationship> relationship(Asn a, Asn b) const;
+
+  std::vector<Asn> neighbors(Asn asn) const;
+  std::size_t degree(Asn asn) const;
+
+  std::vector<Asn> nodes() const;
+  std::vector<Asn> stubs() const;
+  std::vector<Asn> transits() const;
+
+  /// All edges once each, as (a, b, rel_of_b) with a < b.
+  struct Edge {
+    Asn a;
+    Asn b;
+    bgp::Relationship rel_of_b;
+  };
+  std::vector<Edge> edges() const;
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const;
+
+  /// True if every node can reach every other (empty graph counts as
+  /// connected).
+  bool is_connected() const;
+
+  /// Nodes reachable from `start` (including it), optionally treating the
+  /// nodes in `blocked` as removed. `start` itself must not be blocked.
+  AsnSet reachable_from(Asn start, const AsnSet& blocked = {}) const;
+
+  /// The largest connected component as a new graph (annotations kept).
+  AsGraph largest_component() const;
+
+  /// Subgraph induced by `keep` (edges between kept nodes survive).
+  AsGraph induced(const AsnSet& keep) const;
+
+ private:
+  std::map<Asn, AsKind> kind_;
+  // adj_[a][b] = relationship of b from a's viewpoint.
+  std::map<Asn, std::map<Asn, bgp::Relationship>> adj_;
+};
+
+}  // namespace moas::topo

@@ -1,0 +1,27 @@
+// Topology inference from a BGP table dump — the paper's Section 5.1 recipe.
+//
+// "if a route to a prefix p has the AS Path 1239 6453 4621, we consider
+//  AS 6453 to have two BGP peers ... We also mark AS 6453 as a transit AS
+//  ... If an AS does not appear to be a transit AS in any of the routes, we
+//  consider it a stub AS."
+#pragma once
+
+#include "moas/topo/graph.h"
+#include "moas/topo/route_views.h"
+
+namespace moas::topo {
+
+/// Build the peering graph + transit/stub classification from AS paths.
+/// Adjacent ASes in a path sequence become peers; any AS observed in a
+/// non-terminal path position is transit. AS_SET segments contribute no
+/// edges (aggregates hide the true adjacency). Relationships are set to
+/// Peer; use annotate_relationships_by_degree for a Gao-style annotation.
+AsGraph infer_from_table(const TableDump& dump);
+
+/// Heuristic provider/customer annotation (a simplified Gao inference):
+/// for each edge, if one endpoint's degree is at least `ratio` times the
+/// other's, the bigger AS becomes the provider; otherwise the edge stays a
+/// peering. Used to enable the Gao–Rexford policy mode on inferred graphs.
+void annotate_relationships_by_degree(AsGraph& graph, double ratio = 2.0);
+
+}  // namespace moas::topo

@@ -1,0 +1,23 @@
+// Plain-text persistence for AS graphs.
+//
+// Format, one record per line:
+//   node <asn> stub|transit
+//   edge <a> <b> p2c|c2p|peer     # relationship of b as seen from a
+// Blank lines and lines starting with '#' are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "moas/topo/graph.h"
+
+namespace moas::topo {
+
+void save_graph(const AsGraph& graph, std::ostream& os);
+void save_graph_file(const AsGraph& graph, const std::string& path);
+
+/// Throws std::invalid_argument on malformed input.
+AsGraph load_graph(std::istream& is);
+AsGraph load_graph_file(const std::string& path);
+
+}  // namespace moas::topo

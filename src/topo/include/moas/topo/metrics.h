@@ -1,0 +1,33 @@
+// Topology metrics used by the evaluation and the tests.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "moas/topo/graph.h"
+
+namespace moas::topo {
+
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t max = 0;
+  std::map<std::size_t, std::size_t> histogram;  // degree -> node count
+  /// Continuous MLE for the power-law exponent over degrees >= 2
+  /// (Clauset–Shalizi–Newman estimator with x_min = 2); 0 if not estimable.
+  double power_law_alpha = 0.0;
+};
+
+DegreeStats degree_stats(const AsGraph& graph);
+
+/// Fraction of nodes (excluding `sources` and `removed`) that cannot reach
+/// any source once the `removed` nodes are cut out of the graph.
+///
+/// Under full MOAS detection this is exactly the population that can still
+/// be fooled: ASes the attacker set separates from every valid origin.
+double fraction_cut_off(const AsGraph& graph, const AsnSet& sources, const AsnSet& removed);
+
+/// Mean shortest-path hop count over sampled node pairs (BFS; `samples`
+/// random pairs with the given rng seed baked in deterministically).
+double mean_path_length(const AsGraph& graph, std::size_t samples, std::uint64_t seed);
+
+}  // namespace moas::topo

@@ -1,0 +1,28 @@
+// The paper's topology sampling procedure (Section 5.1).
+//
+// "we randomly select x% of the stub ASes and construct a topology
+//  containing these stub ASes and their ISP peers, with the peering
+//  relations among all the selected ASes completely preserved. If a transit
+//  AS has only one peer left after the initial selection, we prune it ...
+//  the pruning needs to be done iteratively. Finally we inspect the topology
+//  to make sure that it is a connected graph."
+#pragma once
+
+#include <cstddef>
+
+#include "moas/topo/graph.h"
+#include "moas/util/rng.h"
+
+namespace moas::topo {
+
+/// One sampling pass at a fixed stub fraction. Returns the largest connected
+/// component of the pruned subgraph (the "inspection" step).
+AsGraph sample_topology(const AsGraph& internet, double stub_fraction, util::Rng& rng);
+
+/// Iteratively retunes the stub fraction until the sampled topology lands
+/// within `tolerance` (relative) of `target_nodes`; returns the closest
+/// result seen across at most `max_attempts` passes.
+AsGraph sample_to_size(const AsGraph& internet, std::size_t target_nodes, util::Rng& rng,
+                       double tolerance = 0.05, int max_attempts = 40);
+
+}  // namespace moas::topo

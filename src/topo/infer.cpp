@@ -1,0 +1,60 @@
+#include "moas/topo/infer.h"
+
+namespace moas::topo {
+
+AsGraph infer_from_table(const TableDump& dump) {
+  AsGraph g;
+  AsnSet transit;
+
+  auto ensure_node = [&](Asn asn) {
+    if (!g.has_node(asn)) g.add_node(asn, AsKind::Stub);
+  };
+
+  for (const auto& entry : dump.entries) {
+    // Flatten consecutive sequence segments; AS_SETs break adjacency.
+    const auto& segments = entry.path.segments();
+    for (const auto& seg : segments) {
+      if (seg.kind != bgp::PathSegment::Kind::Sequence) continue;
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        ensure_node(seg.asns[i]);
+        if (i + 1 < seg.asns.size() && seg.asns[i] != seg.asns[i + 1]) {
+          ensure_node(seg.asns[i + 1]);
+          if (!g.has_edge(seg.asns[i], seg.asns[i + 1])) {
+            g.add_edge(seg.asns[i], seg.asns[i + 1], bgp::Relationship::Peer);
+          }
+        }
+      }
+    }
+    // Transit: everything that is neither the first nor the last AS of the
+    // whole path (prepending duplicates collapse to one hop for this test).
+    std::vector<Asn> flat;
+    for (const auto& seg : segments) {
+      if (seg.kind != bgp::PathSegment::Kind::Sequence) continue;
+      for (Asn asn : seg.asns) {
+        if (flat.empty() || flat.back() != asn) flat.push_back(asn);
+      }
+    }
+    for (std::size_t i = 1; i + 1 < flat.size(); ++i) transit.insert(flat[i]);
+  }
+
+  for (Asn asn : transit) {
+    if (g.has_node(asn)) g.add_node(asn, AsKind::Transit);  // upgrade kind
+  }
+  return g;
+}
+
+void annotate_relationships_by_degree(AsGraph& graph, double ratio) {
+  for (const auto& edge : graph.edges()) {
+    const double da = static_cast<double>(graph.degree(edge.a));
+    const double db = static_cast<double>(graph.degree(edge.b));
+    if (da >= ratio * db) {
+      graph.add_edge(edge.a, edge.b, bgp::Relationship::Customer);  // b buys from a
+    } else if (db >= ratio * da) {
+      graph.add_edge(edge.a, edge.b, bgp::Relationship::Provider);  // a buys from b
+    } else {
+      graph.add_edge(edge.a, edge.b, bgp::Relationship::Peer);
+    }
+  }
+}
+
+}  // namespace moas::topo

@@ -1,0 +1,87 @@
+#include "moas/topo/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "moas/util/assert.h"
+#include "moas/util/strings.h"
+
+namespace moas::topo {
+
+namespace {
+
+const char* rel_token(bgp::Relationship rel) {
+  switch (rel) {
+    case bgp::Relationship::Customer: return "p2c";  // a is provider, b customer
+    case bgp::Relationship::Provider: return "c2p";
+    case bgp::Relationship::Peer: return "peer";
+  }
+  return "peer";
+}
+
+bgp::Relationship parse_rel(std::string_view token) {
+  if (token == "p2c") return bgp::Relationship::Customer;
+  if (token == "c2p") return bgp::Relationship::Provider;
+  MOAS_REQUIRE(token == "peer", "unknown relationship token");
+  return bgp::Relationship::Peer;
+}
+
+}  // namespace
+
+void save_graph(const AsGraph& graph, std::ostream& os) {
+  os << "# moasguard AS graph: " << graph.node_count() << " nodes, " << graph.edge_count()
+     << " edges\n";
+  for (Asn asn : graph.nodes()) {
+    os << "node " << asn << ' ' << to_string(graph.kind(asn)) << '\n';
+  }
+  for (const auto& edge : graph.edges()) {
+    os << "edge " << edge.a << ' ' << edge.b << ' ' << rel_token(edge.rel_of_b) << '\n';
+  }
+}
+
+void save_graph_file(const AsGraph& graph, const std::string& path) {
+  std::ofstream os(path);
+  MOAS_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  save_graph(graph, os);
+}
+
+AsGraph load_graph(std::istream& is) {
+  AsGraph graph;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream ls{std::string(trimmed)};
+    std::string kind;
+    ls >> kind;
+    const std::string where = " at line " + std::to_string(lineno);
+    if (kind == "node") {
+      std::uint64_t asn = 0;
+      std::string k;
+      ls >> asn >> k;
+      MOAS_REQUIRE(!ls.fail(), "malformed node record" + where);
+      MOAS_REQUIRE(k == "stub" || k == "transit", "unknown node kind" + where);
+      graph.add_node(static_cast<Asn>(asn), k == "stub" ? AsKind::Stub : AsKind::Transit);
+    } else if (kind == "edge") {
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      std::string rel;
+      ls >> a >> b >> rel;
+      MOAS_REQUIRE(!ls.fail(), "malformed edge record" + where);
+      graph.add_edge(static_cast<Asn>(a), static_cast<Asn>(b), parse_rel(rel));
+    } else {
+      MOAS_REQUIRE(false, "unknown record '" + kind + "'" + where);
+    }
+  }
+  return graph;
+}
+
+AsGraph load_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  MOAS_REQUIRE(is.good(), "cannot open " + path);
+  return load_graph(is);
+}
+
+}  // namespace moas::topo

@@ -1,0 +1,54 @@
+// Checked-precondition and invariant macros.
+//
+// MOAS_REQUIRE — validate caller-supplied arguments; throws std::invalid_argument.
+// MOAS_ENSURE  — validate internal invariants; throws moas::util::InvariantError.
+//
+// Both are always on (the library is a research simulator: a silently corrupt
+// experiment is worse than a few branch instructions).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace moas::util {
+
+/// Raised when an internal invariant is violated. Indicates a library bug,
+/// not a caller error.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace moas::util
+
+#define MOAS_REQUIRE(expr, msg)                                                    \
+  do {                                                                             \
+    if (!(expr)) ::moas::util::detail::require_failed(#expr, __FILE__, __LINE__,   \
+                                                      (msg));                      \
+  } while (false)
+
+#define MOAS_ENSURE(expr, msg)                                                     \
+  do {                                                                             \
+    if (!(expr)) ::moas::util::detail::ensure_failed(#expr, __FILE__, __LINE__,    \
+                                                     (msg));                       \
+  } while (false)

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The simulator is run in tight experiment loops, so logging defaults to
+// Warn; examples raise it to Info/Debug to narrate what the protocol does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace moas::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as "[level] message" if enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace moas::util
+
+#define MOAS_LOG(level) ::moas::util::detail::LogStream(::moas::util::LogLevel::level)

@@ -1,0 +1,76 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component of the library takes an explicit Rng&; nothing
+// reads global entropy. The same seed therefore reproduces an entire
+// experiment bit-for-bit, which the test suite relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace moas::util {
+
+/// splitmix64-seeded xoshiro256** generator with convenience samplers.
+///
+/// Not cryptographic; chosen for speed, tiny state, and well-understood
+/// statistical quality.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 60).
+  unsigned poisson(double mean);
+
+  /// Gaussian via Box–Muller.
+  double gaussian(double mean, double stddev);
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (for parallel sub-experiments).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace moas::util

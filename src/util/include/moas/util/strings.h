@@ -1,0 +1,27 @@
+// String helpers shared by parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moas::util {
+
+/// Split on a single delimiter character. Empty fields are preserved:
+/// split("a,,b", ',') == {"a", "", "b"}; split("", ',') == {""}.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse an unsigned decimal that must consume the whole string.
+/// Returns false on empty input, non-digits, or overflow of uint64.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Fixed-point formatting with `digits` decimals (no locale surprises).
+std::string fmt_double(double v, int digits);
+
+}  // namespace moas::util

@@ -1,0 +1,36 @@
+// Plain-text table / CSV emitters for the benchmark harnesses.
+//
+// Every figure-reproduction bench prints its series through TablePrinter so
+// the output is uniform: an aligned human-readable table on stdout, and
+// optionally the same rows as CSV.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace moas::util {
+
+/// Column-aligned text table with an optional CSV dump.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render aligned text (headers, rule, rows).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (headers + rows, comma-separated, fields containing
+  /// commas or quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moas::util

@@ -1,0 +1,33 @@
+#include "moas/util/log.h"
+
+#include <iostream>
+
+namespace moas::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level || g_level == LogLevel::Off) return;
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace moas::util

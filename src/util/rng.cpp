@@ -1,0 +1,116 @@
+#include "moas/util/rng.h"
+
+#include <cmath>
+
+#include "moas/util/assert.h"
+
+namespace moas::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed through splitmix64 so that nearby seeds yield unrelated
+  // streams (recommended xoshiro initialization).
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  MOAS_REQUIRE(lo <= hi, "uniform range must be non-empty");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return next();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t n = span + 1;
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % n;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + v % n;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  MOAS_REQUIRE(n > 0, "index() requires a non-empty range");
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+double Rng::uniform01() {
+  // 53 random bits → double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+unsigned Rng::poisson(double mean) {
+  MOAS_REQUIRE(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 60.0) {
+    const double limit = std::exp(-mean);
+    double prod = uniform01();
+    unsigned n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform01();
+    }
+    return n;
+  }
+  // Normal approximation for large means.
+  const double v = gaussian(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0u : static_cast<unsigned>(v + 0.5);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  MOAS_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  MOAS_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Partial Fisher–Yates over an index vector; O(n) setup, fine at our scales.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace moas::util

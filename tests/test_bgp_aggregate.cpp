@@ -1,0 +1,156 @@
+#include "moas/bgp/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/core/moas_list.h"
+
+namespace moas::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+Route route(const char* prefix, std::vector<Asn> path) {
+  Route r;
+  r.prefix = pfx(prefix);
+  r.attrs.path = AsPath(std::move(path));
+  return r;
+}
+
+TEST(Aggregate, CommonHeadAndSetTail) {
+  // Two halves of 10.0.0.0/8 via the same upstream but different origins.
+  const auto result = aggregate_routes(
+      pfx("10.0.0.0/8"),
+      {route("10.0.0.0/9", {701, 4006}), route("10.128.0.0/9", {701, 2026})});
+  EXPECT_EQ(result.route.prefix, pfx("10.0.0.0/8"));
+  EXPECT_EQ(result.route.attrs.path.to_string(), "701 {2026,4006}");
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(Aggregate, IdenticalPathsNeedNoSet) {
+  const auto result = aggregate_routes(
+      pfx("10.0.0.0/8"),
+      {route("10.0.0.0/9", {701, 4006}), route("10.128.0.0/9", {701, 4006})});
+  EXPECT_EQ(result.route.attrs.path.to_string(), "701 4006");
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(Aggregate, NoCommonHeadIsAllSet) {
+  const auto result = aggregate_routes(
+      pfx("10.0.0.0/8"), {route("10.0.0.0/9", {7018}), route("10.128.0.0/9", {1239})});
+  EXPECT_EQ(result.route.attrs.path.to_string(), "{1239,7018}");
+}
+
+TEST(Aggregate, PartialCoverageReportedAsInexact) {
+  const auto result =
+      aggregate_routes(pfx("10.0.0.0/8"), {route("10.0.0.0/9", {701, 4006})});
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(Aggregate, SingleComponentKeepsItsPath) {
+  const auto result =
+      aggregate_routes(pfx("10.0.0.0/8"), {route("10.0.0.0/9", {701, 4006})});
+  EXPECT_EQ(result.route.attrs.path.to_string(), "701 4006");
+}
+
+TEST(Aggregate, MoasListsMergeByUnion) {
+  Route a = route("10.0.0.0/9", {701, 4006});
+  a.attrs.communities = core::encode_moas_list({4006});
+  Route b = route("10.128.0.0/9", {701, 2026});
+  b.attrs.communities = core::encode_moas_list({2026});
+  const auto result = aggregate_routes(pfx("10.0.0.0/8"), {a, b});
+  EXPECT_EQ(core::decode_moas_list(result.route.attrs.communities),
+            (AsnSet{2026, 4006}));
+}
+
+TEST(Aggregate, WorstOriginCodeWins) {
+  Route a = route("10.0.0.0/9", {701});
+  a.attrs.origin_code = OriginCode::Igp;
+  Route b = route("10.128.0.0/9", {701});
+  b.attrs.origin_code = OriginCode::Incomplete;
+  const auto result = aggregate_routes(pfx("10.0.0.0/8"), {a, b});
+  EXPECT_EQ(result.route.attrs.origin_code, OriginCode::Incomplete);
+}
+
+TEST(Aggregate, OriginCandidatesOfAggregate) {
+  const auto result = aggregate_routes(
+      pfx("10.0.0.0/8"),
+      {route("10.0.0.0/9", {701, 4006}), route("10.128.0.0/9", {701, 2026})});
+  // The trailing set makes the origin ambiguous — footnote 1 of the paper.
+  EXPECT_FALSE(result.route.origin_as().has_value());
+  EXPECT_EQ(result.route.origin_candidates(), (AsnSet{2026, 4006}));
+  EXPECT_EQ(aggregate_origins({route("10.0.0.0/9", {701, 4006}),
+                               route("10.128.0.0/9", {701, 2026})}),
+            (AsnSet{2026, 4006}));
+}
+
+TEST(Aggregate, ComponentsWithSetsFold) {
+  Route a = route("10.0.0.0/9", {701});
+  a.attrs.path.append_set({4006, 4007});
+  const auto result =
+      aggregate_routes(pfx("10.0.0.0/8"), {a, route("10.128.0.0/9", {701, 2026})});
+  EXPECT_EQ(result.route.attrs.path.to_string(), "701 {2026,4006,4007}");
+}
+
+TEST(Aggregate, ValidatesInput) {
+  EXPECT_THROW(aggregate_routes(pfx("10.0.0.0/8"), {}), std::invalid_argument);
+  EXPECT_THROW(aggregate_routes(pfx("10.0.0.0/8"), {route("11.0.0.0/9", {701})}),
+               std::invalid_argument);
+}
+
+TEST(PrefixSet, InsertContainsCovers) {
+  net::PrefixSet set{pfx("10.0.0.0/8")};
+  EXPECT_TRUE(set.contains(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(set.contains(pfx("10.0.0.0/9")));
+  EXPECT_TRUE(set.covers(pfx("10.0.0.0/9")));
+  EXPECT_TRUE(set.covers(net::Ipv4Addr(10, 1, 2, 3)));
+  EXPECT_FALSE(set.covers(net::Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_FALSE(set.insert(pfx("10.0.0.0/8")));  // duplicate
+}
+
+TEST(PrefixSet, MinimizeMergesSiblings) {
+  net::PrefixSet set{pfx("10.0.0.0/9"), pfx("10.128.0.0/9")};
+  set.minimize();
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(pfx("10.0.0.0/8")));
+}
+
+TEST(PrefixSet, MinimizeDropsCoveredBlocks) {
+  net::PrefixSet set{pfx("10.0.0.0/8"), pfx("10.1.0.0/16"), pfx("10.2.3.0/24")};
+  set.minimize();
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(pfx("10.0.0.0/8")));
+}
+
+TEST(PrefixSet, MinimizeCascades) {
+  // Four /10s collapse through /9s into one /8.
+  net::PrefixSet set{pfx("10.0.0.0/10"), pfx("10.64.0.0/10"), pfx("10.128.0.0/10"),
+                     pfx("10.192.0.0/10")};
+  set.minimize();
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(pfx("10.0.0.0/8")));
+}
+
+TEST(PrefixSet, MinimizeLeavesNonMergeableAlone) {
+  net::PrefixSet set{pfx("10.0.0.0/9"), pfx("11.0.0.0/9")};  // not siblings
+  set.minimize();
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PrefixSet, AddressCount) {
+  net::PrefixSet set{pfx("10.0.0.0/24"), pfx("10.0.1.0/24")};
+  EXPECT_EQ(set.address_count(), 512u);
+  set.minimize();
+  EXPECT_EQ(set.address_count(), 512u);
+}
+
+TEST(PrefixSet, EraseAndClear) {
+  net::PrefixSet set{pfx("10.0.0.0/8")};
+  EXPECT_TRUE(set.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(set.erase(pfx("10.0.0.0/8")));
+  set.insert(pfx("11.0.0.0/8"));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace moas::bgp

@@ -1,0 +1,126 @@
+#include "moas/bgp/damping.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::bgp {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("10.0.0.0/8");
+
+TEST(FlapDamper, NoHistoryNoPenalty) {
+  FlapDamper damper;
+  EXPECT_DOUBLE_EQ(damper.penalty(1, kPrefix, 0.0), 0.0);
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, 0.0));
+  EXPECT_EQ(damper.tracked_routes(), 0u);
+}
+
+TEST(FlapDamper, SingleFlapDoesNotSuppress) {
+  FlapDamper damper;
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  EXPECT_DOUBLE_EQ(damper.penalty(1, kPrefix, 0.0), 1000.0);
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, 0.0));
+}
+
+TEST(FlapDamper, ThirdFlapSuppresses) {
+  // The classic operational fact with Cisco-style defaults: two spaced
+  // flaps decay just below the 2000 threshold; the third one crosses it.
+  FlapDamper damper;
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 60.0);
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, 60.0));
+  damper.on_withdrawal(1, kPrefix, 120.0);
+  EXPECT_TRUE(damper.suppressed(1, kPrefix, 120.0));
+}
+
+TEST(FlapDamper, SimultaneousFlapsHitThresholdExactly) {
+  FlapDamper damper;
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 0.0);  // 2000 == suppress threshold
+  EXPECT_TRUE(damper.suppressed(1, kPrefix, 0.0));
+}
+
+TEST(FlapDamper, AttributeChangesCountHalf) {
+  FlapDamper damper;
+  for (int i = 0; i < 3; ++i) damper.on_attribute_change(1, kPrefix, 0.0);
+  // 3 x 500 = 1500: below the threshold.
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, 0.0));
+  damper.on_attribute_change(1, kPrefix, 0.0);  // 2000
+  EXPECT_TRUE(damper.suppressed(1, kPrefix, 0.0));
+}
+
+TEST(FlapDamper, PenaltyHalvesPerHalfLife) {
+  FlapDamper::Config config;
+  config.half_life = 100.0;
+  FlapDamper damper(config);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  EXPECT_NEAR(damper.penalty(1, kPrefix, 100.0), 500.0, 1.0);
+  EXPECT_NEAR(damper.penalty(1, kPrefix, 200.0), 250.0, 1.0);
+}
+
+TEST(FlapDamper, SuppressedRouteReusesAfterDecay) {
+  FlapDamper::Config config;
+  config.half_life = 100.0;
+  FlapDamper damper(config);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 0.0);  // penalty 3000, suppressed
+  ASSERT_TRUE(damper.suppressed(1, kPrefix, 0.0));
+  const sim::Time reuse = damper.reuse_time(1, kPrefix, 0.0);
+  // 3000 -> 750 takes exactly two half-lives.
+  EXPECT_NEAR(reuse, 200.0, 1.0);
+  EXPECT_TRUE(damper.suppressed(1, kPrefix, reuse - 5.0));
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, reuse + 1.0));
+}
+
+TEST(FlapDamper, PenaltyCeiling) {
+  FlapDamper damper;
+  for (int i = 0; i < 100; ++i) damper.on_withdrawal(1, kPrefix, 0.0);
+  EXPECT_LE(damper.penalty(1, kPrefix, 0.0), 12000.0);
+}
+
+TEST(FlapDamper, PeersAndPrefixesIndependent) {
+  FlapDamper damper;
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  EXPECT_TRUE(damper.suppressed(1, kPrefix, 0.0));
+  EXPECT_FALSE(damper.suppressed(2, kPrefix, 0.0));
+  EXPECT_FALSE(damper.suppressed(1, *net::Prefix::parse("11.0.0.0/8"), 0.0));
+}
+
+TEST(FlapDamper, ClearPeerForgetsHistory) {
+  FlapDamper damper;
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  damper.on_withdrawal(2, kPrefix, 0.0);
+  damper.clear_peer(1);
+  EXPECT_FALSE(damper.suppressed(1, kPrefix, 0.0));
+  EXPECT_DOUBLE_EQ(damper.penalty(1, kPrefix, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(damper.penalty(2, kPrefix, 0.0), 1000.0);
+}
+
+TEST(FlapDamper, ReuseTimeOfCalmRouteIsNow) {
+  FlapDamper damper;
+  EXPECT_DOUBLE_EQ(damper.reuse_time(1, kPrefix, 42.0), 42.0);
+  damper.on_withdrawal(1, kPrefix, 42.0);
+  EXPECT_DOUBLE_EQ(damper.reuse_time(1, kPrefix, 42.0), 42.0);  // not suppressed
+}
+
+TEST(FlapDamper, ConfigValidation) {
+  FlapDamper::Config config;
+  config.half_life = 0.0;
+  EXPECT_THROW(FlapDamper{config}, std::invalid_argument);
+  config = FlapDamper::Config{};
+  config.reuse_threshold = 3000.0;  // above suppress
+  EXPECT_THROW(FlapDamper{config}, std::invalid_argument);
+}
+
+TEST(FlapDamper, TinyPenaltiesEventuallyVanish) {
+  FlapDamper::Config config;
+  config.half_life = 10.0;
+  FlapDamper damper(config);
+  damper.on_withdrawal(1, kPrefix, 0.0);
+  EXPECT_DOUBLE_EQ(damper.penalty(1, kPrefix, 1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace moas::bgp

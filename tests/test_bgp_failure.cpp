@@ -1,0 +1,154 @@
+// Failure injection: link failures flush routes, trigger withdraw storms,
+// and the network reconverges — including with the MOAS detector deployed.
+#include <gtest/gtest.h>
+
+#include "moas/bgp/network.h"
+#include "moas/core/attacker.h"
+#include "moas/core/detector.h"
+#include "moas/core/moas_list.h"
+#include "moas/core/resolver.h"
+
+namespace moas::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+/// Diamond: 1 - {2, 3} - 4.
+Network diamond() {
+  Network network;
+  for (Asn asn : {1u, 2u, 3u, 4u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(1, 3);
+  network.connect(2, 4);
+  network.connect(3, 4);
+  return network;
+}
+
+TEST(Failure, LinkDownReroutesAroundIt) {
+  auto network = diamond();
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  const RibEntry* before = network.router(4).best(pfx("10.0.0.0/8"));
+  ASSERT_NE(before, nullptr);
+  const Asn used = *before->route.attrs.path.first();
+
+  network.set_link_up(used, 4, false);
+  network.run_to_quiescence();
+  const RibEntry* after = network.router(4).best(pfx("10.0.0.0/8"));
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(*after->route.attrs.path.first(), used);
+}
+
+TEST(Failure, CutVertexLossesReachability) {
+  Network network;
+  for (Asn asn : {1u, 2u, 3u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(2, 3);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  ASSERT_NE(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+  network.set_link_up(1, 2, false);
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(2).best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(Failure, RestoreReadvertises) {
+  Network network;
+  for (Asn asn : {1u, 2u, 3u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(2, 3);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  network.set_link_up(1, 2, false);
+  network.run_to_quiescence();
+  ASSERT_EQ(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+
+  network.set_link_up(1, 2, true);
+  network.run_to_quiescence();
+  ASSERT_NE(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(network.router(3).best_origin(pfx("10.0.0.0/8")), std::optional<Asn>(1u));
+}
+
+TEST(Failure, InFlightMessagesDropWithTheLink) {
+  Network network;
+  for (Asn asn : {1u, 2u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.router(1).originate(pfx("10.0.0.0/8"));  // update now in flight
+  network.set_link_up(1, 2, false);                // fails before delivery
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(2).best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_GT(network.messages_dropped(), 0u);
+}
+
+TEST(Failure, LinkStateQueriesAndValidation) {
+  auto network = diamond();
+  EXPECT_TRUE(network.link_up(1, 2));
+  network.set_link_up(1, 2, false);
+  EXPECT_FALSE(network.link_up(1, 2));
+  EXPECT_FALSE(network.link_up(2, 1));  // symmetric
+  network.set_link_up(1, 2, false);     // idempotent
+  network.set_link_up(1, 2, true);
+  EXPECT_TRUE(network.link_up(1, 2));
+  EXPECT_THROW(network.set_link_up(1, 4, false), std::invalid_argument);
+}
+
+TEST(Failure, DetectorStateSurvivesChurn) {
+  // The detector's banned-origin memory keeps protecting across flaps: the
+  // attacker route is refused even when the valid path flaps away and back.
+  Network network;
+  for (Asn asn : {1u, 2u, 4u, 52u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(2, 4);
+  network.connect(4, 52);
+
+  const auto prefix = pfx("135.38.0.0/16");
+  auto truth = std::make_shared<core::PrefixOriginDb>();
+  truth->set(prefix, {1});
+  auto alarms = std::make_shared<core::AlarmLog>();
+  auto resolver = std::make_shared<core::OracleResolver>(truth);
+  for (Asn asn : {1u, 2u, 4u}) {
+    network.router(asn).set_validator(
+        std::make_shared<core::MoasDetector>(alarms, resolver));
+  }
+
+  network.router(1).originate(prefix);
+  core::AttackPlan plan;
+  plan.attacker = 52;
+  plan.target = prefix;
+  plan.valid_origins = {1};
+  plan.strategy = core::AttackerStrategy::OwnList;
+  core::launch_attack(network, plan);
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(1u));
+
+  // Flap the valid path: while it is down, AS 4 has no route, but it does
+  // NOT fall back to the banned attacker route.
+  network.set_link_up(2, 4, false);
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(4).best(prefix), nullptr);
+
+  network.set_link_up(2, 4, true);
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(1u));
+}
+
+TEST(Failure, WithdrawStormIsBounded) {
+  // A flapping link must not leave the network churning forever.
+  auto network = diamond();
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  const auto baseline = network.messages_sent();
+  for (int i = 0; i < 10; ++i) {
+    network.set_link_up(2, 4, false);
+    network.run_to_quiescence();
+    network.set_link_up(2, 4, true);
+    ASSERT_TRUE(network.run_to_quiescence());
+  }
+  // Each flap cycle costs a bounded number of messages (no amplification).
+  EXPECT_LT(network.messages_sent() - baseline, 200u);
+  EXPECT_EQ(network.router(4).best_origin(pfx("10.0.0.0/8")), std::optional<Asn>(1u));
+}
+
+}  // namespace
+}  // namespace moas::bgp

@@ -1,0 +1,176 @@
+#include "moas/bgp/network.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(Network, AddAndLookupRouters) {
+  Network network;
+  network.add_router(1);
+  network.add_router(2);
+  EXPECT_TRUE(network.has_router(1));
+  EXPECT_FALSE(network.has_router(3));
+  EXPECT_EQ(network.size(), 2u);
+  EXPECT_THROW(network.add_router(1), std::invalid_argument);
+  EXPECT_THROW(network.router(3), std::invalid_argument);
+}
+
+TEST(Network, ConnectCreatesMirroredRelationships) {
+  Network network;
+  network.add_router(1);
+  network.add_router(2);
+  network.connect(1, 2, Relationship::Customer);  // 2 is 1's customer
+  EXPECT_TRUE(network.router(1).has_peer(2));
+  EXPECT_TRUE(network.router(2).has_peer(1));
+}
+
+TEST(Network, TwoNodePropagation) {
+  Network network;
+  network.add_router(1);
+  network.add_router(2);
+  network.connect(1, 2);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  EXPECT_TRUE(network.run_to_quiescence());
+  ASSERT_NE(network.router(2).best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(network.router(2).best_origin(pfx("10.0.0.0/8")), std::optional<Asn>(1u));
+  EXPECT_GT(network.messages_sent(), 0u);
+}
+
+TEST(Network, LinePropagationBuildsFullPath) {
+  Network network;
+  for (Asn asn : {1u, 2u, 3u, 4u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(2, 3);
+  network.connect(3, 4);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  const RibEntry* best = network.router(4).best(pfx("10.0.0.0/8"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->route.attrs.path.to_string(), "3 2 1");
+}
+
+TEST(Network, EveryNodeConvergesInMesh) {
+  Network network;
+  for (Asn asn = 1; asn <= 6; ++asn) network.add_router(asn);
+  // A ring plus chords.
+  network.connect(1, 2);
+  network.connect(2, 3);
+  network.connect(3, 4);
+  network.connect(4, 5);
+  network.connect(5, 6);
+  network.connect(6, 1);
+  network.connect(1, 4);
+  network.router(3).originate(pfx("10.0.0.0/8"));
+  EXPECT_TRUE(network.run_to_quiescence());
+  for (Asn asn = 1; asn <= 6; ++asn) {
+    EXPECT_EQ(network.router(asn).best_origin(pfx("10.0.0.0/8")), std::optional<Asn>(3u))
+        << "AS" << asn;
+  }
+}
+
+TEST(Network, ShortestPathSelectedInRing) {
+  Network network;
+  for (Asn asn = 1; asn <= 5; ++asn) network.add_router(asn);
+  for (Asn asn = 1; asn <= 5; ++asn) network.connect(asn, asn % 5 + 1);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  // AS 3 is two hops from AS 1 in both directions; its path length must be 2.
+  const RibEntry* best = network.router(3).best(pfx("10.0.0.0/8"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->route.attrs.path.selection_length(), 2u);
+}
+
+TEST(Network, WithdrawalReachesEveryone) {
+  Network network;
+  for (Asn asn : {1u, 2u, 3u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(2, 3);
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  ASSERT_NE(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+  network.router(1).withdraw_origination(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(3).best(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(Network, ReconvergesAroundFailure) {
+  // Diamond: 1-2-4 and 1-3-4; withdraw is not modeled at the link level, so
+  // model the failure as node 2 withdrawing its re-advertisement by having
+  // the origin withdraw and re-announce while 2 filters.
+  Network network;
+  for (Asn asn : {1u, 2u, 3u, 4u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(1, 3);
+  network.connect(2, 4);
+  network.connect(3, 4);
+  network.router(2).set_export_filter([](const Update&, Asn) { return false; });
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  const RibEntry* best = network.router(4).best(pfx("10.0.0.0/8"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->route.attrs.path.to_string(), "3 1");
+}
+
+TEST(Network, SameSeedIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Network::Config config;
+    config.seed = seed;
+    Network network(config);
+    for (Asn asn = 1; asn <= 8; ++asn) network.add_router(asn);
+    for (Asn asn = 1; asn <= 8; ++asn) network.connect(asn, asn % 8 + 1);
+    network.connect(1, 5);
+    network.connect(2, 6);
+    network.router(1).originate(*net::Prefix::parse("10.0.0.0/8"));
+    network.router(5).originate(*net::Prefix::parse("10.0.0.0/8"));
+    network.run_to_quiescence();
+    std::vector<Asn> origins;
+    for (Asn asn = 1; asn <= 8; ++asn) {
+      origins.push_back(network.router(asn).best_origin(*net::Prefix::parse("10.0.0.0/8"))
+                            .value_or(kNoAs));
+    }
+    return std::make_pair(origins, network.messages_sent());
+  };
+  EXPECT_EQ(run(77), run(77));
+  // Different seeds may legitimately differ (jittered race), so only check
+  // the deterministic-repeat property.
+}
+
+TEST(Network, GaoRexfordValleyFreeBlocksPeerToPeerTransit) {
+  Network::Config config;
+  config.mode = PolicyMode::GaoRexford;
+  Network network(config);
+  // 10 and 20 are peers; 1 is 10's customer, 2 is 20's customer.
+  for (Asn asn : {1u, 2u, 10u, 20u, 30u}) network.add_router(asn);
+  network.connect(10, 1, Relationship::Customer);
+  network.connect(20, 2, Relationship::Customer);
+  network.connect(10, 20, Relationship::Peer);
+  network.connect(10, 30, Relationship::Peer);
+
+  network.router(2).originate(pfx("10.0.0.0/8"));
+  network.run_to_quiescence();
+  // 10 hears the route from its peer 20 and must pass it to customer 1...
+  EXPECT_NE(network.router(1).best(pfx("10.0.0.0/8")), nullptr);
+  // ...but never to its other peer 30 (that would be peer->peer transit).
+  EXPECT_EQ(network.router(30).best(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(Network, QuiescenceCapDetected) {
+  Network network;
+  network.add_router(1);
+  // An external event loop that never drains.
+  std::function<void()> forever = [&] { network.clock().schedule_after(1.0, forever); };
+  network.clock().schedule_after(0.0, forever);
+  EXPECT_FALSE(network.run_to_quiescence(100));
+}
+
+TEST(Network, RejectsBadConfig) {
+  Network::Config config;
+  config.link_delay = -1.0;
+  EXPECT_THROW(Network network(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moas::bgp

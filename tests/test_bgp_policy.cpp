@@ -1,0 +1,78 @@
+#include "moas/bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::bgp {
+namespace {
+
+TEST(Policy, ReverseRelationships) {
+  EXPECT_EQ(reverse(Relationship::Customer), Relationship::Provider);
+  EXPECT_EQ(reverse(Relationship::Provider), Relationship::Customer);
+  EXPECT_EQ(reverse(Relationship::Peer), Relationship::Peer);
+}
+
+TEST(Policy, ReverseIsInvolution) {
+  for (auto rel : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+    EXPECT_EQ(reverse(reverse(rel)), rel);
+  }
+}
+
+TEST(Policy, ShortestPathModeIsUniform) {
+  for (auto from : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+    EXPECT_EQ(import_local_pref(PolicyMode::ShortestPath, from), 100u);
+    for (auto to : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+      EXPECT_TRUE(export_allowed(PolicyMode::ShortestPath, from, to));
+    }
+  }
+}
+
+TEST(Policy, GaoRexfordLocalPrefOrdering) {
+  const auto customer = import_local_pref(PolicyMode::GaoRexford, Relationship::Customer);
+  const auto peer = import_local_pref(PolicyMode::GaoRexford, Relationship::Peer);
+  const auto provider = import_local_pref(PolicyMode::GaoRexford, Relationship::Provider);
+  EXPECT_GT(customer, peer);
+  EXPECT_GT(peer, provider);
+}
+
+TEST(Policy, GaoRexfordCustomerRoutesGoEverywhere) {
+  for (auto to : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+    EXPECT_TRUE(export_allowed(PolicyMode::GaoRexford, Relationship::Customer, to));
+  }
+}
+
+TEST(Policy, GaoRexfordPeerAndProviderRoutesOnlyToCustomers) {
+  for (auto from : {Relationship::Peer, Relationship::Provider}) {
+    EXPECT_TRUE(export_allowed(PolicyMode::GaoRexford, from, Relationship::Customer));
+    EXPECT_FALSE(export_allowed(PolicyMode::GaoRexford, from, Relationship::Peer));
+    EXPECT_FALSE(export_allowed(PolicyMode::GaoRexford, from, Relationship::Provider));
+  }
+}
+
+TEST(Policy, ValleyFreeProperty) {
+  // No path may go down (to a customer) and then up (from a provider) —
+  // equivalently, once a route is learned from a peer or provider it can
+  // only be exported downhill. The export rule enforces this transitively.
+  // Check the full 3x3 matrix against the valley-free definition.
+  for (auto from : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+    for (auto to : {Relationship::Customer, Relationship::Peer, Relationship::Provider}) {
+      const bool allowed = export_allowed(PolicyMode::GaoRexford, from, to);
+      const bool valley_free = from == Relationship::Customer || to == Relationship::Customer;
+      EXPECT_EQ(allowed, valley_free)
+          << "from=" << to_string(from) << " to=" << to_string(to);
+    }
+  }
+}
+
+TEST(Policy, LocalRoutePrefDominates) {
+  EXPECT_GT(kLocalRouteLocalPref,
+            import_local_pref(PolicyMode::GaoRexford, Relationship::Customer));
+}
+
+TEST(Policy, Names) {
+  EXPECT_STREQ(to_string(Relationship::Customer), "customer");
+  EXPECT_STREQ(to_string(PolicyMode::ShortestPath), "shortest-path");
+  EXPECT_STREQ(to_string(PolicyMode::GaoRexford), "gao-rexford");
+}
+
+}  // namespace
+}  // namespace moas::bgp

@@ -1,0 +1,149 @@
+#include "moas/bgp/rib.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+Route make_route(const char* prefix, std::vector<Asn> path, std::uint32_t local_pref = 100) {
+  Route r;
+  r.prefix = pfx(prefix);
+  r.attrs.path = AsPath(std::move(path));
+  r.attrs.local_pref = local_pref;
+  return r;
+}
+
+RibEntry entry(const char* prefix, std::vector<Asn> path, Asn from,
+               std::uint32_t local_pref = 100) {
+  return RibEntry{make_route(prefix, std::move(path), local_pref), from};
+}
+
+TEST(Decision, HigherLocalPrefWins) {
+  const auto a = entry("10.0.0.0/8", {1, 2, 3}, 1, 200);
+  const auto b = entry("10.0.0.0/8", {4}, 4, 100);
+  EXPECT_LT(compare_candidates(a, b), 0);  // longer path but higher pref
+}
+
+TEST(Decision, ShorterPathWinsAtEqualPref) {
+  const auto a = entry("10.0.0.0/8", {1, 2}, 1);
+  const auto b = entry("10.0.0.0/8", {4, 5, 6}, 4);
+  EXPECT_LT(compare_candidates(a, b), 0);
+  EXPECT_GT(compare_candidates(b, a), 0);
+}
+
+TEST(Decision, OriginCodeBreaksPathTie) {
+  auto a = entry("10.0.0.0/8", {1, 2}, 1);
+  auto b = entry("10.0.0.0/8", {4, 5}, 4);
+  a.route.attrs.origin_code = OriginCode::Igp;
+  b.route.attrs.origin_code = OriginCode::Incomplete;
+  EXPECT_LT(compare_candidates(a, b), 0);
+}
+
+TEST(Decision, MedBreaksRemainingTie) {
+  auto a = entry("10.0.0.0/8", {1, 2}, 1);
+  auto b = entry("10.0.0.0/8", {4, 5}, 4);
+  a.route.attrs.med = 10;
+  b.route.attrs.med = 5;
+  EXPECT_GT(compare_candidates(a, b), 0);  // lower MED preferred
+}
+
+TEST(Decision, NeighborAsnIsFinalTieBreak) {
+  const auto a = entry("10.0.0.0/8", {1, 9}, 1);
+  const auto b = entry("10.0.0.0/8", {4, 9}, 4);
+  EXPECT_LT(compare_candidates(a, b), 0);
+  EXPECT_EQ(compare_candidate_keys(a, b), 0);  // keys alone tie
+}
+
+TEST(Decision, AsSetCountsAsOneHop) {
+  auto a = entry("10.0.0.0/8", {1}, 1);
+  a.route.attrs.path.append_set({7, 8, 9});  // length 2
+  const auto b = entry("10.0.0.0/8", {4, 5, 6}, 4);  // length 3
+  EXPECT_LT(compare_candidates(a, b), 0);
+}
+
+TEST(Decision, SelectBestOverList) {
+  const auto a = entry("10.0.0.0/8", {1, 2, 3}, 1);
+  const auto b = entry("10.0.0.0/8", {4, 5}, 4);
+  const auto c = entry("10.0.0.0/8", {6, 7, 8, 9}, 6);
+  const RibEntry* best = select_best({&a, &b, &c});
+  EXPECT_EQ(best, &b);
+}
+
+TEST(Decision, SelectBestEmptyIsNull) { EXPECT_EQ(select_best({}), nullptr); }
+
+TEST(AdjRibIn, SetAndCandidates) {
+  AdjRibIn rib;
+  EXPECT_TRUE(rib.set(1, make_route("10.0.0.0/8", {1, 9})));
+  EXPECT_TRUE(rib.set(2, make_route("10.0.0.0/8", {2, 9})));
+  EXPECT_EQ(rib.candidates(pfx("10.0.0.0/8")).size(), 2u);
+  EXPECT_EQ(rib.size(), 2u);
+}
+
+TEST(AdjRibIn, SetReplacesPerPeer) {
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));
+  EXPECT_TRUE(rib.set(1, make_route("10.0.0.0/8", {1, 8})));  // changed
+  EXPECT_FALSE(rib.set(1, make_route("10.0.0.0/8", {1, 8})));  // identical
+  EXPECT_EQ(rib.candidates(pfx("10.0.0.0/8")).size(), 1u);
+}
+
+TEST(AdjRibIn, EraseByPeer) {
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));
+  EXPECT_TRUE(rib.erase(1, pfx("10.0.0.0/8")));
+  EXPECT_FALSE(rib.erase(1, pfx("10.0.0.0/8")));
+  EXPECT_TRUE(rib.candidates(pfx("10.0.0.0/8")).empty());
+}
+
+TEST(AdjRibIn, FromPeerLookup) {
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));
+  EXPECT_NE(rib.from_peer(pfx("10.0.0.0/8"), 1), nullptr);
+  EXPECT_EQ(rib.from_peer(pfx("10.0.0.0/8"), 2), nullptr);
+  EXPECT_EQ(rib.from_peer(pfx("11.0.0.0/8"), 1), nullptr);
+}
+
+TEST(AdjRibIn, EraseByOrigin) {
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));   // origin 9
+  rib.set(2, make_route("10.0.0.0/8", {2, 8}));   // origin 8
+  rib.set(3, make_route("10.0.0.0/8", {3, 9}));   // origin 9
+  EXPECT_EQ(rib.erase_by_origin(pfx("10.0.0.0/8"), {9}), 2u);
+  EXPECT_EQ(rib.candidates(pfx("10.0.0.0/8")).size(), 1u);
+}
+
+TEST(AdjRibIn, EraseByOriginHandlesAsSets) {
+  AdjRibIn rib;
+  Route r = make_route("10.0.0.0/8", {1});
+  r.attrs.path.append_set({7, 8});
+  rib.set(1, r);
+  // Candidate origins {7, 8} intersect {8} -> purged.
+  EXPECT_EQ(rib.erase_by_origin(pfx("10.0.0.0/8"), {8}), 1u);
+}
+
+TEST(AdjRibIn, PrefixesEnumeration) {
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));
+  rib.set(1, make_route("11.0.0.0/8", {1, 9}));
+  EXPECT_EQ(rib.prefixes().size(), 2u);
+}
+
+TEST(LocRib, SetBestErase) {
+  LocRib rib;
+  rib.set(pfx("10.0.0.0/8"), entry("10.0.0.0/8", {1, 9}, 1));
+  ASSERT_NE(rib.best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(rib.best(pfx("10.0.0.0/8"))->learned_from, 1u);
+  EXPECT_TRUE(rib.erase(pfx("10.0.0.0/8")));
+  EXPECT_EQ(rib.best(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(LocRib, RejectsMismatchedPrefix) {
+  LocRib rib;
+  EXPECT_THROW(rib.set(pfx("11.0.0.0/8"), entry("10.0.0.0/8", {1, 9}, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moas::bgp

@@ -1,0 +1,256 @@
+#include "moas/bgp/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/core/moas_list.h"
+
+namespace moas::bgp::wire {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+PathAttributes attrs_for(std::vector<Asn> path) {
+  PathAttributes attrs;
+  attrs.path = AsPath(std::move(path));
+  return attrs;
+}
+
+TEST(Wire, HeaderShape) {
+  const auto bytes = encode_keepalive();
+  ASSERT_EQ(bytes.size(), kHeaderSize);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(bytes[static_cast<std::size_t>(i)], 0xff);
+  EXPECT_EQ(bytes[16], 0);
+  EXPECT_EQ(bytes[17], kHeaderSize);
+  EXPECT_EQ(bytes[18], 4);  // KEEPALIVE
+  EXPECT_EQ(message_type(bytes), MessageType::Keepalive);
+}
+
+TEST(Wire, UpdateRoundTripAnnounce) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({701, 1239, 4006});
+  msg.attrs->origin_code = OriginCode::Egp;
+  msg.attrs->med = 42;
+  msg.attrs->communities = core::encode_moas_list({4006, 2026});
+  msg.nlri.push_back(pfx("135.38.0.0/16"));
+
+  const auto bytes = encode_update(msg);
+  const UpdateMessage decoded = decode_update(bytes);
+  ASSERT_EQ(decoded.nlri.size(), 1u);
+  EXPECT_EQ(decoded.nlri[0], pfx("135.38.0.0/16"));
+  ASSERT_TRUE(decoded.attrs.has_value());
+  EXPECT_EQ(decoded.attrs->path.to_string(), "701 1239 4006");
+  EXPECT_EQ(decoded.attrs->origin_code, OriginCode::Egp);
+  EXPECT_EQ(decoded.attrs->med, 42u);
+  EXPECT_EQ(core::decode_moas_list(decoded.attrs->communities), (AsnSet{4006, 2026}));
+}
+
+TEST(Wire, UpdateRoundTripWithdraw) {
+  UpdateMessage msg;
+  msg.withdrawn = {pfx("10.0.0.0/8"), pfx("192.168.4.0/22")};
+  const auto bytes = encode_update(msg);
+  const UpdateMessage decoded = decode_update(bytes);
+  EXPECT_EQ(decoded.withdrawn, msg.withdrawn);
+  EXPECT_FALSE(decoded.attrs.has_value());
+  EXPECT_TRUE(decoded.nlri.empty());
+}
+
+TEST(Wire, MixedWithdrawAndAnnounce) {
+  UpdateMessage msg;
+  msg.withdrawn = {pfx("10.0.0.0/8")};
+  msg.attrs = attrs_for({7});
+  msg.nlri = {pfx("11.0.0.0/8"), pfx("12.0.0.0/9")};
+  const UpdateMessage decoded = decode_update(encode_update(msg));
+  EXPECT_EQ(decoded.withdrawn.size(), 1u);
+  EXPECT_EQ(decoded.nlri.size(), 2u);
+}
+
+TEST(Wire, AsSetSegmentsSurvive) {
+  UpdateMessage msg;
+  PathAttributes attrs = attrs_for({7018});
+  attrs.path.append_set({4006, 2026});
+  msg.attrs = attrs;
+  msg.nlri = {pfx("135.38.0.0/16")};
+  const UpdateMessage decoded = decode_update(encode_update(msg));
+  EXPECT_EQ(decoded.attrs->path.to_string(), "7018 {2026,4006}");
+  EXPECT_EQ(decoded.attrs->path.origin_candidates(), (AsnSet{2026, 4006}));
+}
+
+TEST(Wire, PrefixPaddingBoundaries) {
+  // 0, 1, 2, 3 and 4 octet prefixes all round-trip.
+  for (const char* text : {"0.0.0.0/0", "128.0.0.0/1", "10.0.0.0/8", "10.128.0.0/9",
+                           "10.20.0.0/16", "10.20.128.0/17", "10.20.30.0/24",
+                           "10.20.30.128/25", "10.20.30.41/32"}) {
+    UpdateMessage msg;
+    msg.withdrawn = {pfx(text)};
+    const UpdateMessage decoded = decode_update(encode_update(msg));
+    EXPECT_EQ(decoded.withdrawn.at(0), pfx(text)) << text;
+  }
+}
+
+TEST(Wire, LocalPrefOnlyWhenRequested) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({7});
+  msg.attrs->local_pref = 300;
+  msg.nlri = {pfx("10.0.0.0/8")};
+
+  const UpdateMessage ebgp = decode_update(encode_update(msg));
+  EXPECT_EQ(ebgp.attrs->local_pref, 100u);  // default, not transmitted
+
+  EncodeOptions options;
+  options.include_local_pref = true;
+  const UpdateMessage ibgp = decode_update(encode_update(msg, options));
+  EXPECT_EQ(ibgp.attrs->local_pref, 300u);
+}
+
+TEST(Wire, RejectsWideAsn) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({70000});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  EXPECT_THROW(encode_update(msg), std::invalid_argument);
+}
+
+TEST(Wire, RejectsNlriWithoutAttributes) {
+  UpdateMessage msg;
+  msg.nlri = {pfx("10.0.0.0/8")};
+  EXPECT_THROW(encode_update(msg), std::invalid_argument);
+}
+
+TEST(Wire, DecodeRejectsCorruptions) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({7});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  auto bytes = encode_update(msg);
+
+  {
+    auto bad = bytes;
+    bad[3] = 0x00;  // marker damage
+    EXPECT_THROW(decode_update(bad), WireError);
+  }
+  {
+    auto bad = bytes;
+    bad[17] = static_cast<std::uint8_t>(bytes.size() + 4);  // wrong length
+    EXPECT_THROW(decode_update(bad), WireError);
+  }
+  {
+    auto bad = bytes;
+    bad[18] = 9;  // unknown type
+    EXPECT_THROW(decode_update(bad), WireError);
+  }
+  {
+    auto truncated = bytes;
+    truncated.resize(bytes.size() - 2);
+    EXPECT_THROW(decode_update(truncated), WireError);
+  }
+  EXPECT_THROW(decode_update(encode_keepalive()), WireError);  // wrong kind
+}
+
+TEST(Wire, DecodeRejectsMissingMandatoryAttributes) {
+  // Hand-build an UPDATE whose attribute section has ORIGIN only.
+  std::vector<std::uint8_t> body{
+      0x00, 0x00,              // no withdrawn routes
+      0x00, 0x04,              // attr length = 4
+      0x40, 0x01, 0x01, 0x00,  // ORIGIN = IGP
+      0x08, 0x0a               // NLRI 10.0.0.0/8
+  };
+  std::vector<std::uint8_t> bytes(16, 0xff);
+  const std::size_t total = kHeaderSize + body.size();
+  bytes.push_back(static_cast<std::uint8_t>(total >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(total));
+  bytes.push_back(2);  // UPDATE
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  EXPECT_THROW(decode_update(bytes), WireError);
+}
+
+TEST(Wire, UnknownOptionalAttributeSkipped) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({7});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  auto bytes = encode_update(msg);
+  // Splice an unknown optional attribute (type 200, 2 bytes) into the
+  // attribute section: adjust the attribute length and total length.
+  const std::vector<std::uint8_t> extra{0x80, 200, 0x02, 0xab, 0xcd};
+  // Attribute length field sits right after the 2-byte withdrawn length.
+  const std::size_t attr_len_pos = kHeaderSize + 2;
+  const std::uint16_t attr_len =
+      static_cast<std::uint16_t>((bytes[attr_len_pos] << 8) | bytes[attr_len_pos + 1]);
+  // NLRI begins after the attributes; insert just before it.
+  const std::size_t insert_pos = attr_len_pos + 2 + attr_len;
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(insert_pos), extra.begin(),
+               extra.end());
+  const std::uint16_t new_attr_len = static_cast<std::uint16_t>(attr_len + extra.size());
+  bytes[attr_len_pos] = static_cast<std::uint8_t>(new_attr_len >> 8);
+  bytes[attr_len_pos + 1] = static_cast<std::uint8_t>(new_attr_len);
+  const std::uint16_t new_total = static_cast<std::uint16_t>(bytes.size());
+  bytes[16] = static_cast<std::uint8_t>(new_total >> 8);
+  bytes[17] = static_cast<std::uint8_t>(new_total);
+
+  const UpdateMessage decoded = decode_update(bytes);
+  EXPECT_EQ(decoded.nlri.size(), 1u);
+  EXPECT_EQ(decoded.attrs->path.to_string(), "7");
+}
+
+TEST(Wire, OpenRoundTrip) {
+  OpenMessage open;
+  open.my_as = 4006;
+  open.hold_time = 90;
+  open.bgp_identifier = 0x0a000001;
+  const OpenMessage decoded = decode_open(encode_open(open));
+  EXPECT_EQ(decoded.my_as, 4006);
+  EXPECT_EQ(decoded.hold_time, 90);
+  EXPECT_EQ(decoded.bgp_identifier, 0x0a000001u);
+  EXPECT_EQ(decoded.version, 4);
+}
+
+TEST(Wire, NotificationRoundTrip) {
+  NotificationMessage n;
+  n.code = 6;
+  n.subcode = 2;
+  n.data = {1, 2, 3};
+  const NotificationMessage decoded = decode_notification(encode_notification(n));
+  EXPECT_EQ(decoded.code, 6);
+  EXPECT_EQ(decoded.subcode, 2);
+  EXPECT_EQ(decoded.data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Wire, SimUpdateConversions) {
+  Route route;
+  route.prefix = pfx("135.38.0.0/16");
+  route.attrs.path = AsPath({40});
+  route.attrs.communities = core::encode_moas_list({40, 226});
+  const auto bytes = encode_sim_update(Update::announce(route));
+  const auto updates = to_sim_updates(decode_update(bytes));
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].kind, Update::Kind::Announce);
+  EXPECT_EQ(updates[0].route->prefix, route.prefix);
+  EXPECT_EQ(core::decode_moas_list(updates[0].route->attrs.communities),
+            (AsnSet{40, 226}));
+
+  const auto wbytes = encode_sim_update(Update::withdraw(pfx("10.0.0.0/8")));
+  const auto wupdates = to_sim_updates(decode_update(wbytes));
+  ASSERT_EQ(wupdates.size(), 1u);
+  EXPECT_EQ(wupdates[0].kind, Update::Kind::Withdraw);
+}
+
+TEST(Wire, MoasListOverheadAccounting) {
+  // Section 4.3: the measured byte cost of attaching a MOAS list must
+  // match the analytic helper.
+  auto encoded_size = [](std::size_t n_origins) {
+    Route route;
+    route.prefix = pfx("135.38.0.0/16");
+    route.attrs.path = AsPath({40});
+    AsnSet origins;
+    for (std::size_t i = 0; i < n_origins; ++i) origins.insert(static_cast<Asn>(40 + i));
+    if (!origins.empty()) route.attrs.communities = core::encode_moas_list(origins);
+    return encode_sim_update(Update::announce(route)).size();
+  };
+  const std::size_t bare = encoded_size(0);
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    EXPECT_EQ(encoded_size(n) - bare, moas_list_overhead_bytes(n, false)) << n;
+  }
+  // "about 99% of all MOAS cases involve 3 or fewer origin ASes", so the
+  // typical cost is 15 bytes or less.
+  EXPECT_LE(moas_list_overhead_bytes(3, false), 15u);
+}
+
+}  // namespace
+}  // namespace moas::bgp::wire

@@ -1,0 +1,119 @@
+#include "moas/core/attacker.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::core {
+namespace {
+
+const net::Prefix kVictim = *net::Prefix::parse("135.38.0.0/16");
+
+AttackPlan plan_for(AttackerStrategy strategy) {
+  AttackPlan plan;
+  plan.attacker = 52;
+  plan.target = kVictim;
+  plan.valid_origins = {1, 2};
+  plan.strategy = strategy;
+  return plan;
+}
+
+TEST(AttackPlan, NoListCarriesNothing) {
+  EXPECT_TRUE(attack_communities(plan_for(AttackerStrategy::NoList)).empty());
+}
+
+TEST(AttackPlan, OwnListCarriesAttackerOnly) {
+  const auto communities = attack_communities(plan_for(AttackerStrategy::OwnList));
+  EXPECT_EQ(decode_moas_list(communities), AsnSet{52});
+}
+
+TEST(AttackPlan, AugmentedListUnionsValidAndAttacker) {
+  const auto communities = attack_communities(plan_for(AttackerStrategy::AugmentedList));
+  EXPECT_EQ(decode_moas_list(communities), (AsnSet{1, 2, 52}));
+}
+
+TEST(AttackPlan, ValidListForgedOriginOmitsAttacker) {
+  const auto communities =
+      attack_communities(plan_for(AttackerStrategy::ValidListForgedOrigin));
+  EXPECT_EQ(decode_moas_list(communities), (AsnSet{1, 2}));
+}
+
+TEST(AttackPlan, AttackPrefixIsVictimExceptSubPrefix) {
+  EXPECT_EQ(attack_prefix(plan_for(AttackerStrategy::OwnList)), kVictim);
+  const auto sub = attack_prefix(plan_for(AttackerStrategy::SubPrefixHijack));
+  EXPECT_EQ(sub.length(), kVictim.length() + 1);
+  EXPECT_TRUE(kVictim.contains(sub));
+}
+
+TEST(AttackPlan, SubPrefixOfHostRouteRejected) {
+  AttackPlan plan = plan_for(AttackerStrategy::SubPrefixHijack);
+  plan.target = *net::Prefix::parse("1.2.3.4/32");
+  EXPECT_THROW(attack_prefix(plan), std::invalid_argument);
+}
+
+TEST(AttackPlan, StrategyNames) {
+  EXPECT_STREQ(to_string(AttackerStrategy::NoList), "no-list");
+  EXPECT_STREQ(to_string(AttackerStrategy::SubPrefixHijack), "sub-prefix-hijack");
+}
+
+TEST(LaunchAttack, OriginatesFalseRoute) {
+  bgp::Network network;
+  network.add_router(52);
+  network.add_router(7);
+  network.connect(52, 7);
+  launch_attack(network, plan_for(AttackerStrategy::OwnList));
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(7).best_origin(kVictim), std::optional<bgp::Asn>(52u));
+}
+
+TEST(LaunchAttack, RejectsUnknownAttacker) {
+  bgp::Network network;
+  network.add_router(7);
+  EXPECT_THROW(launch_attack(network, plan_for(AttackerStrategy::OwnList)),
+               std::invalid_argument);
+}
+
+TEST(LaunchAttack, SuppressesValidRouteThroughAttacker) {
+  // Chain: 1 (origin) - 52 (attacker) - 7. The valid route must not pass
+  // through the compromised router; 7 only ever hears the false one.
+  bgp::Network network;
+  for (bgp::Asn asn : {1u, 52u, 7u}) network.add_router(asn);
+  network.connect(1, 52);
+  network.connect(52, 7);
+  network.router(1).originate(kVictim);
+  launch_attack(network, plan_for(AttackerStrategy::NoList));
+  network.run_to_quiescence();
+  const auto origin = network.router(7).best_origin(kVictim);
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_EQ(*origin, 52u);
+}
+
+TEST(LaunchAttack, UnrelatedPrefixesStillFlowThroughAttacker) {
+  bgp::Network network;
+  for (bgp::Asn asn : {1u, 52u, 7u}) network.add_router(asn);
+  network.connect(1, 52);
+  network.connect(52, 7);
+  const auto unrelated = *net::Prefix::parse("203.0.113.0/24");
+  network.router(1).originate(unrelated);
+  launch_attack(network, plan_for(AttackerStrategy::OwnList));
+  network.run_to_quiescence();
+  EXPECT_EQ(network.router(7).best_origin(unrelated), std::optional<bgp::Asn>(1u));
+}
+
+TEST(LaunchAttack, SubPrefixHijackBeatsValidRouteOnSpecificity) {
+  // Even a fully deployed checker cannot catch this (Section 4.3): the
+  // more-specific /17 wins longest-prefix match everywhere.
+  bgp::Network network;
+  for (bgp::Asn asn : {1u, 52u, 7u}) network.add_router(asn);
+  network.connect(1, 7);
+  network.connect(7, 52);
+  network.router(1).originate(kVictim);
+  launch_attack(network, plan_for(AttackerStrategy::SubPrefixHijack));
+  network.run_to_quiescence();
+  // 7 holds the valid /16...
+  EXPECT_EQ(network.router(7).best_origin(kVictim), std::optional<bgp::Asn>(1u));
+  // ...and the bogus /17 side by side.
+  const auto sub = attack_prefix(plan_for(AttackerStrategy::SubPrefixHijack));
+  EXPECT_EQ(network.router(7).best_origin(sub), std::optional<bgp::Asn>(52u));
+}
+
+}  // namespace
+}  // namespace moas::core

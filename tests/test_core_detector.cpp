@@ -1,0 +1,246 @@
+#include "moas/core/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::core {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("135.38.0.0/16");
+
+/// Minimal RouterContext double recording invalidation requests.
+class FakeContext final : public bgp::RouterContext {
+ public:
+  explicit FakeContext(bgp::Asn self = 77) : self_(self) {}
+
+  bgp::Asn self() const override { return self_; }
+  sim::Time current_time() const override { return 12.5; }
+  std::size_t invalidate_origins(const net::Prefix& prefix,
+                                 const AsnSet& false_origins) override {
+    last_prefix = prefix;
+    last_false_origins = false_origins;
+    ++invalidations;
+    return purge_result;
+  }
+
+  net::Prefix last_prefix;
+  AsnSet last_false_origins;
+  int invalidations = 0;
+  std::size_t purge_result = 1;
+
+ private:
+  bgp::Asn self_;
+};
+
+bgp::Route route_from(std::vector<bgp::Asn> path, const AsnSet& list = {}) {
+  bgp::Route r;
+  r.prefix = kPrefix;
+  r.attrs.path = bgp::AsPath(std::move(path));
+  if (!list.empty()) r.attrs.communities = encode_moas_list(list);
+  return r;
+}
+
+struct Harness {
+  std::shared_ptr<AlarmLog> alarms = std::make_shared<AlarmLog>();
+  std::shared_ptr<PrefixOriginDb> truth = std::make_shared<PrefixOriginDb>();
+  std::shared_ptr<OriginResolver> resolver;
+  FakeContext ctx;
+
+  MoasDetector make(bool with_resolver = true) {
+    if (with_resolver) resolver = std::make_shared<OracleResolver>(truth);
+    return MoasDetector(alarms, with_resolver ? resolver : nullptr);
+  }
+};
+
+TEST(MoasDetector, FirstAnnouncementAccepted) {
+  Harness h;
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));
+  EXPECT_EQ(h.alarms->size(), 0u);
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{1});
+}
+
+TEST(MoasDetector, ConsistentListsStaySilent) {
+  Harness h;
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({8, 2}, {1, 2}), 8, h.ctx));
+  EXPECT_EQ(h.alarms->size(), 0u);
+  EXPECT_EQ(detector.stats().alarms_raised, 0u);
+}
+
+TEST(MoasDetector, MismatchRaisesAlarmAndRejectsFalseOrigin) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));
+  // AS 52 falsely originates (implicit list {52}).
+  EXPECT_FALSE(detector.accept(route_from({52}), 52, h.ctx));
+  EXPECT_EQ(h.alarms->size(), 1u);
+  EXPECT_EQ(h.alarms->alarms()[0].cause, MoasAlarm::Cause::ListMismatch);
+  EXPECT_EQ(h.alarms->alarms()[0].offending_origins, AsnSet{52});
+  EXPECT_EQ(detector.banned_origins(kPrefix), AsnSet{52});
+  EXPECT_EQ(detector.stats().rejections, 1u);
+}
+
+TEST(MoasDetector, AlarmCarriesObserverAndTime) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  detector.accept(route_from({9, 1}), 9, h.ctx);
+  detector.accept(route_from({52}), 52, h.ctx);
+  ASSERT_EQ(h.alarms->size(), 1u);
+  EXPECT_EQ(h.alarms->alarms()[0].observer, 77u);
+  EXPECT_DOUBLE_EQ(h.alarms->alarms()[0].at, 12.5);
+}
+
+TEST(MoasDetector, FalseRouteArrivingFirstIsPurgedLater) {
+  // The attacker's route arrives before the valid one; the conflict is
+  // detected on the valid arrival and the installed false route purged.
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({52}), 52, h.ctx));  // no conflict yet
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));  // valid, triggers alarm
+  EXPECT_EQ(h.alarms->size(), 1u);
+  EXPECT_EQ(h.ctx.invalidations, 1);
+  EXPECT_EQ(h.ctx.last_false_origins, AsnSet{52});
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{1});
+  // The banned origin is refused on sight from now on.
+  EXPECT_FALSE(detector.accept(route_from({8, 52}), 8, h.ctx));
+}
+
+TEST(MoasDetector, AugmentedForgedListDetected) {
+  // "Although AS 3 could attach its own MOAS list that includes AS 1, AS 2,
+  //  and AS 3, this list would not be in agreement..."
+  Harness h;
+  h.truth->set(kPrefix, {1, 2});
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
+  EXPECT_FALSE(detector.accept(route_from({3}, {1, 2, 3}), 3, h.ctx));
+  EXPECT_EQ(detector.banned_origins(kPrefix), AsnSet{3});
+}
+
+TEST(MoasDetector, OriginNotInListRejectedOnItsFace) {
+  // A forged list that omits the route's own origin is self-inconsistent.
+  Harness h;
+  auto detector = h.make();
+  EXPECT_FALSE(detector.accept(route_from({3}, {1, 2}), 3, h.ctx));
+  ASSERT_EQ(h.alarms->size(), 1u);
+  EXPECT_EQ(h.alarms->alarms()[0].cause, MoasAlarm::Cause::OriginNotInList);
+}
+
+TEST(MoasDetector, OriginInListCheckCanBeDisabled) {
+  Harness h;
+  MoasDetector::Config config;
+  config.check_origin_in_list = false;
+  h.resolver = std::make_shared<OracleResolver>(h.truth);
+  MoasDetector detector(h.alarms, h.resolver, config);
+  EXPECT_TRUE(detector.accept(route_from({3}, {1, 2}), 3, h.ctx));
+}
+
+TEST(MoasDetector, StrippedListRaisesFalseAlarmButAccepts) {
+  // Section 4.3: a router dropped the communities; the origin-only implicit
+  // list conflicts with the full list, but resolution shows both origins
+  // are valid, so nothing is rejected.
+  Harness h;
+  h.truth->set(kPrefix, {1, 2});
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({8, 2}), 8, h.ctx));  // list stripped
+  EXPECT_EQ(h.alarms->size(), 1u);  // alarm fired...
+  EXPECT_EQ(detector.stats().rejections, 0u);  // ...but nothing rejected
+  EXPECT_TRUE(detector.banned_origins(kPrefix).empty());
+}
+
+TEST(MoasDetector, UnresolvedConflictAcceptsLikePlainBgp) {
+  Harness h;
+  auto detector = h.make(/*with_resolver=*/false);
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({52}), 52, h.ctx));  // conflict, no resolver
+  EXPECT_EQ(h.alarms->size(), 1u);
+  EXPECT_EQ(detector.stats().resolutions_failed, 1u);
+  EXPECT_EQ(detector.stats().rejections, 0u);
+  // The reference list is not overwritten by the unresolved challenger.
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{1});
+}
+
+TEST(MoasDetector, UnregisteredPrefixResolvesToFailure) {
+  Harness h;  // truth DB left empty
+  auto detector = h.make();
+  detector.accept(route_from({9, 1}), 9, h.ctx);
+  EXPECT_TRUE(detector.accept(route_from({52}), 52, h.ctx));
+  EXPECT_EQ(detector.stats().resolutions_failed, 1u);
+}
+
+TEST(MoasDetector, BannedRepeatAlarmOptIn) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  MoasDetector::Config config;
+  config.alarm_on_banned_repeat = true;
+  h.resolver = std::make_shared<OracleResolver>(h.truth);
+  MoasDetector detector(h.alarms, h.resolver, config);
+  detector.accept(route_from({9, 1}), 9, h.ctx);
+  detector.accept(route_from({52}), 52, h.ctx);
+  EXPECT_EQ(h.alarms->size(), 1u);
+  detector.accept(route_from({8, 52}), 8, h.ctx);
+  EXPECT_EQ(h.alarms->size(), 2u);
+  EXPECT_EQ(h.alarms->alarms()[1].cause, MoasAlarm::Cause::BannedOriginSeen);
+}
+
+TEST(MoasDetector, TracksPrefixesIndependently) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  bgp::Route other = route_from({5});
+  other.prefix = *net::Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(other, 5, h.ctx));
+  EXPECT_EQ(h.alarms->size(), 0u);
+  EXPECT_EQ(detector.reference_list(other.prefix), AsnSet{5});
+}
+
+TEST(MoasDetector, ValidListWrongOriginBansAttackerNotVictims) {
+  // Attacker forges exactly the valid list but originates itself; the
+  // self-consistency check fires, and the valid origins are never banned.
+  Harness h;
+  h.truth->set(kPrefix, {1, 2});
+  auto detector = h.make();
+  EXPECT_FALSE(detector.accept(route_from({52}, {1, 2}), 52, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({8, 2}, {1, 2}), 8, h.ctx));
+}
+
+TEST(MoasDetector, RequiresAlarmLog) {
+  EXPECT_THROW(MoasDetector(nullptr, nullptr), std::invalid_argument);
+}
+
+TEST(AlarmLog, CountsByCause) {
+  AlarmLog log;
+  MoasAlarm a;
+  a.cause = MoasAlarm::Cause::ListMismatch;
+  log.record(a);
+  a.cause = MoasAlarm::Cause::OriginNotInList;
+  log.record(a);
+  log.record(a);
+  EXPECT_EQ(log.count(MoasAlarm::Cause::ListMismatch), 1u);
+  EXPECT_EQ(log.count(MoasAlarm::Cause::OriginNotInList), 2u);
+  EXPECT_EQ(log.count(MoasAlarm::Cause::BannedOriginSeen), 0u);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(AlarmLog, ToStringMentionsEverything) {
+  MoasAlarm alarm;
+  alarm.observer = 7;
+  alarm.prefix = kPrefix;
+  alarm.reference_list = {1, 2};
+  alarm.observed_list = {52};
+  alarm.offending_origins = {52};
+  const std::string text = alarm.to_string();
+  EXPECT_NE(text.find("AS7"), std::string::npos);
+  EXPECT_NE(text.find("135.38.0.0/16"), std::string::npos);
+  EXPECT_NE(text.find("{52}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moas::core

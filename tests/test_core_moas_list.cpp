@@ -1,0 +1,106 @@
+#include "moas/core/moas_list.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/util/rng.h"
+
+namespace moas::core {
+namespace {
+
+bgp::Route route_with(std::vector<bgp::Asn> path, const AsnSet& list = {}) {
+  bgp::Route r;
+  r.prefix = *net::Prefix::parse("135.38.0.0/16");
+  r.attrs.path = bgp::AsPath(std::move(path));
+  if (!list.empty()) r.attrs.communities = encode_moas_list(list);
+  return r;
+}
+
+TEST(MoasList, CommunityEncoding) {
+  const bgp::Community c = moas_community(4006);
+  EXPECT_EQ(c.asn(), 4006);
+  EXPECT_EQ(c.value(), kMoasListValue);
+  EXPECT_TRUE(is_moas_community(c));
+  EXPECT_FALSE(is_moas_community(bgp::Community(4006, 1)));
+}
+
+TEST(MoasList, EncodingRejectsWideAsn) {
+  EXPECT_THROW(moas_community(70000), std::invalid_argument);
+  EXPECT_THROW(moas_community(bgp::kNoAs), std::invalid_argument);
+}
+
+TEST(MoasList, EncodeDecodeRoundTrip) {
+  const AsnSet origins{1, 2, 40};
+  EXPECT_EQ(decode_moas_list(encode_moas_list(origins)), origins);
+}
+
+TEST(MoasList, DecodeIgnoresForeignCommunities) {
+  bgp::CommunitySet communities = encode_moas_list({1, 2});
+  communities.add(bgp::Community(99, 42));
+  communities.add(bgp::kNoExport);
+  EXPECT_EQ(decode_moas_list(communities), (AsnSet{1, 2}));
+}
+
+TEST(MoasList, AttachReplacesOldListKeepsOtherCommunities) {
+  bgp::CommunitySet communities = encode_moas_list({1, 2});
+  communities.add(bgp::Community(99, 42));
+  attach_moas_list(communities, {7, 8});
+  EXPECT_EQ(decode_moas_list(communities), (AsnSet{7, 8}));
+  EXPECT_TRUE(communities.contains(bgp::Community(99, 42)));
+  EXPECT_FALSE(communities.contains(moas_community(1)));
+}
+
+TEST(MoasList, EffectiveListPrefersExplicit) {
+  // Footnote 3 in reverse: with an explicit list the path origin is not
+  // consulted.
+  const bgp::Route r = route_with({9, 1}, {1, 2});
+  EXPECT_EQ(effective_moas_list(r), (AsnSet{1, 2}));
+  EXPECT_TRUE(has_explicit_moas_list(r));
+}
+
+TEST(MoasList, EffectiveListFallsBackToOrigin) {
+  // "If a route does not contain a MOAS list, it will be treated as if it
+  //  carries a MOAS list containing the origin AS."
+  const bgp::Route r = route_with({9, 1});
+  EXPECT_EQ(effective_moas_list(r), AsnSet{1});
+  EXPECT_FALSE(has_explicit_moas_list(r));
+}
+
+TEST(MoasList, EffectiveListHandlesAggregateOrigins) {
+  bgp::Route r = route_with({9});
+  r.attrs.path.append_set({4, 5});
+  EXPECT_EQ(effective_moas_list(r), (AsnSet{4, 5}));
+}
+
+TEST(MoasList, ConsistencyIsSetEquality) {
+  // "The order in the list may differ, but the set of ASes included in each
+  //  route announcement must be identical."
+  EXPECT_TRUE(lists_consistent({1, 2}, {2, 1}));
+  EXPECT_TRUE(lists_consistent({}, {}));
+  EXPECT_FALSE(lists_consistent({1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(lists_consistent({1}, {2}));
+}
+
+TEST(MoasList, ListToString) {
+  EXPECT_EQ(list_to_string({1, 2}), "{1, 2}");
+  EXPECT_EQ(list_to_string({}), "{}");
+}
+
+/// Property sweep: decode(encode(S)) == S for random sets.
+class MoasListRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoasListRoundTrip, RandomSets) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    AsnSet origins;
+    const auto n = 1 + rng.index(5);
+    while (origins.size() < n) {
+      origins.insert(static_cast<bgp::Asn>(rng.uniform(1, 0xffff)));
+    }
+    EXPECT_EQ(decode_moas_list(encode_moas_list(origins)), origins);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoasListRoundTrip, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace moas::core

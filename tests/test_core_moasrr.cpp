@@ -1,0 +1,102 @@
+#include "moas/core/moasrr.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace moas::core {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(Moasrr, OwnerNameOctetBoundaries) {
+  EXPECT_EQ(moasrr_owner_name(pfx("135.38.0.0/16")), "38.135.in-addr.arpa");
+  EXPECT_EQ(moasrr_owner_name(pfx("10.0.0.0/8")), "10.in-addr.arpa");
+  EXPECT_EQ(moasrr_owner_name(pfx("192.168.4.0/24")), "4.168.192.in-addr.arpa");
+}
+
+TEST(Moasrr, OwnerNameNonOctetBoundary) {
+  // RFC 2317-style label for the odd lengths.
+  EXPECT_EQ(moasrr_owner_name(pfx("10.128.0.0/9")), "128-9.10.in-addr.arpa");
+  EXPECT_EQ(moasrr_owner_name(pfx("192.168.4.0/22")), "4-22.168.192.in-addr.arpa");
+}
+
+TEST(Moasrr, FormatAndParseRoundTrip) {
+  MoasRr record;
+  record.prefix = pfx("135.38.0.0/16");
+  record.origins = {40, 226};
+  record.ttl = 3600;
+  const std::string line = format_moasrr(record);
+  EXPECT_EQ(line, "38.135.in-addr.arpa 3600 IN MOASRR 135.38.0.0/16 40 226");
+  const auto parsed = parse_moasrr(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->prefix, record.prefix);
+  EXPECT_EQ(parsed->origins, record.origins);
+  EXPECT_EQ(parsed->ttl, 3600u);
+  EXPECT_EQ(parsed->dnssec, DnssecState::Unsigned);
+}
+
+TEST(Moasrr, DnssecStateRoundTrip) {
+  MoasRr record;
+  record.prefix = pfx("10.0.0.0/8");
+  record.origins = {7018};
+  record.dnssec = DnssecState::Signed;
+  const auto parsed = parse_moasrr(format_moasrr(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dnssec, DnssecState::Signed);
+}
+
+TEST(Moasrr, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_moasrr("").has_value());
+  EXPECT_FALSE(parse_moasrr("junk").has_value());
+  EXPECT_FALSE(parse_moasrr("10.in-addr.arpa 60 IN A 10.0.0.0/8 1").has_value());
+  EXPECT_FALSE(parse_moasrr("10.in-addr.arpa 60 XX MOASRR 10.0.0.0/8 1").has_value());
+  // No origins.
+  EXPECT_FALSE(parse_moasrr("10.in-addr.arpa 60 IN MOASRR 10.0.0.0/8").has_value());
+  // Owner/prefix mismatch (zone consistency).
+  EXPECT_FALSE(parse_moasrr("99.in-addr.arpa 60 IN MOASRR 10.0.0.0/8 1").has_value());
+  // Zero ASN.
+  EXPECT_FALSE(parse_moasrr("10.in-addr.arpa 60 IN MOASRR 10.0.0.0/8 0").has_value());
+  // Trailing garbage.
+  EXPECT_FALSE(parse_moasrr("10.in-addr.arpa 60 IN MOASRR 10.0.0.0/8 1 x").has_value());
+}
+
+TEST(Moasrr, FormatRequiresOrigins) {
+  MoasRr record;
+  record.prefix = pfx("10.0.0.0/8");
+  EXPECT_THROW(format_moasrr(record), std::invalid_argument);
+}
+
+TEST(MoasrrZone, AddLookupReplace) {
+  MoasrrZone zone;
+  zone.add({pfx("10.0.0.0/8"), {1}, 60, DnssecState::Unsigned});
+  zone.add({pfx("11.0.0.0/8"), {2}, 60, DnssecState::Unsigned});
+  ASSERT_NE(zone.lookup(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(zone.lookup(pfx("10.0.0.0/8"))->origins, bgp::AsnSet{1});
+  EXPECT_EQ(zone.lookup(pfx("12.0.0.0/8")), nullptr);
+  // Replacement keeps the zone at one record per prefix.
+  zone.add({pfx("10.0.0.0/8"), {1, 9}, 60, DnssecState::Unsigned});
+  EXPECT_EQ(zone.size(), 2u);
+  EXPECT_EQ(zone.lookup(pfx("10.0.0.0/8"))->origins, (bgp::AsnSet{1, 9}));
+}
+
+TEST(MoasrrZone, SaveLoadRoundTrip) {
+  MoasrrZone zone;
+  zone.add({pfx("135.38.0.0/16"), {40, 226}, 3600, DnssecState::Signed});
+  zone.add({pfx("10.0.0.0/8"), {7018}, 86400, DnssecState::Unsigned});
+  std::stringstream buffer;
+  zone.save(buffer);
+  const MoasrrZone loaded = MoasrrZone::load(buffer);
+  EXPECT_EQ(loaded.size(), 2u);
+  ASSERT_NE(loaded.lookup(pfx("135.38.0.0/16")), nullptr);
+  EXPECT_EQ(loaded.lookup(pfx("135.38.0.0/16"))->origins, (bgp::AsnSet{40, 226}));
+  EXPECT_EQ(loaded.lookup(pfx("135.38.0.0/16"))->dnssec, DnssecState::Signed);
+}
+
+TEST(MoasrrZone, LoadRejectsMalformedZone) {
+  std::stringstream buffer("; comment\nnot a record\n");
+  EXPECT_THROW(MoasrrZone::load(buffer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moas::core

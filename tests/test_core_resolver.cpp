@@ -1,0 +1,136 @@
+#include "moas/core/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::core {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("135.38.0.0/16");
+
+TEST(PrefixOriginDb, SetAndLookup) {
+  PrefixOriginDb db;
+  db.set(kPrefix, {1, 2});
+  EXPECT_EQ(db.lookup(kPrefix), (bgp::AsnSet{1, 2}));
+  EXPECT_FALSE(db.lookup(*net::Prefix::parse("10.0.0.0/8")).has_value());
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PrefixOriginDb, OverwriteAndValidation) {
+  PrefixOriginDb db;
+  db.set(kPrefix, {1});
+  db.set(kPrefix, {2});
+  EXPECT_EQ(db.lookup(kPrefix), bgp::AsnSet{2});
+  EXPECT_THROW(db.set(kPrefix, {}), std::invalid_argument);
+}
+
+TEST(OracleResolver, AnswersTruth) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1, 2});
+  OracleResolver oracle(truth);
+  EXPECT_EQ(oracle.resolve(kPrefix), (bgp::AsnSet{1, 2}));
+  EXPECT_EQ(oracle.stats().queries, 1u);
+  EXPECT_EQ(oracle.stats().failures, 0u);
+  EXPECT_EQ(oracle.name(), "oracle");
+}
+
+TEST(OracleResolver, MissingRecordIsFailure) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  OracleResolver oracle(truth);
+  EXPECT_FALSE(oracle.resolve(kPrefix).has_value());
+  EXPECT_EQ(oracle.stats().failures, 1u);
+}
+
+TEST(OracleResolver, RequiresDatabase) {
+  EXPECT_THROW(OracleResolver(nullptr), std::invalid_argument);
+}
+
+TEST(DnsResolver, PerfectDnsBehavesLikeOracle) {
+  auto db = std::make_shared<PrefixOriginDb>();
+  db->set(kPrefix, {1});
+  DnsResolver dns(db, DnsResolver::Config{});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(dns.resolve(kPrefix), bgp::AsnSet{1});
+  EXPECT_EQ(dns.stats().failures, 0u);
+  EXPECT_EQ(dns.stats().corrupted, 0u);
+}
+
+TEST(DnsResolver, UnavailabilityRate) {
+  auto db = std::make_shared<PrefixOriginDb>();
+  db->set(kPrefix, {1});
+  DnsResolver::Config config;
+  config.unavailability = 0.5;
+  config.seed = 3;
+  DnsResolver dns(db, config);
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!dns.resolve(kPrefix).has_value()) ++failures;
+  }
+  EXPECT_NEAR(failures / 2000.0, 0.5, 0.05);
+  EXPECT_EQ(dns.stats().failures, static_cast<std::uint64_t>(failures));
+}
+
+TEST(DnsResolver, ForgeryReturnsAttackerAnswer) {
+  auto db = std::make_shared<PrefixOriginDb>();
+  db->set(kPrefix, {1});
+  DnsResolver::Config config;
+  config.forgery = 1.0;
+  config.forged_answer = {666};
+  DnsResolver dns(db, config);
+  EXPECT_EQ(dns.resolve(kPrefix), bgp::AsnSet{666});
+  EXPECT_EQ(dns.stats().corrupted, 1u);
+}
+
+TEST(DnsResolver, ValidatesProbabilities) {
+  auto db = std::make_shared<PrefixOriginDb>();
+  DnsResolver::Config config;
+  config.unavailability = 1.5;
+  EXPECT_THROW(DnsResolver(db, config), std::invalid_argument);
+}
+
+TEST(IrrResolver, FreshRecordsAnswerTruth) {
+  auto current = std::make_shared<PrefixOriginDb>();
+  current->set(kPrefix, {1, 2});
+  auto stale = std::make_shared<PrefixOriginDb>();
+  IrrResolver irr(current, stale, IrrResolver::Config{});
+  EXPECT_EQ(irr.resolve(kPrefix), (bgp::AsnSet{1, 2}));
+}
+
+TEST(IrrResolver, StaleRecordAnswersOldOrigins) {
+  auto current = std::make_shared<PrefixOriginDb>();
+  current->set(kPrefix, {1, 2});
+  auto stale = std::make_shared<PrefixOriginDb>();
+  stale->set(kPrefix, {1});  // before the second origin was added
+  IrrResolver::Config config;
+  config.staleness = 1.0;
+  IrrResolver irr(current, stale, config);
+  EXPECT_EQ(irr.resolve(kPrefix), bgp::AsnSet{1});
+  EXPECT_EQ(irr.stats().corrupted, 1u);
+}
+
+TEST(IrrResolver, StaleWithoutSnapshotIsFailure) {
+  auto current = std::make_shared<PrefixOriginDb>();
+  current->set(kPrefix, {1});
+  auto stale = std::make_shared<PrefixOriginDb>();  // record never registered
+  IrrResolver::Config config;
+  config.staleness = 1.0;
+  IrrResolver irr(current, stale, config);
+  EXPECT_FALSE(irr.resolve(kPrefix).has_value());
+  EXPECT_EQ(irr.stats().failures, 1u);
+}
+
+TEST(IrrResolver, StalenessDecisionIsStickyPerPrefix) {
+  // A registry record is either stale or not; repeated queries must not
+  // flip-flop.
+  auto current = std::make_shared<PrefixOriginDb>();
+  current->set(kPrefix, {1, 2});
+  auto stale = std::make_shared<PrefixOriginDb>();
+  stale->set(kPrefix, {1});
+  IrrResolver::Config config;
+  config.staleness = 0.5;
+  config.seed = 9;
+  IrrResolver irr(current, stale, config);
+  const auto first = irr.resolve(kPrefix);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(irr.resolve(kPrefix), first);
+}
+
+}  // namespace
+}  // namespace moas::core

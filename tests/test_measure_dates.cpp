@@ -1,0 +1,74 @@
+#include "moas/measure/dates.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::measure {
+namespace {
+
+TEST(Dates, SerialOfEpoch) { EXPECT_EQ(to_serial(CivilDate{1970, 1, 1}), 0); }
+
+TEST(Dates, KnownSerials) {
+  EXPECT_EQ(to_serial(CivilDate{1970, 1, 2}), 1);
+  EXPECT_EQ(to_serial(CivilDate{1969, 12, 31}), -1);
+  EXPECT_EQ(to_serial(CivilDate{2000, 3, 1}), 11017);
+}
+
+TEST(Dates, RoundTripAcrossLeapYears) {
+  for (long serial = to_serial(CivilDate{1996, 1, 1}); serial < to_serial(CivilDate{2005, 1, 1});
+       serial += 17) {
+    const CivilDate date = from_serial(serial);
+    EXPECT_EQ(to_serial(date), serial);
+  }
+}
+
+TEST(Dates, LeapDayHandling) {
+  const CivilDate leap{2000, 2, 29};
+  EXPECT_EQ(from_serial(to_serial(leap)).day, 29u);
+  // 1900 is not a leap year; Feb 28 1900 + 1 day = Mar 1.
+  const long feb28_1900 = to_serial(CivilDate{1900, 2, 28});
+  const CivilDate next = from_serial(feb28_1900 + 1);
+  EXPECT_EQ(next.month, 3u);
+  EXPECT_EQ(next.day, 1u);
+}
+
+TEST(Dates, MmYyFormat) {
+  EXPECT_EQ(mm_yy(CivilDate{1998, 4, 7}), "04/98");
+  EXPECT_EQ(mm_yy(CivilDate{2001, 11, 1}), "11/01");
+  EXPECT_EQ(mm_yy(CivilDate{2000, 1, 1}), "01/00");
+}
+
+TEST(Dates, TraceEpochIsDayZero) {
+  EXPECT_EQ(trace_day(kTraceEpoch), 0);
+  const CivilDate day0 = trace_date(0);
+  EXPECT_EQ(day0.year, 1997);
+  EXPECT_EQ(day0.month, 11u);
+  EXPECT_EQ(day0.day, 8u);
+}
+
+TEST(Dates, PaperWindowLength) {
+  // 11/8/1997 through 7/18/2001 inclusive.
+  EXPECT_EQ(trace_length_days(), 1349);
+  const CivilDate last = trace_date(trace_length_days() - 1);
+  EXPECT_EQ(last.year, 2001);
+  EXPECT_EQ(last.month, 7u);
+  EXPECT_EQ(last.day, 18u);
+}
+
+TEST(Dates, SpikeDaysFallInsideWindow) {
+  const int spike98 = trace_day(CivilDate{1998, 4, 7});
+  const int spike01 = trace_day(CivilDate{2001, 4, 6});
+  EXPECT_GT(spike98, 0);
+  EXPECT_LT(spike98, spike01);
+  EXPECT_LT(spike01, trace_length_days());
+  EXPECT_EQ(spike98, 150);
+}
+
+TEST(Dates, RejectsNonsense) {
+  EXPECT_THROW(to_serial(CivilDate{2000, 13, 1}), std::invalid_argument);
+  EXPECT_THROW(to_serial(CivilDate{2000, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(to_serial(CivilDate{2000, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(to_serial(CivilDate{2000, 1, 32}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moas::measure

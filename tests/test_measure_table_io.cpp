@@ -1,0 +1,109 @@
+#include "moas/measure/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "moas/measure/observer.h"
+
+namespace moas::measure {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(TableIo, DumpRoundTrip) {
+  DailyDump dump;
+  dump.day = 42;
+  dump.origins[pfx("10.1.2.0/24")] = {701, 7018};
+  dump.origins[pfx("10.9.0.0/16")] = {3561, 15412, 1239};
+  std::stringstream buffer;
+  save_dump(dump, buffer);
+  const DailyDump loaded = load_dump(buffer);
+  EXPECT_EQ(loaded.day, 42);
+  EXPECT_EQ(loaded.origins, dump.origins);
+}
+
+TEST(TableIo, EmptyDumpRoundTrip) {
+  DailyDump dump;
+  dump.day = 7;
+  std::stringstream buffer;
+  save_dump(dump, buffer);
+  const DailyDump loaded = load_dump(buffer);
+  EXPECT_EQ(loaded.day, 7);
+  EXPECT_TRUE(loaded.origins.empty());
+}
+
+TEST(TableIo, LoadRejectsGarbage) {
+  {
+    std::stringstream buffer("not a dump\n");
+    EXPECT_THROW(load_dump(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("day 1\nbadprefix 1 2\n");
+    EXPECT_THROW(load_dump(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("day 1\n10.0.0.0/8\n");  // no origins
+    EXPECT_THROW(load_dump(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("day 1\n10.0.0.0/8 1 x\n");  // trailing junk
+    EXPECT_THROW(load_dump(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("");
+    EXPECT_THROW(load_dump(buffer), std::invalid_argument);
+  }
+}
+
+TEST(TableIo, TraceArchiveRoundTrip) {
+  util::Rng rng(1);
+  TraceConfig config;
+  config.days = 30;
+  config.active_start = 5;
+  config.active_end = 8;
+  config.faults_per_day = 2.0;
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  const SyntheticTrace trace = generate_trace(config, rng);
+
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  const auto dumps = load_trace(buffer);
+  ASSERT_EQ(dumps.size(), 30u);
+  for (int day = 0; day < 30; ++day) {
+    EXPECT_EQ(dumps[static_cast<std::size_t>(day)].day, day);
+    EXPECT_EQ(dumps[static_cast<std::size_t>(day)].origins, trace.day_dump(day).origins);
+  }
+}
+
+TEST(TableIo, ObserverSeesIdenticalStatsThroughTheArchive) {
+  // The full pipeline: generate -> archive -> parse -> observe must agree
+  // with direct observation.
+  util::Rng rng(2);
+  TraceConfig config;
+  config.days = 60;
+  config.active_start = 10;
+  config.active_end = 12;
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  const SyntheticTrace trace = generate_trace(config, rng);
+
+  MoasObserver direct;
+  direct.ingest_all(trace);
+
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  MoasObserver via_archive;
+  for (const DailyDump& dump : load_trace(buffer)) via_archive.ingest(dump);
+
+  EXPECT_EQ(direct.case_count(), via_archive.case_count());
+  EXPECT_EQ(direct.daily_counts(), via_archive.daily_counts());
+  const auto a = direct.summarize(0);
+  const auto b = via_archive.summarize(0);
+  EXPECT_EQ(a.one_day_cases, b.one_day_cases);
+  EXPECT_EQ(a.two_origin_fraction, b.two_origin_fraction);
+}
+
+}  // namespace
+}  // namespace moas::measure

@@ -1,0 +1,111 @@
+#include "moas/net/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::net {
+namespace {
+
+TEST(Prefix, NormalizesHostBits) {
+  const Prefix p(Ipv4Addr(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.network(), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, EqualBlocksCompareEqual) {
+  EXPECT_EQ(Prefix(Ipv4Addr(10, 1, 2, 3), 8), Prefix(Ipv4Addr(10, 9, 9, 9), 8));
+}
+
+TEST(Prefix, DefaultRoute) {
+  const Prefix p;
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_TRUE(p.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_EQ(p.to_string(), "0.0.0.0/0");
+}
+
+TEST(Prefix, RejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Addr(0u), 33), std::invalid_argument);
+}
+
+TEST(Prefix, Netmask) {
+  EXPECT_EQ(Prefix(Ipv4Addr(0u), 24).netmask(), Ipv4Addr(255, 255, 255, 0));
+  EXPECT_EQ(Prefix(Ipv4Addr(0u), 0).netmask(), Ipv4Addr(0u));
+  EXPECT_EQ(Prefix(Ipv4Addr(0u), 32).netmask(), Ipv4Addr(255, 255, 255, 255));
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(Ipv4Addr(192, 168, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 42, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 169, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix wide(Ipv4Addr(10, 0, 0, 0), 8);
+  const Prefix narrow(Ipv4Addr(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(Prefix, Overlaps) {
+  const Prefix a(Ipv4Addr(10, 0, 0, 0), 8);
+  const Prefix b(Ipv4Addr(10, 1, 0, 0), 16);
+  const Prefix c(Ipv4Addr(11, 0, 0, 0), 8);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Prefix, ParentChild) {
+  const Prefix p(Ipv4Addr(10, 0, 0, 0), 9);
+  EXPECT_EQ(p.parent(), Prefix(Ipv4Addr(10, 0, 0, 0), 8));
+  const auto [left, right] = Prefix(Ipv4Addr(10, 0, 0, 0), 8).children();
+  EXPECT_EQ(left, Prefix(Ipv4Addr(10, 0, 0, 0), 9));
+  EXPECT_EQ(right, Prefix(Ipv4Addr(10, 128, 0, 0), 9));
+  EXPECT_TRUE(Prefix(Ipv4Addr(10, 0, 0, 0), 8).contains(left));
+  EXPECT_TRUE(Prefix(Ipv4Addr(10, 0, 0, 0), 8).contains(right));
+}
+
+TEST(Prefix, ParentOfZeroThrows) {
+  EXPECT_THROW(Prefix(Ipv4Addr(0u), 0).parent(), std::invalid_argument);
+}
+
+TEST(Prefix, ChildrenOfHostRouteThrows) {
+  EXPECT_THROW(Prefix(Ipv4Addr(0u), 32).children(), std::invalid_argument);
+}
+
+class PrefixParseRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixParseRoundTrip, RoundTrips) {
+  const auto p = Prefix::parse(GetParam());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, PrefixParseRoundTrip,
+                         ::testing::Values("0.0.0.0/0", "10.0.0.0/8", "135.38.0.0/16",
+                                           "192.168.1.0/24", "1.2.3.4/32"));
+
+class PrefixBadParse : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixBadParse, Rejected) { EXPECT_FALSE(Prefix::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, PrefixBadParse,
+                         ::testing::Values("", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/x",
+                                           "10.0.0/8", "/8"));
+
+TEST(Prefix, ParseNormalizesHostBits) {
+  const auto p = Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, OrderingIsTotal) {
+  // Needed because Prefix keys std::map in the RIBs.
+  const Prefix a(Ipv4Addr(10, 0, 0, 0), 8);
+  const Prefix b(Ipv4Addr(10, 0, 0, 0), 9);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace moas::net

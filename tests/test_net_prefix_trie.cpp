@@ -1,0 +1,181 @@
+#include "moas/net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "moas/util/rng.h"
+
+namespace moas::net {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+TEST(PrefixTrie, InsertAndFind) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(pfx("10.1.0.0/16"), 2));
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(pfx("10.1.0.0/16")), 2);
+  EXPECT_EQ(trie.find(pfx("10.2.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 2));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 2);
+}
+
+TEST(PrefixTrie, DistinguishesLengths) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.0.0.0/16"), 16);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 8);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/16")), 16);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.insert(pfx("0.0.0.0/0"), "default");
+  trie.insert(pfx("10.0.0.0/8"), "ten");
+  trie.insert(pfx("10.1.0.0/16"), "ten-one");
+  const auto hit = trie.longest_match(Ipv4Addr(10, 1, 2, 3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, pfx("10.1.0.0/16"));
+  EXPECT_EQ(*hit->second, "ten-one");
+
+  const auto shallower = trie.longest_match(Ipv4Addr(10, 2, 0, 1));
+  ASSERT_TRUE(shallower.has_value());
+  EXPECT_EQ(*shallower->second, "ten");
+
+  const auto fallback = trie.longest_match(Ipv4Addr(99, 0, 0, 1));
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(*fallback->second, "default");
+}
+
+TEST(PrefixTrie, LongestMatchMissesWithoutDefault) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixTrie, HostRouteMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 1);
+  EXPECT_TRUE(trie.longest_match(Ipv4Addr(1, 2, 3, 4)).has_value());
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr(1, 2, 3, 5)).has_value());
+}
+
+TEST(PrefixTrie, EraseRemovesOnlyTarget) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_NE(trie.find(pfx("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, EraseMissingReturnsFalse) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.erase(pfx("11.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(pfx("10.0.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, ForEachCoveredEnumeratesSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  trie.insert(pfx("10.1.2.0/24"), 3);
+  trie.insert(pfx("11.0.0.0/8"), 4);
+  std::map<Prefix, int> seen;
+  trie.for_each_covered(pfx("10.0.0.0/8"),
+                        [&](const Prefix& p, const int& v) { seen[p] = v; });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.contains(pfx("10.1.2.0/24")));
+  EXPECT_FALSE(seen.contains(pfx("11.0.0.0/8")));
+}
+
+TEST(PrefixTrie, ForEachVisitsEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  trie.insert(pfx("128.0.0.0/1"), 1);
+  trie.insert(pfx("1.2.3.4/32"), 2);
+  int n = 0;
+  trie.for_each([&](const Prefix&, const int&) { ++n; });
+  EXPECT_EQ(n, 3);
+}
+
+TEST(PrefixTrie, Clear) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/8")), nullptr);
+}
+
+/// Property sweep: the trie must agree with a std::map reference model under
+/// random insert/erase/query workloads.
+class PrefixTrieFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieFuzz, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  PrefixTrie<std::uint32_t> trie;
+  std::map<Prefix, std::uint32_t> model;
+
+  auto random_prefix = [&] {
+    const auto length = static_cast<unsigned>(rng.uniform(0, 24));
+    return Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), length);
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng.uniform(0, 2);
+    const Prefix p = random_prefix();
+    if (op == 0) {
+      const auto v = static_cast<std::uint32_t>(rng.next());
+      const bool fresh_trie = trie.insert(p, v);
+      const bool fresh_model = model.insert_or_assign(p, v).second;
+      ASSERT_EQ(fresh_trie, fresh_model);
+    } else if (op == 1) {
+      ASSERT_EQ(trie.erase(p), model.erase(p) > 0);
+    } else {
+      const auto* hit = trie.find(p);
+      const auto it = model.find(p);
+      if (it == model.end()) {
+        ASSERT_EQ(hit, nullptr);
+      } else {
+        ASSERT_NE(hit, nullptr);
+        ASSERT_EQ(*hit, it->second);
+      }
+    }
+    ASSERT_EQ(trie.size(), model.size());
+  }
+
+  // Longest-prefix match agrees with a brute-force scan of the model.
+  for (int probe = 0; probe < 200; ++probe) {
+    const Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    const auto hit = trie.longest_match(addr);
+    const Prefix* best = nullptr;
+    for (const auto& [p, v] : model) {
+      if (p.contains(addr) && (!best || p.length() > best->length())) best = &p;
+    }
+    if (!best) {
+      ASSERT_FALSE(hit.has_value());
+    } else {
+      ASSERT_TRUE(hit.has_value());
+      ASSERT_EQ(hit->first, *best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace moas::net

@@ -1,0 +1,141 @@
+#include "moas/topo/gen_internet.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/topo/metrics.h"
+
+namespace moas::topo {
+namespace {
+
+InternetConfig small_config() {
+  InternetConfig config;
+  config.tier1 = 5;
+  config.tier2 = 20;
+  config.tier3 = 40;
+  config.stubs = 400;
+  return config;
+}
+
+TEST(GenInternet, ProducesRequestedPopulation) {
+  util::Rng rng(1);
+  const InternetConfig config = small_config();
+  const AsGraph g = generate_internet(config, rng);
+  EXPECT_EQ(g.node_count(), config.tier1 + config.tier2 + config.tier3 + config.stubs);
+  EXPECT_EQ(g.stubs().size(), config.stubs);
+  EXPECT_EQ(g.transits().size(), config.tier1 + config.tier2 + config.tier3);
+}
+
+TEST(GenInternet, IsConnected) {
+  util::Rng rng(2);
+  const AsGraph g = generate_internet(small_config(), rng);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GenInternet, EveryStubHasAtLeastOneProvider) {
+  util::Rng rng(3);
+  const AsGraph g = generate_internet(small_config(), rng);
+  for (bgp::Asn stub : g.stubs()) {
+    EXPECT_GE(g.degree(stub), 1u);
+    bool has_provider = false;
+    for (bgp::Asn nbr : g.neighbors(stub)) {
+      if (g.relationship(stub, nbr) == bgp::Relationship::Provider) has_provider = true;
+      // Stubs never transit: none of their edges makes them a provider.
+      EXPECT_NE(g.relationship(stub, nbr), bgp::Relationship::Customer);
+    }
+    EXPECT_TRUE(has_provider) << "stub " << stub;
+  }
+}
+
+TEST(GenInternet, MultihomingMixRoughlyHonored) {
+  util::Rng rng(4);
+  InternetConfig config = small_config();
+  config.stubs = 2000;
+  config.stub_two_provider_prob = 0.35;
+  config.stub_three_provider_prob = 0.10;
+  const AsGraph g = generate_internet(config, rng);
+  std::size_t multi = 0;
+  for (bgp::Asn stub : g.stubs()) {
+    if (g.degree(stub) >= 2) ++multi;
+  }
+  const double multi_fraction = static_cast<double>(multi) / 2000.0;
+  EXPECT_NEAR(multi_fraction, 0.45, 0.05);
+}
+
+TEST(GenInternet, DegreeDistributionIsHeavyTailed) {
+  util::Rng rng(5);
+  const AsGraph g = generate_internet(InternetConfig{}, rng);
+  const DegreeStats stats = degree_stats(g);
+  // Preferential attachment: the busiest AS dwarfs the mean degree.
+  EXPECT_GT(static_cast<double>(stats.max), 10.0 * stats.mean);
+  // The MLE power-law exponent for AS graphs is typically ~1.5-2.5.
+  EXPECT_GT(stats.power_law_alpha, 1.2);
+  EXPECT_LT(stats.power_law_alpha, 3.5);
+}
+
+TEST(GenInternet, DeterministicForSeed) {
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const AsGraph a = generate_internet(small_config(), rng_a);
+  const AsGraph b = generate_internet(small_config(), rng_b);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (bgp::Asn asn : a.nodes()) {
+    ASSERT_TRUE(b.has_node(asn));
+    EXPECT_EQ(a.degree(asn), b.degree(asn));
+  }
+}
+
+TEST(GenInternet, RejectsDegenerateConfig) {
+  util::Rng rng(1);
+  InternetConfig config;
+  config.tier1 = 1;
+  EXPECT_THROW(generate_internet(config, rng), std::invalid_argument);
+  config = InternetConfig{};
+  config.stub_two_provider_prob = 0.9;
+  config.stub_three_provider_prob = 0.2;
+  EXPECT_THROW(generate_internet(config, rng), std::invalid_argument);
+}
+
+TEST(Metrics, FractionCutOffLinearChain) {
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u, 4u, 5u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  // Removing 3 cuts {4,5} from source 1: population excludes source+removed
+  // (3 nodes remain: 2, 4, 5), of which two are cut.
+  EXPECT_DOUBLE_EQ(fraction_cut_off(g, {1}, {3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_cut_off(g, {1}, {}), 0.0);
+}
+
+TEST(Metrics, FractionCutOffMultipleSources) {
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u, 4u, 5u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  // Sources at both ends: removing 3 isolates nobody from *all* sources.
+  EXPECT_DOUBLE_EQ(fraction_cut_off(g, {1, 5}, {3}), 0.0);
+}
+
+TEST(Metrics, FractionCutOffRemovedSource) {
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  // The only source is itself removed: everyone left is cut off.
+  EXPECT_DOUBLE_EQ(fraction_cut_off(g, {1}, {1}), 1.0);
+}
+
+TEST(Metrics, MeanPathLengthOnRing) {
+  AsGraph g;
+  for (bgp::Asn asn = 1; asn <= 6; ++asn) g.add_node(asn, AsKind::Transit);
+  for (bgp::Asn asn = 1; asn <= 6; ++asn) g.add_edge(asn, asn % 6 + 1);
+  const double mean = mean_path_length(g, 500, 11);
+  // On a 6-ring distances are 1,2,3 (mean 1.8 over distinct pairs).
+  EXPECT_NEAR(mean, 1.8, 0.2);
+}
+
+}  // namespace
+}  // namespace moas::topo

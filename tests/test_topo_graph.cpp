@@ -1,0 +1,163 @@
+#include "moas/topo/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "moas/topo/io.h"
+
+namespace moas::topo {
+namespace {
+
+AsGraph triangle() {
+  AsGraph g;
+  g.add_node(1, AsKind::Transit);
+  g.add_node(2, AsKind::Transit);
+  g.add_node(3, AsKind::Stub);
+  g.add_edge(1, 2, bgp::Relationship::Peer);
+  g.add_edge(2, 3, bgp::Relationship::Customer);
+  g.add_edge(1, 3, bgp::Relationship::Customer);
+  return g;
+}
+
+TEST(AsGraph, NodesAndKinds) {
+  const AsGraph g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.is_transit(1));
+  EXPECT_TRUE(g.is_stub(3));
+  EXPECT_EQ(g.stubs(), std::vector<bgp::Asn>{3});
+  EXPECT_EQ(g.transits(), (std::vector<bgp::Asn>{1, 2}));
+}
+
+TEST(AsGraph, ReAddingNodeUpdatesKind) {
+  AsGraph g = triangle();
+  g.add_node(3, AsKind::Transit);
+  EXPECT_TRUE(g.is_transit(3));
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(AsGraph, EdgesAndDegrees) {
+  const AsGraph g = triangle();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 99));
+}
+
+TEST(AsGraph, RelationshipsAreMirrored) {
+  const AsGraph g = triangle();
+  // 3 is 2's customer, so 2 is 3's provider.
+  EXPECT_EQ(g.relationship(2, 3), bgp::Relationship::Customer);
+  EXPECT_EQ(g.relationship(3, 2), bgp::Relationship::Provider);
+  EXPECT_EQ(g.relationship(1, 2), bgp::Relationship::Peer);
+  EXPECT_FALSE(g.relationship(1, 99).has_value());
+}
+
+TEST(AsGraph, RejectsSelfLoopAndUnknownEndpoints) {
+  AsGraph g = triangle();
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 99), std::invalid_argument);
+  EXPECT_THROW(g.degree(99), std::invalid_argument);
+  EXPECT_THROW(g.kind(99), std::invalid_argument);
+}
+
+TEST(AsGraph, RemoveNodeDropsIncidentEdges) {
+  AsGraph g = triangle();
+  EXPECT_TRUE(g.remove_node(2));
+  EXPECT_FALSE(g.remove_node(2));
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+}
+
+TEST(AsGraph, RemoveEdge) {
+  AsGraph g = triangle();
+  EXPECT_TRUE(g.remove_edge(1, 2));
+  EXPECT_FALSE(g.remove_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.has_edge(2, 1));
+}
+
+TEST(AsGraph, Connectivity) {
+  AsGraph g = triangle();
+  EXPECT_TRUE(g.is_connected());
+  g.add_node(99, AsKind::Stub);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(AsGraph, EmptyGraphIsConnected) {
+  const AsGraph g;
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(AsGraph, ReachableFromWithBlocked) {
+  // Path 1-2-3: blocking 2 cuts 3 off.
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto all = g.reachable_from(1);
+  EXPECT_EQ(all.size(), 3u);
+  const auto cut = g.reachable_from(1, {2});
+  EXPECT_EQ(cut, bgp::AsnSet{1});
+  EXPECT_THROW(g.reachable_from(1, {1}), std::invalid_argument);
+}
+
+TEST(AsGraph, LargestComponent) {
+  AsGraph g = triangle();
+  g.add_node(50, AsKind::Stub);
+  g.add_node(51, AsKind::Stub);
+  g.add_edge(50, 51);
+  const AsGraph big = g.largest_component();
+  EXPECT_EQ(big.node_count(), 3u);
+  EXPECT_TRUE(big.has_node(1));
+  EXPECT_FALSE(big.has_node(50));
+}
+
+TEST(AsGraph, InducedSubgraphKeepsAnnotations) {
+  const AsGraph g = triangle();
+  const AsGraph sub = g.induced({1, 3});
+  EXPECT_EQ(sub.node_count(), 2u);
+  EXPECT_EQ(sub.edge_count(), 1u);
+  EXPECT_EQ(sub.relationship(1, 3), bgp::Relationship::Customer);
+  EXPECT_TRUE(sub.is_stub(3));
+}
+
+TEST(AsGraphIo, SaveLoadRoundTrip) {
+  const AsGraph g = triangle();
+  std::stringstream buffer;
+  save_graph(g, buffer);
+  const AsGraph loaded = load_graph(buffer);
+  EXPECT_EQ(loaded.node_count(), g.node_count());
+  EXPECT_EQ(loaded.edge_count(), g.edge_count());
+  EXPECT_EQ(loaded.kind(3), AsKind::Stub);
+  EXPECT_EQ(loaded.relationship(2, 3), bgp::Relationship::Customer);
+  EXPECT_EQ(loaded.relationship(1, 2), bgp::Relationship::Peer);
+}
+
+TEST(AsGraphIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream buffer("# comment\n\nnode 1 stub\nnode 2 transit\nedge 1 2 peer\n");
+  const AsGraph g = load_graph(buffer);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(AsGraphIo, RejectsMalformedRecords) {
+  {
+    std::stringstream buffer("node 1 bogus\n");
+    EXPECT_THROW(load_graph(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("frobnicate 1 2\n");
+    EXPECT_THROW(load_graph(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("edge 1 2 peer\n");  // endpoints undeclared
+    EXPECT_THROW(load_graph(buffer), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace moas::topo

@@ -1,0 +1,160 @@
+#include "moas/topo/infer.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/topo/gen_internet.h"
+#include "moas/topo/route_views.h"
+
+namespace moas::topo {
+namespace {
+
+TEST(RouteViews, PrefixForAsnIsInjective) {
+  EXPECT_NE(prefix_for_asn(1), prefix_for_asn(2));
+  EXPECT_EQ(asn_for_prefix(prefix_for_asn(1)), 1u);
+  EXPECT_EQ(asn_for_prefix(prefix_for_asn(4006)), 4006u);
+}
+
+TEST(RouteViews, DumpContainsOneEntryPerOriginPerVantage) {
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const TableDump dump = dump_route_views(g, {1});
+  // Origins 2 and 3 are visible from vantage 1; vantage==origin is skipped.
+  EXPECT_EQ(dump.entries.size(), 2u);
+}
+
+TEST(RouteViews, PathsAreShortest) {
+  // 1-2-3-4 plus shortcut 1-4.
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u, 4u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(1, 4);
+  const TableDump dump = dump_route_views(g, {1});
+  for (const auto& entry : dump.entries) {
+    if (entry.prefix == prefix_for_asn(4)) {
+      EXPECT_EQ(entry.path.to_string(), "1 4");
+    }
+  }
+}
+
+TEST(RouteViews, PathEndpointsAreVantageAndOrigin) {
+  util::Rng rng(3);
+  InternetConfig config;
+  config.tier1 = 4;
+  config.tier2 = 8;
+  config.tier3 = 8;
+  config.stubs = 60;
+  const AsGraph g = generate_internet(config, rng);
+  const bgp::Asn vantage = g.transits().front();
+  const TableDump dump = dump_route_views(g, {vantage});
+  ASSERT_FALSE(dump.entries.empty());
+  for (const auto& entry : dump.entries) {
+    EXPECT_EQ(entry.path.first(), std::optional<bgp::Asn>(vantage));
+    EXPECT_EQ(entry.path.origin(), std::optional<bgp::Asn>(asn_for_prefix(entry.prefix)));
+  }
+}
+
+TEST(Infer, RecoversEdgesOnPath) {
+  TableDump dump;
+  dump.entries.push_back({prefix_for_asn(4621), *bgp::AsPath::parse("1239 6453 4621")});
+  const AsGraph g = infer_from_table(dump);
+  EXPECT_TRUE(g.has_edge(1239, 6453));
+  EXPECT_TRUE(g.has_edge(6453, 4621));
+  EXPECT_FALSE(g.has_edge(1239, 4621));
+}
+
+TEST(Infer, TheExampleFromThePaper) {
+  // "if a route ... has the AS Path 1239 6453 4621 ... we mark AS 6453 as a
+  //  transit AS (note that AS 1239 is also a transit AS)". 1239 becomes
+  //  transit through other paths; from this one alone it is an endpoint.
+  TableDump dump;
+  dump.entries.push_back({prefix_for_asn(4621), *bgp::AsPath::parse("1239 6453 4621")});
+  dump.entries.push_back({prefix_for_asn(7), *bgp::AsPath::parse("3549 1239 7")});
+  const AsGraph g = infer_from_table(dump);
+  EXPECT_TRUE(g.is_transit(6453));
+  EXPECT_TRUE(g.is_transit(1239));
+  EXPECT_TRUE(g.is_stub(4621));
+  EXPECT_TRUE(g.is_stub(3549));
+}
+
+TEST(Infer, PrependedPathsDoNotSelfEdge) {
+  TableDump dump;
+  dump.entries.push_back({prefix_for_asn(9), *bgp::AsPath::parse("1 2 2 2 9")});
+  const AsGraph g = infer_from_table(dump);
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 9));
+  // Prepending must not make 9 look like transit.
+  EXPECT_TRUE(g.is_stub(9));
+  EXPECT_TRUE(g.is_transit(2));
+}
+
+TEST(Infer, AsSetsContributeNoEdges) {
+  TableDump dump;
+  dump.entries.push_back({prefix_for_asn(9), *bgp::AsPath::parse("1 2 {5,6} 9")});
+  const AsGraph g = infer_from_table(dump);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 5));
+  EXPECT_FALSE(g.has_edge(5, 6));
+  EXPECT_FALSE(g.has_edge(6, 9));
+}
+
+TEST(Infer, RoundTripAgainstGenerator) {
+  // Dump the synthetic Internet from every transit vantage, re-infer, and
+  // compare: inferred edges must be a subgraph of the real ones, and every
+  // AS classified transit must really be transit.
+  util::Rng rng(11);
+  InternetConfig config;
+  config.tier1 = 4;
+  config.tier2 = 10;
+  config.tier3 = 10;
+  config.stubs = 80;
+  const AsGraph real = generate_internet(config, rng);
+  const TableDump dump = dump_route_views(real, real.transits());
+  const AsGraph inferred = infer_from_table(dump);
+
+  EXPECT_GT(inferred.node_count(), 0u);
+  for (const auto& edge : inferred.edges()) {
+    EXPECT_TRUE(real.has_edge(edge.a, edge.b))
+        << "phantom edge " << edge.a << "-" << edge.b;
+  }
+  for (bgp::Asn asn : inferred.transits()) {
+    EXPECT_TRUE(real.is_transit(asn)) << "stub misclassified as transit: " << asn;
+  }
+  // Inference sees every AS (everyone originates a prefix).
+  EXPECT_EQ(inferred.node_count(), real.node_count());
+}
+
+TEST(Infer, DegreeRelationshipAnnotation) {
+  AsGraph g;
+  g.add_node(1, AsKind::Transit);  // will have degree 3
+  g.add_node(2, AsKind::Stub);
+  g.add_node(3, AsKind::Stub);
+  g.add_node(4, AsKind::Stub);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  annotate_relationships_by_degree(g, 2.0);
+  // Degree 3 vs 1: node 1 becomes the provider of each stub.
+  EXPECT_EQ(g.relationship(1, 2), bgp::Relationship::Customer);
+  EXPECT_EQ(g.relationship(2, 1), bgp::Relationship::Provider);
+}
+
+TEST(Infer, SimilarDegreesStayPeers) {
+  AsGraph g;
+  g.add_node(1, AsKind::Transit);
+  g.add_node(2, AsKind::Transit);
+  g.add_node(3, AsKind::Stub);
+  g.add_node(4, AsKind::Stub);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  annotate_relationships_by_degree(g, 2.0);
+  EXPECT_EQ(g.relationship(1, 2), bgp::Relationship::Peer);
+}
+
+}  // namespace
+}  // namespace moas::topo

@@ -1,0 +1,109 @@
+#include "moas/topo/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "moas/topo/gen_internet.h"
+
+namespace moas::topo {
+namespace {
+
+const AsGraph& shared_internet() {
+  static const AsGraph graph = [] {
+    util::Rng rng(2002);
+    InternetConfig config;
+    config.tier1 = 8;
+    config.tier2 = 40;
+    config.tier3 = 80;
+    config.stubs = 1200;
+    return generate_internet(config, rng);
+  }();
+  return graph;
+}
+
+TEST(Sampler, ResultIsConnected) {
+  util::Rng rng(1);
+  const AsGraph sampled = sample_topology(shared_internet(), 0.2, rng);
+  EXPECT_GT(sampled.node_count(), 0u);
+  EXPECT_TRUE(sampled.is_connected());
+}
+
+TEST(Sampler, NoUnderconnectedTransitSurvives) {
+  // The paper's pruning invariant: every remaining transit AS has >= 2
+  // peers, every remaining stub has >= 1.
+  util::Rng rng(2);
+  const AsGraph sampled = sample_topology(shared_internet(), 0.25, rng);
+  for (bgp::Asn asn : sampled.nodes()) {
+    if (sampled.is_transit(asn)) {
+      EXPECT_GE(sampled.degree(asn), 2u) << "transit " << asn;
+    } else {
+      EXPECT_GE(sampled.degree(asn), 1u) << "stub " << asn;
+    }
+  }
+}
+
+TEST(Sampler, SampledNodesExistInOriginal) {
+  util::Rng rng(3);
+  const AsGraph& internet = shared_internet();
+  const AsGraph sampled = sample_topology(internet, 0.15, rng);
+  for (bgp::Asn asn : sampled.nodes()) {
+    EXPECT_TRUE(internet.has_node(asn));
+    EXPECT_EQ(sampled.kind(asn), internet.kind(asn));
+  }
+  for (const auto& edge : sampled.edges()) {
+    EXPECT_TRUE(internet.has_edge(edge.a, edge.b));
+  }
+}
+
+TEST(Sampler, PeeringsAmongSelectedArePreserved) {
+  // "with the peering relations among all the selected ASes completely
+  //  preserved": any original edge between two surviving nodes must appear.
+  util::Rng rng(4);
+  const AsGraph& internet = shared_internet();
+  const AsGraph sampled = sample_topology(internet, 0.3, rng);
+  for (bgp::Asn a : sampled.nodes()) {
+    for (bgp::Asn b : sampled.nodes()) {
+      if (a < b && internet.has_edge(a, b)) {
+        EXPECT_TRUE(sampled.has_edge(a, b)) << a << "-" << b;
+      }
+    }
+  }
+}
+
+TEST(Sampler, LargerFractionLargerTopology) {
+  util::Rng rng_small(5);
+  util::Rng rng_large(5);
+  const auto small = sample_topology(shared_internet(), 0.05, rng_small);
+  const auto large = sample_topology(shared_internet(), 0.5, rng_large);
+  EXPECT_LT(small.node_count(), large.node_count());
+}
+
+TEST(Sampler, RejectsBadFraction) {
+  util::Rng rng(6);
+  EXPECT_THROW(sample_topology(shared_internet(), 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(sample_topology(shared_internet(), 1.5, rng), std::invalid_argument);
+}
+
+class SampleToSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SampleToSize, HitsTargetWithinTolerance) {
+  util::Rng rng(7);
+  const std::size_t target = GetParam();
+  const AsGraph sampled = sample_to_size(shared_internet(), target, rng, 0.08);
+  const double err = std::abs(static_cast<double>(sampled.node_count()) -
+                              static_cast<double>(target)) /
+                     static_cast<double>(target);
+  EXPECT_LE(err, 0.15) << "got " << sampled.node_count() << " for target " << target;
+  EXPECT_TRUE(sampled.is_connected());
+}
+
+// The paper's three topology sizes.
+INSTANTIATE_TEST_SUITE_P(PaperSizes, SampleToSize, ::testing::Values(250, 460, 630));
+
+TEST(Sampler, SampledTopologyKeepsStubMajority) {
+  util::Rng rng(8);
+  const AsGraph sampled = sample_to_size(shared_internet(), 460, rng);
+  EXPECT_GT(sampled.stubs().size(), sampled.node_count() / 3);
+}
+
+}  // namespace
+}  // namespace moas::topo

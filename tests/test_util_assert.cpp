@@ -1,0 +1,63 @@
+#include "moas/util/assert.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::util {
+namespace {
+
+TEST(Assert, RequirePassesOnTrue) {
+  MOAS_REQUIRE(1 + 1 == 2, "arithmetic works");
+  SUCCEED();
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MOAS_REQUIRE(false, "caller error"), std::invalid_argument);
+}
+
+TEST(Assert, EnsureThrowsInvariantError) {
+  EXPECT_THROW(MOAS_ENSURE(false, "library bug"), InvariantError);
+}
+
+TEST(Assert, InvariantErrorIsLogicError) {
+  // Callers may catch std::logic_error to distinguish bugs from bad input.
+  EXPECT_THROW(MOAS_ENSURE(false, ""), std::logic_error);
+}
+
+TEST(Assert, MessagesCarryContext) {
+  try {
+    MOAS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find(__FILE__), std::string::npos);
+  }
+}
+
+TEST(Assert, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  MOAS_REQUIRE(count(), "side effects must not repeat");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Assert, MessageBuiltLazily) {
+  // The message expression is only evaluated on the failure path, so
+  // expensive diagnostics cost nothing when the check passes.
+  int message_builds = 0;
+  auto expensive = [&] {
+    ++message_builds;
+    return std::string("expensive");
+  };
+  MOAS_REQUIRE(true, expensive());
+  EXPECT_EQ(message_builds, 0);
+  EXPECT_THROW(MOAS_REQUIRE(false, expensive()), std::invalid_argument);
+  EXPECT_EQ(message_builds, 1);
+}
+
+}  // namespace
+}  // namespace moas::util

@@ -1,0 +1,172 @@
+#include "moas/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace moas::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, IndexRequiresNonEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / 5000.0, 100.0, 2.0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(29);
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesUnbiased) {
+  // Every index should be picked roughly equally often.
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (auto idx : rng.sample_indices(10, 3)) ++counts[idx];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1500, 150);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child stream should not replay the parent's.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace moas::util
