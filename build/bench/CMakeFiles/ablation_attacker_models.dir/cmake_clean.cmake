@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attacker_models.dir/ablation_attacker_models.cpp.o"
+  "CMakeFiles/ablation_attacker_models.dir/ablation_attacker_models.cpp.o.d"
+  "ablation_attacker_models"
+  "ablation_attacker_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attacker_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_convergence_model.dir/ablation_convergence_model.cpp.o"
+  "CMakeFiles/ablation_convergence_model.dir/ablation_convergence_model.cpp.o.d"
+  "ablation_convergence_model"
+  "ablation_convergence_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_convergence_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deployment_strategy.dir/ablation_deployment_strategy.cpp.o"
+  "CMakeFiles/ablation_deployment_strategy.dir/ablation_deployment_strategy.cpp.o.d"
+  "ablation_deployment_strategy"
+  "ablation_deployment_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deployment_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_mode.dir/ablation_policy_mode.cpp.o"
+  "CMakeFiles/ablation_policy_mode.dir/ablation_policy_mode.cpp.o.d"
+  "ablation_policy_mode"
+  "ablation_policy_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

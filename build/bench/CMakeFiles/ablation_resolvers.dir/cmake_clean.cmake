@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resolvers.dir/ablation_resolvers.cpp.o"
+  "CMakeFiles/ablation_resolvers.dir/ablation_resolvers.cpp.o.d"
+  "ablation_resolvers"
+  "ablation_resolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

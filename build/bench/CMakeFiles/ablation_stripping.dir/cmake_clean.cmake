@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripping.dir/ablation_stripping.cpp.o"
+  "CMakeFiles/ablation_stripping.dir/ablation_stripping.cpp.o.d"
+  "ablation_stripping"
+  "ablation_stripping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exp3_partial_deployment.dir/fig11_exp3_partial_deployment.cpp.o"
+  "CMakeFiles/fig11_exp3_partial_deployment.dir/fig11_exp3_partial_deployment.cpp.o.d"
+  "fig11_exp3_partial_deployment"
+  "fig11_exp3_partial_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exp3_partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_moas_timeseries.dir/fig4_moas_timeseries.cpp.o"
+  "CMakeFiles/fig4_moas_timeseries.dir/fig4_moas_timeseries.cpp.o.d"
+  "fig4_moas_timeseries"
+  "fig4_moas_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_moas_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

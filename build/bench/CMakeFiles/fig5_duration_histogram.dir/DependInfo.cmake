@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_duration_histogram.cpp" "bench/CMakeFiles/fig5_duration_histogram.dir/fig5_duration_histogram.cpp.o" "gcc" "bench/CMakeFiles/fig5_duration_histogram.dir/fig5_duration_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/moas_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/moas_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/moas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

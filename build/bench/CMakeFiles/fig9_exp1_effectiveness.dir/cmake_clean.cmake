@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_exp1_effectiveness.dir/fig9_exp1_effectiveness.cpp.o"
+  "CMakeFiles/fig9_exp1_effectiveness.dir/fig9_exp1_effectiveness.cpp.o.d"
+  "fig9_exp1_effectiveness"
+  "fig9_exp1_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_exp1_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

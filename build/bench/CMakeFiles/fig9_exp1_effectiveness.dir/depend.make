@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_exp1_effectiveness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_moas_stats.dir/sec3_moas_stats.cpp.o"
+  "CMakeFiles/sec3_moas_stats.dir/sec3_moas_stats.cpp.o.d"
+  "sec3_moas_stats"
+  "sec3_moas_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_moas_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_demo.dir/hijack_demo.cpp.o"
+  "CMakeFiles/hijack_demo.dir/hijack_demo.cpp.o.d"
+  "hijack_demo"
+  "hijack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

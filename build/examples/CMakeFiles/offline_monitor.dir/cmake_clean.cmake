@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_monitor.dir/offline_monitor.cpp.o"
+  "CMakeFiles/offline_monitor.dir/offline_monitor.cpp.o.d"
+  "offline_monitor"
+  "offline_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aggregate.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/aggregate.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/aggregate.cpp.o.d"
+  "/root/repo/src/bgp/as_path.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/as_path.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/as_path.cpp.o.d"
+  "/root/repo/src/bgp/community.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/community.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/community.cpp.o.d"
+  "/root/repo/src/bgp/damping.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/damping.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/damping.cpp.o.d"
+  "/root/repo/src/bgp/network.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/network.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/network.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/router.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/router.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/router.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/session.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/session.cpp.o.d"
+  "/root/repo/src/bgp/wire.cpp" "src/bgp/CMakeFiles/moas_bgp.dir/wire.cpp.o" "gcc" "src/bgp/CMakeFiles/moas_bgp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_bgp.dir/aggregate.cpp.o"
+  "CMakeFiles/moas_bgp.dir/aggregate.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/as_path.cpp.o"
+  "CMakeFiles/moas_bgp.dir/as_path.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/community.cpp.o"
+  "CMakeFiles/moas_bgp.dir/community.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/damping.cpp.o"
+  "CMakeFiles/moas_bgp.dir/damping.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/network.cpp.o"
+  "CMakeFiles/moas_bgp.dir/network.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/policy.cpp.o"
+  "CMakeFiles/moas_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/rib.cpp.o"
+  "CMakeFiles/moas_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/route.cpp.o"
+  "CMakeFiles/moas_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/router.cpp.o"
+  "CMakeFiles/moas_bgp.dir/router.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/session.cpp.o"
+  "CMakeFiles/moas_bgp.dir/session.cpp.o.d"
+  "CMakeFiles/moas_bgp.dir/wire.cpp.o"
+  "CMakeFiles/moas_bgp.dir/wire.cpp.o.d"
+  "libmoas_bgp.a"
+  "libmoas_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

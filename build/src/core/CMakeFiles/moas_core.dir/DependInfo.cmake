@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarm.cpp" "src/core/CMakeFiles/moas_core.dir/alarm.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/alarm.cpp.o.d"
+  "/root/repo/src/core/attacker.cpp" "src/core/CMakeFiles/moas_core.dir/attacker.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/attacker.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/moas_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/moas_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/moas_list.cpp" "src/core/CMakeFiles/moas_core.dir/moas_list.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/moas_list.cpp.o.d"
+  "/root/repo/src/core/moasrr.cpp" "src/core/CMakeFiles/moas_core.dir/moasrr.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/moasrr.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/moas_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/moas_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/resolver.cpp" "src/core/CMakeFiles/moas_core.dir/resolver.cpp.o" "gcc" "src/core/CMakeFiles/moas_core.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/moas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/moas_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_core.dir/alarm.cpp.o"
+  "CMakeFiles/moas_core.dir/alarm.cpp.o.d"
+  "CMakeFiles/moas_core.dir/attacker.cpp.o"
+  "CMakeFiles/moas_core.dir/attacker.cpp.o.d"
+  "CMakeFiles/moas_core.dir/detector.cpp.o"
+  "CMakeFiles/moas_core.dir/detector.cpp.o.d"
+  "CMakeFiles/moas_core.dir/experiment.cpp.o"
+  "CMakeFiles/moas_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/moas_core.dir/moas_list.cpp.o"
+  "CMakeFiles/moas_core.dir/moas_list.cpp.o.d"
+  "CMakeFiles/moas_core.dir/moasrr.cpp.o"
+  "CMakeFiles/moas_core.dir/moasrr.cpp.o.d"
+  "CMakeFiles/moas_core.dir/monitor.cpp.o"
+  "CMakeFiles/moas_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/moas_core.dir/planner.cpp.o"
+  "CMakeFiles/moas_core.dir/planner.cpp.o.d"
+  "CMakeFiles/moas_core.dir/resolver.cpp.o"
+  "CMakeFiles/moas_core.dir/resolver.cpp.o.d"
+  "libmoas_core.a"
+  "libmoas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/dates.cpp" "src/measure/CMakeFiles/moas_measure.dir/dates.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/dates.cpp.o.d"
+  "/root/repo/src/measure/observer.cpp" "src/measure/CMakeFiles/moas_measure.dir/observer.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/observer.cpp.o.d"
+  "/root/repo/src/measure/report.cpp" "src/measure/CMakeFiles/moas_measure.dir/report.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/report.cpp.o.d"
+  "/root/repo/src/measure/snapshot.cpp" "src/measure/CMakeFiles/moas_measure.dir/snapshot.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/snapshot.cpp.o.d"
+  "/root/repo/src/measure/table_io.cpp" "src/measure/CMakeFiles/moas_measure.dir/table_io.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/table_io.cpp.o.d"
+  "/root/repo/src/measure/trace_gen.cpp" "src/measure/CMakeFiles/moas_measure.dir/trace_gen.cpp.o" "gcc" "src/measure/CMakeFiles/moas_measure.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/moas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

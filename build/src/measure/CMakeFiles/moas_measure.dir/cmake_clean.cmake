@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_measure.dir/dates.cpp.o"
+  "CMakeFiles/moas_measure.dir/dates.cpp.o.d"
+  "CMakeFiles/moas_measure.dir/observer.cpp.o"
+  "CMakeFiles/moas_measure.dir/observer.cpp.o.d"
+  "CMakeFiles/moas_measure.dir/report.cpp.o"
+  "CMakeFiles/moas_measure.dir/report.cpp.o.d"
+  "CMakeFiles/moas_measure.dir/snapshot.cpp.o"
+  "CMakeFiles/moas_measure.dir/snapshot.cpp.o.d"
+  "CMakeFiles/moas_measure.dir/table_io.cpp.o"
+  "CMakeFiles/moas_measure.dir/table_io.cpp.o.d"
+  "CMakeFiles/moas_measure.dir/trace_gen.cpp.o"
+  "CMakeFiles/moas_measure.dir/trace_gen.cpp.o.d"
+  "libmoas_measure.a"
+  "libmoas_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_net.dir/ipv4.cpp.o"
+  "CMakeFiles/moas_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/moas_net.dir/prefix.cpp.o"
+  "CMakeFiles/moas_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/moas_net.dir/prefix_set.cpp.o"
+  "CMakeFiles/moas_net.dir/prefix_set.cpp.o.d"
+  "libmoas_net.a"
+  "libmoas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

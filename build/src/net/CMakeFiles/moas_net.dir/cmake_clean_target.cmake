@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoas_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/moas_sim.dir/event_queue.cpp.o.d"
+  "libmoas_sim.a"
+  "libmoas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

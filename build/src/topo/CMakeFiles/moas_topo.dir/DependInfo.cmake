@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/gen_internet.cpp" "src/topo/CMakeFiles/moas_topo.dir/gen_internet.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/gen_internet.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/moas_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/infer.cpp" "src/topo/CMakeFiles/moas_topo.dir/infer.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/infer.cpp.o.d"
+  "/root/repo/src/topo/io.cpp" "src/topo/CMakeFiles/moas_topo.dir/io.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/io.cpp.o.d"
+  "/root/repo/src/topo/metrics.cpp" "src/topo/CMakeFiles/moas_topo.dir/metrics.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/metrics.cpp.o.d"
+  "/root/repo/src/topo/route_views.cpp" "src/topo/CMakeFiles/moas_topo.dir/route_views.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/route_views.cpp.o.d"
+  "/root/repo/src/topo/sampler.cpp" "src/topo/CMakeFiles/moas_topo.dir/sampler.cpp.o" "gcc" "src/topo/CMakeFiles/moas_topo.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/moas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

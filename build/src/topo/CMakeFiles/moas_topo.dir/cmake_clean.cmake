@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_topo.dir/gen_internet.cpp.o"
+  "CMakeFiles/moas_topo.dir/gen_internet.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/graph.cpp.o"
+  "CMakeFiles/moas_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/infer.cpp.o"
+  "CMakeFiles/moas_topo.dir/infer.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/io.cpp.o"
+  "CMakeFiles/moas_topo.dir/io.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/metrics.cpp.o"
+  "CMakeFiles/moas_topo.dir/metrics.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/route_views.cpp.o"
+  "CMakeFiles/moas_topo.dir/route_views.cpp.o.d"
+  "CMakeFiles/moas_topo.dir/sampler.cpp.o"
+  "CMakeFiles/moas_topo.dir/sampler.cpp.o.d"
+  "libmoas_topo.a"
+  "libmoas_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moas_util.dir/log.cpp.o"
+  "CMakeFiles/moas_util.dir/log.cpp.o.d"
+  "CMakeFiles/moas_util.dir/rng.cpp.o"
+  "CMakeFiles/moas_util.dir/rng.cpp.o.d"
+  "CMakeFiles/moas_util.dir/stats.cpp.o"
+  "CMakeFiles/moas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/moas_util.dir/strings.cpp.o"
+  "CMakeFiles/moas_util.dir/strings.cpp.o.d"
+  "CMakeFiles/moas_util.dir/table.cpp.o"
+  "CMakeFiles/moas_util.dir/table.cpp.o.d"
+  "libmoas_util.a"
+  "libmoas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

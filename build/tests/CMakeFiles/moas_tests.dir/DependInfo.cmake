@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bgp_aggregate.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_aggregate.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_aggregate.cpp.o.d"
+  "/root/repo/tests/test_bgp_as_path.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_as_path.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_as_path.cpp.o.d"
+  "/root/repo/tests/test_bgp_community.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_community.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_community.cpp.o.d"
+  "/root/repo/tests/test_bgp_convergence_property.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_convergence_property.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_convergence_property.cpp.o.d"
+  "/root/repo/tests/test_bgp_damping.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_damping.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_damping.cpp.o.d"
+  "/root/repo/tests/test_bgp_failure.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_failure.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_failure.cpp.o.d"
+  "/root/repo/tests/test_bgp_network.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_network.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_network.cpp.o.d"
+  "/root/repo/tests/test_bgp_policy.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_policy.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_policy.cpp.o.d"
+  "/root/repo/tests/test_bgp_rib.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_rib.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_rib.cpp.o.d"
+  "/root/repo/tests/test_bgp_router.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_router.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_router.cpp.o.d"
+  "/root/repo/tests/test_bgp_router_damping.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_router_damping.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_router_damping.cpp.o.d"
+  "/root/repo/tests/test_bgp_session.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_session.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_session.cpp.o.d"
+  "/root/repo/tests/test_bgp_wire.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_wire.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_wire.cpp.o.d"
+  "/root/repo/tests/test_bgp_wire_fuzz.cpp" "tests/CMakeFiles/moas_tests.dir/test_bgp_wire_fuzz.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_bgp_wire_fuzz.cpp.o.d"
+  "/root/repo/tests/test_core_attacker.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_attacker.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_attacker.cpp.o.d"
+  "/root/repo/tests/test_core_detector.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_detector.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_detector.cpp.o.d"
+  "/root/repo/tests/test_core_detector_aggregation.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_detector_aggregation.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_detector_aggregation.cpp.o.d"
+  "/root/repo/tests/test_core_experiment.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_experiment.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_experiment.cpp.o.d"
+  "/root/repo/tests/test_core_moas_list.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_moas_list.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_moas_list.cpp.o.d"
+  "/root/repo/tests/test_core_moasrr.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_moasrr.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_moasrr.cpp.o.d"
+  "/root/repo/tests/test_core_monitor.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_monitor.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_monitor.cpp.o.d"
+  "/root/repo/tests/test_core_planner.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_planner.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_planner.cpp.o.d"
+  "/root/repo/tests/test_core_resolver.cpp" "tests/CMakeFiles/moas_tests.dir/test_core_resolver.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_core_resolver.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/moas_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_integration_measurement.cpp" "tests/CMakeFiles/moas_tests.dir/test_integration_measurement.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_integration_measurement.cpp.o.d"
+  "/root/repo/tests/test_measure_dates.cpp" "tests/CMakeFiles/moas_tests.dir/test_measure_dates.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_measure_dates.cpp.o.d"
+  "/root/repo/tests/test_measure_observer.cpp" "tests/CMakeFiles/moas_tests.dir/test_measure_observer.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_measure_observer.cpp.o.d"
+  "/root/repo/tests/test_measure_table_io.cpp" "tests/CMakeFiles/moas_tests.dir/test_measure_table_io.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_measure_table_io.cpp.o.d"
+  "/root/repo/tests/test_measure_trace.cpp" "tests/CMakeFiles/moas_tests.dir/test_measure_trace.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_measure_trace.cpp.o.d"
+  "/root/repo/tests/test_net_ipv4.cpp" "tests/CMakeFiles/moas_tests.dir/test_net_ipv4.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_net_ipv4.cpp.o.d"
+  "/root/repo/tests/test_net_prefix.cpp" "tests/CMakeFiles/moas_tests.dir/test_net_prefix.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_net_prefix.cpp.o.d"
+  "/root/repo/tests/test_net_prefix_trie.cpp" "tests/CMakeFiles/moas_tests.dir/test_net_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_net_prefix_trie.cpp.o.d"
+  "/root/repo/tests/test_sim_event_queue.cpp" "tests/CMakeFiles/moas_tests.dir/test_sim_event_queue.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_sim_event_queue.cpp.o.d"
+  "/root/repo/tests/test_topo_gen.cpp" "tests/CMakeFiles/moas_tests.dir/test_topo_gen.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_topo_gen.cpp.o.d"
+  "/root/repo/tests/test_topo_graph.cpp" "tests/CMakeFiles/moas_tests.dir/test_topo_graph.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_topo_graph.cpp.o.d"
+  "/root/repo/tests/test_topo_infer.cpp" "tests/CMakeFiles/moas_tests.dir/test_topo_infer.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_topo_infer.cpp.o.d"
+  "/root/repo/tests/test_topo_sampler.cpp" "tests/CMakeFiles/moas_tests.dir/test_topo_sampler.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_topo_sampler.cpp.o.d"
+  "/root/repo/tests/test_util_assert.cpp" "tests/CMakeFiles/moas_tests.dir/test_util_assert.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_util_assert.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/moas_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/moas_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_util_strings.cpp" "tests/CMakeFiles/moas_tests.dir/test_util_strings.cpp.o" "gcc" "tests/CMakeFiles/moas_tests.dir/test_util_strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/moas_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/moas_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/moas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
