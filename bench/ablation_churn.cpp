@@ -1,0 +1,153 @@
+// Ablation — detection under churn: replay seeded fault schedules (link
+// flaps, session resets, router crashes, lossy links) underneath the
+// paper's attack workload and measure what background instability costs
+// the MOAS-list scheme. The run doubles as a robustness gate: every run is
+// audited by the network invariant checker, and moderate churn must not
+// blow adoption of false routes past 2x the fault-free baseline.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "bench_util.h"
+#include "moas/chaos/schedule.h"
+#include "moas/util/stats.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+namespace {
+
+struct Regime {
+  const char* label;
+  std::optional<chaos::ScheduleConfig> churn;
+  /// Gate this regime against 2x the fault-free adoption baseline. The
+  /// heavy regime is reported but not gated: sustained downtime genuinely
+  /// partitions ASes away from the valid origin, and what it must still
+  /// deliver is a clean invariant audit.
+  bool gated = true;
+};
+
+chaos::ScheduleConfig churn_regime(double flaps_per_link, double msg_fault_rate) {
+  chaos::ScheduleConfig config;
+  config.seed = 0xc0ffee;
+  config.horizon = 120.0;
+  config.flaps_per_link = flaps_per_link;
+  config.downtime_mean = 4.0;
+  config.session_resets_per_link = flaps_per_link / 2.0;
+  config.crashes_per_router = flaps_per_link / 10.0;
+  config.restart_delay_mean = 8.0;
+  config.msg_drop = msg_fault_rate;
+  config.msg_reorder = msg_fault_rate;
+  return config;
+}
+
+struct Cell {
+  double adopted_false = 0.0;  // mean fraction of non-attacker ASes
+  double no_route = 0.0;
+  double alarms = 0.0;
+  std::size_t fault_events = 0;
+  std::uint64_t message_faults = 0;
+  std::size_t violations = 0;
+};
+
+/// Mirrors Experiment::run_point (3 origin sets x 5 attacker sets), but
+/// keeps the churn bookkeeping run_point's SweepPoint drops.
+Cell run_cell(const core::Experiment& experiment, const topo::AsGraph& graph,
+              double attacker_fraction, util::Rng& rng) {
+  std::size_t num_attackers = static_cast<std::size_t>(
+      std::lround(attacker_fraction * static_cast<double>(graph.node_count())));
+  if (attacker_fraction > 0.0 && num_attackers == 0) num_attackers = 1;
+
+  Cell cell;
+  util::Accumulator adopted, no_route, alarms;
+  for (std::size_t i = 0; i < kOriginSets; ++i) {
+    const bgp::AsnSet origins = experiment.draw_origins(rng);
+    for (std::size_t j = 0; j < kAttackerSets; ++j) {
+      const bgp::AsnSet attackers = experiment.draw_attackers(num_attackers, origins, rng);
+      const core::RunResult run = experiment.run_with(origins, attackers, rng.next());
+      adopted.add(run.adopted_false_fraction());
+      no_route.add(run.no_route_fraction());
+      alarms.add(static_cast<double>(run.alarms));
+      cell.fault_events += run.fault_events;
+      cell.message_faults += run.message_faults;
+      cell.violations += run.invariant_report.size();
+      for (const std::string& violation : run.invariant_report) {
+        std::cerr << "invariant violation: " << violation << "\n";
+      }
+    }
+  }
+  cell.adopted_false = adopted.mean();
+  cell.no_route = no_route.mean();
+  cell.alarms = alarms.mean();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const topo::AsGraph& graph = paper_topology(460);
+
+  std::cout << "=== Ablation: detection under churn (fault schedules) ===\n";
+  std::cout << "seeded link flaps / session resets / router crashes / lossy links "
+               "replayed under the Section 5 attack workload; every run audited by "
+               "the network invariant checker\n\n";
+
+  const std::vector<Regime> regimes = {
+      {"none", std::nullopt},
+      {"mild", churn_regime(0.1, 0.0)},
+      {"moderate", churn_regime(0.2, 0.005)},
+      {"heavy", churn_regime(0.4, 0.02), /*gated=*/false},
+  };
+  const std::vector<double> fractions = {0.05, 0.20};
+
+  util::TablePrinter table({"churn", "attacker_pct", "adopting_false_pct", "no_route_pct",
+                            "alarms_per_run", "fault_events", "msg_faults", "violations"});
+  bool ok = true;
+  std::vector<double> baseline(fractions.size(), 0.0);
+  for (const Regime& regime : regimes) {
+    core::ExperimentConfig config;
+    config.deployment = core::Deployment::Full;
+    config.strategy = core::AttackerStrategy::OwnList;
+    config.churn = regime.churn;
+    config.check_invariants = true;
+    core::Experiment experiment(graph, config);
+    util::Rng rng(42);  // same workload draws per regime
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      const Cell cell = run_cell(experiment, graph, fractions[f], rng);
+      table.add_row({regime.label, util::fmt_double(fractions[f] * 100.0, 0),
+                     util::fmt_double(cell.adopted_false * 100.0, 2),
+                     util::fmt_double(cell.no_route * 100.0, 2),
+                     util::fmt_double(cell.alarms, 1), std::to_string(cell.fault_events),
+                     std::to_string(cell.message_faults), std::to_string(cell.violations)});
+      if (cell.violations > 0) {
+        ok = false;
+        std::cerr << "FAIL: " << cell.violations << " invariant violations under '"
+                  << regime.label << "' churn\n";
+      }
+      if (regime.churn == std::nullopt) {
+        baseline[f] = cell.adopted_false;
+      } else if (regime.gated) {
+        // Churn may cost some adoption (flapped-away valid paths let a false
+        // route in), but full deployment must stay within 2x the fault-free
+        // baseline (absolute floor 1% guards a near-zero baseline).
+        const double allowed = std::max(2.0 * baseline[f], 0.01);
+        if (cell.adopted_false > allowed) {
+          ok = false;
+          std::cerr << "FAIL: adoption " << cell.adopted_false << " under '" << regime.label
+                    << "' churn exceeds 2x baseline " << baseline[f] << "\n";
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nfull-deployment detection holds under churn: flaps delay convergence "
+               "and raise alarm counts, but resolution still pins the true origins and "
+               "the post-quiescence network state audits clean.\n";
+  if (!ok) {
+    std::cerr << "\nCHURN ABLATION FAILED\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

@@ -2,10 +2,14 @@
 //
 // The Network owns one Router per AS, delivers updates over links with
 // configurable delay (plus seeded jitter so message races are explored), and
-// runs the whole system to quiescence.
+// runs the whole system to quiescence. Fault injection happens here: links
+// fail and recover, sessions reset, routers crash and cold-restart, and a
+// message tap (chaos::ChaosEngine) may drop, duplicate, delay or corrupt
+// every update handed to the transport.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -26,8 +30,31 @@ class Network {
     double link_delay = 0.05;
     /// Uniform extra delay in [0, jitter) added per message.
     double jitter = 0.02;
+    /// How long a torn-down session takes to re-establish (reset_session
+    /// and tap-triggered resets).
+    double session_reestablish_delay = 1.0;
     std::uint64_t seed = 1;
   };
+
+  /// Verdict a message tap returns for one in-flight update.
+  struct TapVerdict {
+    enum class Action {
+      Deliver,       // pass through (possibly rewritten / duplicated)
+      Drop,          // lose the message silently
+      ResetSession,  // receiver detects garbage: NOTIFICATION + session reset
+    };
+    Action action = Action::Deliver;
+    /// When Action::Deliver: what actually goes on the wire. Empty means
+    /// "the original update, unchanged"; several entries model duplication
+    /// or a corrupted message that decoded into different routes.
+    std::vector<Update> deliveries;
+    /// Extra latency for this message only.
+    double extra_delay = 0.0;
+    /// Allow the delayed message to overtake / be overtaken (bypasses the
+    /// per-link FIFO clamp — the reorder fault).
+    bool allow_reorder = false;
+  };
+  using MessageTap = std::function<TapVerdict(Asn from, Asn to, const Update& update)>;
 
   Network();  // default Config
   explicit Network(Config config);
@@ -45,6 +72,10 @@ class Network {
   const Router& router(Asn asn) const;
   std::vector<Asn> asns() const;
   std::size_t size() const { return routers_.size(); }
+
+  /// Every peering as an unordered pair (a < b), sorted — the link list
+  /// fault schedules draw from.
+  std::vector<std::pair<Asn, Asn>> links() const;
 
   sim::EventQueue& clock() { return clock_; }
   const sim::EventQueue& clock() const { return clock_; }
@@ -64,11 +95,41 @@ class Network {
   void set_link_up(Asn a, Asn b, bool up);
   bool link_up(Asn a, Asn b) const;
 
+  /// Tear the session between a and b down now and re-establish it after
+  /// `reestablish_delay` (<= 0 uses the configured default). Both routers
+  /// flush and later replay their tables — the BGP session-reset fault.
+  /// No-op if the link is already down; the re-establishment yields to any
+  /// longer-lived link failure injected in the meantime.
+  void reset_session(Asn a, Asn b, double reestablish_delay = 0.0);
+
+  /// Crash `asn`: every session to it drops, peers flush its routes, and
+  /// the router loses all protocol state (local originations survive as
+  /// configuration). In-flight messages to and from it are lost.
+  void crash_router(Asn asn);
+
+  /// Cold restart after crash_router: local prefixes are re-announced and
+  /// every live link re-establishes its session (initial route exchange).
+  void restart_router(Asn asn);
+
+  bool router_crashed(Asn asn) const { return crashed_.contains(asn); }
+
+  /// Install (or clear, with nullptr) the message tap consulted for every
+  /// update handed to the transport.
+  void set_message_tap(MessageTap tap) { tap_ = std::move(tap); }
+
+  /// TEST ONLY: mark the link failed *without* the session-down
+  /// bookkeeping (no flush, no withdraw). This deliberately corrupts the
+  /// network — it exists so the invariant checker's negative tests can
+  /// manufacture an inconsistency through a public entry point.
+  void sever_link_silently(Asn a, Asn b);
+
   /// Messages dropped because their link was down when they would arrive.
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   void deliver(Asn from, Asn to, const Update& update);
+  void schedule_delivery(Asn from, Asn to, const Update& update, double extra_delay,
+                         bool allow_reorder);
 
   Config config_;
   sim::EventQueue clock_;
@@ -79,6 +140,12 @@ class Network {
   std::map<std::pair<Asn, Asn>, sim::Time> link_clock_;
   /// Links currently failed (unordered endpoint pair stored as a < b).
   std::set<std::pair<Asn, Asn>> failed_links_;
+  /// Bumped every time a link goes down; a scheduled session
+  /// re-establishment only restores the link if no newer failure was
+  /// injected in the meantime.
+  std::map<std::pair<Asn, Asn>, std::uint64_t> link_down_epoch_;
+  std::set<Asn> crashed_;
+  MessageTap tap_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
 };

@@ -97,12 +97,29 @@ class Router final : public RouterContext {
 
   /// Session with `peer` went down: flush everything learned from it,
   /// reselect, and forget what was advertised to it (nothing can be
-  /// withdrawn over a dead session).
+  /// withdrawn over a dead session). While the session is down nothing is
+  /// transmitted to the peer and no advertised-state is booked — a dead
+  /// session cannot carry updates. Idempotent.
   void peer_down(Asn peer);
 
   /// Session with `peer` came (back) up: advertise the current Loc-RIB to
   /// it, as the initial route exchange after session establishment does.
   void peer_up(Asn peer);
+
+  /// True while the session with `peer` is considered up (add_peer starts
+  /// it up; peer_down/peer_up toggle it).
+  bool peer_session_up(Asn peer) const;
+
+  /// Crash: lose every piece of protocol state — Adj-RIB-In, Loc-RIB,
+  /// per-peer advertisement bookkeeping, damping history, validator memory
+  /// (ImportValidator::on_reset). Local originations are configuration and
+  /// survive; restart() re-announces them cold. All sessions drop.
+  void crash();
+
+  /// Cold restart after crash(): reinstall local originations into the
+  /// Loc-RIB. Sessions stay down until peer_up is driven (by the Network)
+  /// for each live link.
+  void restart();
 
   // --- queries ---------------------------------------------------------------
 
@@ -115,6 +132,23 @@ class Router final : public RouterContext {
   const AdjRibIn& adj_rib_in() const { return adj_in_; }
   const LocRib& loc_rib() const { return loc_rib_; }
   bool originates(const net::Prefix& prefix) const { return local_.contains(prefix); }
+  bool has_export_filter() const { return static_cast<bool>(export_filter_); }
+
+  // --- audit queries (chaos::NetworkInvariantChecker) -----------------------
+
+  /// The route this router last put on the wire toward `peer` for `prefix`
+  /// (nullptr if nothing outstanding). Mirrors what the peer's Adj-RIB-In
+  /// must hold at quiescence.
+  const Route* advertised_to(Asn peer, const net::Prefix& prefix) const;
+
+  /// Prefixes with an outstanding advertisement toward `peer`.
+  std::vector<net::Prefix> advertised_prefixes(Asn peer) const;
+
+  /// Recompute, from current Loc-RIB + export policy + split horizon, what
+  /// this router would advertise to `peer` for `prefix` right now (nullopt:
+  /// nothing / withdraw). At quiescence this must agree with advertised_to
+  /// for filter-free routers.
+  std::optional<Route> rebuild_export(Asn peer, const net::Prefix& prefix) const;
 
   struct Stats {
     std::uint64_t updates_received = 0;
@@ -132,10 +166,14 @@ class Router final : public RouterContext {
   sim::Time current_time() const override { return clock_ ? clock_->now() : 0.0; }
   std::size_t invalidate_origins(const net::Prefix& prefix,
                                  const AsnSet& false_origins) override;
+  AsnSet accepted_origins(const net::Prefix& prefix) const override;
 
  private:
   struct PeerState {
     Relationship rel = Relationship::Peer;
+    /// Session liveness: while false, nothing is sent and nothing is booked
+    /// as advertised (updates cannot cross a dead session).
+    bool session_up = true;
     /// What we last advertised for each prefix (for withdraw bookkeeping
     /// and duplicate suppression).
     std::map<net::Prefix, Route> advertised;

@@ -16,6 +16,7 @@
 #include "moas/bgp/asn.h"
 #include "moas/bgp/wire.h"
 #include "moas/sim/event_queue.h"
+#include "moas/util/rng.h"
 
 namespace moas::bgp {
 
@@ -38,6 +39,18 @@ class Session {
     sim::Time hold_time = 90.0;
     sim::Time keepalive_interval = 30.0;  // canonical: hold/3
     sim::Time connect_retry = 120.0;
+    /// Exponential backoff applied to the connect-retry timer while the
+    /// transport keeps failing: each retry multiplies the interval by
+    /// `connect_retry_backoff` up to `connect_retry_cap`; establishment
+    /// resets it to `connect_retry`. Factor 1 restores RFC 4271's fixed
+    /// timer.
+    double connect_retry_backoff = 2.0;
+    sim::Time connect_retry_cap = 960.0;
+    /// Uniform jitter in [0, fraction * interval) added to every retry so a
+    /// fleet of resetting sessions does not thunder in lock-step. Seeded —
+    /// the same (seed, local_as) reproduces the same retry train.
+    double connect_retry_jitter = 0.25;
+    std::uint64_t seed = 0;
   };
 
   /// Callbacks: `send` transmits raw wire bytes toward the peer; `on_up` /
@@ -58,8 +71,21 @@ class Session {
   void tcp_connected();  // the underlying transport came up
   void tcp_failed();     // connection attempt failed / transport lost
 
-  /// A message arrived from the peer (raw wire bytes).
+  /// A message arrived from the peer (raw wire bytes). Malformed input maps
+  /// to the proper RFC 4271 NOTIFICATION (code + subcode from the decoder)
+  /// and a session reset — never an assert and never a silently-installed
+  /// garbage route.
   void receive(std::span<const std::uint8_t> data);
+
+  /// Routing payload hook: decoded UPDATE messages received while
+  /// Established are handed here (the Router wires itself in).
+  void set_update_handler(std::function<void(const wire::UpdateMessage&)> handler) {
+    on_update_ = std::move(handler);
+  }
+
+  /// The interval the next connect retry will be scheduled with (before
+  /// jitter); exposed for backoff tests.
+  sim::Time current_connect_retry() const { return next_connect_retry_; }
 
   struct Stats {
     std::uint64_t opens_sent = 0;
@@ -67,6 +93,11 @@ class Session {
     std::uint64_t notifications_sent = 0;
     std::uint64_t hold_expirations = 0;
     std::uint64_t times_established = 0;
+    std::uint64_t connect_retries = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t malformed_messages = 0;  // wire errors that reset the session
+    std::uint8_t last_notification_code = 0;
+    std::uint8_t last_notification_subcode = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -87,12 +118,15 @@ class Session {
   std::function<void(std::vector<std::uint8_t>)> send_;
   std::function<void()> on_up_;
   std::function<void()> on_down_;
+  std::function<void(const wire::UpdateMessage&)> on_update_;
 
   SessionState state_ = SessionState::Idle;
   sim::EventId hold_timer_ = 0;
   sim::EventId keepalive_timer_ = 0;
   sim::EventId connect_retry_timer_ = 0;
   sim::Time negotiated_hold_ = 0.0;
+  sim::Time next_connect_retry_ = 0.0;  // backoff state; 0 = start from base
+  util::Rng jitter_rng_;
   Stats stats_;
 };
 

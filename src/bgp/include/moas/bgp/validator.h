@@ -30,6 +30,13 @@ class RouterContext {
   /// already-installed routes turn out to be bogus.
   virtual std::size_t invalidate_origins(const net::Prefix& prefix,
                                          const AsnSet& false_origins) = 0;
+
+  /// The union of origin candidates across the routes already accepted for
+  /// `prefix` (the Adj-RIB-In). A validator whose own memory was purged —
+  /// churn flushed the supporting peer, or the router cold-restarted — can
+  /// rebuild its reference from this live evidence instead of blindly
+  /// re-adopting the next announcement it happens to hear.
+  virtual AsnSet accepted_origins(const net::Prefix& /*prefix*/) const { return {}; }
 };
 
 /// Decides whether an arriving announcement may enter the Adj-RIB-In.
@@ -43,6 +50,16 @@ class ImportValidator {
   /// Observe withdrawals (default: ignore).
   virtual void on_withdraw(const net::Prefix& /*prefix*/, Asn /*from_peer*/,
                            RouterContext& /*ctx*/) {}
+
+  /// The session with `peer` went down and its routes were flushed. A
+  /// stateful validator must drop whatever evidence hinged solely on that
+  /// peer — the peer will cold-announce from scratch when it returns
+  /// (default: ignore).
+  virtual void on_peer_down(Asn /*peer*/, RouterContext& /*ctx*/) {}
+
+  /// The hosting router crashed and lost all protocol state. Validator
+  /// memory does not survive a cold restart (default: ignore).
+  virtual void on_reset(RouterContext& /*ctx*/) {}
 };
 
 /// The default validator: plain BGP, accept everything.

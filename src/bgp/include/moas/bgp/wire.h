@@ -20,10 +20,49 @@
 
 namespace moas::bgp::wire {
 
-/// Malformed input while decoding.
+/// NOTIFICATION error codes (RFC 4271 §6.1).
+enum class ErrorCode : std::uint8_t {
+  MessageHeader = 1,
+  OpenMessage = 2,
+  UpdateMessage = 3,
+  HoldTimerExpired = 4,
+  FsmError = 5,
+  Cease = 6,
+};
+
+// Message Header Error subcodes (§6.2).
+inline constexpr std::uint8_t kHdrNotSynchronized = 1;
+inline constexpr std::uint8_t kHdrBadLength = 2;
+inline constexpr std::uint8_t kHdrBadType = 3;
+
+// OPEN Message Error subcodes (§6.3).
+inline constexpr std::uint8_t kOpenUnsupportedVersion = 1;
+inline constexpr std::uint8_t kOpenUnacceptableHoldTime = 6;
+
+// UPDATE Message Error subcodes (§6.4).
+inline constexpr std::uint8_t kUpdMalformedAttrList = 1;
+inline constexpr std::uint8_t kUpdUnrecognizedWellKnown = 2;
+inline constexpr std::uint8_t kUpdMissingWellKnown = 3;
+inline constexpr std::uint8_t kUpdAttrLengthError = 5;
+inline constexpr std::uint8_t kUpdInvalidOrigin = 6;
+inline constexpr std::uint8_t kUpdInvalidNetworkField = 10;
+inline constexpr std::uint8_t kUpdMalformedAsPath = 11;
+
+/// Malformed input while decoding. Carries the RFC 4271 NOTIFICATION error
+/// code + subcode a session must send before resetting, so the FSM never
+/// has to guess what went wrong.
 class WireError : public std::runtime_error {
  public:
-  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+  WireError(ErrorCode code, std::uint8_t subcode, const std::string& what)
+      : std::runtime_error(what), code_(code), subcode_(subcode) {}
+
+  ErrorCode code() const { return code_; }
+  std::uint8_t code_octet() const { return static_cast<std::uint8_t>(code_); }
+  std::uint8_t subcode() const { return subcode_; }
+
+ private:
+  ErrorCode code_;
+  std::uint8_t subcode_;
 };
 
 /// Message types (RFC 4271 §4.1).

@@ -1,5 +1,7 @@
 #include "moas/bgp/network.h"
 
+#include <algorithm>
+
 #include "moas/util/assert.h"
 
 namespace moas::bgp {
@@ -9,6 +11,8 @@ Network::Network() : Network(Config()) {}
 Network::Network(Config config) : config_(config), rng_(config.seed) {
   MOAS_REQUIRE(config_.link_delay >= 0.0, "link delay must be non-negative");
   MOAS_REQUIRE(config_.jitter >= 0.0, "jitter must be non-negative");
+  MOAS_REQUIRE(config_.session_reestablish_delay > 0.0,
+               "session re-establishment delay must be positive");
 }
 
 Router& Network::add_router(Asn asn) {
@@ -46,6 +50,19 @@ std::vector<Asn> Network::asns() const {
   return out;
 }
 
+std::vector<std::pair<Asn, Asn>> Network::links() const {
+  std::vector<std::pair<Asn, Asn>> out;
+  for (const auto& [asn, router] : routers_) {
+    for (Asn peer : router->peers()) {
+      if (asn < peer) out.emplace_back(asn, peer);
+    }
+  }
+  // routers_ iterates in ASN order and peers() is sorted, so this is already
+  // sorted — keep the guarantee explicit for schedule determinism.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool Network::run_to_quiescence(std::size_t max_events) {
   return clock_.run(max_events) < max_events || clock_.empty();
 }
@@ -55,10 +72,14 @@ void Network::set_link_up(Asn a, Asn b, bool up) {
   const auto key = std::minmax(a, b);
   if (!up) {
     if (!failed_links_.insert(key).second) return;  // already down
+    ++link_down_epoch_[key];
     router(a).peer_down(b);
     router(b).peer_down(a);
   } else {
     if (failed_links_.erase(key) == 0) return;  // already up
+    // A crashed endpoint keeps the session down even though the physical
+    // link recovered; restart_router brings it up then.
+    if (crashed_.contains(a) || crashed_.contains(b)) return;
     router(a).peer_up(b);
     router(b).peer_up(a);
   }
@@ -68,25 +89,113 @@ bool Network::link_up(Asn a, Asn b) const {
   return !failed_links_.contains(std::minmax(a, b));
 }
 
+void Network::reset_session(Asn a, Asn b, double reestablish_delay) {
+  MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
+  const auto key = std::minmax(a, b);
+  if (failed_links_.contains(key)) return;  // already down; nothing to reset
+  if (reestablish_delay <= 0.0) reestablish_delay = config_.session_reestablish_delay;
+  set_link_up(a, b, false);
+  // Only restore if no *newer* failure hit the link while we were waiting:
+  // a longer-lived link flap injected after this reset owns the recovery.
+  const std::uint64_t epoch = link_down_epoch_[key];
+  clock_.schedule_after(reestablish_delay, [this, key, epoch] {
+    if (link_down_epoch_[key] != epoch) return;
+    set_link_up(key.first, key.second, true);
+  });
+}
+
+void Network::crash_router(Asn asn) {
+  Router& r = router(asn);
+  if (!crashed_.insert(asn).second) return;  // already down
+  // Sessions drop on both sides; marking the link epochs makes any pending
+  // session-reset restore yield, and `crashed_` makes deliver() drop
+  // whatever is still in flight to or from the dead router.
+  for (Asn peer : r.peers()) {
+    const auto key = std::minmax(asn, peer);
+    ++link_down_epoch_[key];
+    if (!failed_links_.contains(key)) router(peer).peer_down(asn);
+  }
+  r.crash();
+}
+
+void Network::restart_router(Asn asn) {
+  Router& r = router(asn);
+  if (crashed_.erase(asn) == 0) return;  // not crashed
+  r.restart();
+  // Initial route exchange on every operational link (the cold-start
+  // re-announcement). Links that are failed, or whose far end is itself
+  // crashed, stay down until their own recovery drives peer_up.
+  for (Asn peer : r.peers()) {
+    if (failed_links_.contains(std::minmax(asn, peer))) continue;
+    if (crashed_.contains(peer)) continue;
+    r.peer_up(peer);
+    router(peer).peer_up(asn);
+  }
+}
+
+void Network::sever_link_silently(Asn a, Asn b) {
+  MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
+  const auto key = std::minmax(a, b);
+  failed_links_.insert(key);
+  ++link_down_epoch_[key];
+}
+
 void Network::deliver(Asn from, Asn to, const Update& update) {
-  if (!link_up(from, to)) {
+  if (!link_up(from, to) || crashed_.contains(from) || crashed_.contains(to)) {
     ++messages_dropped_;
     return;
   }
   ++messages_sent_;
-  const double delay =
-      config_.link_delay + (config_.jitter > 0.0 ? rng_.uniform01() * config_.jitter : 0.0);
+  if (tap_) {
+    TapVerdict verdict = tap_(from, to, update);
+    switch (verdict.action) {
+      case TapVerdict::Action::Drop:
+        ++messages_dropped_;
+        return;
+      case TapVerdict::Action::ResetSession:
+        // The receiver decoded garbage: NOTIFICATION + session teardown.
+        ++messages_dropped_;
+        reset_session(from, to);
+        return;
+      case TapVerdict::Action::Deliver:
+        if (!verdict.deliveries.empty()) {
+          for (const Update& replacement : verdict.deliveries) {
+            schedule_delivery(from, to, replacement, verdict.extra_delay,
+                              verdict.allow_reorder);
+          }
+          return;
+        }
+        schedule_delivery(from, to, update, verdict.extra_delay, verdict.allow_reorder);
+        return;
+    }
+  }
+  schedule_delivery(from, to, update, 0.0, false);
+}
+
+void Network::schedule_delivery(Asn from, Asn to, const Update& update, double extra_delay,
+                                bool allow_reorder) {
+  const double delay = config_.link_delay + extra_delay +
+                       (config_.jitter > 0.0 ? rng_.uniform01() * config_.jitter : 0.0);
   // FIFO per directed link: a BGP session is a TCP stream, so a later
   // update must never overtake an earlier one (an overtaken stale
   // announcement would act as a bogus implicit withdraw at the receiver).
+  // The reorder fault deliberately breaks this by bypassing the clamp.
   sim::Time at = clock_.now() + delay;
   auto& last = link_clock_[{from, to}];
-  if (at <= last) at = last + 1e-9;
-  last = at;
+  if (!allow_reorder) {
+    if (at <= last) at = last + 1e-9;
+    last = at;
+  } else if (at > last) {
+    last = at;
+  }
   // Copy the update into the event: the sender may mutate its state freely
   // while the message is "on the wire".
   clock_.schedule_at(at, [this, from, to, update] {
     if (!link_up(from, to)) {  // the link failed while the message was in flight
+      ++messages_dropped_;
+      return;
+    }
+    if (crashed_.contains(from) || crashed_.contains(to)) {
       ++messages_dropped_;
       return;
     }

@@ -114,19 +114,76 @@ void Router::handle_update(Asn from, const Update& update) {
 void Router::peer_down(Asn peer) {
   auto it = peers_.find(peer);
   MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  if (!it->second.session_up) return;  // already down
+  it->second.session_up = false;
   if (damper_) damper_->clear_peer(peer);
   it->second.advertised.clear();
   it->second.pending.clear();
   it->second.next_allowed.clear();
+  validator_->on_peer_down(peer, *this);
   for (const net::Prefix& prefix : adj_in_.erase_peer(peer)) decide(prefix);
 }
 
 void Router::peer_up(Asn peer) {
   auto it = peers_.find(peer);
   MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  it->second.session_up = true;
   for (const net::Prefix& prefix : loc_rib_.prefixes()) {
     send_to_peer(peer, it->second, prefix);
   }
+}
+
+bool Router::peer_session_up(Asn peer) const {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  return it->second.session_up;
+}
+
+void Router::crash() {
+  for (auto& [peer, state] : peers_) {
+    state.session_up = false;
+    state.advertised.clear();
+    state.pending.clear();
+    state.next_allowed.clear();
+    if (damper_) damper_->clear_peer(peer);
+  }
+  adj_in_ = AdjRibIn();
+  loc_rib_ = LocRib();
+  validator_->on_reset(*this);
+}
+
+void Router::restart() {
+  // Cold re-announcement: local originations are configuration, so they
+  // come back; everything learned is gone until peers resend it. Sessions
+  // are still down here, so decide() installs without exporting — the
+  // Network drives peer_up per live link, which transmits.
+  for (const auto& [prefix, _] : local_) decide(prefix);
+}
+
+const Route* Router::advertised_to(Asn peer, const net::Prefix& prefix) const {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  auto entry = it->second.advertised.find(prefix);
+  return entry == it->second.advertised.end() ? nullptr : &entry->second;
+}
+
+std::vector<net::Prefix> Router::advertised_prefixes(Asn peer) const {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  std::vector<net::Prefix> out;
+  out.reserve(it->second.advertised.size());
+  for (const auto& [prefix, _] : it->second.advertised) out.push_back(prefix);
+  return out;
+}
+
+std::optional<Route> Router::rebuild_export(Asn peer, const net::Prefix& prefix) const {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  std::optional<Update> desired = build_export(it->second, prefix);
+  if (!desired) return std::nullopt;
+  const RibEntry* entry = loc_rib_.best(prefix);
+  if (entry && entry->learned_from == peer) return std::nullopt;  // split horizon
+  return std::move(desired->route);
 }
 
 std::optional<Asn> Router::best_origin(const net::Prefix& prefix) const {
@@ -140,6 +197,14 @@ std::size_t Router::invalidate_origins(const net::Prefix& prefix,
   const std::size_t n = adj_in_.erase_by_origin(prefix, false_origins);
   if (n > 0) decide(prefix);
   return n;
+}
+
+AsnSet Router::accepted_origins(const net::Prefix& prefix) const {
+  AsnSet origins;
+  for (const RibEntry* entry : adj_in_.candidates(prefix)) {
+    for (Asn asn : entry->route.origin_candidates()) origins.insert(asn);
+  }
+  return origins;
 }
 
 void Router::decide(const net::Prefix& prefix) {
@@ -226,6 +291,12 @@ std::optional<Update> Router::build_export(const PeerState& state,
 }
 
 void Router::send_to_peer(Asn peer, PeerState& state, const net::Prefix& prefix) {
+  // Nothing crosses a dead session, and nothing may be booked as
+  // advertised either — peer_up will replay the Loc-RIB when the session
+  // returns (booking here would let duplicate suppression swallow the
+  // replay and leave the peer permanently stale).
+  if (!state.session_up) return;
+
   std::optional<Update> desired = build_export(state, prefix);
 
   // Sender-side split horizon: never advertise a route back to the peer it
@@ -240,18 +311,22 @@ void Router::send_to_peer(Asn peer, PeerState& state, const net::Prefix& prefix)
     if (advertised != state.advertised.end() && advertised->second == *desired->route) {
       return;  // duplicate suppression
     }
+    // A suppressed update is never booked: the peer keeps whatever it last
+    // heard, and the bookkeeping must say so or a later resend would be
+    // wrongly deduplicated.
+    if (export_filter_ && !export_filter_(*desired, peer)) return;
     state.advertised[prefix] = *desired->route;
     transmit(peer, state, std::move(*desired));
   } else {
     if (advertised == state.advertised.end()) return;
+    Update withdraw = Update::withdraw(prefix);
+    if (export_filter_ && !export_filter_(withdraw, peer)) return;
     state.advertised.erase(advertised);
-    transmit(peer, state, Update::withdraw(prefix));
+    transmit(peer, state, std::move(withdraw));
   }
 }
 
 void Router::transmit(Asn peer, PeerState& state, Update update) {
-  if (export_filter_ && !export_filter_(update, peer)) return;
-
   const net::Prefix prefix = update.prefix;
   if (mrai_ > 0.0 && clock_) {
     auto it = state.next_allowed.find(prefix);

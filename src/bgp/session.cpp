@@ -9,7 +9,9 @@ namespace moas::bgp {
 namespace {
 
 // NOTIFICATION error codes (RFC 4271 §6).
+constexpr std::uint8_t kErrOpenMessage = 2;
 constexpr std::uint8_t kErrHoldTimerExpired = 4;
+constexpr std::uint8_t kErrFsm = 5;
 constexpr std::uint8_t kErrCease = 6;
 
 }  // namespace
@@ -32,16 +34,25 @@ Session::Session(Config config, sim::EventQueue& clock,
       clock_(clock),
       send_(std::move(send)),
       on_up_(std::move(on_up)),
-      on_down_(std::move(on_down)) {
+      on_down_(std::move(on_down)),
+      jitter_rng_(config.seed ^ (0x5e5510ULL << 16) ^ config.local_as) {
   MOAS_REQUIRE(config_.local_as != kNoAs, "session needs a local ASN");
   MOAS_REQUIRE(config_.local_as <= 0xffffu, "wire format carries 2-octet ASNs");
   MOAS_REQUIRE(static_cast<bool>(send_), "session needs a transmit callback");
   MOAS_REQUIRE(config_.hold_time == 0.0 || config_.hold_time >= 3.0,
                "hold time must be zero or >= 3 seconds");
+  MOAS_REQUIRE(config_.connect_retry > 0.0, "connect-retry interval must be positive");
+  MOAS_REQUIRE(config_.connect_retry_backoff >= 1.0,
+               "connect-retry backoff factor must be >= 1");
+  MOAS_REQUIRE(config_.connect_retry_cap >= config_.connect_retry,
+               "connect-retry cap must be >= the base interval");
+  MOAS_REQUIRE(config_.connect_retry_jitter >= 0.0 && config_.connect_retry_jitter < 1.0,
+               "connect-retry jitter must be a fraction in [0, 1)");
 }
 
 void Session::start() {
   if (state_ != SessionState::Idle) return;
+  next_connect_retry_ = 0.0;  // fresh ManualStart: backoff state clears
   enter(SessionState::Connect);
   arm_connect_retry();
 }
@@ -54,6 +65,7 @@ void Session::stop() {
 void Session::tcp_connected() {
   if (state_ != SessionState::Connect) return;
   clock_.cancel(connect_retry_timer_);
+  connect_retry_timer_ = 0;
   send_open();
   enter(SessionState::OpenSent);
   arm_hold_timer();
@@ -75,8 +87,9 @@ void Session::receive(std::span<const std::uint8_t> data) {
   wire::MessageType type;
   try {
     type = wire::message_type(data);
-  } catch (const wire::WireError&) {
-    reset_to_idle(/*notify_peer=*/true, 1 /*message header error*/, 0);
+  } catch (const wire::WireError& e) {
+    ++stats_.malformed_messages;
+    reset_to_idle(/*notify_peer=*/true, e.code_octet(), e.subcode());
     return;
   }
 
@@ -84,14 +97,18 @@ void Session::receive(std::span<const std::uint8_t> data) {
     case wire::MessageType::Open: {
       if (state_ != SessionState::OpenSent) {
         // An OPEN in OpenConfirm/Established is a protocol error.
-        reset_to_idle(true, 5 /*FSM error*/, 0);
+        reset_to_idle(true, kErrFsm, 0);
         return;
       }
       wire::OpenMessage open;
       try {
         open = wire::decode_open(data);
-      } catch (const wire::WireError&) {
-        reset_to_idle(true, 2 /*OPEN message error*/, 0);
+      } catch (const wire::WireError& e) {
+        ++stats_.malformed_messages;
+        const bool open_error = e.code() == wire::ErrorCode::OpenMessage ||
+                                e.code() == wire::ErrorCode::MessageHeader;
+        reset_to_idle(true, open_error ? e.code_octet() : kErrOpenMessage,
+                      open_error ? e.subcode() : 0);
         return;
       }
       negotiated_hold_ = std::min<sim::Time>(config_.hold_time, open.hold_time);
@@ -104,24 +121,36 @@ void Session::receive(std::span<const std::uint8_t> data) {
       if (state_ == SessionState::OpenConfirm) {
         enter(SessionState::Established);
         ++stats_.times_established;
+        next_connect_retry_ = 0.0;  // healthy again: backoff resets
         arm_hold_timer();
         arm_keepalive_timer();
         if (on_up_) on_up_();
       } else if (state_ == SessionState::Established) {
         arm_hold_timer();
       } else {
-        reset_to_idle(true, 5, 0);
+        reset_to_idle(true, kErrFsm, 0);
       }
       break;
     }
     case wire::MessageType::Update: {
       if (state_ != SessionState::Established) {
-        reset_to_idle(true, 5, 0);
+        reset_to_idle(true, kErrFsm, 0);
         return;
       }
+      // The payload travels the RFC 4271 wire path: a decode failure is a
+      // NOTIFICATION with the decoder's error code and a session reset, so
+      // a truncated or bit-flipped UPDATE can never install garbage.
+      wire::UpdateMessage message;
+      try {
+        message = wire::decode_update(data);
+      } catch (const wire::WireError& e) {
+        ++stats_.malformed_messages;
+        reset_to_idle(true, e.code_octet(), e.subcode());
+        return;
+      }
+      ++stats_.updates_received;
       arm_hold_timer();  // any message refreshes the hold timer
-      // Routing payload handling lives in the Router; the FSM only tracks
-      // liveness.
+      if (on_update_) on_update_(message);
       break;
     }
     case wire::MessageType::Notification: {
@@ -152,6 +181,8 @@ void Session::send_keepalive() {
 
 void Session::send_notification(std::uint8_t code, std::uint8_t subcode) {
   ++stats_.notifications_sent;
+  stats_.last_notification_code = code;
+  stats_.last_notification_subcode = subcode;
   send_(wire::encode_notification({code, subcode, {}}));
 }
 
@@ -186,10 +217,21 @@ void Session::arm_keepalive_timer() {
 
 void Session::arm_connect_retry() {
   clock_.cancel(connect_retry_timer_);
-  connect_retry_timer_ = clock_.schedule_after(config_.connect_retry, [this] {
+  // Exponential backoff: the interval doubles (by config) on every
+  // consecutive retry up to the cap, with seeded jitter so that a fleet of
+  // sessions resetting together fans back out instead of thundering.
+  if (next_connect_retry_ <= 0.0) next_connect_retry_ = config_.connect_retry;
+  const sim::Time base = next_connect_retry_;
+  const sim::Time jitter = config_.connect_retry_jitter > 0.0
+                               ? jitter_rng_.uniform01() * config_.connect_retry_jitter * base
+                               : 0.0;
+  next_connect_retry_ =
+      std::min<sim::Time>(base * config_.connect_retry_backoff, config_.connect_retry_cap);
+  connect_retry_timer_ = clock_.schedule_after(base + jitter, [this] {
     if (state_ == SessionState::Connect) {
       // Still waiting for the transport: try again (the harness decides
       // when tcp_connected() fires; we just keep the timer honest).
+      ++stats_.connect_retries;
       arm_connect_retry();
     }
   });

@@ -45,7 +45,13 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  /// `truncation_code`/`truncation_subcode` classify an out-of-bounds read:
+  /// truncation inside an OPEN body is an OPEN error, inside an UPDATE body
+  /// an UPDATE error, and so on.
+  explicit Reader(std::span<const std::uint8_t> data,
+                  ErrorCode truncation_code = ErrorCode::MessageHeader,
+                  std::uint8_t truncation_subcode = kHdrBadLength)
+      : data_(data), code_(truncation_code), subcode_(truncation_subcode) {}
 
   std::uint8_t u8() {
     need(1);
@@ -70,11 +76,17 @@ class Reader {
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
 
+  /// The unread tail — used to re-wrap a body with message-specific
+  /// truncation codes once the type is known.
+  std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
+
  private:
   void need(std::size_t n) const {
-    if (remaining() < n) throw WireError("truncated message");
+    if (remaining() < n) throw WireError(code_, subcode_, "truncated message");
   }
   std::span<const std::uint8_t> data_;
+  ErrorCode code_;
+  std::uint8_t subcode_;
   std::size_t pos_ = 0;
 };
 
@@ -89,7 +101,9 @@ void write_prefix(Writer& w, const net::Prefix& prefix) {
 
 net::Prefix read_prefix(Reader& r) {
   const unsigned length = r.u8();
-  if (length > 32) throw WireError("prefix length > 32");
+  if (length > 32) {
+    throw WireError(ErrorCode::UpdateMessage, kUpdInvalidNetworkField, "prefix length > 32");
+  }
   const unsigned octets = (length + 7) / 8;
   std::uint32_t addr = 0;
   for (unsigned i = 0; i < octets; ++i) {
@@ -112,15 +126,25 @@ std::vector<std::uint8_t> finish(Writer& w) {
 
 /// Validates the header and returns (type, body reader).
 std::pair<MessageType, Reader> open_message(std::span<const std::uint8_t> data) {
-  if (data.size() < kHeaderSize) throw WireError("short header");
+  if (data.size() < kHeaderSize) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadLength, "short header");
+  }
   for (int i = 0; i < 16; ++i) {
-    if (data[static_cast<std::size_t>(i)] != 0xff) throw WireError("bad marker");
+    if (data[static_cast<std::size_t>(i)] != 0xff) {
+      throw WireError(ErrorCode::MessageHeader, kHdrNotSynchronized, "bad marker");
+    }
   }
   const std::size_t length = static_cast<std::size_t>((data[16] << 8) | data[17]);
-  if (length < kHeaderSize || length > kMaxMessageSize) throw WireError("bad length field");
-  if (length != data.size()) throw WireError("length field does not match buffer");
+  if (length < kHeaderSize || length > kMaxMessageSize) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadLength, "bad length field");
+  }
+  if (length != data.size()) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadLength, "length field does not match buffer");
+  }
   const std::uint8_t type = data[18];
-  if (type < 1 || type > 4) throw WireError("unknown message type");
+  if (type < 1 || type > 4) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadType, "unknown message type");
+  }
   return {static_cast<MessageType>(type), Reader(data.subspan(kHeaderSize))};
 }
 
@@ -192,12 +216,16 @@ PathAttributes read_attributes(Reader& r, std::size_t total_length) {
     const std::uint8_t type = r.u8();
     const std::size_t length =
         (flags & kFlagExtendedLength) ? r.u16() : static_cast<std::size_t>(r.u8());
-    Reader value(r.bytes(length));
+    Reader value(r.bytes(length), ErrorCode::UpdateMessage, kUpdAttrLengthError);
     switch (static_cast<AttrType>(type)) {
       case AttrType::Origin: {
-        if (length != 1) throw WireError("ORIGIN must be 1 octet");
+        if (length != 1) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "ORIGIN must be 1 octet");
+        }
         const std::uint8_t code = value.u8();
-        if (code > 2) throw WireError("unknown ORIGIN code");
+        if (code > 2) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdInvalidOrigin, "unknown ORIGIN code");
+        }
         attrs.origin_code = static_cast<OriginCode>(code);
         saw_origin = true;
         break;
@@ -212,12 +240,14 @@ PathAttributes read_attributes(Reader& r, std::size_t total_length) {
             for (unsigned i = 0; i < count; ++i) asns.push_back(value.u16());
             path.append_sequence(asns);
           } else if (seg_type == kSegmentSet) {
-            if (count == 0) throw WireError("empty AS_SET segment");
+            if (count == 0) {
+              throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "empty AS_SET segment");
+            }
             AsnSet set;
             for (unsigned i = 0; i < count; ++i) set.insert(value.u16());
             path.append_set(std::move(set));
           } else {
-            throw WireError("unknown AS_PATH segment type");
+            throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "unknown AS_PATH segment type");
           }
         }
         attrs.path = std::move(path);
@@ -225,33 +255,46 @@ PathAttributes read_attributes(Reader& r, std::size_t total_length) {
         break;
       }
       case AttrType::NextHop:
-        if (length != 4) throw WireError("NEXT_HOP must be 4 octets");
+        if (length != 4) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "NEXT_HOP must be 4 octets");
+        }
         value.u32();  // the AS-level model does not keep it
         saw_next_hop = true;
         break;
       case AttrType::Med:
-        if (length != 4) throw WireError("MED must be 4 octets");
+        if (length != 4) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "MED must be 4 octets");
+        }
         attrs.med = value.u32();
         break;
       case AttrType::LocalPref:
-        if (length != 4) throw WireError("LOCAL_PREF must be 4 octets");
+        if (length != 4) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "LOCAL_PREF must be 4 octets");
+        }
         attrs.local_pref = value.u32();
         break;
       case AttrType::Communities: {
-        if (length % 4 != 0) throw WireError("COMMUNITIES length not a multiple of 4");
+        if (length % 4 != 0) {
+          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError,
+                          "COMMUNITIES length not a multiple of 4");
+        }
         while (!value.done()) attrs.communities.add(Community(value.u32()));
         break;
       }
       default:
         if (!(flags & kFlagOptional)) {
-          throw WireError("unrecognized well-known attribute " + std::to_string(type));
+          throw WireError(ErrorCode::UpdateMessage, kUpdUnrecognizedWellKnown,
+                          "unrecognized well-known attribute " + std::to_string(type));
         }
         break;  // unknown optional attribute: skip
     }
   }
-  if (r.remaining() != consumed_target) throw WireError("attribute lengths inconsistent");
+  if (r.remaining() != consumed_target) {
+    throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute lengths inconsistent");
+  }
   if (!saw_origin || !saw_as_path || !saw_next_hop) {
-    throw WireError("missing well-known mandatory attribute");
+    throw WireError(ErrorCode::UpdateMessage, kUpdMissingWellKnown,
+                    "missing well-known mandatory attribute");
   }
   return attrs;
 }
@@ -281,8 +324,12 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
 }
 
 UpdateMessage decode_update(std::span<const std::uint8_t> data) {
-  auto [type, r] = open_message(data);
-  if (type != MessageType::Update) throw WireError("not an UPDATE message");
+  auto [type, body] = open_message(data);
+  if (type != MessageType::Update) {
+    throw WireError(ErrorCode::FsmError, 0, "not an UPDATE message");
+  }
+  // Truncation inside the UPDATE body is an UPDATE error, not a header one.
+  Reader r(body.rest(), ErrorCode::UpdateMessage, kUpdMalformedAttrList);
 
   UpdateMessage out;
   const std::size_t withdrawn_len = r.u16();
@@ -292,11 +339,15 @@ UpdateMessage decode_update(std::span<const std::uint8_t> data) {
   }
   const std::size_t attrs_len = r.u16();
   if (attrs_len > 0) {
-    if (attrs_len > r.remaining()) throw WireError("attribute section truncated");
+    if (attrs_len > r.remaining()) {
+      throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute section truncated");
+    }
     out.attrs = read_attributes(r, attrs_len);
   }
   while (!r.done()) out.nlri.push_back(read_prefix(r));
-  if (!out.nlri.empty() && !out.attrs) throw WireError("NLRI without path attributes");
+  if (!out.nlri.empty() && !out.attrs) {
+    throw WireError(ErrorCode::UpdateMessage, kUpdMissingWellKnown, "NLRI without path attributes");
+  }
   return out;
 }
 
@@ -312,18 +363,26 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
 }
 
 OpenMessage decode_open(std::span<const std::uint8_t> data) {
-  auto [type, r] = open_message(data);
-  if (type != MessageType::Open) throw WireError("not an OPEN message");
+  auto [type, body] = open_message(data);
+  if (type != MessageType::Open) {
+    throw WireError(ErrorCode::FsmError, 0, "not an OPEN message");
+  }
+  // A short OPEN body is an OPEN error (unspecific subcode 0).
+  Reader r(body.rest(), ErrorCode::OpenMessage, 0);
   OpenMessage out;
   out.version = r.u8();
-  if (out.version != 4) throw WireError("unsupported BGP version");
+  if (out.version != 4) {
+    throw WireError(ErrorCode::OpenMessage, kOpenUnsupportedVersion, "unsupported BGP version");
+  }
   out.my_as = r.u16();
   out.hold_time = r.u16();
-  if (out.hold_time == 1 || out.hold_time == 2) throw WireError("illegal hold time");
+  if (out.hold_time == 1 || out.hold_time == 2) {
+    throw WireError(ErrorCode::OpenMessage, kOpenUnacceptableHoldTime, "illegal hold time");
+  }
   out.bgp_identifier = r.u32();
   const std::uint8_t opt_len = r.u8();
   r.bytes(opt_len);  // skip optional parameters
-  if (!r.done()) throw WireError("trailing bytes in OPEN");
+  if (!r.done()) throw WireError(ErrorCode::OpenMessage, 0, "trailing bytes in OPEN");
   return out;
 }
 
@@ -344,7 +403,9 @@ std::vector<std::uint8_t> encode_notification(const NotificationMessage& notific
 
 NotificationMessage decode_notification(std::span<const std::uint8_t> data) {
   auto [type, r] = open_message(data);
-  if (type != MessageType::Notification) throw WireError("not a NOTIFICATION message");
+  if (type != MessageType::Notification) {
+    throw WireError(ErrorCode::FsmError, 0, "not a NOTIFICATION message");
+  }
   NotificationMessage out;
   out.code = r.u8();
   out.subcode = r.u8();

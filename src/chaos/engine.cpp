@@ -1,0 +1,215 @@
+#include "moas/chaos/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "moas/bgp/wire.h"
+
+namespace moas::chaos {
+
+namespace {
+
+using bgp::Asn;
+using bgp::Update;
+
+std::string msg_log_line(sim::Time at, const char* what, Asn from, Asn to) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%.6f %s %u->%u", at, what, from, to);
+  return buf;
+}
+
+bool same_update(const Update& a, const Update& b) {
+  return a.kind == b.kind && a.prefix == b.prefix && a.route == b.route;
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(bgp::Network& network, FaultSchedule schedule)
+    : network_(network),
+      schedule_(std::move(schedule)),
+      tap_rng_(schedule_.config.seed ^ 0x7a9f00dULL) {}
+
+ChaosEngine::~ChaosEngine() { remove_tap(); }
+
+void ChaosEngine::arm() {
+  const sim::Time now = network_.clock().now();
+  for (const FaultEvent& event : schedule_.events) {
+    network_.clock().schedule_at(std::max(event.at, now), [this, event] { apply(event); });
+  }
+  next_event_ = schedule_.events.size();  // consumed; batch mode would double-apply
+  if (schedule_.config.has_message_faults()) install_tap();
+}
+
+std::size_t ChaosEngine::apply_batch(std::size_t max_events) {
+  std::size_t applied = 0;
+  while (applied < max_events && next_event_ < schedule_.events.size()) {
+    apply(schedule_.events[next_event_++]);
+    ++applied;
+  }
+  return applied;
+}
+
+void ChaosEngine::install_tap() {
+  if (tap_installed_) return;
+  network_.set_message_tap(
+      [this](Asn from, Asn to, const Update& update) { return tap(from, to, update); });
+  tap_installed_ = true;
+}
+
+void ChaosEngine::remove_tap() {
+  if (!tap_installed_) return;
+  network_.set_message_tap(nullptr);
+  tap_installed_ = false;
+}
+
+std::string ChaosEngine::log_text() const {
+  std::string out;
+  for (const std::string& line : log_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void ChaosEngine::clean_direction_pair(Asn a, Asn b) {
+  dirty_.erase({a, b});
+  dirty_.erase({b, a});
+}
+
+void ChaosEngine::clean_router(Asn asn) {
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    if (it->first == asn || it->second == asn) {
+      it = dirty_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChaosEngine::apply(const FaultEvent& event) {
+  log_.push_back(event.to_string());
+  switch (event.kind) {
+    case FaultKind::LinkDown:
+      // peer_down flushes both receivers, so any dirt on the link is gone.
+      network_.set_link_up(event.a, event.b, false);
+      clean_direction_pair(event.a, event.b);
+      ++stats_.link_downs;
+      break;
+    case FaultKind::LinkUp:
+      network_.set_link_up(event.a, event.b, true);
+      clean_direction_pair(event.a, event.b);
+      ++stats_.link_ups;
+      break;
+    case FaultKind::SessionReset:
+      network_.reset_session(event.a, event.b);
+      clean_direction_pair(event.a, event.b);
+      ++stats_.session_resets;
+      break;
+    case FaultKind::RouterCrash:
+      network_.crash_router(event.a);
+      clean_router(event.a);
+      ++stats_.crashes;
+      break;
+    case FaultKind::RouterRestart:
+      network_.restart_router(event.a);
+      clean_router(event.a);
+      ++stats_.restarts;
+      break;
+  }
+}
+
+bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update) {
+  using Verdict = bgp::Network::TapVerdict;
+  const ScheduleConfig& cfg = schedule_.config;
+  const sim::Time now = network_.clock().now();
+  ++stats_.msgs_seen;
+
+  Verdict verdict;
+
+  if (cfg.msg_drop > 0.0 && tap_rng_.chance(cfg.msg_drop)) {
+    // The receiver's view of `from` may now be stale until a reset replays
+    // the table — mark the direction dirty for the invariant checker.
+    ++stats_.msgs_dropped;
+    dirty_.insert({from, to});
+    log_.push_back(msg_log_line(now, "msg-drop", from, to));
+    verdict.action = Verdict::Action::Drop;
+    return verdict;
+  }
+
+  bool corrupted = false;
+  if (cfg.msg_corrupt > 0.0 && tap_rng_.chance(cfg.msg_corrupt)) {
+    // Damage the real RFC 4271 encoding and let the receiver's decoder
+    // judge it, exactly as a corrupted TCP payload would be handled.
+    std::vector<std::uint8_t> bytes;
+    bool encodable = true;
+    try {
+      bytes = bgp::wire::encode_sim_update(update);
+    } catch (const std::invalid_argument&) {
+      encodable = false;  // e.g. 4-octet ASN topology; skip corruption
+    }
+    if (encodable) {
+      corrupted = true;
+      if (tap_rng_.chance(0.5) && bytes.size() > 1) {
+        bytes.resize(tap_rng_.uniform(1, bytes.size() - 1));  // truncate
+      } else {
+        const int flips = 1 + static_cast<int>(tap_rng_.uniform(
+                                  0, cfg.max_corrupt_flips > 0 ? cfg.max_corrupt_flips - 1 : 0));
+        for (int i = 0; i < flips; ++i) {
+          const std::size_t bit = tap_rng_.uniform(0, bytes.size() * 8 - 1);
+          bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+      }
+      try {
+        const bgp::wire::UpdateMessage decoded = bgp::wire::decode_update(bytes);
+        std::vector<Update> updates = bgp::wire::to_sim_updates(decoded);
+        if (updates.size() == 1 && same_update(updates.front(), update)) {
+          ++stats_.corruptions_harmless;  // damage hit padding-equivalent bits
+        } else if (updates.empty()) {
+          // Decoded to an empty UPDATE: the content is gone, same as a drop.
+          ++stats_.corruptions_undetected;
+          dirty_.insert({from, to});
+          log_.push_back(msg_log_line(now, "msg-corrupt-empty", from, to));
+          verdict.action = Verdict::Action::Drop;
+          return verdict;
+        } else {
+          // The checksum-free nightmare: valid wire form, different routes.
+          ++stats_.corruptions_undetected;
+          dirty_.insert({from, to});
+          log_.push_back(msg_log_line(now, "msg-corrupt-undetected", from, to));
+          verdict.deliveries = std::move(updates);
+        }
+      } catch (const bgp::wire::WireError&) {
+        // Receiver sends a NOTIFICATION and resets the session; the flush +
+        // replay restores consistency, so the link is not dirty.
+        ++stats_.corruptions_detected;
+        clean_direction_pair(from, to);
+        log_.push_back(msg_log_line(now, "msg-corrupt-reset", from, to));
+        verdict.action = Verdict::Action::ResetSession;
+        return verdict;
+      }
+    }
+  }
+
+  if (!corrupted && cfg.msg_duplicate > 0.0 && tap_rng_.chance(cfg.msg_duplicate)) {
+    // Duplicate delivery is idempotent at the receiver (same route replaces
+    // itself), so no dirt.
+    ++stats_.msgs_duplicated;
+    log_.push_back(msg_log_line(now, "msg-duplicate", from, to));
+    verdict.deliveries = {update, update};
+  }
+
+  if (cfg.msg_reorder > 0.0 && tap_rng_.chance(cfg.msg_reorder)) {
+    // Let this message fall behind later traffic: an overtaken stale
+    // announcement can clobber a newer one, so the direction is dirty.
+    ++stats_.msgs_reordered;
+    dirty_.insert({from, to});
+    log_.push_back(msg_log_line(now, "msg-reorder", from, to));
+    verdict.extra_delay = tap_rng_.uniform01() * cfg.reorder_jitter;
+    verdict.allow_reorder = true;
+  }
+
+  return verdict;
+}
+
+}  // namespace moas::chaos

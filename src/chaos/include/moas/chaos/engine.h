@@ -1,0 +1,107 @@
+// Deterministic fault-schedule replay.
+//
+// The ChaosEngine owns a compiled FaultSchedule and drives it into a
+// bgp::Network. Two modes:
+//
+//  * arm(): every fault is scheduled on the network's event queue at its
+//    compiled time, interleaved with whatever workload the experiment
+//    produces. One run_to_quiescence() then plays workload and faults
+//    together. This is how Experiment uses it.
+//
+//  * apply_batch(): tests pull the next few faults and apply them at the
+//    current virtual time, then run to quiescence and audit invariants
+//    between batches (the queue may have drained arbitrarily far past the
+//    compiled timestamps, so batch mode deliberately ignores them).
+//
+// Message-level faults are sampled per update by a tap installed on the
+// network; the tap's generator is seeded from the schedule, so the full
+// fault log — discrete events and message faults alike — is byte-identical
+// across runs with equal seeds.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moas/bgp/network.h"
+#include "moas/chaos/schedule.h"
+#include "moas/util/rng.h"
+
+namespace moas::chaos {
+
+class ChaosEngine {
+ public:
+  struct Stats {
+    std::uint64_t link_downs = 0;
+    std::uint64_t link_ups = 0;
+    std::uint64_t session_resets = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t msgs_seen = 0;
+    std::uint64_t msgs_dropped = 0;
+    std::uint64_t msgs_duplicated = 0;
+    std::uint64_t msgs_reordered = 0;
+    /// Corruptions the receiver's wire decoder rejected (NOTIFICATION +
+    /// session reset — the fault was detected and contained).
+    std::uint64_t corruptions_detected = 0;
+    /// Corruptions that decoded into *different* routes — the dangerous
+    /// case; the touched link is marked dirty for the invariant checker.
+    std::uint64_t corruptions_undetected = 0;
+    /// Damaged bytes that still decoded to the original message.
+    std::uint64_t corruptions_harmless = 0;
+  };
+
+  /// The engine must not outlive `network`; it clears its tap on
+  /// destruction, so declare it after the Network.
+  ChaosEngine(bgp::Network& network, FaultSchedule schedule);
+  ~ChaosEngine();
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  /// Schedule every fault at its compiled time and install the message tap.
+  void arm();
+
+  /// Batch mode: immediately apply up to `max_events` pending faults at the
+  /// current virtual time (ignoring compiled timestamps). Returns how many
+  /// were applied; 0 means the schedule is exhausted.
+  std::size_t apply_batch(std::size_t max_events);
+  bool exhausted() const { return next_event_ >= schedule_.events.size(); }
+
+  /// Install / remove the message tap independently of arm() (batch-mode
+  /// tests that want message faults call install_tap themselves).
+  void install_tap();
+  void remove_tap();
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Directed links whose receiver-side view is unreliable because a lossy
+  /// message fault hit them and no reset has cleaned up since. Feed these
+  /// into NetworkInvariantChecker::exclude_direction before checking.
+  const std::set<std::pair<bgp::Asn, bgp::Asn>>& dirty_links() const { return dirty_; }
+
+  /// The replay log: one line per applied fault (discrete and per-message),
+  /// in application order. Byte-identical for equal seeds.
+  const std::vector<std::string>& log_lines() const { return log_; }
+  std::string log_text() const;
+
+ private:
+  void apply(const FaultEvent& event);
+  bgp::Network::TapVerdict tap(bgp::Asn from, bgp::Asn to, const bgp::Update& update);
+  void clean_direction_pair(bgp::Asn a, bgp::Asn b);
+  void clean_router(bgp::Asn asn);
+
+  bgp::Network& network_;
+  FaultSchedule schedule_;
+  util::Rng tap_rng_;
+  std::size_t next_event_ = 0;  // batch-mode cursor
+  bool tap_installed_ = false;
+  std::set<std::pair<bgp::Asn, bgp::Asn>> dirty_;
+  std::vector<std::string> log_;
+  Stats stats_;
+};
+
+}  // namespace moas::chaos

@@ -1,0 +1,75 @@
+// Network-wide consistency audit, run at quiescence.
+//
+// After the event queue drains, the distributed state of the network must
+// be self-consistent: nothing routes over a dead link, every Adj-RIB-In
+// mirrors what its peer actually advertised, and each router's
+// advertised-state bookkeeping matches what its current Loc-RIB and export
+// policy say it should have on the wire. The checker walks the whole
+// network and reports every violation with enough context to debug it;
+// require_clean() turns any violation into a fatal error.
+//
+// The checks only hold at quiescence — while messages are in flight the
+// RIBs legitimately disagree — so callers must run_to_quiescence() first.
+// Directed links marked dirty (a lossy message fault touched them and no
+// session reset has cleaned up since) are excluded from the mirror checks.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "moas/bgp/network.h"
+
+namespace moas::chaos {
+
+class NetworkInvariantChecker {
+ public:
+  struct Violation {
+    std::string invariant;  // short name, e.g. "loc-rib-live-link"
+    std::string detail;     // full diagnostic
+    std::string to_string() const { return invariant + ": " + detail; }
+  };
+
+  struct Options {
+    /// Every Loc-RIB best route must have been learned over a link that is
+    /// currently up from a peer whose session is up (or be local).
+    bool check_loc_rib_liveness = true;
+    /// Each Adj-RIB-In entry must match the sender's outstanding
+    /// advertisement; entries the sender never advertised are stale.
+    bool check_adj_rib_mirror = true;
+    /// A router's advertised-state bookkeeping must equal what its Loc-RIB
+    /// + export policy would put on the wire right now (skipped for routers
+    /// with an export filter — deliberately lying routers exist in the
+    /// threat model).
+    bool check_advertised_consistency = true;
+  };
+
+  NetworkInvariantChecker();
+  explicit NetworkInvariantChecker(Options options);
+
+  /// Extra, caller-supplied checks (the core layer registers its MOAS/alarm
+  /// invariants here — the chaos library cannot see those types).
+  using CustomCheck = std::function<void(const bgp::Network&, std::vector<Violation>&)>;
+  void add_custom(CustomCheck check);
+
+  /// Exclude the directed link from mirror checks: a lossy fault made the
+  /// receiver's view of `from` unreliable until the next session reset.
+  void exclude_direction(bgp::Asn from, bgp::Asn to);
+  void clear_exclusions();
+  const std::set<std::pair<bgp::Asn, bgp::Asn>>& exclusions() const { return excluded_; }
+
+  /// Run every enabled check; returns all violations found (empty = clean).
+  std::vector<Violation> check(const bgp::Network& network) const;
+
+  /// Fatal variant: throws std::runtime_error listing every violation.
+  void require_clean(const bgp::Network& network) const;
+
+ private:
+  Options options_;
+  std::vector<CustomCheck> custom_;
+  std::set<std::pair<bgp::Asn, bgp::Asn>> excluded_;  // directed (from, to)
+};
+
+}  // namespace moas::chaos

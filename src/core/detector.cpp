@@ -36,7 +36,7 @@ MoasDetector::MoasDetector(std::shared_ptr<AlarmLog> alarms,
   MOAS_REQUIRE(alarms_ != nullptr, "detector needs an alarm log");
 }
 
-bool MoasDetector::accept(const bgp::Route& route, bgp::Asn /*from_peer*/,
+bool MoasDetector::accept(const bgp::Route& route, bgp::Asn from_peer,
                           bgp::RouterContext& ctx) {
   ++stats_.routes_checked;
   const net::Prefix prefix = route.prefix;
@@ -45,8 +45,13 @@ bool MoasDetector::accept(const bgp::Route& route, bgp::Asn /*from_peer*/,
   const AsnSet origins = route.origin_candidates();
   const AsnSet incoming_list = effective_moas_list(route);
 
-  // Fast path: the origin was already identified as false.
+  // Fast path: the origin was already identified as false. The rejected
+  // peer is one more witness asserting the banned origin — remember it so
+  // the ban outlives the peer that originally triggered it.
   if (intersects(origins, state.banned)) {
+    for (Asn asn : origins) {
+      if (state.banned.contains(asn)) state.banned_support[asn].insert(from_peer);
+    }
     if (config_.alarm_on_banned_repeat) {
       raise(ctx, prefix, state.reference, incoming_list, origins,
             MoasAlarm::Cause::BannedOriginSeen);
@@ -66,19 +71,34 @@ bool MoasDetector::accept(const bgp::Route& route, bgp::Asn /*from_peer*/,
   }
 
   if (state.reference.empty()) {
-    // First announcement for this prefix: adopt its list as the reference
-    // ("is simply accepted if this is the first and only announcement").
-    state.reference = incoming_list;
+    // Cold state for this prefix — a genuinely first announcement, or
+    // memory purged by churn (supporting peer flapped away, router
+    // restarted). Before adopting blindly, rebuild the reference from the
+    // origins of routes already sitting in the Adj-RIB-In: if the RIB holds
+    // a conflicting origin, this is a latent MOAS case to resolve, not a
+    // fresh prefix.
+    const AsnSet rib_origins = ctx.accepted_origins(prefix);
+    if (rib_origins.empty()) {
+      // First announcement for this prefix: adopt its list as the reference
+      // ("is simply accepted if this is the first and only announcement").
+      state.reference = incoming_list;
+      state.supporters.insert(from_peer);
+      return true;
+    }
+    state.reference = rib_origins;  // supporters stay empty: evidence-derived
+  }
+
+  if (lists_consistent(state.reference, incoming_list)) {
+    state.supporters.insert(from_peer);
     return true;
   }
 
-  if (lists_consistent(state.reference, incoming_list)) return true;
-
-  return resolve_conflict(route, ctx, state, incoming_list);
+  return resolve_conflict(route, from_peer, ctx, state, incoming_list);
 }
 
-bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::RouterContext& ctx,
-                                    PrefixState& state, const AsnSet& incoming_list) {
+bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
+                                    bgp::RouterContext& ctx, PrefixState& state,
+                                    const AsnSet& incoming_list) {
   const net::Prefix prefix = route.prefix;
   const AsnSet origins = route.origin_candidates();
 
@@ -104,8 +124,20 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::RouterContext&
   for (Asn asn : incoming_list) implicated.insert(asn);
   for (Asn asn : state.reference) implicated.insert(asn);
   const AsnSet false_origins = difference(implicated, *truth);
-  for (Asn asn : false_origins) state.banned.insert(asn);
+  for (Asn asn : false_origins) {
+    state.banned.insert(asn);
+    // Tie the ban to the peers that asserted the false origin: the sender
+    // of this route (if it carried it) and, when the *old* reference was
+    // the lie, the peers that had backed that reference.
+    AsnSet& support = state.banned_support[asn];
+    if (origins.contains(asn) || incoming_list.contains(asn)) support.insert(from_peer);
+    if (state.reference.contains(asn)) {
+      for (Asn peer : state.supporters) support.insert(peer);
+    }
+    if (support.empty()) support.insert(from_peer);
+  }
   state.reference = *truth;
+  state.supporters.clear();
 
   if (!false_origins.empty()) {
     stats_.purges += ctx.invalidate_origins(prefix, false_origins);
@@ -115,6 +147,7 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::RouterContext&
     ++stats_.rejections;
     return false;
   }
+  state.supporters.insert(from_peer);
   return true;
 }
 
@@ -132,6 +165,32 @@ void MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
   alarm.cause = cause;
   alarms_->record(std::move(alarm));
 }
+
+void MoasDetector::on_peer_down(bgp::Asn peer, bgp::RouterContext& /*ctx*/) {
+  for (auto it = state_.begin(); it != state_.end();) {
+    PrefixState& state = it->second;
+    state.supporters.erase(peer);
+    // With the last supporter gone, the reference rests on nothing: the
+    // peers will cold-announce and the list is re-adopted from scratch.
+    if (state.supporters.empty()) state.reference.clear();
+    for (auto bit = state.banned_support.begin(); bit != state.banned_support.end();) {
+      bit->second.erase(peer);
+      if (bit->second.empty()) {
+        state.banned.erase(bit->first);
+        bit = state.banned_support.erase(bit);
+      } else {
+        ++bit;
+      }
+    }
+    if (state.reference.empty() && state.banned.empty()) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MoasDetector::on_reset(bgp::RouterContext& /*ctx*/) { state_.clear(); }
 
 AsnSet MoasDetector::reference_list(const net::Prefix& prefix) const {
   auto it = state_.find(prefix);

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <memory>
 
+#include "moas/chaos/engine.h"
+#include "moas/chaos/invariants.h"
+#include "moas/core/moas_invariants.h"
 #include "moas/topo/metrics.h"
 #include "moas/topo/route_views.h"
 #include "moas/util/assert.h"
@@ -157,6 +160,19 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     for (bgp::Asn asn : all_ases) network.router(asn).set_mrai(config_.mrai);
   }
 
+  // Background churn: compile the seeded fault schedule for this topology
+  // and arm it on the shared clock, so faults interleave with the workload.
+  // The engine clears its message tap on destruction — it must die before
+  // `network`, hence the declaration after it.
+  std::unique_ptr<chaos::ChaosEngine> engine;
+  if (config_.churn) {
+    chaos::ScheduleConfig churn = *config_.churn;
+    churn.seed ^= seed;  // one run seed reproduces workload and faults alike
+    engine = std::make_unique<chaos::ChaosEngine>(
+        network, chaos::compile_schedule(churn, network.links(), network.asns()));
+    engine->arm();
+  }
+
   // Origination. Valid origins attach the MOAS list when the prefix really
   // is multi-origin; a single-origin prefix carries no list (the paper:
   // "Routes that originate from a single AS need not attach a MOAS list").
@@ -217,6 +233,28 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
       ++result.adopted_valid;
     } else if (attackers.contains(*valid_origin)) {
       ++result.adopted_false;
+    }
+  }
+
+  if (engine) {
+    result.fault_events = engine->schedule().events.size();
+    const chaos::ChaosEngine::Stats& chaos_stats = engine->stats();
+    result.message_faults = chaos_stats.msgs_dropped + chaos_stats.msgs_duplicated +
+                            chaos_stats.msgs_reordered + chaos_stats.corruptions_detected +
+                            chaos_stats.corruptions_undetected +
+                            chaos_stats.corruptions_harmless;
+    result.fault_log = engine->log_text();
+  }
+  if (config_.check_invariants) {
+    chaos::NetworkInvariantChecker checker;
+    register_moas_invariants(checker, alarms);
+    if (engine) {
+      for (const auto& [from, to] : engine->dirty_links()) {
+        checker.exclude_direction(from, to);
+      }
+    }
+    for (const auto& violation : checker.check(network)) {
+      result.invariant_report.push_back(violation.to_string());
     }
   }
 

@@ -45,6 +45,15 @@ class MoasDetector final : public bgp::ImportValidator {
   bool accept(const bgp::Route& route, bgp::Asn from_peer,
               bgp::RouterContext& ctx) override;
 
+  /// Session loss drops the evidence tied to that peer: it no longer
+  /// supports the reference list, and banned origins nobody else asserted
+  /// are unbanned (the peer will cold-announce when it returns, and the
+  /// conflict — if still real — re-resolves from fresh announcements).
+  void on_peer_down(bgp::Asn peer, bgp::RouterContext& ctx) override;
+
+  /// A crashed router loses detector memory wholesale.
+  void on_reset(bgp::RouterContext& ctx) override;
+
   struct Stats {
     std::uint64_t routes_checked = 0;
     std::uint64_t alarms_raised = 0;
@@ -62,16 +71,21 @@ class MoasDetector final : public bgp::ImportValidator {
 
  private:
   struct PrefixState {
-    AsnSet reference;  // the MOAS list we currently believe
-    AsnSet banned;     // origins resolved to be false
+    AsnSet reference;    // the MOAS list we currently believe
+    AsnSet banned;       // origins resolved to be false
+    AsnSet supporters;   // peers whose accepted announcements back `reference`
+    /// banned origin -> peers that asserted it; a ban evaporates once every
+    /// asserting peer's session has gone down.
+    std::map<bgp::Asn, AsnSet> banned_support;
   };
 
   void raise(bgp::RouterContext& ctx, const net::Prefix& prefix, const AsnSet& reference,
              const AsnSet& observed, const AsnSet& offending, MoasAlarm::Cause cause);
 
   /// Handle a list conflict; returns whether the incoming route is accepted.
-  bool resolve_conflict(const bgp::Route& route, bgp::RouterContext& ctx,
-                        PrefixState& state, const AsnSet& incoming_list);
+  bool resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
+                        bgp::RouterContext& ctx, PrefixState& state,
+                        const AsnSet& incoming_list);
 
   std::shared_ptr<AlarmLog> alarms_;
   std::shared_ptr<OriginResolver> resolver_;

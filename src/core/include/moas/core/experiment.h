@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "moas/bgp/network.h"
+#include "moas/chaos/schedule.h"
 #include "moas/core/attacker.h"
 #include "moas/core/detector.h"
 #include "moas/core/resolver.h"
@@ -62,6 +65,17 @@ struct ExperimentConfig {
   double link_delay = 0.05;
   double jitter = 0.02;
   std::size_t max_events = 50'000'000;
+
+  /// Background churn: a seeded fault schedule (link flaps, session resets,
+  /// router crashes, message-level faults) replayed while the run's
+  /// announcements and attacks play out. The schedule seed is XOR-mixed
+  /// with the run seed, so one run seed reproduces workload and faults
+  /// alike. nullopt = the classic fault-free run.
+  std::optional<chaos::ScheduleConfig> churn;
+
+  /// Audit the NetworkInvariantChecker (plus the MOAS-layer custom checks)
+  /// at final quiescence; violations are reported in RunResult.
+  bool check_invariants = false;
 };
 
 struct RunResult {
@@ -86,6 +100,13 @@ struct RunResult {
 
   bgp::AsnSet origin_set;
   bgp::AsnSet attacker_set;
+
+  /// Churn bookkeeping (zero / empty without ExperimentConfig::churn).
+  std::size_t fault_events = 0;      // discrete faults replayed
+  std::uint64_t message_faults = 0;  // drops/dups/reorders/corruptions sampled
+  std::string fault_log;             // byte-identical for equal seeds
+  /// Violations found when ExperimentConfig::check_invariants is set.
+  std::vector<std::string> invariant_report;
 
   double adopted_false_fraction() const {
     return population == 0 ? 0.0

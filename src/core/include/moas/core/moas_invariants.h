@@ -1,0 +1,26 @@
+// Core-level invariants for the chaos harness.
+//
+// The chaos library audits the BGP substrate but cannot see core types, so
+// the detection-layer invariants — the alarm log stays append-only and
+// time-monotone, and every installed route's MOAS list is self-consistent —
+// are registered into a NetworkInvariantChecker from here as custom checks.
+#pragma once
+
+#include <memory>
+
+#include "moas/chaos/invariants.h"
+#include "moas/core/alarm.h"
+
+namespace moas::core {
+
+/// Register the MOAS-layer checks on `checker`:
+///  * alarm-log monotonicity: alarm timestamps never decrease (the log is
+///    append-only and simulation time never runs backwards);
+///  * MOAS self-consistency: a route installed in any Loc-RIB that carries
+///    an explicit MOAS list must contain its own origin — an installed
+///    violation means a detector-bypassing import path exists.
+/// `alarms` may be null (plain-BGP runs); the alarm check is then skipped.
+void register_moas_invariants(chaos::NetworkInvariantChecker& checker,
+                              std::shared_ptr<const AlarmLog> alarms);
+
+}  // namespace moas::core

@@ -1,0 +1,48 @@
+#include "moas/core/moas_invariants.h"
+
+#include <algorithm>
+
+#include "moas/core/moas_list.h"
+
+namespace moas::core {
+
+void register_moas_invariants(chaos::NetworkInvariantChecker& checker,
+                              std::shared_ptr<const AlarmLog> alarms) {
+  using Violation = chaos::NetworkInvariantChecker::Violation;
+
+  if (alarms) {
+    checker.add_custom([alarms](const bgp::Network&, std::vector<Violation>& out) {
+      const auto& log = alarms->alarms();
+      for (std::size_t i = 1; i < log.size(); ++i) {
+        if (log[i].at < log[i - 1].at) {
+          out.push_back({"alarm-log-monotone",
+                         "alarm " + std::to_string(i) + " at t=" +
+                             std::to_string(log[i].at) + " precedes its predecessor at t=" +
+                             std::to_string(log[i - 1].at)});
+        }
+      }
+    });
+  }
+
+  checker.add_custom([](const bgp::Network& network, std::vector<Violation>& out) {
+    for (bgp::Asn asn : network.asns()) {
+      const bgp::Router& router = network.router(asn);
+      for (const net::Prefix& prefix : router.loc_rib().prefixes()) {
+        const bgp::RibEntry* entry = router.loc_rib().best(prefix);
+        const bgp::Route& route = entry->route;
+        if (!has_explicit_moas_list(route)) continue;
+        const bgp::AsnSet list = effective_moas_list(route);
+        const bgp::AsnSet origins = route.origin_candidates();
+        const bool consistent = std::all_of(origins.begin(), origins.end(),
+                                            [&](bgp::Asn o) { return list.contains(o); });
+        if (!consistent) {
+          out.push_back({"moas-list-self-consistent",
+                         std::to_string(asn) + " installed " + route.to_string() +
+                             " whose explicit MOAS list omits its own origin"});
+        }
+      }
+    }
+  });
+}
+
+}  // namespace moas::core

@@ -176,5 +176,122 @@ TEST(Session, StateNames) {
   EXPECT_STREQ(to_string(SessionState::Established), "Established");
 }
 
+TEST(Session, ConnectRetryBackoffGrowsToCap) {
+  sim::EventQueue clock;
+  auto config = SessionPair::config_for(1);
+  config.connect_retry = 2.0;
+  config.connect_retry_backoff = 2.0;
+  config.connect_retry_cap = 16.0;
+  config.connect_retry_jitter = 0.0;  // deterministic timeline
+  Session session(config, clock, [](std::vector<std::uint8_t>) {}, {}, {});
+
+  session.start();  // transport never comes up: retries back off
+  EXPECT_EQ(session.current_connect_retry(), 4.0);  // next after the base 2s
+  clock.run_until(100.0);
+  EXPECT_EQ(session.current_connect_retry(), 16.0) << "backoff saturates at the cap";
+  // Retries at t = 2, 6, 14, 30, 46, 62, 78, 94 (2, 4, 8, then 16s apart).
+  EXPECT_EQ(session.stats().connect_retries, 8u);
+
+  // A fresh ManualStart clears the backoff state back to the base interval.
+  session.stop();
+  session.start();
+  EXPECT_EQ(session.current_connect_retry(), 4.0);
+}
+
+TEST(Session, EstablishmentResetsBackoff) {
+  SessionPair pair;
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->established());
+  EXPECT_EQ(pair.a->current_connect_retry(), 0.0) << "backoff state cleared when healthy";
+}
+
+TEST(Session, ConnectRetryJitterIsSeeded) {
+  // Same seed reproduces the same retry train; a different seed shifts it.
+  auto run_train = [](std::uint64_t seed) {
+    sim::EventQueue clock;
+    auto config = SessionPair::config_for(1);
+    config.connect_retry = 2.0;
+    config.connect_retry_backoff = 1.0;  // fixed interval, jitter only
+    config.connect_retry_cap = 2.0;
+    config.connect_retry_jitter = 0.5;
+    config.seed = seed;
+    Session session(config, clock, [](std::vector<std::uint8_t>) {}, {}, {});
+    session.start();
+    std::vector<std::uint64_t> samples;
+    for (int i = 1; i <= 200; ++i) {
+      clock.run_until(i * 0.25);
+      samples.push_back(session.stats().connect_retries);
+    }
+    return samples;
+  };
+  EXPECT_EQ(run_train(1), run_train(1));
+  EXPECT_NE(run_train(1), run_train(2));
+}
+
+TEST(Session, MalformedUpdateTriggersNotificationAndReset) {
+  SessionPair pair;
+  pair.bring_up();
+  ASSERT_TRUE(pair.b->established());
+
+  // A structurally valid UPDATE, truncated mid-NLRI with a consistent
+  // header length: the decoder must reject it with an UPDATE Message Error
+  // (code 3), never install anything.
+  Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  route.attrs.path = AsPath({1});
+  auto bytes = wire::encode_sim_update(Update::announce(route));
+  bytes.pop_back();
+  bytes[16] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  bytes[17] = static_cast<std::uint8_t>(bytes.size() & 0xff);
+
+  pair.b->receive(bytes);
+  EXPECT_EQ(pair.b->state(), SessionState::Idle);
+  EXPECT_EQ(pair.b->stats().malformed_messages, 1u);
+  EXPECT_EQ(pair.b->stats().last_notification_code, 3u) << "UPDATE Message Error";
+  EXPECT_EQ(pair.b->stats().updates_received, 0u) << "nothing delivered to the router";
+  EXPECT_EQ(pair.b_downs, 1);
+  // The NOTIFICATION reaches a, which drops immediately too.
+  pair.clock.run_until(pair.clock.now() + 1.0);
+  EXPECT_FALSE(pair.a->established());
+  EXPECT_EQ(pair.a_downs, 1);
+}
+
+TEST(Session, StopCancelsAllTimers) {
+  // Timer hygiene: every path back to Idle must leave nothing armed, or a
+  // dead session keeps waking the event queue forever.
+  sim::EventQueue clock;
+  Session session(SessionPair::config_for(1), clock, [](std::vector<std::uint8_t>) {}, {},
+                  {});
+  EXPECT_EQ(clock.pending(), 0u);
+
+  session.start();  // Connect: retry timer armed
+  EXPECT_EQ(clock.pending(), 1u);
+  session.stop();
+  EXPECT_EQ(clock.pending(), 0u) << "stop() from Connect leaks a timer";
+
+  session.start();
+  session.tcp_connected();  // OpenSent: hold timer armed, retry cancelled
+  EXPECT_EQ(clock.pending(), 1u);
+  session.stop();
+  EXPECT_EQ(clock.pending(), 0u) << "stop() from OpenSent leaks a timer";
+}
+
+TEST(Session, GarbageReceiveCancelsAllTimers) {
+  SessionPair pair;
+  pair.bring_up();
+  pair.a->stop();
+  pair.b->stop();
+  pair.clock.run_until(pair.clock.now() + 1.0);
+  ASSERT_EQ(pair.clock.pending(), 0u) << "both sessions idle: queue must be empty";
+
+  pair.a->start();
+  pair.a->tcp_connected();
+  std::vector<std::uint8_t> garbage(25, 0x42);
+  pair.a->receive(garbage);  // malformed in OpenSent: reset to Idle
+  EXPECT_EQ(pair.a->state(), SessionState::Idle);
+  pair.clock.run_until(pair.clock.now() + 1.0);
+  EXPECT_EQ(pair.clock.pending(), 0u) << "reset after garbage leaks a timer";
+}
+
 }  // namespace
 }  // namespace moas::bgp

@@ -112,5 +112,192 @@ TEST_P(WireFuzz, TruncationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 2, 3, 4));
 
+// ---------------------------------------------------------------------------
+// Structure-aware mutation: instead of blind bit flips, locate the path
+// attributes inside the encoded message and damage the fields the RFC
+// assigns specific error subcodes to. The decoder must either still produce
+// a valid message or throw the *documented* UPDATE Message Error — never a
+// header error, never a crash, never silently-installed garbage.
+
+/// Location of one path attribute inside an encoded UPDATE.
+struct AttrView {
+  std::size_t offset = 0;      // flags octet
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::size_t len_offset = 0;  // first length octet
+  std::size_t len_size = 1;    // 1, or 2 with the extended-length flag
+  std::size_t value_offset = 0;
+  std::size_t value_len = 0;
+};
+
+constexpr std::uint8_t kExtendedLengthFlag = 0x10;
+
+std::size_t attrs_len_offset(const std::vector<std::uint8_t>& bytes) {
+  const std::size_t withdrawn_len =
+      (static_cast<std::size_t>(bytes[kHeaderSize]) << 8) | bytes[kHeaderSize + 1];
+  return kHeaderSize + 2 + withdrawn_len;
+}
+
+std::vector<AttrView> parse_attrs(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = attrs_len_offset(bytes);
+  const std::size_t attrs_len = (static_cast<std::size_t>(bytes[pos]) << 8) | bytes[pos + 1];
+  pos += 2;
+  const std::size_t end = pos + attrs_len;
+  std::vector<AttrView> out;
+  while (pos < end) {
+    AttrView view;
+    view.offset = pos;
+    view.flags = bytes[pos];
+    view.type = bytes[pos + 1];
+    view.len_offset = pos + 2;
+    if (view.flags & kExtendedLengthFlag) {
+      view.len_size = 2;
+      view.value_len = (static_cast<std::size_t>(bytes[pos + 2]) << 8) | bytes[pos + 3];
+    } else {
+      view.len_size = 1;
+      view.value_len = bytes[pos + 2];
+    }
+    view.value_offset = view.len_offset + view.len_size;
+    pos = view.value_offset + view.value_len;
+    out.push_back(view);
+  }
+  return out;
+}
+
+bool is_documented_update_subcode(std::uint8_t subcode) {
+  switch (subcode) {
+    case kUpdMalformedAttrList:
+    case kUpdUnrecognizedWellKnown:
+    case kUpdMissingWellKnown:
+    case kUpdAttrLengthError:
+    case kUpdInvalidOrigin:
+    case kUpdInvalidNetworkField:
+    case kUpdMalformedAsPath:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST_P(WireFuzz, AttrLengthMutationsMapToRfcErrors) {
+  util::Rng rng(GetParam() + 3000);
+  std::uint64_t rejected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs) continue;
+    auto bytes = encode_update(original);
+    const auto attrs = parse_attrs(bytes);
+    ASSERT_FALSE(attrs.empty());
+    const AttrView& attr = attrs[rng.index(attrs.size())];
+    // Rewrite the low length octet to a different arbitrary value; the rest
+    // of the message is untouched, so every downstream confusion is the
+    // decoder's to classify.
+    const std::size_t low = attr.len_offset + attr.len_size - 1;
+    const std::uint8_t old_len = bytes[low];
+    std::uint8_t new_len = old_len;
+    while (new_len == old_len) new_len = static_cast<std::uint8_t>(rng.index(256));
+    bytes[low] = new_len;
+    try {
+      (void)decode_update(bytes);  // a reinterpretation may still be valid
+    } catch (const WireError& e) {
+      ++rejected;
+      EXPECT_EQ(e.code(), ErrorCode::UpdateMessage)
+          << "attr damage must be an UPDATE error, got code "
+          << static_cast<int>(e.code_octet()) << ": " << e.what();
+      EXPECT_TRUE(is_documented_update_subcode(e.subcode()))
+          << "undocumented subcode " << static_cast<int>(e.subcode()) << ": " << e.what();
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "mutator never produced a rejected message";
+}
+
+TEST_P(WireFuzz, OversizedExtendedLengthAttrIsRejected) {
+  util::Rng rng(GetParam() + 4000);
+  std::uint64_t exercised = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs) continue;
+    auto bytes = encode_update(original);
+    const auto attrs = parse_attrs(bytes);
+    const AttrView& attr = attrs[rng.index(attrs.size())];
+    if (attr.flags & kExtendedLengthFlag) {
+      bytes[attr.len_offset] = 0x7f;  // claims ~32k of attribute value
+      bytes[attr.len_offset + 1] = 0xff;
+    } else {
+      // Grow the attribute to extended length in place, claiming far more
+      // value bytes than the message holds; section and header lengths are
+      // patched so the oversized claim is the *only* inconsistency.
+      bytes[attr.offset] |= kExtendedLengthFlag;
+      bytes[attr.len_offset] = 0x7f;
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(attr.len_offset) + 1, 0xff);
+      const std::size_t alo = attrs_len_offset(bytes);
+      const std::size_t attrs_len =
+          ((static_cast<std::size_t>(bytes[alo]) << 8) | bytes[alo + 1]) + 1;
+      bytes[alo] = static_cast<std::uint8_t>(attrs_len >> 8);
+      bytes[alo + 1] = static_cast<std::uint8_t>(attrs_len & 0xff);
+      bytes[16] = static_cast<std::uint8_t>(bytes.size() >> 8);
+      bytes[17] = static_cast<std::uint8_t>(bytes.size() & 0xff);
+    }
+    ++exercised;
+    try {
+      (void)decode_update(bytes);
+      ADD_FAILURE() << "an attribute claiming 0x7fff value bytes must not decode";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::UpdateMessage) << e.what();
+      EXPECT_TRUE(e.subcode() == kUpdAttrLengthError || e.subcode() == kUpdMalformedAttrList)
+          << "subcode " << static_cast<int>(e.subcode()) << ": " << e.what();
+    }
+  }
+  EXPECT_GT(exercised, 0u);
+}
+
+TEST_P(WireFuzz, CorruptAsPathSegmentsAreRejected) {
+  util::Rng rng(GetParam() + 5000);
+  std::uint64_t overruns = 0, bad_kinds = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs) continue;
+    const auto clean = encode_update(original);
+    const AttrView* as_path = nullptr;
+    const auto attrs = parse_attrs(clean);
+    for (const AttrView& attr : attrs) {
+      if (attr.type == static_cast<std::uint8_t>(AttrType::AsPath)) as_path = &attr;
+    }
+    ASSERT_NE(as_path, nullptr) << "every announcement carries AS_PATH";
+    ASSERT_GE(as_path->value_len, 2u);
+
+    // Segment header: [kind octet][member count][members, 2 bytes each].
+    if (rng.chance(0.5)) {
+      // Claim ~100 more members than the attribute value holds.
+      auto bytes = clean;
+      bytes[as_path->value_offset + 1] += 100;
+      ++overruns;
+      try {
+        (void)decode_update(bytes);
+        ADD_FAILURE() << "segment count overrunning the attribute must not decode";
+      } catch (const WireError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::UpdateMessage) << e.what();
+        EXPECT_TRUE(e.subcode() == kUpdAttrLengthError || e.subcode() == kUpdMalformedAsPath)
+            << "subcode " << static_cast<int>(e.subcode()) << ": " << e.what();
+      }
+    } else {
+      // An undefined segment kind (only 1 = AS_SET and 2 = AS_SEQUENCE
+      // exist) is Malformed AS_PATH, specifically.
+      auto bytes = clean;
+      bytes[as_path->value_offset] = static_cast<std::uint8_t>(rng.uniform(3, 250));
+      ++bad_kinds;
+      try {
+        (void)decode_update(bytes);
+        ADD_FAILURE() << "unknown AS_PATH segment kind must not decode";
+      } catch (const WireError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::UpdateMessage) << e.what();
+        EXPECT_EQ(e.subcode(), kUpdMalformedAsPath) << e.what();
+      }
+    }
+  }
+  EXPECT_GT(overruns, 0u);
+  EXPECT_GT(bad_kinds, 0u);
+}
+
 }  // namespace
 }  // namespace moas::bgp::wire
