@@ -50,6 +50,12 @@ struct Cell {
   std::size_t fault_events = 0;
   std::uint64_t message_faults = 0;
   std::size_t violations = 0;
+  std::uint64_t withdrawals = 0;  // summed over runs: wire churn
+  std::uint64_t announcements = 0;
+  std::uint64_t stale_retained = 0;
+  std::uint64_t resolver_queries = 0;  // backend (registry) load
+  std::uint64_t cache_hits = 0;
+  std::string first_fault_log;  // replay log of the cell's first run
 };
 
 /// Mirrors Experiment::run_point (3 origin sets x 5 attacker sets), but
@@ -73,6 +79,12 @@ Cell run_cell(const core::Experiment& experiment, const topo::AsGraph& graph,
       cell.fault_events += run.fault_events;
       cell.message_faults += run.message_faults;
       cell.violations += run.invariant_report.size();
+      cell.withdrawals += run.withdrawals;
+      cell.announcements += run.announcements;
+      cell.stale_retained += run.stale_retained;
+      cell.resolver_queries += run.resolver_queries;
+      cell.cache_hits += run.resolver_cache_hits;
+      if (i == 0 && j == 0) cell.first_fault_log = run.fault_log;
       for (const std::string& violation : run.invariant_report) {
         std::cerr << "invariant violation: " << violation << "\n";
       }
@@ -142,9 +154,128 @@ int main() {
     }
   }
   table.print(std::cout);
+
+  // --- Cold restart vs graceful restart (RFC 4724) under crash churn ------
+  // Crash/restart faults only, no message faults: the compiled schedule —
+  // and therefore the engine's replay log — is byte-identical with GR on or
+  // off, so the comparison isolates the restart semantics. Cold restart
+  // pays a flush-withdraw cascade at every crash plus a full re-learn at
+  // restart; GR parks the routes as stale and only the End-of-RIB sweep (or
+  // the restart timer) withdraws what genuinely changed.
+  std::cout << "\n=== Cold restart vs graceful restart under crash churn ===\n";
+  chaos::ScheduleConfig crash_churn;
+  crash_churn.seed = 0xc0ffee;
+  crash_churn.horizon = 120.0;
+  crash_churn.crashes_per_router = 0.5;
+  crash_churn.restart_delay_mean = 8.0;
+  const auto run_restart_cell = [&](bool graceful) {
+    core::ExperimentConfig config;
+    config.deployment = core::Deployment::Full;
+    config.strategy = core::AttackerStrategy::OwnList;
+    config.churn = crash_churn;
+    config.check_invariants = true;  // includes the stale-route-hygiene family
+    config.graceful_restart = graceful;
+    config.gr_restart_time = 30.0;
+    core::Experiment experiment(graph, config);
+    util::Rng rng(42);  // same workload draws for both restart modes
+    return run_cell(experiment, graph, 0.05, rng);
+  };
+  const Cell cold = run_restart_cell(false);
+  const Cell graceful = run_restart_cell(true);
+  const Cell graceful_rerun = run_restart_cell(true);
+
+  util::TablePrinter restart_table({"restart_mode", "withdrawals", "announcements",
+                                    "stale_retained", "adopting_false_pct", "violations"});
+  restart_table.add_row({"cold", std::to_string(cold.withdrawals),
+                         std::to_string(cold.announcements),
+                         std::to_string(cold.stale_retained),
+                         util::fmt_double(cold.adopted_false * 100.0, 2),
+                         std::to_string(cold.violations)});
+  restart_table.add_row({"graceful", std::to_string(graceful.withdrawals),
+                         std::to_string(graceful.announcements),
+                         std::to_string(graceful.stale_retained),
+                         util::fmt_double(graceful.adopted_false * 100.0, 2),
+                         std::to_string(graceful.violations)});
+  restart_table.print(std::cout);
+
+  if (cold.violations + graceful.violations > 0) {
+    ok = false;
+    std::cerr << "FAIL: invariant violations in the restart-mode comparison\n";
+  }
+  if (graceful.withdrawals >= cold.withdrawals) {
+    ok = false;
+    std::cerr << "FAIL: graceful restart sent " << graceful.withdrawals
+              << " withdrawals, cold restart " << cold.withdrawals
+              << " — GR must strictly reduce withdraw churn\n";
+  }
+  if (graceful.announcements >= cold.announcements) {
+    ok = false;
+    std::cerr << "FAIL: graceful restart sent " << graceful.announcements
+              << " announcements, cold restart " << cold.announcements
+              << " — GR must strictly reduce re-announce churn\n";
+  }
+  if (graceful.adopted_false > cold.adopted_false + 1e-9) {
+    ok = false;
+    std::cerr << "FAIL: graceful restart worsened false adoption ("
+              << graceful.adopted_false << " vs cold " << cold.adopted_false << ")\n";
+  }
+  if (graceful.first_fault_log != cold.first_fault_log) {
+    ok = false;
+    std::cerr << "FAIL: fault log differs between restart modes — the schedule replay "
+                 "must not depend on GR\n";
+  }
+  if (graceful.first_fault_log != graceful_rerun.first_fault_log ||
+      graceful.withdrawals != graceful_rerun.withdrawals) {
+    ok = false;
+    std::cerr << "FAIL: GR run is not deterministic for a fixed seed\n";
+  }
+
+  // --- Churn-aware resolver cache ----------------------------------------
+  // Moderate churn re-fires MOAS alarms for the same victim prefix; a short
+  // TTL must absorb repeat registry lookups without changing any detection
+  // outcome (the oracle backend is deterministic, so outcomes are
+  // comparable run for run).
+  std::cout << "\n=== Resolver cache under moderate churn ===\n";
+  const auto run_cache_cell = [&](double ttl) {
+    core::ExperimentConfig config;
+    config.deployment = core::Deployment::Full;
+    config.strategy = core::AttackerStrategy::OwnList;
+    config.churn = churn_regime(0.2, 0.005);
+    config.resolver_cache_ttl = ttl;
+    core::Experiment experiment(graph, config);
+    util::Rng rng(42);  // same workload draws with and without the cache
+    return run_cell(experiment, graph, 0.20, rng);
+  };
+  const Cell uncached = run_cache_cell(0.0);
+  const Cell cached = run_cache_cell(30.0);
+
+  util::TablePrinter cache_table(
+      {"resolver", "registry_queries", "cache_hits", "alarms_per_run", "adopting_false_pct"});
+  cache_table.add_row({"oracle", std::to_string(uncached.resolver_queries), "0",
+                       util::fmt_double(uncached.alarms, 1),
+                       util::fmt_double(uncached.adopted_false * 100.0, 2)});
+  cache_table.add_row({"oracle+cache", std::to_string(cached.resolver_queries),
+                       std::to_string(cached.cache_hits), util::fmt_double(cached.alarms, 1),
+                       util::fmt_double(cached.adopted_false * 100.0, 2)});
+  cache_table.print(std::cout);
+
+  if (cached.resolver_queries >= uncached.resolver_queries) {
+    ok = false;
+    std::cerr << "FAIL: cache did not reduce registry load (" << cached.resolver_queries
+              << " vs " << uncached.resolver_queries << ")\n";
+  }
+  if (cached.adopted_false != uncached.adopted_false || cached.alarms != uncached.alarms ||
+      cached.no_route != uncached.no_route) {
+    ok = false;
+    std::cerr << "FAIL: resolver cache changed detection outcomes\n";
+  }
+
   std::cout << "\nfull-deployment detection holds under churn: flaps delay convergence "
                "and raise alarm counts, but resolution still pins the true origins and "
-               "the post-quiescence network state audits clean.\n";
+               "the post-quiescence network state audits clean. graceful restart keeps "
+               "crash/restart cycles from masquerading as withdraw/re-announce churn, "
+               "and the resolver cache absorbs repeat registry lookups without moving "
+               "any outcome.\n";
   if (!ok) {
     std::cerr << "\nCHURN ABLATION FAILED\n";
     return EXIT_FAILURE;

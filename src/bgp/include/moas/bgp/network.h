@@ -33,6 +33,13 @@ class Network {
     /// How long a torn-down session takes to re-establish (reset_session
     /// and tap-triggered resets).
     double session_reestablish_delay = 1.0;
+    /// RFC 4724 graceful restart, negotiated network-wide: router crashes
+    /// leave peers' learned routes in use (marked stale) for up to
+    /// `gr_restart_time` seconds, and session establishment ends with an
+    /// End-of-RIB marker that sweeps stale leftovers. Off models the cold
+    /// restart (crash flushes every peer immediately).
+    bool graceful_restart = false;
+    double gr_restart_time = 60.0;
     std::uint64_t seed = 1;
   };
 
@@ -102,9 +109,11 @@ class Network {
   /// longer-lived link failure injected in the meantime.
   void reset_session(Asn a, Asn b, double reestablish_delay = 0.0);
 
-  /// Crash `asn`: every session to it drops, peers flush its routes, and
-  /// the router loses all protocol state (local originations survive as
-  /// configuration). In-flight messages to and from it are lost.
+  /// Crash `asn`: every session to it drops and the router loses all
+  /// protocol state (local originations survive as configuration).
+  /// In-flight messages to and from it are lost. Without graceful restart
+  /// peers flush its routes immediately; with it they retain them as stale
+  /// until the restart timer or the post-restart End-of-RIB sweeps them.
   void crash_router(Asn asn);
 
   /// Cold restart after crash_router: local prefixes are re-announced and

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "moas/bgp/route.h"
@@ -61,8 +63,38 @@ class AdjRibIn {
 
   std::size_t size() const;
 
+  // --- graceful restart (RFC 4724) stale-route tracking ---------------------
+  //
+  // Staleness is bookkeeping *about* entries, kept outside RibEntry: the
+  // decision process and the duplicate-suppression equality of set() must
+  // treat a retained stale route exactly like a fresh one ("the Staleness
+  // state ... MUST NOT be used in the route selection").
+
+  /// Mark everything currently held from `peer` stale (the peer announced a
+  /// restart). Returns how many entries were marked.
+  std::size_t mark_peer_stale(Asn peer);
+
+  /// True if the entry for (prefix, peer) exists and is marked stale.
+  bool is_stale(const net::Prefix& prefix, Asn peer) const;
+
+  /// Erase every still-stale entry from `peer` (restart timer expired, or
+  /// End-of-RIB arrived and the peer did not re-announce them). Returns the
+  /// affected prefixes. Entries refreshed by set() since the marking are
+  /// not touched.
+  std::vector<net::Prefix> sweep_stale(Asn peer);
+
+  /// Every stale (prefix, peer) pair across all peers — the invariant
+  /// checker's stale-route-hygiene audit walks this.
+  std::vector<std::pair<net::Prefix, Asn>> stale_entries() const;
+
+  /// Total stale entries.
+  std::size_t stale_count() const;
+
  private:
+  void clear_stale(Asn peer, const net::Prefix& prefix);
+
   std::map<net::Prefix, std::map<Asn, RibEntry>> table_;
+  std::map<Asn, std::set<net::Prefix>> stale_;
 };
 
 /// Loc-RIB: the selected best route per prefix.

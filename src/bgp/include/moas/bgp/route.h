@@ -43,17 +43,20 @@ struct Route {
   friend auto operator<=>(const Route&, const Route&) = default;
 };
 
-/// One BGP UPDATE at the abstraction level of the simulator: either an
-/// announcement of a route or a withdrawal of a prefix.
+/// One BGP UPDATE at the abstraction level of the simulator: an announcement
+/// of a route, a withdrawal of a prefix, or the RFC 4724 End-of-RIB marker
+/// (an UPDATE with no withdrawn routes and no NLRI) that ends the initial
+/// route exchange and sweeps stale graceful-restart state.
 struct Update {
-  enum class Kind { Announce, Withdraw };
+  enum class Kind { Announce, Withdraw, EndOfRib };
 
   Kind kind = Kind::Announce;
-  net::Prefix prefix;
+  net::Prefix prefix;                  // unused for EndOfRib
   std::optional<Route> route;  // set iff kind == Announce
 
   static Update announce(Route r);
   static Update withdraw(net::Prefix p);
+  static Update end_of_rib();
 
   std::string to_string() const;
 };

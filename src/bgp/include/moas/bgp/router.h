@@ -83,6 +83,16 @@ class Router final : public RouterContext {
   bool flap_damping_enabled() const { return damper_.has_value(); }
   const FlapDamper* flap_damper() const { return damper_ ? &*damper_ : nullptr; }
 
+  /// Enable RFC 4724 graceful restart with the given restart time (seconds;
+  /// 0 disables). When enabled, peer_restarting() retains the restarting
+  /// peer's routes as stale instead of flushing, every session
+  /// establishment ends its initial route exchange with an End-of-RIB
+  /// marker, and a restart timer flushes stale routes whose peer never came
+  /// back. Requires a clock when non-zero.
+  void set_graceful_restart(sim::Time restart_time);
+  bool graceful_restart_enabled() const { return gr_restart_time_ > 0.0; }
+  sim::Time graceful_restart_time() const { return gr_restart_time_; }
+
   // --- protocol operations --------------------------------------------------
 
   /// Originate a prefix locally (installs into Loc-RIB and advertises).
@@ -104,7 +114,17 @@ class Router final : public RouterContext {
 
   /// Session with `peer` came (back) up: advertise the current Loc-RIB to
   /// it, as the initial route exchange after session establishment does.
+  /// With graceful restart enabled the exchange ends with an End-of-RIB
+  /// marker, which lets the peer sweep any stale routes we did not replay.
   void peer_up(Asn peer);
+
+  /// The peer crashed but negotiated graceful restart: keep its routes in
+  /// use, marked stale, and start the restart timer. If the peer
+  /// re-establishes in time its replayed routes refresh the stale entries
+  /// and its End-of-RIB sweeps the rest; if the timer fires first the
+  /// leftovers are flushed like a cold peer_down. Falls back to peer_down()
+  /// when graceful restart is not enabled on this router.
+  void peer_restarting(Asn peer);
 
   /// True while the session with `peer` is considered up (add_peer starts
   /// it up; peer_down/peer_up toggle it).
@@ -153,11 +173,18 @@ class Router final : public RouterContext {
   struct Stats {
     std::uint64_t updates_received = 0;
     std::uint64_t updates_sent = 0;
+    std::uint64_t announcements_sent = 0;  // updates_sent broken down by kind
+    std::uint64_t withdrawals_sent = 0;
     std::uint64_t announcements_rejected = 0;  // validator vetoes
     std::uint64_t loops_detected = 0;
     std::uint64_t decisions = 0;
     std::uint64_t best_changes = 0;
     std::uint64_t candidates_damped = 0;  // suppressed by flap damping
+    // Graceful restart (RFC 4724).
+    std::uint64_t eor_sent = 0;
+    std::uint64_t eor_received = 0;
+    std::uint64_t stale_retained = 0;  // entries marked stale at peer restarts
+    std::uint64_t stale_swept = 0;     // flushed by End-of-RIB or the timer
   };
   const Stats& stats() const { return stats_; }
 
@@ -180,6 +207,9 @@ class Router final : public RouterContext {
     /// MRAI state per prefix.
     std::map<net::Prefix, sim::Time> next_allowed;
     std::map<net::Prefix, std::optional<Update>> pending;
+    /// Bumped on every restart window (and on cold session loss) so a
+    /// pending stale-route timer from a superseded window no-ops.
+    std::uint64_t gr_generation = 0;
   };
 
   /// Re-run the decision process for `prefix`; export on change.
@@ -199,6 +229,22 @@ class Router final : public RouterContext {
   /// withdraw if nothing is exportable), without MRAI or dedup applied.
   std::optional<Update> build_export(const PeerState& state, const net::Prefix& prefix) const;
 
+  /// The peer's End-of-RIB arrived: its initial route exchange is complete,
+  /// so every still-stale route from it is an implicit withdrawal.
+  void handle_end_of_rib(Asn from);
+
+  /// Restart timer for `peer`'s window `gen` fired: flush leftover stale
+  /// routes (the peer never finished coming back).
+  void stale_timer_expired(Asn peer, std::uint64_t gen);
+
+  /// End the restarting-speaker deferral: send the owed End-of-RIB markers
+  /// to every still-up peer recorded during the restart exchange.
+  void complete_restart_deferral();
+
+  /// `peer` left (cold loss or new restart window) while we were deferring:
+  /// stop waiting for its End-of-RIB and drop the one we owed it.
+  void abandon_deferred_peer(Asn peer);
+
   Asn asn_;
   PolicyMode mode_;
   SendFn send_;
@@ -214,6 +260,17 @@ class Router final : public RouterContext {
   bool strip_communities_ = false;
   bool prefer_established_ = true;
   sim::Time mrai_ = 0.0;
+  sim::Time gr_restart_time_ = 0.0;  // RFC 4724; 0 = graceful restart off
+  /// RFC 4724 §4.1: while this router is itself restarting it defers its
+  /// own End-of-RIB until every re-established peer finished its initial
+  /// exchange (or the restart time passes) — a marker sent from the
+  /// still-empty table would sweep the helpers' stale routes before the
+  /// replay chain can refresh them, which is exactly the churn graceful
+  /// restart exists to avoid.
+  bool gr_deferring_ = false;
+  std::set<Asn> gr_eor_deferred_to_;    // peers owed our End-of-RIB
+  std::set<Asn> gr_awaiting_eor_from_;  // peers whose End-of-RIB we await
+  std::uint64_t gr_defer_generation_ = 0;
   std::optional<FlapDamper> damper_;
 
   Stats stats_;

@@ -51,6 +51,15 @@ class Session {
     /// the same (seed, local_as) reproduces the same retry train.
     double connect_retry_jitter = 0.25;
     std::uint64_t seed = 0;
+    /// Advertise the RFC 4724 graceful-restart capability in our OPEN.
+    /// Negotiation succeeds when both sides advertise it (gr_negotiated()).
+    bool graceful_restart = false;
+    /// Restart Time advertised in the capability (seconds, 12-bit field):
+    /// how long the peer should retain our routes as stale after a restart.
+    sim::Time gr_restart_time = 120.0;
+    /// Set the Restart-State flag in our capability — we are coming back
+    /// from a restart and will replay our table, ending with End-of-RIB.
+    bool gr_restarting = false;
   };
 
   /// Callbacks: `send` transmits raw wire bytes toward the peer; `on_up` /
@@ -87,6 +96,18 @@ class Session {
   /// jitter); exposed for backoff tests.
   sim::Time current_connect_retry() const { return next_connect_retry_; }
 
+  /// Graceful restart as negotiated on the *current or most recent* session:
+  /// true iff both our config and the peer's OPEN carried the capability.
+  bool gr_negotiated() const { return config_.graceful_restart && peer_gr_.has_value(); }
+  /// The peer's graceful-restart capability from its OPEN, if it sent one.
+  const std::optional<wire::GracefulRestartCapability>& peer_graceful_restart() const {
+    return peer_gr_;
+  }
+  /// The restart time the peer asked us to honor (0 when not negotiated).
+  sim::Time peer_restart_time() const {
+    return peer_gr_ ? static_cast<sim::Time>(peer_gr_->restart_time) : 0.0;
+  }
+
   struct Stats {
     std::uint64_t opens_sent = 0;
     std::uint64_t keepalives_sent = 0;
@@ -96,6 +117,7 @@ class Session {
     std::uint64_t connect_retries = 0;
     std::uint64_t updates_received = 0;
     std::uint64_t malformed_messages = 0;  // wire errors that reset the session
+    std::uint64_t remote_resets = 0;       // NOTIFICATIONs received from the peer
     std::uint8_t last_notification_code = 0;
     std::uint8_t last_notification_subcode = 0;
   };
@@ -126,6 +148,7 @@ class Session {
   sim::EventId connect_retry_timer_ = 0;
   sim::Time negotiated_hold_ = 0.0;
   sim::Time next_connect_retry_ = 0.0;  // backoff state; 0 = start from base
+  std::optional<wire::GracefulRestartCapability> peer_gr_;
   util::Rng jitter_rng_;
   Stats stats_;
 };

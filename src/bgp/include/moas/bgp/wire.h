@@ -111,12 +111,39 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
 /// Decode an UPDATE (must include the header). Throws WireError.
 UpdateMessage decode_update(std::span<const std::uint8_t> data);
 
-/// OPEN message content (§4.2), minus optional parameters.
+/// An UPDATE with no withdrawn routes and no NLRI is the RFC 4724 §2
+/// End-of-RIB marker for IPv4 unicast.
+bool is_end_of_rib(const UpdateMessage& message);
+
+/// Encode the End-of-RIB marker (an empty UPDATE).
+std::vector<std::uint8_t> encode_end_of_rib();
+
+/// RFC 4724 §3 Graceful Restart capability (code 64), carried in the OPEN
+/// optional parameters. Only the IPv4/unicast AFI-SAFI tuple is modeled.
+struct GracefulRestartCapability {
+  /// Restart-State flag: the speaker has just restarted and is replaying.
+  bool restart_state = false;
+  /// Restart Time in seconds (12-bit field): how long the peer should
+  /// retain this speaker's routes as stale before flushing them.
+  std::uint16_t restart_time = 120;
+  /// Announce the IPv4/unicast AFI-SAFI tuple (with its Forwarding-State
+  /// flag). Off encodes a bare capability: restart timing only.
+  bool ipv4_unicast = true;
+  bool forwarding_preserved = false;
+
+  friend auto operator<=>(const GracefulRestartCapability&,
+                          const GracefulRestartCapability&) = default;
+};
+
+/// OPEN message content (§4.2). The only optional parameter modeled is the
+/// Capabilities parameter carrying graceful restart; unknown parameters and
+/// capabilities are skipped on decode.
 struct OpenMessage {
   std::uint8_t version = 4;
   std::uint16_t my_as = 0;
   std::uint16_t hold_time = 180;
   std::uint32_t bgp_identifier = 0;
+  std::optional<GracefulRestartCapability> graceful_restart;
 };
 
 std::vector<std::uint8_t> encode_open(const OpenMessage& open);

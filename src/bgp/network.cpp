@@ -13,6 +13,8 @@ Network::Network(Config config) : config_(config), rng_(config.seed) {
   MOAS_REQUIRE(config_.jitter >= 0.0, "jitter must be non-negative");
   MOAS_REQUIRE(config_.session_reestablish_delay > 0.0,
                "session re-establishment delay must be positive");
+  MOAS_REQUIRE(!config_.graceful_restart || config_.gr_restart_time > 0.0,
+               "graceful restart needs a positive restart time");
 }
 
 Router& Network::add_router(Asn asn) {
@@ -22,6 +24,7 @@ Router& Network::add_router(Asn asn) {
       [this](Asn from, Asn to, const Update& update) { deliver(from, to, update); },
       &clock_);
   Router& ref = *router;
+  if (config_.graceful_restart) ref.set_graceful_restart(config_.gr_restart_time);
   routers_.emplace(asn, std::move(router));
   return ref;
 }
@@ -113,7 +116,10 @@ void Network::crash_router(Asn asn) {
   for (Asn peer : r.peers()) {
     const auto key = std::minmax(asn, peer);
     ++link_down_epoch_[key];
-    if (!failed_links_.contains(key)) router(peer).peer_down(asn);
+    // peer_restarting honors the graceful-restart negotiation: with GR the
+    // peer retains the crashed router's routes as stale; without it this is
+    // the cold flush peer_down does.
+    if (!failed_links_.contains(key)) router(peer).peer_restarting(asn);
   }
   r.crash();
 }

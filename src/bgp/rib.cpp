@@ -40,6 +40,10 @@ const RibEntry* select_best(const std::vector<const RibEntry*>& candidates) {
 bool AdjRibIn::set(Asn peer, Route route) {
   auto& per_peer = table_[route.prefix];
   RibEntry entry{std::move(route), peer};
+  // Any announcement refreshes the entry: even a byte-identical replay
+  // clears the graceful-restart stale mark (RFC 4724: the replayed route
+  // replaces the stale one).
+  clear_stale(peer, entry.route.prefix);
   auto [it, inserted] = per_peer.try_emplace(peer, entry);
   if (inserted) return true;
   if (it->second == entry) return false;
@@ -51,6 +55,7 @@ bool AdjRibIn::erase(Asn peer, const net::Prefix& prefix) {
   auto it = table_.find(prefix);
   if (it == table_.end()) return false;
   const bool erased = it->second.erase(peer) > 0;
+  if (erased) clear_stale(peer, prefix);
   if (it->second.empty()) table_.erase(it);
   return erased;
 }
@@ -80,6 +85,7 @@ std::size_t AdjRibIn::erase_by_origin(const net::Prefix& prefix, const AsnSet& o
     const bool hit = std::any_of(cand.begin(), cand.end(),
                                  [&](Asn a) { return origins.contains(a); });
     if (hit) {
+      clear_stale(jt->first, prefix);
       jt = it->second.erase(jt);
       ++erased;
     } else {
@@ -100,7 +106,59 @@ std::vector<net::Prefix> AdjRibIn::erase_peer(Asn peer) {
       ++it;
     }
   }
+  stale_.erase(peer);
   return affected;
+}
+
+std::size_t AdjRibIn::mark_peer_stale(Asn peer) {
+  std::set<net::Prefix>& marks = stale_[peer];
+  for (const auto& [prefix, per_peer] : table_) {
+    if (per_peer.contains(peer)) marks.insert(prefix);
+  }
+  const std::size_t n = marks.size();
+  if (n == 0) stale_.erase(peer);
+  return n;
+}
+
+bool AdjRibIn::is_stale(const net::Prefix& prefix, Asn peer) const {
+  auto it = stale_.find(peer);
+  return it != stale_.end() && it->second.contains(prefix);
+}
+
+std::vector<net::Prefix> AdjRibIn::sweep_stale(Asn peer) {
+  std::vector<net::Prefix> affected;
+  auto it = stale_.find(peer);
+  if (it == stale_.end()) return affected;
+  for (const net::Prefix& prefix : it->second) {
+    auto row = table_.find(prefix);
+    if (row == table_.end()) continue;
+    if (row->second.erase(peer) == 0) continue;
+    if (row->second.empty()) table_.erase(row);
+    affected.push_back(prefix);
+  }
+  stale_.erase(it);
+  return affected;
+}
+
+std::vector<std::pair<net::Prefix, Asn>> AdjRibIn::stale_entries() const {
+  std::vector<std::pair<net::Prefix, Asn>> out;
+  for (const auto& [peer, prefixes] : stale_) {
+    for (const net::Prefix& prefix : prefixes) out.emplace_back(prefix, peer);
+  }
+  return out;
+}
+
+std::size_t AdjRibIn::stale_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, prefixes] : stale_) n += prefixes.size();
+  return n;
+}
+
+void AdjRibIn::clear_stale(Asn peer, const net::Prefix& prefix) {
+  auto it = stale_.find(peer);
+  if (it == stale_.end()) return;
+  it->second.erase(prefix);
+  if (it->second.empty()) stale_.erase(it);
 }
 
 std::vector<net::Prefix> AdjRibIn::prefixes() const {

@@ -25,11 +25,18 @@ Update Update::withdraw(net::Prefix p) {
   return u;
 }
 
+Update Update::end_of_rib() {
+  Update u;
+  u.kind = Kind::EndOfRib;
+  return u;
+}
+
 std::string Update::to_string() const {
   if (kind == Kind::Announce) {
     MOAS_ENSURE(route.has_value(), "announce update must carry a route");
     return "ANNOUNCE " + route->to_string();
   }
+  if (kind == Kind::EndOfRib) return "END-OF-RIB";
   return "WITHDRAW " + prefix.to_string();
 }
 

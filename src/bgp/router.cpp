@@ -47,6 +47,13 @@ void Router::enable_flap_damping(FlapDamper::Config config) {
   damper_.emplace(config);
 }
 
+void Router::set_graceful_restart(sim::Time restart_time) {
+  MOAS_REQUIRE(restart_time >= 0.0, "restart time must be non-negative");
+  MOAS_REQUIRE(restart_time == 0.0 || clock_ != nullptr,
+               "graceful restart requires a clock for the restart timer");
+  gr_restart_time_ = restart_time;
+}
+
 void Router::originate(const net::Prefix& prefix, CommunitySet communities,
                        OriginCode origin_code) {
   Route route;
@@ -67,6 +74,11 @@ void Router::withdraw_origination(const net::Prefix& prefix) {
 void Router::handle_update(Asn from, const Update& update) {
   MOAS_REQUIRE(peers_.contains(from), "update from unknown peer");
   ++stats_.updates_received;
+
+  if (update.kind == Update::Kind::EndOfRib) {
+    handle_end_of_rib(from);
+    return;
+  }
 
   if (update.kind == Update::Kind::Withdraw) {
     const bool had = adj_in_.erase(from, update.prefix);
@@ -116,12 +128,39 @@ void Router::peer_down(Asn peer) {
   MOAS_REQUIRE(it != peers_.end(), "unknown peer");
   if (!it->second.session_up) return;  // already down
   it->second.session_up = false;
+  ++it->second.gr_generation;  // a cold loss supersedes any restart window
   if (damper_) damper_->clear_peer(peer);
   it->second.advertised.clear();
   it->second.pending.clear();
   it->second.next_allowed.clear();
   validator_->on_peer_down(peer, *this);
+  abandon_deferred_peer(peer);
   for (const net::Prefix& prefix : adj_in_.erase_peer(peer)) decide(prefix);
+}
+
+void Router::peer_restarting(Asn peer) {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  if (gr_restart_time_ <= 0.0) {
+    peer_down(peer);  // graceful restart not negotiated: cold flush
+    return;
+  }
+  if (!it->second.session_up) return;  // already down
+  it->second.session_up = false;
+  // Nothing can cross the dead session, so the advertisement bookkeeping
+  // resets exactly like peer_down — but the routes *learned from* the peer
+  // stay installed and selectable, marked stale. The validator is not told
+  // the peer went down: from the detector's perspective the peer's evidence
+  // (reference-list support) persists through the restart, which is the
+  // point of modeling RFC 4724.
+  it->second.advertised.clear();
+  it->second.pending.clear();
+  it->second.next_allowed.clear();
+  stats_.stale_retained += adj_in_.mark_peer_stale(peer);
+  abandon_deferred_peer(peer);
+  const std::uint64_t gen = ++it->second.gr_generation;
+  clock_->schedule_after(gr_restart_time_,
+                         [this, peer, gen] { stale_timer_expired(peer, gen); });
 }
 
 void Router::peer_up(Asn peer) {
@@ -131,6 +170,77 @@ void Router::peer_up(Asn peer) {
   for (const net::Prefix& prefix : loc_rib_.prefixes()) {
     send_to_peer(peer, it->second, prefix);
   }
+  if (gr_restart_time_ > 0.0) {
+    if (gr_deferring_) {
+      // RFC 4724 §4.1: a restarting speaker holds its own End-of-RIB back
+      // until its peers complete their initial exchanges — sent now, from a
+      // table that hasn't re-learned anything yet, the marker would sweep
+      // the helpers' stale routes before the replay chain refreshes them.
+      gr_eor_deferred_to_.insert(peer);
+      gr_awaiting_eor_from_.insert(peer);
+      return;
+    }
+    // RFC 4724 §2: the initial route exchange ends with the End-of-RIB
+    // marker (sent even when there was nothing to replay). It bypasses the
+    // per-prefix MRAI/bookkeeping path — it carries no route. The replay
+    // above goes out un-paced (session loss cleared next_allowed), so FIFO
+    // delivery guarantees the peer sees every replayed route before the
+    // marker sweeps its stale leftovers.
+    ++stats_.updates_sent;
+    ++stats_.eor_sent;
+    send_(asn_, peer, Update::end_of_rib());
+  }
+}
+
+void Router::handle_end_of_rib(Asn from) {
+  ++stats_.eor_received;
+  // Everything still stale was not re-announced in the peer's initial
+  // exchange: the restarted peer no longer has those routes, so they are
+  // implicit withdrawals.
+  const std::vector<net::Prefix> swept = adj_in_.sweep_stale(from);
+  stats_.stale_swept += swept.size();
+  for (const net::Prefix& prefix : swept) {
+    validator_->on_withdraw(prefix, from, *this);
+    decide(prefix);
+  }
+  if (gr_deferring_ && gr_awaiting_eor_from_.erase(from) > 0 &&
+      gr_awaiting_eor_from_.empty()) {
+    complete_restart_deferral();
+  }
+}
+
+void Router::complete_restart_deferral() {
+  gr_deferring_ = false;
+  ++gr_defer_generation_;  // disarm the deferral fallback timer
+  for (Asn peer : gr_eor_deferred_to_) {
+    auto it = peers_.find(peer);
+    if (it == peers_.end() || !it->second.session_up) continue;
+    ++stats_.updates_sent;
+    ++stats_.eor_sent;
+    send_(asn_, peer, Update::end_of_rib());
+  }
+  gr_eor_deferred_to_.clear();
+  gr_awaiting_eor_from_.clear();
+}
+
+void Router::abandon_deferred_peer(Asn peer) {
+  if (!gr_deferring_) return;
+  gr_eor_deferred_to_.erase(peer);
+  if (gr_awaiting_eor_from_.erase(peer) > 0 && gr_awaiting_eor_from_.empty()) {
+    complete_restart_deferral();
+  }
+}
+
+void Router::stale_timer_expired(Asn peer, std::uint64_t gen) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.gr_generation != gen) return;  // superseded
+  const std::vector<net::Prefix> swept = adj_in_.sweep_stale(peer);
+  if (swept.empty()) return;  // refreshed + swept by End-of-RIB already
+  stats_.stale_swept += swept.size();
+  // The restart window expired without the peer finishing its comeback:
+  // from here on this is a cold loss, validator memory included.
+  validator_->on_peer_down(peer, *this);
+  for (const net::Prefix& prefix : swept) decide(prefix);
 }
 
 bool Router::peer_session_up(Asn peer) const {
@@ -145,10 +255,15 @@ void Router::crash() {
     state.advertised.clear();
     state.pending.clear();
     state.next_allowed.clear();
+    ++state.gr_generation;  // crashing forgets any helper-side restart window
     if (damper_) damper_->clear_peer(peer);
   }
   adj_in_ = AdjRibIn();
   loc_rib_ = LocRib();
+  gr_deferring_ = false;
+  ++gr_defer_generation_;
+  gr_eor_deferred_to_.clear();
+  gr_awaiting_eor_from_.clear();
   validator_->on_reset(*this);
 }
 
@@ -157,6 +272,16 @@ void Router::restart() {
   // come back; everything learned is gone until peers resend it. Sessions
   // are still down here, so decide() installs without exporting — the
   // Network drives peer_up per live link, which transmits.
+  if (gr_restart_time_ > 0.0 && clock_) {
+    // Enter the restarting-speaker deferral (see peer_up); if a peer never
+    // finishes its exchange — or two adjacent restarts defer at each other —
+    // the restart time bounds the wait, mirroring the helpers' stale timer.
+    gr_deferring_ = true;
+    const std::uint64_t gen = ++gr_defer_generation_;
+    clock_->schedule_after(gr_restart_time_, [this, gen] {
+      if (gr_deferring_ && gr_defer_generation_ == gen) complete_restart_deferral();
+    });
+  }
   for (const auto& [prefix, _] : local_) decide(prefix);
 }
 
@@ -345,6 +470,11 @@ void Router::transmit(Asn peer, PeerState& state, Update update) {
   }
 
   ++stats_.updates_sent;
+  if (update.kind == Update::Kind::Withdraw) {
+    ++stats_.withdrawals_sent;
+  } else {
+    ++stats_.announcements_sent;
+  }
   send_(asn_, peer, update);
 }
 

@@ -48,6 +48,8 @@ Session::Session(Config config, sim::EventQueue& clock,
                "connect-retry cap must be >= the base interval");
   MOAS_REQUIRE(config_.connect_retry_jitter >= 0.0 && config_.connect_retry_jitter < 1.0,
                "connect-retry jitter must be a fraction in [0, 1)");
+  MOAS_REQUIRE(config_.gr_restart_time >= 0.0 && config_.gr_restart_time <= 4095.0,
+               "graceful-restart time must fit the 12-bit wire field");
 }
 
 void Session::start() {
@@ -75,6 +77,7 @@ void Session::tcp_failed() {
   if (state_ == SessionState::Idle) return;
   const bool was_established = state_ == SessionState::Established;
   cancel_timers();
+  negotiated_hold_ = 0.0;  // renegotiated by the next OPEN exchange
   enter(SessionState::Connect);
   arm_connect_retry();
   if (was_established && on_down_) on_down_();
@@ -112,6 +115,9 @@ void Session::receive(std::span<const std::uint8_t> data) {
         return;
       }
       negotiated_hold_ = std::min<sim::Time>(config_.hold_time, open.hold_time);
+      // Whatever the peer's latest OPEN says wins — a peer that stopped
+      // advertising graceful restart loses the negotiation.
+      peer_gr_ = open.graceful_restart;
       send_keepalive();
       enter(SessionState::OpenConfirm);
       arm_hold_timer();
@@ -154,9 +160,18 @@ void Session::receive(std::span<const std::uint8_t> data) {
       break;
     }
     case wire::MessageType::Notification: {
+      // Remote-initiated reset. Unlike a local ManualStop this is not an
+      // operator decision, so the session re-enters Connect and retries
+      // automatically. The backoff interval is deliberately NOT reset here —
+      // a peer that keeps NOTIFYing keeps paying increasing delays — but
+      // reaching Established again restores the base interval, so a healed
+      // peer does not keep paying the capped retry delay.
+      ++stats_.remote_resets;
       const bool was_established = state_ == SessionState::Established;
       cancel_timers();
-      enter(SessionState::Idle);
+      negotiated_hold_ = 0.0;
+      enter(SessionState::Connect);
+      arm_connect_retry();
       if (was_established && on_down_) on_down_();
       break;
     }
@@ -170,6 +185,12 @@ void Session::send_open() {
   open.my_as = static_cast<std::uint16_t>(config_.local_as);
   open.hold_time = static_cast<std::uint16_t>(config_.hold_time);
   open.bgp_identifier = config_.bgp_identifier;
+  if (config_.graceful_restart) {
+    wire::GracefulRestartCapability gr;
+    gr.restart_state = config_.gr_restarting;
+    gr.restart_time = static_cast<std::uint16_t>(config_.gr_restart_time);
+    open.graceful_restart = gr;
+  }
   ++stats_.opens_sent;
   send_(wire::encode_open(open));
 }
@@ -190,6 +211,7 @@ void Session::reset_to_idle(bool notify_peer, std::uint8_t code, std::uint8_t su
   const bool was_established = state_ == SessionState::Established;
   if (notify_peer) send_notification(code, subcode);
   cancel_timers();
+  negotiated_hold_ = 0.0;  // renegotiated by the next OPEN exchange
   enter(SessionState::Idle);
   if (was_established && on_down_) on_down_();
 }

@@ -17,6 +17,16 @@ constexpr std::uint8_t kFlagExtendedLength = 0x10;
 constexpr std::uint8_t kSegmentSet = 1;
 constexpr std::uint8_t kSegmentSequence = 2;
 
+// OPEN optional parameters (RFC 5492) and the graceful-restart capability
+// (RFC 4724 §3).
+constexpr std::uint8_t kOptParamCapabilities = 2;
+constexpr std::uint8_t kCapGracefulRestart = 64;
+constexpr std::uint16_t kGrRestartFlag = 0x8000;      // Restart-State "R" bit
+constexpr std::uint16_t kGrRestartTimeMask = 0x0fff;  // 12-bit restart time
+constexpr std::uint16_t kAfiIpv4 = 1;
+constexpr std::uint8_t kSafiUnicast = 1;
+constexpr std::uint8_t kGrForwardingFlag = 0x80;  // per-AFI "F" bit
+
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -351,6 +361,16 @@ UpdateMessage decode_update(std::span<const std::uint8_t> data) {
   return out;
 }
 
+bool is_end_of_rib(const UpdateMessage& message) {
+  return message.withdrawn.empty() && message.nlri.empty();
+}
+
+std::vector<std::uint8_t> encode_end_of_rib() {
+  // RFC 4724 §2: for IPv4 unicast the marker is simply an UPDATE with no
+  // withdrawn routes and no NLRI — the minimal 23-octet message.
+  return encode_update(UpdateMessage{});
+}
+
 std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
   Writer w;
   write_header(w, MessageType::Open);
@@ -358,7 +378,27 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
   w.u16(open.my_as);
   w.u16(open.hold_time);
   w.u32(open.bgp_identifier);
-  w.u8(0);  // no optional parameters
+  if (!open.graceful_restart) {
+    w.u8(0);  // no optional parameters
+    return finish(w);
+  }
+  const GracefulRestartCapability& gr = *open.graceful_restart;
+  MOAS_REQUIRE(gr.restart_time <= kGrRestartTimeMask,
+               "graceful-restart time exceeds the 12-bit field");
+  const std::uint8_t cap_len = gr.ipv4_unicast ? 6 : 2;  // flags/time [+ tuple]
+  w.u8(static_cast<std::uint8_t>(cap_len + 4));  // total optional-params length
+  w.u8(kOptParamCapabilities);
+  w.u8(static_cast<std::uint8_t>(cap_len + 2));  // parameter value length
+  w.u8(kCapGracefulRestart);
+  w.u8(cap_len);
+  std::uint16_t flags_time = gr.restart_time;
+  if (gr.restart_state) flags_time |= kGrRestartFlag;
+  w.u16(flags_time);
+  if (gr.ipv4_unicast) {
+    w.u16(kAfiIpv4);
+    w.u8(kSafiUnicast);
+    w.u8(gr.forwarding_preserved ? kGrForwardingFlag : 0);
+  }
   return finish(w);
 }
 
@@ -381,8 +421,41 @@ OpenMessage decode_open(std::span<const std::uint8_t> data) {
   }
   out.bgp_identifier = r.u32();
   const std::uint8_t opt_len = r.u8();
-  r.bytes(opt_len);  // skip optional parameters
+  Reader params(r.bytes(opt_len), ErrorCode::OpenMessage, 0);
   if (!r.done()) throw WireError(ErrorCode::OpenMessage, 0, "trailing bytes in OPEN");
+  while (!params.done()) {
+    const std::uint8_t param_type = params.u8();
+    const std::uint8_t param_len = params.u8();
+    Reader value(params.bytes(param_len), ErrorCode::OpenMessage, 0);
+    if (param_type != kOptParamCapabilities) continue;  // unknown parameter: skip
+    while (!value.done()) {
+      const std::uint8_t cap_code = value.u8();
+      const std::uint8_t cap_len = value.u8();
+      Reader cap(value.bytes(cap_len), ErrorCode::OpenMessage, 0);
+      if (cap_code != kCapGracefulRestart) continue;  // unknown capability: skip
+      if (cap_len < 2) {
+        throw WireError(ErrorCode::OpenMessage, 0, "graceful-restart capability too short");
+      }
+      GracefulRestartCapability gr;
+      const std::uint16_t flags_time = cap.u16();
+      gr.restart_state = (flags_time & kGrRestartFlag) != 0;
+      gr.restart_time = flags_time & kGrRestartTimeMask;
+      gr.ipv4_unicast = false;
+      while (cap.remaining() >= 4) {
+        const std::uint16_t afi = cap.u16();
+        const std::uint8_t safi = cap.u8();
+        const std::uint8_t afi_flags = cap.u8();
+        if (afi == kAfiIpv4 && safi == kSafiUnicast) {
+          gr.ipv4_unicast = true;
+          gr.forwarding_preserved = (afi_flags & kGrForwardingFlag) != 0;
+        }  // other address families: announced but not modeled, skip
+      }
+      if (!cap.done()) {
+        throw WireError(ErrorCode::OpenMessage, 0, "graceful-restart tuple truncated");
+      }
+      out.graceful_restart = gr;
+    }
+  }
   return out;
 }
 
@@ -425,16 +498,20 @@ std::vector<std::uint8_t> encode_sim_update(const Update& update,
   UpdateMessage message;
   if (update.kind == Update::Kind::Withdraw) {
     message.withdrawn.push_back(update.prefix);
-  } else {
+  } else if (update.kind == Update::Kind::Announce) {
     MOAS_REQUIRE(update.route.has_value(), "announce update without route");
     message.attrs = update.route->attrs;
     message.nlri.push_back(update.prefix);
-  }
+  }  // EndOfRib: the empty message IS the marker
   return encode_update(message, options);
 }
 
 std::vector<Update> to_sim_updates(const UpdateMessage& message) {
   std::vector<Update> out;
+  if (is_end_of_rib(message)) {
+    out.push_back(Update::end_of_rib());
+    return out;
+  }
   for (const auto& prefix : message.withdrawn) out.push_back(Update::withdraw(prefix));
   for (const auto& prefix : message.nlri) {
     MOAS_ENSURE(message.attrs.has_value(), "NLRI without attributes");

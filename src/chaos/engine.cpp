@@ -165,8 +165,12 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
         std::vector<Update> updates = bgp::wire::to_sim_updates(decoded);
         if (updates.size() == 1 && same_update(updates.front(), update)) {
           ++stats_.corruptions_harmless;  // damage hit padding-equivalent bits
-        } else if (updates.empty()) {
-          // Decoded to an empty UPDATE: the content is gone, same as a drop.
+        } else if (updates.size() == 1 &&
+                   updates.front().kind == Update::Kind::EndOfRib &&
+                   update.kind != Update::Kind::EndOfRib) {
+          // Decoded to an empty UPDATE (the End-of-RIB wire form): the
+          // content is gone, same as a drop. Delivering it would forge a
+          // graceful-restart End-of-RIB the sender never emitted.
           ++stats_.corruptions_undetected;
           dirty_.insert({from, to});
           log_.push_back(msg_log_line(now, "msg-corrupt-empty", from, to));

@@ -44,6 +44,11 @@ class NetworkInvariantChecker {
     /// with an export filter — deliberately lying routers exist in the
     /// threat model).
     bool check_advertised_consistency = true;
+    /// Graceful-restart stale-route hygiene (RFC 4724): at quiescence no
+    /// Adj-RIB-In entry may still carry a stale mark. The restart timer has
+    /// drained, so a leftover mark means the End-of-RIB sweep or the timer
+    /// flush lost a route.
+    bool check_stale_hygiene = true;
   };
 
   NetworkInvariantChecker();

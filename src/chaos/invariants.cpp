@@ -107,6 +107,21 @@ std::vector<NetworkInvariantChecker::Violation> NetworkInvariantChecker::check(
       }
     }
 
+    if (options_.check_stale_hygiene) {
+      // Stale-route hygiene (RFC 4724): quiescence means every restart
+      // timer fired and every re-established peer delivered its End-of-RIB,
+      // so any surviving stale mark escaped both sweep paths. The sender's
+      // session state tells us which path lost it.
+      for (const auto& [prefix, sender] : router.adj_rib_in().stale_entries()) {
+        const char* name = router.peer_session_up(sender) ? "stale-route-after-eor"
+                                                          : "stale-route-past-timer";
+        violations.push_back({name,
+                              std::to_string(asn) + " still marks " + prefix.to_string() +
+                                  " from " + std::to_string(sender) +
+                                  " stale at quiescence"});
+      }
+    }
+
     if (options_.check_advertised_consistency && !router.has_export_filter()) {
       // Sender-side audit: bookkeeping vs. what export policy would emit.
       for (Asn peer : router.peers()) {

@@ -1,5 +1,6 @@
 #include "moas/core/experiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -33,6 +34,9 @@ Experiment::Experiment(const topo::AsGraph& graph, ExperimentConfig config)
                "deployment fraction must be a probability");
   MOAS_REQUIRE(config.strip_fraction >= 0.0 && config.strip_fraction <= 1.0,
                "strip fraction must be a probability");
+  MOAS_REQUIRE(config.resolver_cache_ttl >= 0.0, "resolver cache TTL must be non-negative");
+  MOAS_REQUIRE(!config.graceful_restart || config.gr_restart_time > 0.0,
+               "graceful restart needs a positive restart time");
 }
 
 bgp::AsnSet Experiment::draw_origins(util::Rng& rng) const {
@@ -113,6 +117,8 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   net_config.mode = config_.policy;
   net_config.link_delay = config_.link_delay;
   net_config.jitter = config_.jitter;
+  net_config.graceful_restart = config_.graceful_restart;
+  net_config.gr_restart_time = config_.gr_restart_time;
   net_config.seed = rng.next();
   bgp::Network network(net_config);
 
@@ -120,6 +126,21 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   for (bgp::Asn asn : all_ases) network.add_router(asn);
   for (const auto& edge : graph_->edges()) {
     network.connect(edge.a, edge.b, edge.rel_of_b);
+  }
+
+  // Churn-aware resolver cache: under session churn the same prefix alarms
+  // repeatedly, and without a cache every alarm is a fresh registry lookup.
+  // `backend` keeps a handle on the real resolver so the run can report the
+  // registry load the cache absorbed.
+  std::shared_ptr<OriginResolver> backend = resolver;
+  std::shared_ptr<CachingResolver> cache;
+  if (resolver && config_.resolver_cache_ttl > 0.0) {
+    CachingResolver::Config cache_config;
+    cache_config.ttl = config_.resolver_cache_ttl;
+    cache_config.negative_ttl = std::min(config_.resolver_cache_ttl, 5.0);
+    cache = std::make_shared<CachingResolver>(
+        backend, [&network] { return network.clock().now(); }, cache_config);
+    resolver = cache;
   }
 
   // Detector deployment. The paper's partial deployment picks the capable
@@ -269,6 +290,20 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   }
   for (const auto& detector : detectors) result.rejections += detector->stats().rejections;
   result.messages = network.messages_sent();
+  for (bgp::Asn asn : all_ases) {
+    const bgp::Router::Stats& rs = network.router(asn).stats();
+    result.withdrawals += rs.withdrawals_sent;
+    result.announcements += rs.announcements_sent;
+    result.stale_retained += rs.stale_retained;
+    result.stale_swept += rs.stale_swept;
+  }
+  if (cache) {
+    result.resolver_queries = cache->inner().stats().queries;
+    result.resolver_cache_hits =
+        cache->cache_stats().hits + cache->cache_stats().negative_hits;
+  } else if (backend) {
+    result.resolver_queries = backend->stats().queries;
+  }
   if (!attackers.empty()) {
     result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
   }

@@ -54,6 +54,18 @@ struct ExperimentConfig {
   double irr_staleness = 0.0;  // when resolver == Irr
   bgp::AsnSet irr_stale_origins;  // what a stale IRR record answers
 
+  /// Wrap the resolver in a CachingResolver with this TTL (seconds); 0
+  /// disables. Under churn the same prefix alarms repeatedly, and without a
+  /// cache every alarm is a fresh registry lookup.
+  double resolver_cache_ttl = 0.0;
+
+  /// RFC 4724 graceful restart, negotiated network-wide. Router crashes
+  /// then leave peers' learned routes in use (marked stale) until the
+  /// restart timer or the restarted router's End-of-RIB — instead of the
+  /// cold flush + withdraw cascade that makes a crash look like churn.
+  bool graceful_restart = false;
+  double gr_restart_time = 60.0;
+
   /// Off (default): valid and false announcements race from a cold start —
   /// one SSFnet scenario per run, which is what reproduces the paper's
   /// numbers (cut-off ASes never hear the valid route and adopt the false
@@ -92,6 +104,20 @@ struct RunResult {
   std::size_t rejections = 0;    // detector vetoes across all routers
   std::uint64_t messages = 0;
   bool quiesced = true;
+
+  /// Network-wide update-kind totals (summed Router stats): how much churn
+  /// the run actually put on the wire. Graceful restart shows up here as
+  /// strictly fewer withdrawals/announcements than a cold-restart run.
+  std::uint64_t withdrawals = 0;
+  std::uint64_t announcements = 0;
+  std::uint64_t stale_retained = 0;  // routes parked as stale at crashes
+  std::uint64_t stale_swept = 0;     // flushed by End-of-RIB or restart timer
+
+  /// Registry load: queries that actually reached the backend resolver
+  /// (behind the cache when resolver_cache_ttl > 0) and hits the cache
+  /// absorbed (0 without a cache).
+  std::uint64_t resolver_queries = 0;
+  std::uint64_t resolver_cache_hits = 0;
 
   /// Graph-theoretic lower bound on residual damage under full detection:
   /// the fraction of non-attackers the attacker set cuts off from every

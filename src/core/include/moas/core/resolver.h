@@ -8,6 +8,7 @@
 // limitation ablations.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -105,6 +106,45 @@ class IrrResolver final : public OriginResolver {
   Config config_;
   util::Rng rng_;
   std::map<net::Prefix, bool> record_is_stale_;  // sticky per-prefix decision
+};
+
+/// Churn-aware cache wrapping any resolver. Session flaps re-trigger MOAS
+/// alarms for the same prefixes, and naively each alarm costs a fresh
+/// lookup; a short TTL absorbs that burst without changing outcomes (the
+/// registry does not churn at flap timescales). Failed lookups are cached
+/// too (negative cache) so an unreachable registry is not hammered.
+class CachingResolver final : public OriginResolver {
+ public:
+  struct Config {
+    double ttl = 30.0;          // positive-answer lifetime (seconds); 0 = no caching
+    double negative_ttl = 5.0;  // failed-lookup lifetime; 0 = don't cache failures
+  };
+  /// Current simulation time, supplied by the owner (e.g. the network clock).
+  using TimeFn = std::function<double()>;
+
+  CachingResolver(std::shared_ptr<OriginResolver> inner, TimeFn now, Config config);
+  std::optional<bgp::AsnSet> resolve(const net::Prefix& prefix) override;
+  std::string name() const override { return inner_->name() + "+cache"; }
+
+  struct CacheStats {
+    std::uint64_t hits = 0;           // served from a live positive entry
+    std::uint64_t negative_hits = 0;  // served from a live negative entry
+    std::uint64_t misses = 0;         // forwarded to the inner resolver
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  const OriginResolver& inner() const { return *inner_; }
+
+ private:
+  struct Entry {
+    std::optional<bgp::AsnSet> answer;
+    double expires = 0.0;
+  };
+
+  std::shared_ptr<OriginResolver> inner_;
+  TimeFn now_;
+  Config config_;
+  std::map<net::Prefix, Entry> cache_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace moas::core

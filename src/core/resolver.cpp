@@ -69,7 +69,10 @@ std::optional<bgp::AsnSet> IrrResolver::resolve(const net::Prefix& prefix) {
   if (it->second) {
     auto old = stale_->lookup(prefix);
     if (old) {
-      ++stats_.corrupted;
+      // Only a stale record that actually *disagrees* with the current
+      // registry is corrupted data; an unchanged record answers correctly
+      // no matter how old it is.
+      if (current_->lookup(prefix) != old) ++stats_.corrupted;
       return old;
     }
     ++stats_.failures;
@@ -77,6 +80,40 @@ std::optional<bgp::AsnSet> IrrResolver::resolve(const net::Prefix& prefix) {
   }
   auto answer = current_->lookup(prefix);
   if (!answer) ++stats_.failures;
+  return answer;
+}
+
+CachingResolver::CachingResolver(std::shared_ptr<OriginResolver> inner, TimeFn now,
+                                 Config config)
+    : inner_(std::move(inner)), now_(std::move(now)), config_(config) {
+  MOAS_REQUIRE(inner_ != nullptr, "cache needs a resolver to wrap");
+  MOAS_REQUIRE(now_ != nullptr, "cache needs a time source");
+  MOAS_REQUIRE(config_.ttl >= 0.0, "ttl must be non-negative");
+  MOAS_REQUIRE(config_.negative_ttl >= 0.0, "negative ttl must be non-negative");
+}
+
+std::optional<bgp::AsnSet> CachingResolver::resolve(const net::Prefix& prefix) {
+  ++stats_.queries;
+  const double now = now_();
+  auto it = cache_.find(prefix);
+  if (it != cache_.end() && now < it->second.expires) {
+    if (it->second.answer) {
+      ++cache_stats_.hits;
+    } else {
+      ++cache_stats_.negative_hits;
+      ++stats_.failures;  // the caller still observes a failed lookup
+    }
+    return it->second.answer;
+  }
+  ++cache_stats_.misses;
+  auto answer = inner_->resolve(prefix);
+  if (!answer) ++stats_.failures;
+  const double lifetime = answer ? config_.ttl : config_.negative_ttl;
+  if (lifetime > 0.0) {
+    cache_.insert_or_assign(prefix, Entry{answer, now + lifetime});
+  } else if (it != cache_.end()) {
+    cache_.erase(it);  // expired and not re-cacheable
+  }
   return answer;
 }
 

@@ -256,6 +256,88 @@ TEST(Failure, ColdDetectorRebuildsReferenceFromRib) {
   expect_invariants(network);
 }
 
+TEST(Failure, ColdRebuildSeesAttackerEvidenceInRib) {
+  // Companion to ColdDetectorRebuildsReferenceFromRib, evidence reversed:
+  // here the cold rebuild's Adj-RIB-In evidence IS the attacker's origin.
+  // 1 and 52 are both one hop from 4 and both accepted pre-detector; a flap
+  // of the valid link flushes 1's entry, so when the replayed valid route
+  // arrives at the cold detector, the rebuilt reference is {52}. That must
+  // surface as a MOAS conflict and resolve — not let the attacker's
+  // evidence-derived reference reject the valid route.
+  Network network;
+  for (Asn asn : {1u, 4u, 52u}) network.add_router(asn);
+  network.connect(1, 4);
+  network.connect(52, 4);
+
+  const auto prefix = pfx("135.38.0.0/16");
+  auto truth = std::make_shared<core::PrefixOriginDb>();
+  truth->set(prefix, {1});
+  auto alarms = std::make_shared<core::AlarmLog>();
+  auto resolver = std::make_shared<core::OracleResolver>(truth);
+
+  network.router(1).originate(prefix);
+  network.router(52).originate(prefix);
+  network.run_to_quiescence();  // no detector: both routes sit in 4's RIB
+
+  auto detector = std::make_shared<core::MoasDetector>(alarms, resolver);
+  network.router(4).set_validator(detector);
+  network.set_link_up(1, 4, false);  // valid entry flushes...
+  network.run_to_quiescence();
+  ASSERT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(52u));
+  network.set_link_up(1, 4, true);  // ...and the replay hits the cold detector
+  network.run_to_quiescence();
+
+  EXPECT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(1u));
+  EXPECT_TRUE(detector->banned_origins(prefix).contains(52));
+  EXPECT_FALSE(alarms->alarms().empty());
+  expect_invariants(network);
+}
+
+TEST(Failure, GracefulRestartStaleRoutesFeedColdRebuild) {
+  // With graceful restart, a crashed peer's routes stay in the Adj-RIB-In
+  // (stale). A cold detector rebuild must treat them as evidence like any
+  // other accepted route: the stale attacker entry surfaces the conflict,
+  // resolution purges it (stale mark included), and the attacker stays
+  // banned when it comes back and replays.
+  Network::Config config;
+  config.graceful_restart = true;
+  config.gr_restart_time = 60.0;
+  Network network(config);
+  for (Asn asn : {1u, 4u, 52u}) network.add_router(asn);
+  network.connect(1, 4);
+  network.connect(52, 4);
+
+  const auto prefix = pfx("135.38.0.0/16");
+  auto truth = std::make_shared<core::PrefixOriginDb>();
+  truth->set(prefix, {1});
+  auto alarms = std::make_shared<core::AlarmLog>();
+  auto resolver = std::make_shared<core::OracleResolver>(truth);
+
+  network.router(1).originate(prefix);
+  network.router(52).originate(prefix);
+  network.run_to_quiescence();
+
+  network.crash_router(52);  // GR: 4 retains the attacker route, stale
+  ASSERT_TRUE(network.router(4).adj_rib_in().is_stale(prefix, 52));
+
+  auto detector = std::make_shared<core::MoasDetector>(alarms, resolver);
+  network.router(4).set_validator(detector);
+  network.set_link_up(1, 4, false);
+  network.set_link_up(1, 4, true);  // replayed valid route meets the cold detector
+  network.run_to_quiescence();
+
+  EXPECT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(1u));
+  EXPECT_TRUE(detector->banned_origins(prefix).contains(52));
+  EXPECT_EQ(network.router(4).adj_rib_in().stale_count(), 0u)
+      << "the purge must clear the stale entry and its mark";
+
+  network.restart_router(52);  // the attacker replays; the ban must hold
+  ASSERT_TRUE(network.run_to_quiescence());
+  EXPECT_EQ(network.router(4).best_origin(prefix), std::optional<Asn>(1u));
+  EXPECT_GT(detector->stats().rejections, 0u);
+  expect_invariants(network);
+}
+
 TEST(Failure, CrashLosesStateAndRestartRelearns) {
   auto network = diamond();
   network.router(1).originate(pfx("10.0.0.0/8"));

@@ -117,6 +117,22 @@ TEST(IrrResolver, StaleWithoutSnapshotIsFailure) {
   EXPECT_EQ(irr.stats().failures, 1u);
 }
 
+TEST(IrrResolver, UnchangedStaleRecordIsNotCorrupted) {
+  // Regression: a stale snapshot that happens to agree with the current
+  // registry answers correctly — counting it as corrupted data inflated the
+  // corruption stat for every registry whose records simply hadn't changed.
+  auto current = std::make_shared<PrefixOriginDb>();
+  current->set(kPrefix, {1, 2});
+  auto stale = std::make_shared<PrefixOriginDb>();
+  stale->set(kPrefix, {1, 2});  // old, but nothing changed since
+  IrrResolver::Config config;
+  config.staleness = 1.0;
+  IrrResolver irr(current, stale, config);
+  EXPECT_EQ(irr.resolve(kPrefix), (bgp::AsnSet{1, 2}));
+  EXPECT_EQ(irr.stats().corrupted, 0u) << "identical answer is not corruption";
+  EXPECT_EQ(irr.stats().failures, 0u);
+}
+
 TEST(IrrResolver, StalenessDecisionIsStickyPerPrefix) {
   // A registry record is either stale or not; repeated queries must not
   // flip-flop.
@@ -130,6 +146,74 @@ TEST(IrrResolver, StalenessDecisionIsStickyPerPrefix) {
   IrrResolver irr(current, stale, config);
   const auto first = irr.resolve(kPrefix);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(irr.resolve(kPrefix), first);
+}
+
+TEST(CachingResolver, ServesFromCacheWithinTtl) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1, 2});
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver cached(oracle, [&now] { return now; }, {.ttl = 30.0});
+
+  EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2}));  // miss: fills
+  now = 29.0;
+  EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2}));  // hit
+  EXPECT_EQ(oracle->stats().queries, 1u) << "second query never reached the backend";
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+  EXPECT_EQ(cached.cache_stats().misses, 1u);
+  EXPECT_EQ(cached.stats().queries, 2u) << "outer stats count every caller query";
+  EXPECT_EQ(cached.name(), "oracle+cache");
+}
+
+TEST(CachingResolver, ExpiryRefetches) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1});
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver cached(oracle, [&now] { return now; }, {.ttl = 30.0});
+  cached.resolve(kPrefix);
+  now = 30.0;  // entry expires exactly at now + ttl
+  truth->set(kPrefix, {1, 2});
+  EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2})) << "expired entry refetched";
+  EXPECT_EQ(oracle->stats().queries, 2u);
+}
+
+TEST(CachingResolver, NegativeCacheAbsorbsFailures) {
+  auto truth = std::make_shared<PrefixOriginDb>();  // prefix unregistered
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver cached(oracle, [&now] { return now; },
+                         {.ttl = 30.0, .negative_ttl = 5.0});
+  EXPECT_FALSE(cached.resolve(kPrefix).has_value());
+  now = 4.0;
+  EXPECT_FALSE(cached.resolve(kPrefix).has_value());
+  EXPECT_EQ(oracle->stats().queries, 1u) << "negative entry served the repeat";
+  EXPECT_EQ(cached.cache_stats().negative_hits, 1u);
+  EXPECT_EQ(cached.stats().failures, 2u) << "callers observe both failures";
+
+  now = 6.0;  // negative entry expired; registry has the record now
+  truth->set(kPrefix, {7});
+  EXPECT_EQ(cached.resolve(kPrefix), bgp::AsnSet{7});
+}
+
+TEST(CachingResolver, ZeroTtlDisablesCaching) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1});
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  CachingResolver cached(oracle, [] { return 0.0; }, {.ttl = 0.0, .negative_ttl = 0.0});
+  cached.resolve(kPrefix);
+  cached.resolve(kPrefix);
+  EXPECT_EQ(oracle->stats().queries, 2u);
+  EXPECT_EQ(cached.cache_stats().hits, 0u);
+}
+
+TEST(CachingResolver, Validation) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  EXPECT_THROW(CachingResolver(nullptr, [] { return 0.0; }, {}), std::invalid_argument);
+  EXPECT_THROW(CachingResolver(oracle, nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(CachingResolver(oracle, [] { return 0.0; }, {.ttl = -1.0}),
+               std::invalid_argument);
 }
 
 }  // namespace
