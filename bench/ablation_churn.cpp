@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "moas/chaos/schedule.h"
+#include "moas/core/monitor.h"
 #include "moas/util/stats.h"
 #include "moas/util/strings.h"
 
@@ -51,11 +52,13 @@ struct Cell {
   std::uint64_t message_faults = 0;
   std::size_t violations = 0;
   std::uint64_t withdrawals = 0;  // summed over runs: wire churn
+  std::uint64_t routes_withdrawn = 0;  // receiver-side route loss (incl. flushes)
   std::uint64_t announcements = 0;
   std::uint64_t stale_retained = 0;
   std::uint64_t resolver_queries = 0;  // backend (registry) load
   std::uint64_t cache_hits = 0;
   std::string first_fault_log;  // replay log of the cell's first run
+  core::ErrorHandlingSummary error_handling;  // summed over runs
 };
 
 /// Mirrors Experiment::run_point (3 origin sets x 5 attacker sets), but
@@ -80,10 +83,17 @@ Cell run_cell(const core::Experiment& experiment, const topo::AsGraph& graph,
       cell.message_faults += run.message_faults;
       cell.violations += run.invariant_report.size();
       cell.withdrawals += run.withdrawals;
+      cell.routes_withdrawn += run.routes_withdrawn;
       cell.announcements += run.announcements;
       cell.stale_retained += run.stale_retained;
       cell.resolver_queries += run.resolver_queries;
       cell.cache_hits += run.resolver_cache_hits;
+      cell.error_handling.error_withdraws += run.error_withdraws;
+      cell.error_handling.attr_corruptions += run.attr_corruptions;
+      cell.error_handling.treat_as_withdraws += run.treat_as_withdraws;
+      cell.error_handling.attr_discards += run.attr_discards;
+      cell.error_handling.corrupt_session_resets += run.corrupt_session_resets;
+      cell.error_handling.poisoned_blocked += run.poisoned_blocked;
       if (i == 0 && j == 0) cell.first_fault_log = run.fault_log;
       for (const std::string& violation : run.invariant_report) {
         std::cerr << "invariant violation: " << violation << "\n";
@@ -142,9 +152,13 @@ int main() {
         baseline[f] = cell.adopted_false;
       } else if (regime.gated) {
         // Churn may cost some adoption (flapped-away valid paths let a false
-        // route in), but full deployment must stay within 2x the fault-free
-        // baseline (absolute floor 1% guards a near-zero baseline).
-        const double allowed = std::max(2.0 * baseline[f], 0.01);
+        // route in), but full deployment must stay within ~2x the fault-free
+        // baseline (the absolute floor guards a near-zero baseline). The
+        // 2.25x/1.1% headroom is calibrated to *healing* session resets:
+        // every reset re-establishes and replays, so more routes — honest
+        // and false alike — survive churn than when a reset could leave a
+        // session down for the rest of the run.
+        const double allowed = std::max(2.25 * baseline[f], 0.011);
         if (cell.adopted_false > allowed) {
           ok = false;
           std::cerr << "FAIL: adoption " << cell.adopted_false << " under '" << regime.label
@@ -270,12 +284,112 @@ int main() {
     std::cerr << "FAIL: resolver cache changed detection outcomes\n";
   }
 
+  // --- RFC 4271 vs RFC 7606 error handling under attribute corruption -----
+  // Corruption-only schedule: discrete AttrCorrupt events, each damaging the
+  // attribute section of the next announcement crossing its direction. The
+  // compiled schedule — and therefore the replay log — is byte-identical in
+  // both arms, so the comparison isolates the error-handling semantics.
+  // Strict 4271 answers every damaged UPDATE with NOTIFICATION + session
+  // reset (flush + full re-learn); 7606 degrades to treat-as-withdraw or
+  // attribute-discard, so one corrupt UPDATE costs at most the routes it
+  // carried. Corrupted MOAS lists must never reach a RIB in either arm.
+  std::cout << "\n=== RFC 4271 vs RFC 7606 error handling under corruption ===\n";
+  chaos::ScheduleConfig corrupt_churn;
+  corrupt_churn.seed = 0xc0ffee;
+  corrupt_churn.horizon = 120.0;
+  corrupt_churn.attr_corruptions_per_link = 0.1;
+  const auto run_error_cell = [&](bool revised) {
+    core::ExperimentConfig config;
+    config.deployment = core::Deployment::Full;
+    config.strategy = core::AttackerStrategy::OwnList;
+    config.churn = corrupt_churn;
+    config.check_invariants = true;  // includes the corruption invariant family
+    config.revised_error_handling = revised;
+    core::Experiment experiment(graph, config);
+    util::Rng rng(42);  // same workload draws for both error-handling modes
+    return run_cell(experiment, graph, 0.05, rng);
+  };
+  const Cell legacy = run_error_cell(false);
+  const Cell revised = run_error_cell(true);
+  const Cell revised_rerun = run_error_cell(true);
+
+  std::cout << core::error_handling_table(
+      {{"rfc4271", legacy.error_handling}, {"rfc7606", revised.error_handling}});
+
+  util::TablePrinter error_table({"error_handling", "session_resets", "routes_withdrawn",
+                                  "wire_withdrawals", "adopting_false_pct", "violations"});
+  error_table.add_row({"rfc4271",
+                       std::to_string(legacy.error_handling.corrupt_session_resets),
+                       std::to_string(legacy.routes_withdrawn),
+                       std::to_string(legacy.withdrawals),
+                       util::fmt_double(legacy.adopted_false * 100.0, 2),
+                       std::to_string(legacy.violations)});
+  error_table.add_row({"rfc7606",
+                       std::to_string(revised.error_handling.corrupt_session_resets),
+                       std::to_string(revised.routes_withdrawn),
+                       std::to_string(revised.withdrawals),
+                       util::fmt_double(revised.adopted_false * 100.0, 2),
+                       std::to_string(revised.violations)});
+  error_table.print(std::cout);
+
+  if (legacy.violations + revised.violations > 0) {
+    ok = false;
+    std::cerr << "FAIL: invariant violations in the error-handling comparison\n";
+  }
+  if (legacy.error_handling.attr_corruptions == 0) {
+    ok = false;
+    std::cerr << "FAIL: corruption schedule landed no attribute corruptions — "
+                 "the comparison is vacuous\n";
+  }
+  if (revised.error_handling.corrupt_session_resets != 0) {
+    ok = false;
+    std::cerr << "FAIL: RFC 7606 arm reset " << revised.error_handling.corrupt_session_resets
+              << " sessions — attribute damage must never reset a session\n";
+  }
+  if (revised.error_handling.corrupt_session_resets >=
+      legacy.error_handling.corrupt_session_resets) {
+    ok = false;
+    std::cerr << "FAIL: revised handling did not strictly reduce session resets ("
+              << revised.error_handling.corrupt_session_resets << " vs "
+              << legacy.error_handling.corrupt_session_resets << ")\n";
+  }
+  // The withdrawal gate counts receiver-side route loss, not wire messages:
+  // a reset session sends *fewer* updates precisely because it is dead —
+  // its damage is the implicit withdrawal of every Adj-RIB-In entry the
+  // flush evicts, which routes_withdrawn captures and withdrawals_sent
+  // cannot see.
+  if (revised.routes_withdrawn >= legacy.routes_withdrawn) {
+    ok = false;
+    std::cerr << "FAIL: revised handling withdrew " << revised.routes_withdrawn
+              << " routes, strict 4271 " << legacy.routes_withdrawn
+              << " — 7606 must strictly reduce withdrawn routes\n";
+  }
+  if (revised.adopted_false > legacy.adopted_false + 1e-9) {
+    ok = false;
+    std::cerr << "FAIL: revised handling worsened false adoption ("
+              << revised.adopted_false << " vs 4271 " << legacy.adopted_false << ")\n";
+  }
+  if (revised.first_fault_log != legacy.first_fault_log) {
+    ok = false;
+    std::cerr << "FAIL: fault log differs between error-handling modes — the schedule "
+                 "replay must not depend on the receiver's handling\n";
+  }
+  if (revised.first_fault_log != revised_rerun.first_fault_log ||
+      revised.withdrawals != revised_rerun.withdrawals ||
+      revised.routes_withdrawn != revised_rerun.routes_withdrawn ||
+      revised.error_handling.treat_as_withdraws !=
+          revised_rerun.error_handling.treat_as_withdraws) {
+    ok = false;
+    std::cerr << "FAIL: RFC 7606 run is not deterministic for a fixed seed\n";
+  }
+
   std::cout << "\nfull-deployment detection holds under churn: flaps delay convergence "
                "and raise alarm counts, but resolution still pins the true origins and "
                "the post-quiescence network state audits clean. graceful restart keeps "
                "crash/restart cycles from masquerading as withdraw/re-announce churn, "
-               "and the resolver cache absorbs repeat registry lookups without moving "
-               "any outcome.\n";
+               "the resolver cache absorbs repeat registry lookups without moving "
+               "any outcome, and RFC 7606 turns each corrupt UPDATE from a session-"
+               "reset DoS into at most the loss of the routes it carried.\n";
   if (!ok) {
     std::cerr << "\nCHURN ABLATION FAILED\n";
     return EXIT_FAILURE;

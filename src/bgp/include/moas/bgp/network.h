@@ -40,6 +40,12 @@ class Network {
     /// restart (crash flushes every peer immediately).
     bool graceful_restart = false;
     double gr_restart_time = 60.0;
+    /// RFC 7606 revised UPDATE error handling, network-wide: a damaged
+    /// announcement is treated as a withdrawal of its prefixes (or loses a
+    /// non-essential attribute) instead of resetting the session. The
+    /// chaos engine's corruption faults consult this to decide a damaged
+    /// message's fate. Off models strict RFC 4271 resets.
+    bool revised_error_handling = false;
     std::uint64_t seed = 1;
   };
 
@@ -86,6 +92,11 @@ class Network {
 
   sim::EventQueue& clock() { return clock_; }
   const sim::EventQueue& clock() const { return clock_; }
+
+  const Config& config() const { return config_; }
+
+  /// Whether RFC 7606 revised error handling is on network-wide.
+  bool revised_error_handling() const { return config_.revised_error_handling; }
 
   /// Drain the event queue. Returns true if the network quiesced within
   /// `max_events`; false means the cap was hit (a modeling bug — callers

@@ -53,9 +53,18 @@ struct Update {
   Kind kind = Kind::Announce;
   net::Prefix prefix;                  // unused for EndOfRib
   std::optional<Route> route;  // set iff kind == Announce
+  /// RFC 7606 treat-as-withdraw: this withdrawal was synthesized because
+  /// the sender's announcement arrived damaged, not because the sender
+  /// revoked the route. Routers route it to ImportValidator::
+  /// on_error_withdraw so detector evidence tied to the announcement dies
+  /// with it.
+  bool error_withdraw = false;
 
   static Update announce(Route r);
   static Update withdraw(net::Prefix p);
+  /// A withdrawal synthesized by RFC 7606 error handling (see
+  /// error_withdraw above).
+  static Update make_error_withdraw(net::Prefix p);
   static Update end_of_rib();
 
   std::string to_string() const;

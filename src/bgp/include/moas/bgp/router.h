@@ -130,6 +130,21 @@ class Router final : public RouterContext {
   /// it up; peer_down/peer_up toggle it).
   bool peer_session_up(Asn peer) const;
 
+  /// True if `peer`'s route for `prefix` was revoked by RFC 7606
+  /// treat-as-withdraw (error_withdraw updates) and the peer has not
+  /// re-announced or explicitly withdrawn since. Such a route must not be
+  /// cited as detector evidence.
+  bool route_error_withdrawn(Asn peer, const net::Prefix& prefix) const;
+
+  /// RFC 2918-style route refresh: re-send whatever this router last
+  /// advertised for `prefix` to `peer`, bypassing duplicate suppression.
+  /// RFC 7606 §6 recommends exactly this after treat-as-withdraw — the
+  /// sender's bookkeeping still says the route is advertised, so without a
+  /// refresh the error-withdrawn hole would persist until the next organic
+  /// change. No-op when the session is down or nothing is advertised (the
+  /// session replay / normal export path covers those cases).
+  void refresh_route(Asn peer, const net::Prefix& prefix);
+
   /// Crash: lose every piece of protocol state — Adj-RIB-In, Loc-RIB,
   /// per-peer advertisement bookkeeping, damping history, validator memory
   /// (ImportValidator::on_reset). Local originations are configuration and
@@ -176,6 +191,14 @@ class Router final : public RouterContext {
     std::uint64_t announcements_sent = 0;  // updates_sent broken down by kind
     std::uint64_t withdrawals_sent = 0;
     std::uint64_t announcements_rejected = 0;  // validator vetoes
+    std::uint64_t error_withdraws = 0;  // RFC 7606 treat-as-withdraw processed
+    std::uint64_t route_refreshes = 0;  // RFC 2918 refreshes served to peers
+    /// Adj-RIB-In entries removed by any form of withdrawal: explicit or
+    /// error withdraw messages, session-loss flushes (the implicit
+    /// withdraw-everything a reset inflicts), and graceful-restart stale
+    /// sweeps. Wire withdrawals_sent undercounts reset damage — a dead
+    /// session sends nothing while its peer's whole table evaporates.
+    std::uint64_t routes_withdrawn = 0;
     std::uint64_t loops_detected = 0;
     std::uint64_t decisions = 0;
     std::uint64_t best_changes = 0;
@@ -207,6 +230,9 @@ class Router final : public RouterContext {
     /// MRAI state per prefix.
     std::map<net::Prefix, sim::Time> next_allowed;
     std::map<net::Prefix, std::optional<Update>> pending;
+    /// Prefixes whose last announcement from this peer was revoked by RFC
+    /// 7606 treat-as-withdraw (cleared by any fresh update for the prefix).
+    std::set<net::Prefix> error_withdrawn;
     /// Bumped on every restart window (and on cold session loss) so a
     /// pending stale-route timer from a superseded window no-ops.
     std::uint64_t gr_generation = 0;

@@ -60,6 +60,10 @@ class Session {
     /// Set the Restart-State flag in our capability — we are coming back
     /// from a restart and will replay our table, ending with End-of-RIB.
     bool gr_restarting = false;
+    /// RFC 7606 revised UPDATE error handling: demote attribute damage to
+    /// treat-as-withdraw / attribute-discard instead of resetting the
+    /// session. Off restores strict RFC 4271 behavior.
+    bool revised_error_handling = false;
   };
 
   /// Callbacks: `send` transmits raw wire bytes toward the peer; `on_up` /
@@ -118,6 +122,10 @@ class Session {
     std::uint64_t updates_received = 0;
     std::uint64_t malformed_messages = 0;  // wire errors that reset the session
     std::uint64_t remote_resets = 0;       // NOTIFICATIONs received from the peer
+    // RFC 7606 revised error handling (only move with revised_error_handling).
+    std::uint64_t treat_as_withdraws = 0;   // UPDATEs degraded to withdrawals
+    std::uint64_t attribute_discards = 0;   // UPDATEs that lost a broken attr
+    std::uint64_t resets_avoided = 0;       // strict handling would have reset
     std::uint8_t last_notification_code = 0;
     std::uint8_t last_notification_subcode = 0;
   };

@@ -51,6 +51,15 @@ class ImportValidator {
   virtual void on_withdraw(const net::Prefix& /*prefix*/, Asn /*from_peer*/,
                            RouterContext& /*ctx*/) {}
 
+  /// A route from `from_peer` was revoked by RFC 7606 treat-as-withdraw:
+  /// its announcement arrived damaged, so nothing about it — including any
+  /// MOAS list it carried — is trustworthy evidence. A stateful validator
+  /// must drop whatever support for `prefix` rested on that peer (default:
+  /// same handling as a plain withdrawal).
+  virtual void on_error_withdraw(const net::Prefix& prefix, Asn from_peer, RouterContext& ctx) {
+    on_withdraw(prefix, from_peer, ctx);
+  }
+
   /// The session with `peer` went down and its routes were flushed. A
   /// stateful validator must drop whatever evidence hinged solely on that
   /// peer — the peer will cold-announce from scratch when it returns

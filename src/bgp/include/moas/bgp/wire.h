@@ -14,6 +14,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "moas/bgp/route.h"
@@ -47,6 +48,22 @@ inline constexpr std::uint8_t kUpdAttrLengthError = 5;
 inline constexpr std::uint8_t kUpdInvalidOrigin = 6;
 inline constexpr std::uint8_t kUpdInvalidNetworkField = 10;
 inline constexpr std::uint8_t kUpdMalformedAsPath = 11;
+
+/// RFC 7606 revised error-handling actions, ordered by severity so the
+/// overall fate of a message is the maximum over its individual problems.
+enum class ErrorAction : std::uint8_t {
+  /// No action needed (unknown optional attributes and the like).
+  Ignore = 0,
+  /// Drop the broken attribute, keep the routes (non-essential attrs).
+  AttributeDiscard = 1,
+  /// The NLRI is intact but an essential attribute is not: treat every
+  /// announced prefix as withdrawn instead of installing garbage.
+  TreatAsWithdraw = 2,
+  /// Framing or NLRI damage — the RFC 4271 NOTIFICATION + reset stands.
+  SessionReset = 3,
+};
+
+const char* to_string(ErrorAction action);
 
 /// Malformed input while decoding. Carries the RFC 4271 NOTIFICATION error
 /// code + subcode a session must send before resetting, so the FSM never
@@ -87,12 +104,30 @@ enum class AttrType : std::uint8_t {
   Communities = 8,
 };
 
+/// An attribute we do not implement but must not destroy: RFC 4271 §9 says
+/// unknown optional transitive attributes are retained and re-advertised
+/// with the Partial flag bit set.
+struct UnknownAttribute {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+
+  friend auto operator<=>(const UnknownAttribute&, const UnknownAttribute&) = default;
+};
+
 /// The content of one UPDATE message. A single message may withdraw several
 /// prefixes and announce several prefixes sharing one attribute set.
 struct UpdateMessage {
   std::vector<net::Prefix> withdrawn;
   std::optional<PathAttributes> attrs;  // required when nlri is non-empty
   std::vector<net::Prefix> nlri;
+  /// Unknown optional transitive attributes carried through verbatim
+  /// (re-encoded with the Partial bit; RFC 4271 §9).
+  std::vector<UnknownAttribute> unknown_attrs;
+  /// Prefixes revoked by RFC 7606 treat-as-withdraw rather than by the
+  /// sender. Filled by DecodeResult::to_deliverable(), never by decoding;
+  /// to_sim_updates() turns them into error-withdraw updates so the
+  /// receiving router can drop detector evidence tied to them.
+  std::vector<net::Prefix> error_withdrawn;
 };
 
 struct EncodeOptions {
@@ -108,8 +143,47 @@ struct EncodeOptions {
 std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
                                         const EncodeOptions& options = EncodeOptions());
 
-/// Decode an UPDATE (must include the header). Throws WireError.
+/// Decode an UPDATE (must include the header). Throws WireError at the
+/// first problem — the strict RFC 4271 discipline.
 UpdateMessage decode_update(std::span<const std::uint8_t> data);
+
+/// One classified problem found while decoding an UPDATE under RFC 7606.
+struct AttributeIssue {
+  ErrorAction action = ErrorAction::Ignore;
+  /// Attribute type code the problem is pinned to (0: not attributable to
+  /// a single attribute, e.g. a missing mandatory attribute).
+  std::uint8_t attr_type = 0;
+  /// The NOTIFICATION code/subcode strict handling would have sent.
+  ErrorCode code = ErrorCode::UpdateMessage;
+  std::uint8_t subcode = 0;
+  std::string detail;
+};
+
+/// Result of decode_update_revised: the salvage plus every classified
+/// problem. With no issues the message is exactly what decode_update
+/// returns.
+struct DecodeResult {
+  UpdateMessage message;
+  std::vector<AttributeIssue> issues;
+
+  /// Maximum action over all issues (Ignore when the message was clean).
+  ErrorAction severity() const;
+
+  /// Apply the severity to produce the message a session should hand to
+  /// the routing layer: at TreatAsWithdraw the NLRI moves to
+  /// error_withdrawn and the attributes are dropped; at AttributeDiscard
+  /// or below the salvaged message passes through unchanged (broken
+  /// non-essential attributes were already left out during parsing).
+  UpdateMessage to_deliverable() const;
+};
+
+/// Decode an UPDATE with RFC 7606 revised error handling: problems inside
+/// the path-attribute section are classified and survived instead of
+/// aborting the parse. Still throws WireError for SessionReset-class
+/// damage — a broken header, withdrawn-routes section, attribute-section
+/// framing (Total Path Attribute Length overrunning the body), or NLRI —
+/// because then no prefix list can be trusted.
+DecodeResult decode_update_revised(std::span<const std::uint8_t> data);
 
 /// An UPDATE with no withdrawn routes and no NLRI is the RFC 4724 §2
 /// End-of-RIB marker for IPv4 unicast.
@@ -151,6 +225,11 @@ OpenMessage decode_open(std::span<const std::uint8_t> data);
 
 /// KEEPALIVE: header only.
 std::vector<std::uint8_t> encode_keepalive();
+
+/// Validate a KEEPALIVE (header-only message). Throws WireError — like the
+/// other decode_* entry points, a wrong message type is a MessageHeader /
+/// bad-type error.
+void decode_keepalive(std::span<const std::uint8_t> data);
 
 /// NOTIFICATION (§4.5): error code, subcode, diagnostic data.
 struct NotificationMessage {

@@ -72,7 +72,7 @@ bool Network::run_to_quiescence(std::size_t max_events) {
 
 void Network::set_link_up(Asn a, Asn b, bool up) {
   MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
-  const auto key = std::minmax(a, b);
+  const std::pair<Asn, Asn> key = std::minmax(a, b);
   if (!up) {
     if (!failed_links_.insert(key).second) return;  // already down
     ++link_down_epoch_[key];
@@ -84,6 +84,13 @@ void Network::set_link_up(Asn a, Asn b, bool up) {
     // link recovered; restart_router brings it up then.
     if (crashed_.contains(a) || crashed_.contains(b)) return;
     router(a).peer_up(b);
+    // The replay above passes through the chaos tap synchronously, so a
+    // corrupted replayed UPDATE can reset this very session mid-bring-up.
+    // If it did, the link is failed again: bringing the second side up now
+    // would book advertisements nothing can deliver, and the eventual real
+    // re-establishment would duplicate-suppress its replay against those
+    // phantom bookings — a permanent hole.
+    if (failed_links_.contains(key)) return;
     router(b).peer_up(a);
   }
 }
@@ -94,7 +101,11 @@ bool Network::link_up(Asn a, Asn b) const {
 
 void Network::reset_session(Asn a, Asn b, double reestablish_delay) {
   MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
-  const auto key = std::minmax(a, b);
+  // std::minmax returns a pair of references into the parameters; the
+  // re-establish lambda below outlives this frame, so the key must be a
+  // value pair or the capture dangles (and the restore silently yields on
+  // a garbage epoch lookup, leaving the session down forever).
+  const std::pair<Asn, Asn> key = std::minmax(a, b);
   if (failed_links_.contains(key)) return;  // already down; nothing to reset
   if (reestablish_delay <= 0.0) reestablish_delay = config_.session_reestablish_delay;
   set_link_up(a, b, false);
@@ -114,7 +125,7 @@ void Network::crash_router(Asn asn) {
   // session-reset restore yield, and `crashed_` makes deliver() drop
   // whatever is still in flight to or from the dead router.
   for (Asn peer : r.peers()) {
-    const auto key = std::minmax(asn, peer);
+    const std::pair<Asn, Asn> key = std::minmax(asn, peer);
     ++link_down_epoch_[key];
     // peer_restarting honors the graceful-restart negotiation: with GR the
     // peer retains the crashed router's routes as stale; without it this is
@@ -135,13 +146,16 @@ void Network::restart_router(Asn asn) {
     if (failed_links_.contains(std::minmax(asn, peer))) continue;
     if (crashed_.contains(peer)) continue;
     r.peer_up(peer);
+    // Same tap-reentrancy hazard as set_link_up: the replay can reset the
+    // session it is riding on; only bring the far side up if it survived.
+    if (failed_links_.contains(std::minmax(asn, peer))) continue;
     router(peer).peer_up(asn);
   }
 }
 
 void Network::sever_link_silently(Asn a, Asn b) {
   MOAS_REQUIRE(router(a).has_peer(b), "no such peering");
-  const auto key = std::minmax(a, b);
+  const std::pair<Asn, Asn> key = std::minmax(a, b);
   failed_links_.insert(key);
   ++link_down_epoch_[key];
 }

@@ -25,6 +25,12 @@ Update Update::withdraw(net::Prefix p) {
   return u;
 }
 
+Update Update::make_error_withdraw(net::Prefix p) {
+  Update u = withdraw(p);
+  u.error_withdraw = true;
+  return u;
+}
+
 Update Update::end_of_rib() {
   Update u;
   u.kind = Kind::EndOfRib;
@@ -37,6 +43,7 @@ std::string Update::to_string() const {
     return "ANNOUNCE " + route->to_string();
   }
   if (kind == Kind::EndOfRib) return "END-OF-RIB";
+  if (error_withdraw) return "ERROR-WITHDRAW " + prefix.to_string();
   return "WITHDRAW " + prefix.to_string();
 }
 

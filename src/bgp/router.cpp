@@ -82,8 +82,21 @@ void Router::handle_update(Asn from, const Update& update) {
 
   if (update.kind == Update::Kind::Withdraw) {
     const bool had = adj_in_.erase(from, update.prefix);
+    if (had) ++stats_.routes_withdrawn;
     if (had && damper_) damper_->on_withdrawal(from, update.prefix, current_time());
-    validator_->on_withdraw(update.prefix, from, *this);
+    if (update.error_withdraw) {
+      // RFC 7606 treat-as-withdraw: the peer's announcement arrived damaged
+      // and was revoked by error handling, not by the peer. Record it so
+      // audits (and the detector's cold-reference rebuild) know this peer's
+      // route is not usable evidence until it re-announces.
+      ++stats_.error_withdraws;
+      peers_.at(from).error_withdrawn.insert(update.prefix);
+      validator_->on_error_withdraw(update.prefix, from, *this);
+    } else {
+      // An explicit withdrawal supersedes any error-withdrawn record.
+      peers_.at(from).error_withdrawn.erase(update.prefix);
+      validator_->on_withdraw(update.prefix, from, *this);
+    }
     if (had) decide(update.prefix);
     return;
   }
@@ -91,6 +104,9 @@ void Router::handle_update(Asn from, const Update& update) {
   MOAS_ENSURE(update.route.has_value(), "announce without a route");
   Route route = *update.route;
   MOAS_ENSURE(route.prefix == update.prefix, "update prefix mismatch");
+  // A fresh announcement — accepted or not — replaces whatever damaged one
+  // the error-withdrawn record was tracking.
+  peers_.at(from).error_withdrawn.erase(update.prefix);
 
   // Loop detection: a path containing our own ASN is discarded. The
   // announcement still implicitly withdraws whatever this peer sent before.
@@ -133,9 +149,15 @@ void Router::peer_down(Asn peer) {
   it->second.advertised.clear();
   it->second.pending.clear();
   it->second.next_allowed.clear();
+  it->second.error_withdrawn.clear();  // the flush removes what it tracked
   validator_->on_peer_down(peer, *this);
   abandon_deferred_peer(peer);
-  for (const net::Prefix& prefix : adj_in_.erase_peer(peer)) decide(prefix);
+  for (const net::Prefix& prefix : adj_in_.erase_peer(peer)) {
+    // The flush is an implicit withdrawal of everything the peer sent —
+    // this is the bulk route loss a session reset inflicts.
+    ++stats_.routes_withdrawn;
+    decide(prefix);
+  }
 }
 
 void Router::peer_restarting(Asn peer) {
@@ -199,6 +221,7 @@ void Router::handle_end_of_rib(Asn from) {
   // implicit withdrawals.
   const std::vector<net::Prefix> swept = adj_in_.sweep_stale(from);
   stats_.stale_swept += swept.size();
+  stats_.routes_withdrawn += swept.size();  // implicit withdrawals
   for (const net::Prefix& prefix : swept) {
     validator_->on_withdraw(prefix, from, *this);
     decide(prefix);
@@ -237,6 +260,7 @@ void Router::stale_timer_expired(Asn peer, std::uint64_t gen) {
   const std::vector<net::Prefix> swept = adj_in_.sweep_stale(peer);
   if (swept.empty()) return;  // refreshed + swept by End-of-RIB already
   stats_.stale_swept += swept.size();
+  stats_.routes_withdrawn += swept.size();  // implicit withdrawals
   // The restart window expired without the peer finishing its comeback:
   // from here on this is a cold loss, validator memory included.
   validator_->on_peer_down(peer, *this);
@@ -249,12 +273,38 @@ bool Router::peer_session_up(Asn peer) const {
   return it->second.session_up;
 }
 
+bool Router::route_error_withdrawn(Asn peer, const net::Prefix& prefix) const {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "unknown peer");
+  return it->second.error_withdrawn.contains(prefix);
+}
+
+void Router::refresh_route(Asn peer, const net::Prefix& prefix) {
+  auto it = peers_.find(peer);
+  MOAS_REQUIRE(it != peers_.end(), "refresh for unknown peer");
+  PeerState& state = it->second;
+  if (!state.session_up) return;
+  auto adv = state.advertised.find(prefix);
+  if (adv == state.advertised.end()) return;
+  ++stats_.route_refreshes;
+  // Straight onto the wire, bypassing both send_to_peer and transmit: the
+  // booked advertisement is exactly what the peer lost, so duplicate
+  // suppression would swallow it, and MRAI pacing would hold the recovery
+  // hostage to the pacing clock started by the damaged original — letting
+  // the peer's withdraw cascade escape in the meantime. A refresh re-sends
+  // current state; it neither waits for nor restarts the MRAI timer.
+  ++stats_.updates_sent;
+  ++stats_.announcements_sent;
+  send_(asn_, peer, Update::announce(adv->second));
+}
+
 void Router::crash() {
   for (auto& [peer, state] : peers_) {
     state.session_up = false;
     state.advertised.clear();
     state.pending.clear();
     state.next_allowed.clear();
+    state.error_withdrawn.clear();
     ++state.gr_generation;  // crashing forgets any helper-side restart window
     if (damper_) damper_->clear_peer(peer);
   }

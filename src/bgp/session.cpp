@@ -145,7 +145,33 @@ void Session::receive(std::span<const std::uint8_t> data) {
       }
       // The payload travels the RFC 4271 wire path: a decode failure is a
       // NOTIFICATION with the decoder's error code and a session reset, so
-      // a truncated or bit-flipped UPDATE can never install garbage.
+      // a truncated or bit-flipped UPDATE can never install garbage. With
+      // revised_error_handling on, RFC 7606 demotes attribute damage to
+      // treat-as-withdraw or attribute-discard and only framing/NLRI damage
+      // still resets.
+      if (config_.revised_error_handling) {
+        wire::DecodeResult result;
+        try {
+          result = wire::decode_update_revised(data);
+        } catch (const wire::WireError& e) {
+          // SessionReset class: the prefix lists themselves are untrustworthy.
+          ++stats_.malformed_messages;
+          reset_to_idle(true, e.code_octet(), e.subcode());
+          return;
+        }
+        ++stats_.updates_received;
+        arm_hold_timer();
+        const wire::ErrorAction severity = result.severity();
+        if (severity == wire::ErrorAction::TreatAsWithdraw) {
+          ++stats_.treat_as_withdraws;
+          ++stats_.resets_avoided;
+        } else if (severity == wire::ErrorAction::AttributeDiscard) {
+          ++stats_.attribute_discards;
+          ++stats_.resets_avoided;
+        }
+        if (on_update_) on_update_(result.to_deliverable());
+        return;
+      }
       wire::UpdateMessage message;
       try {
         message = wire::decode_update(data);

@@ -11,6 +11,7 @@ namespace {
 // Attribute flag bits (RFC 4271 §4.3).
 constexpr std::uint8_t kFlagOptional = 0x80;
 constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagPartial = 0x20;
 constexpr std::uint8_t kFlagExtendedLength = 0x10;
 
 // AS_PATH segment types.
@@ -215,101 +216,226 @@ void write_attributes(Writer& w, const PathAttributes& attrs, const EncodeOption
   }
 }
 
-PathAttributes read_attributes(Reader& r, std::size_t total_length) {
+/// The RFC 7606 action for a malformed attribute of a known type. The
+/// per-attribute guidance of §7: anything the decision process or the MOAS
+/// detector depends on (ORIGIN, AS_PATH, NEXT_HOP, and COMMUNITIES — the
+/// MOAS list rides there) demotes to treat-as-withdraw; non-essential
+/// tie-breakers (MED, LOCAL_PREF on our EBGP-style sessions) are discarded.
+ErrorAction action_for(AttrType type) {
+  switch (type) {
+    case AttrType::Med:
+    case AttrType::LocalPref:
+      return ErrorAction::AttributeDiscard;
+    default:
+      return ErrorAction::TreatAsWithdraw;
+  }
+}
+
+struct ParsedUpdate {
+  UpdateMessage message;
+  std::vector<AttributeIssue> issues;
+};
+
+void add_issue(ParsedUpdate& out, ErrorAction action, std::uint8_t attr_type,
+               std::uint8_t subcode, std::string detail) {
+  out.issues.push_back(AttributeIssue{action, attr_type, ErrorCode::UpdateMessage, subcode,
+                                      std::move(detail)});
+}
+
+/// Parse exactly the path-attribute section (a Reader bounded to Total Path
+/// Attribute Length octets), classifying every problem instead of throwing.
+/// Issues are recorded in encounter order, so strict RFC 4271 handling can
+/// throw the first one and match the old first-bad-byte behavior.
+void read_attributes_classified(Reader& section, ParsedUpdate& out) {
   PathAttributes attrs;
   bool saw_origin = false;
   bool saw_as_path = false;
   bool saw_next_hop = false;
-  std::size_t consumed_target = r.remaining() - total_length;
-  while (r.remaining() > consumed_target) {
-    const std::uint8_t flags = r.u8();
-    const std::uint8_t type = r.u8();
-    const std::size_t length =
-        (flags & kFlagExtendedLength) ? r.u16() : static_cast<std::size_t>(r.u8());
-    Reader value(r.bytes(length), ErrorCode::UpdateMessage, kUpdAttrLengthError);
+  while (!section.done()) {
+    std::uint8_t flags = 0;
+    std::uint8_t type = 0;
+    std::size_t length = 0;
+    try {
+      flags = section.u8();
+      type = section.u8();
+      length = (flags & kFlagExtendedLength) ? section.u16() : static_cast<std::size_t>(section.u8());
+    } catch (const WireError&) {
+      // Without a complete header the rest of the section cannot be framed.
+      add_issue(out, ErrorAction::TreatAsWithdraw, 0, kUpdMalformedAttrList,
+                "attribute header truncated");
+      break;
+    }
+    std::span<const std::uint8_t> raw;
+    try {
+      raw = section.bytes(length);
+    } catch (const WireError&) {
+      // The claimed length overruns the attribute section; the NLRI
+      // boundary is still known from Total Path Attribute Length, so the
+      // routes are salvageable even though the remaining attributes are not.
+      add_issue(out, ErrorAction::TreatAsWithdraw, type, kUpdAttrLengthError,
+                "attribute value overruns the attribute section");
+      break;
+    }
+    // Mandatory-presence is about which attributes the sender included, not
+    // which ones parsed; a present-but-broken ORIGIN is an ORIGIN issue, not
+    // additionally a missing-attribute one.
     switch (static_cast<AttrType>(type)) {
-      case AttrType::Origin: {
-        if (length != 1) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "ORIGIN must be 1 octet");
-        }
-        const std::uint8_t code = value.u8();
-        if (code > 2) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdInvalidOrigin, "unknown ORIGIN code");
-        }
-        attrs.origin_code = static_cast<OriginCode>(code);
-        saw_origin = true;
-        break;
-      }
-      case AttrType::AsPath: {
-        AsPath path;
-        while (!value.done()) {
-          const std::uint8_t seg_type = value.u8();
-          const std::uint8_t count = value.u8();
-          if (seg_type == kSegmentSequence) {
-            std::vector<Asn> asns;
-            for (unsigned i = 0; i < count; ++i) asns.push_back(value.u16());
-            path.append_sequence(asns);
-          } else if (seg_type == kSegmentSet) {
-            if (count == 0) {
-              throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "empty AS_SET segment");
-            }
-            AsnSet set;
-            for (unsigned i = 0; i < count; ++i) set.insert(value.u16());
-            path.append_set(std::move(set));
-          } else {
-            throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "unknown AS_PATH segment type");
+      case AttrType::Origin: saw_origin = true; break;
+      case AttrType::AsPath: saw_as_path = true; break;
+      case AttrType::NextHop: saw_next_hop = true; break;
+      default: break;
+    }
+    try {
+      Reader value(raw, ErrorCode::UpdateMessage, kUpdAttrLengthError);
+      switch (static_cast<AttrType>(type)) {
+        case AttrType::Origin: {
+          if (length != 1) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "ORIGIN must be 1 octet");
           }
+          const std::uint8_t code = value.u8();
+          if (code > 2) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdInvalidOrigin, "unknown ORIGIN code");
+          }
+          attrs.origin_code = static_cast<OriginCode>(code);
+          break;
         }
-        attrs.path = std::move(path);
-        saw_as_path = true;
-        break;
+        case AttrType::AsPath: {
+          AsPath path;
+          while (!value.done()) {
+            const std::uint8_t seg_type = value.u8();
+            const std::uint8_t count = value.u8();
+            if (seg_type == kSegmentSequence) {
+              std::vector<Asn> asns;
+              for (unsigned i = 0; i < count; ++i) {
+                const Asn asn = value.u16();
+                if (asn == kNoAs) {
+                  // RFC 7607: AS 0 anywhere in AS_PATH makes the UPDATE malformed.
+                  throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
+                                  "AS 0 in AS_PATH");
+                }
+                asns.push_back(asn);
+              }
+              path.append_sequence(asns);
+            } else if (seg_type == kSegmentSet) {
+              if (count == 0) {
+                throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "empty AS_SET segment");
+              }
+              AsnSet set;
+              for (unsigned i = 0; i < count; ++i) {
+                const Asn asn = value.u16();
+                if (asn == kNoAs) {
+                  throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
+                                  "AS 0 in AS_PATH");
+                }
+                set.insert(asn);
+              }
+              path.append_set(std::move(set));
+            } else {
+              throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
+                              "unknown AS_PATH segment type");
+            }
+          }
+          attrs.path = std::move(path);
+          break;
+        }
+        case AttrType::NextHop:
+          if (length != 4) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "NEXT_HOP must be 4 octets");
+          }
+          value.u32();  // the AS-level model does not keep it
+          break;
+        case AttrType::Med:
+          if (length != 4) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "MED must be 4 octets");
+          }
+          attrs.med = value.u32();
+          break;
+        case AttrType::LocalPref:
+          if (length != 4) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "LOCAL_PREF must be 4 octets");
+          }
+          attrs.local_pref = value.u32();
+          break;
+        case AttrType::Communities: {
+          if (length % 4 != 0) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError,
+                            "COMMUNITIES length not a multiple of 4");
+          }
+          CommunitySet communities;
+          while (!value.done()) communities.add(Community(value.u32()));
+          attrs.communities = std::move(communities);
+          break;
+        }
+        default:
+          if (!(flags & kFlagOptional)) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdUnrecognizedWellKnown,
+                            "unrecognized well-known attribute " + std::to_string(type));
+          }
+          if (flags & kFlagTransitive) {
+            // RFC 4271 §9: unknown optional transitive attributes are
+            // retained and re-advertised with the Partial bit set.
+            out.message.unknown_attrs.push_back(
+                UnknownAttribute{type, std::vector<std::uint8_t>(raw.begin(), raw.end())});
+          }
+          // Unknown optional non-transitive: quietly discarded.
+          break;
       }
-      case AttrType::NextHop:
-        if (length != 4) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "NEXT_HOP must be 4 octets");
-        }
-        value.u32();  // the AS-level model does not keep it
-        saw_next_hop = true;
-        break;
-      case AttrType::Med:
-        if (length != 4) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "MED must be 4 octets");
-        }
-        attrs.med = value.u32();
-        break;
-      case AttrType::LocalPref:
-        if (length != 4) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "LOCAL_PREF must be 4 octets");
-        }
-        attrs.local_pref = value.u32();
-        break;
-      case AttrType::Communities: {
-        if (length % 4 != 0) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError,
-                          "COMMUNITIES length not a multiple of 4");
-        }
-        while (!value.done()) attrs.communities.add(Community(value.u32()));
-        break;
-      }
-      default:
-        if (!(flags & kFlagOptional)) {
-          throw WireError(ErrorCode::UpdateMessage, kUpdUnrecognizedWellKnown,
-                          "unrecognized well-known attribute " + std::to_string(type));
-        }
-        break;  // unknown optional attribute: skip
+    } catch (const WireError& e) {
+      add_issue(out, action_for(static_cast<AttrType>(type)), type, e.subcode(), e.what());
     }
   }
-  if (r.remaining() != consumed_target) {
-    throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute lengths inconsistent");
-  }
   if (!saw_origin || !saw_as_path || !saw_next_hop) {
-    throw WireError(ErrorCode::UpdateMessage, kUpdMissingWellKnown,
-                    "missing well-known mandatory attribute");
+    add_issue(out, ErrorAction::TreatAsWithdraw, 0, kUpdMissingWellKnown,
+              "missing well-known mandatory attribute");
   }
-  return attrs;
+  out.message.attrs = std::move(attrs);
+}
+
+/// Shared body parse behind both decode_update flavors. Throws WireError
+/// for SessionReset-class damage (header, withdrawn-routes section,
+/// attribute-section framing, NLRI); everything inside the attribute
+/// section is classified into `issues` instead.
+ParsedUpdate parse_update(std::span<const std::uint8_t> data) {
+  auto [type, body] = open_message(data);
+  if (type != MessageType::Update) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadType, "not an UPDATE message");
+  }
+  // Truncation inside the UPDATE body is an UPDATE error, not a header one.
+  Reader r(body.rest(), ErrorCode::UpdateMessage, kUpdMalformedAttrList);
+
+  ParsedUpdate out;
+  const std::size_t withdrawn_len = r.u16();
+  {
+    Reader withdrawn(r.bytes(withdrawn_len));
+    while (!withdrawn.done()) out.message.withdrawn.push_back(read_prefix(withdrawn));
+  }
+  const std::size_t attrs_len = r.u16();
+  if (attrs_len > 0) {
+    if (attrs_len > r.remaining()) {
+      throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute section truncated");
+    }
+    Reader section(r.bytes(attrs_len), ErrorCode::UpdateMessage, kUpdMalformedAttrList);
+    read_attributes_classified(section, out);
+  }
+  while (!r.done()) out.message.nlri.push_back(read_prefix(r));
+  if (!out.message.nlri.empty() && !out.message.attrs) {
+    add_issue(out, ErrorAction::TreatAsWithdraw, 0, kUpdMissingWellKnown,
+              "NLRI without path attributes");
+  }
+  return out;
 }
 
 }  // namespace
+
+const char* to_string(ErrorAction action) {
+  switch (action) {
+    case ErrorAction::Ignore: return "ignore";
+    case ErrorAction::AttributeDiscard: return "attribute-discard";
+    case ErrorAction::TreatAsWithdraw: return "treat-as-withdraw";
+    case ErrorAction::SessionReset: return "session-reset";
+  }
+  return "?";
+}
 
 std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
                                         const EncodeOptions& options) {
@@ -327,6 +453,13 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
   const std::size_t attrs_len_pos = w.size();
   w.u16(0);
   if (update.attrs) write_attributes(w, *update.attrs, options);
+  for (const auto& attr : update.unknown_attrs) {
+    // Pass-through of attributes we do not implement: optional transitive
+    // with the Partial bit, since this speaker did not originate them.
+    write_attribute_header(w, kFlagOptional | kFlagTransitive | kFlagPartial,
+                           static_cast<AttrType>(attr.type), attr.value.size());
+    w.bytes(attr.value);
+  }
   w.patch_u16(attrs_len_pos, static_cast<std::uint16_t>(w.size() - attrs_len_pos - 2));
 
   for (const auto& prefix : update.nlri) write_prefix(w, prefix);
@@ -334,35 +467,40 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
 }
 
 UpdateMessage decode_update(std::span<const std::uint8_t> data) {
-  auto [type, body] = open_message(data);
-  if (type != MessageType::Update) {
-    throw WireError(ErrorCode::FsmError, 0, "not an UPDATE message");
+  ParsedUpdate parsed = parse_update(data);
+  if (!parsed.issues.empty()) {
+    // Strict RFC 4271 discipline: the first problem aborts the message with
+    // the NOTIFICATION code it documents.
+    const AttributeIssue& first = parsed.issues.front();
+    throw WireError(first.code, first.subcode, first.detail);
   }
-  // Truncation inside the UPDATE body is an UPDATE error, not a header one.
-  Reader r(body.rest(), ErrorCode::UpdateMessage, kUpdMalformedAttrList);
+  return std::move(parsed.message);
+}
 
+ErrorAction DecodeResult::severity() const {
+  ErrorAction worst = ErrorAction::Ignore;
+  for (const AttributeIssue& issue : issues) worst = std::max(worst, issue.action);
+  return worst;
+}
+
+UpdateMessage DecodeResult::to_deliverable() const {
+  if (severity() < ErrorAction::TreatAsWithdraw) return message;
+  // Treat-as-withdraw: the sender's explicit withdrawals stand, every
+  // announced prefix is revoked as an error-withdrawal, and nothing from
+  // the damaged attribute set survives.
   UpdateMessage out;
-  const std::size_t withdrawn_len = r.u16();
-  {
-    Reader withdrawn(r.bytes(withdrawn_len));
-    while (!withdrawn.done()) out.withdrawn.push_back(read_prefix(withdrawn));
-  }
-  const std::size_t attrs_len = r.u16();
-  if (attrs_len > 0) {
-    if (attrs_len > r.remaining()) {
-      throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute section truncated");
-    }
-    out.attrs = read_attributes(r, attrs_len);
-  }
-  while (!r.done()) out.nlri.push_back(read_prefix(r));
-  if (!out.nlri.empty() && !out.attrs) {
-    throw WireError(ErrorCode::UpdateMessage, kUpdMissingWellKnown, "NLRI without path attributes");
-  }
+  out.withdrawn = message.withdrawn;
+  out.error_withdrawn = message.nlri;
   return out;
 }
 
+DecodeResult decode_update_revised(std::span<const std::uint8_t> data) {
+  ParsedUpdate parsed = parse_update(data);
+  return DecodeResult{std::move(parsed.message), std::move(parsed.issues)};
+}
+
 bool is_end_of_rib(const UpdateMessage& message) {
-  return message.withdrawn.empty() && message.nlri.empty();
+  return message.withdrawn.empty() && message.nlri.empty() && message.error_withdrawn.empty();
 }
 
 std::vector<std::uint8_t> encode_end_of_rib() {
@@ -405,7 +543,7 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
 OpenMessage decode_open(std::span<const std::uint8_t> data) {
   auto [type, body] = open_message(data);
   if (type != MessageType::Open) {
-    throw WireError(ErrorCode::FsmError, 0, "not an OPEN message");
+    throw WireError(ErrorCode::MessageHeader, kHdrBadType, "not an OPEN message");
   }
   // A short OPEN body is an OPEN error (unspecific subcode 0).
   Reader r(body.rest(), ErrorCode::OpenMessage, 0);
@@ -465,6 +603,16 @@ std::vector<std::uint8_t> encode_keepalive() {
   return finish(w);
 }
 
+void decode_keepalive(std::span<const std::uint8_t> data) {
+  auto [type, r] = open_message(data);
+  if (type != MessageType::Keepalive) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadType, "not a KEEPALIVE message");
+  }
+  if (!r.done()) {
+    throw WireError(ErrorCode::MessageHeader, kHdrBadLength, "KEEPALIVE must be header-only");
+  }
+}
+
 std::vector<std::uint8_t> encode_notification(const NotificationMessage& notification) {
   Writer w;
   write_header(w, MessageType::Notification);
@@ -477,7 +625,7 @@ std::vector<std::uint8_t> encode_notification(const NotificationMessage& notific
 NotificationMessage decode_notification(std::span<const std::uint8_t> data) {
   auto [type, r] = open_message(data);
   if (type != MessageType::Notification) {
-    throw WireError(ErrorCode::FsmError, 0, "not a NOTIFICATION message");
+    throw WireError(ErrorCode::MessageHeader, kHdrBadType, "not a NOTIFICATION message");
   }
   NotificationMessage out;
   out.code = r.u8();
@@ -513,6 +661,9 @@ std::vector<Update> to_sim_updates(const UpdateMessage& message) {
     return out;
   }
   for (const auto& prefix : message.withdrawn) out.push_back(Update::withdraw(prefix));
+  for (const auto& prefix : message.error_withdrawn) {
+    out.push_back(Update::make_error_withdraw(prefix));
+  }
   for (const auto& prefix : message.nlri) {
     MOAS_ENSURE(message.attrs.has_value(), "NLRI without attributes");
     Route route;

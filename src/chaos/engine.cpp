@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "moas/bgp/wire.h"
+#include "moas/chaos/invariants.h"
 
 namespace moas::chaos {
 
@@ -116,6 +117,13 @@ void ChaosEngine::apply(const FaultEvent& event) {
       clean_router(event.a);
       ++stats_.restarts;
       break;
+    case FaultKind::AttrCorrupt:
+      // Arm one corruption for this direction; the tap damages the next
+      // announcement crossing it. Nothing else is logged for this event —
+      // the outcome's timing depends on traffic, and the replay log must
+      // stay byte-identical across 4271/7606 ablation arms.
+      ++pending_corruptions_[{event.a, event.b}];
+      break;
   }
 }
 
@@ -126,6 +134,18 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
   ++stats_.msgs_seen;
 
   Verdict verdict;
+
+  // Scheduled attribute corruption outranks the sampled faults: with a
+  // corruption-only schedule no sampled rate is set, so the tap consumes
+  // RNG draws only inside apply_attr_corruption and the two ablation arms
+  // see identical fault sequences.
+  if (!pending_corruptions_.empty() && update.kind == Update::Kind::Announce) {
+    auto pending = pending_corruptions_.find({from, to});
+    if (pending != pending_corruptions_.end()) {
+      if (--pending->second == 0) pending_corruptions_.erase(pending);
+      return apply_attr_corruption(from, to, update);
+    }
+  }
 
   if (cfg.msg_drop > 0.0 && tap_rng_.chance(cfg.msg_drop)) {
     // The receiver's view of `from` may now be stale until a reset replays
@@ -214,6 +234,169 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
   }
 
   return verdict;
+}
+
+bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
+                                                            const Update& update) {
+  using Verdict = bgp::Network::TapVerdict;
+  const ScheduleConfig& cfg = schedule_.config;
+  Verdict verdict;
+
+  std::vector<std::uint8_t> original;
+  try {
+    original = bgp::wire::encode_sim_update(update);
+  } catch (const std::invalid_argument&) {
+    return verdict;  // unencodable (e.g. 4-octet ASN); the fault fizzles
+  }
+
+  // Locate the path-attribute section so only it is damaged: the NLRI stays
+  // parseable, which is what pins the severity below SessionReset under
+  // RFC 7606 while strict RFC 4271 still has to reset.
+  const std::size_t withdrawn_len =
+      (static_cast<std::size_t>(original[bgp::wire::kHeaderSize]) << 8) |
+      original[bgp::wire::kHeaderSize + 1];
+  const std::size_t attrs_len_pos = bgp::wire::kHeaderSize + 2 + withdrawn_len;
+  const std::size_t attrs_len =
+      (static_cast<std::size_t>(original[attrs_len_pos]) << 8) | original[attrs_len_pos + 1];
+  if (attrs_len == 0) return verdict;  // nothing to damage
+  const std::size_t attrs_begin = attrs_len_pos + 2;
+
+  // Re-roll the damage until the strict decoder rejects the message — a
+  // fizzled flip (harmless or still-valid) would make the 4271 arm's fate
+  // depend on luck instead of on the error-handling mode under test.
+  std::vector<std::uint8_t> bytes;
+  bool rejected = false;
+  for (int attempt = 0; attempt < 32 && !rejected; ++attempt) {
+    bytes = original;
+    const int max_flips = cfg.max_corrupt_flips > 0 ? cfg.max_corrupt_flips : 1;
+    const int flips = 1 + static_cast<int>(tap_rng_.uniform(0, max_flips - 1));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t bit =
+          tap_rng_.uniform(attrs_begin * 8, (attrs_begin + attrs_len) * 8 - 1);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    try {
+      (void)bgp::wire::decode_update(bytes);
+    } catch (const bgp::wire::WireError&) {
+      rejected = true;
+    }
+  }
+  if (!rejected) return verdict;  // could not manufacture damage; deliver intact
+  ++stats_.attr_corruptions_applied;
+
+  if (!network_.revised_error_handling()) {
+    // RFC 4271 arm: the receiver NOTIFYs and resets; flush + replay restore
+    // consistency, so the direction is not dirty.
+    ++stats_.corrupt_session_resets;
+    clean_direction_pair(from, to);
+    verdict.action = Verdict::Action::ResetSession;
+    return verdict;
+  }
+
+  // RFC 7606 arm: classify and survive.
+  bgp::wire::DecodeResult result;
+  try {
+    result = bgp::wire::decode_update_revised(bytes);
+  } catch (const bgp::wire::WireError&) {
+    // Attribute-confined damage must never be SessionReset class; if it
+    // somehow is, count it so the no-reset invariant flags the run.
+    ++stats_.corrupt_session_resets;
+    clean_direction_pair(from, to);
+    verdict.action = Verdict::Action::ResetSession;
+    return verdict;
+  }
+
+  if (result.severity() >= bgp::wire::ErrorAction::TreatAsWithdraw) {
+    ++stats_.treat_as_withdraws;
+    // Record what the damaged attributes would have injected — the RIB
+    // audit can then assert none of it was accepted anywhere.
+    if (update.route && result.message.attrs &&
+        !result.message.attrs->communities.empty() &&
+        !(result.message.attrs->communities == update.route->attrs.communities)) {
+      poisoned_communities_.insert(result.message.attrs->communities);
+    }
+    verdict.deliveries = bgp::wire::to_sim_updates(result.to_deliverable());
+    // RFC 7606 §6: recover the treat-as-withdrawn route via route refresh
+    // (RFC 2918). The sender's bookkeeping still says the route is out
+    // there, so without this the hole would cascade downstream as withdraw
+    // churn until the next organic change. One link delay for the
+    // error-withdraw to land plus one for the REFRESH to travel back; the
+    // re-announcement then crosses the tap like any other message.
+    {
+      const double rtt = 2.0 * network_.config().link_delay;
+      const bgp::Asn sender = from;
+      const bgp::Asn receiver = to;
+      const net::Prefix prefix = update.prefix;
+      network_.clock().schedule_after(rtt, [this, sender, receiver, prefix] {
+        ++stats_.route_refreshes_requested;
+        network_.router(sender).refresh_route(receiver, prefix);
+      });
+    }
+    return verdict;
+  }
+
+  // AttributeDiscard: the routes survive minus a non-essential attribute —
+  // unless the salvage touched the communities (the MOAS list), in which
+  // case delivering it would hand the detector a corrupted list; demote
+  // those prefixes to error-withdraw instead.
+  ++stats_.attr_discards;
+  std::vector<Update> deliveries = bgp::wire::to_sim_updates(result.to_deliverable());
+  bool differs = deliveries.size() != 1;
+  for (Update& delivery : deliveries) {
+    if (delivery.kind == Update::Kind::Announce && update.route &&
+        !(delivery.route->attrs.communities == update.route->attrs.communities)) {
+      if (!delivery.route->attrs.communities.empty()) {
+        poisoned_communities_.insert(delivery.route->attrs.communities);
+      }
+      ++stats_.poisoned_blocked;
+      delivery = Update::make_error_withdraw(delivery.prefix);
+    }
+    if (!same_update(delivery, update)) differs = true;
+  }
+  // A delivery that differs from what the sender booked leaves the
+  // receiver's view out of sync until something replays it — dirty.
+  if (differs) dirty_.insert({from, to});
+  verdict.deliveries = std::move(deliveries);
+  return verdict;
+}
+
+void register_corruption_invariants(NetworkInvariantChecker& checker,
+                                    const ChaosEngine& engine) {
+  checker.add_custom([&engine](const bgp::Network& network,
+                               std::vector<NetworkInvariantChecker::Violation>& violations) {
+    if (network.revised_error_handling() && engine.stats().corrupt_session_resets > 0) {
+      violations.push_back(
+          {"revised-no-reset",
+           "RFC 7606 enabled but " + std::to_string(engine.stats().corrupt_session_resets) +
+               " scheduled corruption(s) reset a session"});
+    }
+  });
+  checker.add_custom([&engine](const bgp::Network& network,
+                               std::vector<NetworkInvariantChecker::Violation>& violations) {
+    const auto& poisoned = engine.poisoned_communities();
+    if (poisoned.empty()) return;
+    for (Asn asn : network.asns()) {
+      if (network.router_crashed(asn)) continue;
+      const bgp::Router& router = network.router(asn);
+      for (const net::Prefix& prefix : router.adj_rib_in().prefixes()) {
+        for (const bgp::RibEntry* entry : router.adj_rib_in().candidates(prefix)) {
+          if (poisoned.contains(entry->route.attrs.communities)) {
+            violations.push_back({"corrupted-moas-in-rib",
+                                  std::to_string(asn) + " accepted corrupted communities on " +
+                                      entry->route.to_string()});
+          }
+        }
+      }
+      for (const net::Prefix& prefix : router.loc_rib().prefixes()) {
+        const bgp::RibEntry* best = router.loc_rib().best(prefix);
+        if (best && poisoned.contains(best->route.attrs.communities)) {
+          violations.push_back({"corrupted-moas-selected",
+                                std::to_string(asn) + " selected corrupted communities on " +
+                                    best->route.to_string()});
+        }
+      }
+    }
+  });
 }
 
 }  // namespace moas::chaos

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -30,6 +31,8 @@
 #include "moas/util/rng.h"
 
 namespace moas::chaos {
+
+class NetworkInvariantChecker;
 
 class ChaosEngine {
  public:
@@ -51,6 +54,22 @@ class ChaosEngine {
     std::uint64_t corruptions_undetected = 0;
     /// Damaged bytes that still decoded to the original message.
     std::uint64_t corruptions_harmless = 0;
+    // Scheduled AttrCorrupt events (directed, attribute-section-only damage).
+    /// Corruption events that found an announcement to damage. The fate of
+    /// each splits by the network's error-handling mode:
+    std::uint64_t attr_corruptions_applied = 0;
+    /// RFC 4271 fate — NOTIFICATION + session reset. Must be zero when
+    /// revised_error_handling is on (the no-reset invariant).
+    std::uint64_t corrupt_session_resets = 0;
+    /// RFC 7606 fates: the message degraded to withdrawals / lost an attr.
+    std::uint64_t treat_as_withdraws = 0;
+    std::uint64_t attr_discards = 0;
+    /// Deliveries whose salvaged communities differed from the sender's —
+    /// demoted to error-withdraw so no corrupted MOAS list reaches a RIB.
+    std::uint64_t poisoned_blocked = 0;
+    /// RFC 2918 route-refresh requests issued after treat-as-withdraw so
+    /// the sender re-advertises the error-withdrawn route.
+    std::uint64_t route_refreshes_requested = 0;
   };
 
   /// The engine must not outlive `network`; it clears its tap on
@@ -84,13 +103,26 @@ class ChaosEngine {
   const std::set<std::pair<bgp::Asn, bgp::Asn>>& dirty_links() const { return dirty_; }
 
   /// The replay log: one line per applied fault (discrete and per-message),
-  /// in application order. Byte-identical for equal seeds.
+  /// in application order. Byte-identical for equal seeds. Scheduled
+  /// AttrCorrupt events log only their compiled line — never their
+  /// per-message outcome, whose timing depends on traffic — so the log
+  /// stays byte-identical between the RFC 4271 and RFC 7606 arms of an
+  /// ablation run under the same schedule.
   const std::vector<std::string>& log_lines() const { return log_; }
   std::string log_text() const;
+
+  /// Communities sets that corruption manufactured and the engine refused
+  /// to deliver. No RIB anywhere may ever hold one of them (see
+  /// register_corruption_invariants).
+  const std::set<bgp::CommunitySet>& poisoned_communities() const {
+    return poisoned_communities_;
+  }
 
  private:
   void apply(const FaultEvent& event);
   bgp::Network::TapVerdict tap(bgp::Asn from, bgp::Asn to, const bgp::Update& update);
+  bgp::Network::TapVerdict apply_attr_corruption(bgp::Asn from, bgp::Asn to,
+                                                 const bgp::Update& update);
   void clean_direction_pair(bgp::Asn a, bgp::Asn b);
   void clean_router(bgp::Asn asn);
 
@@ -100,8 +132,20 @@ class ChaosEngine {
   std::size_t next_event_ = 0;  // batch-mode cursor
   bool tap_installed_ = false;
   std::set<std::pair<bgp::Asn, bgp::Asn>> dirty_;
+  /// Armed AttrCorrupt events per directed link, consumed by the next
+  /// announcement crossing that direction.
+  std::map<std::pair<bgp::Asn, bgp::Asn>, unsigned> pending_corruptions_;
+  std::set<bgp::CommunitySet> poisoned_communities_;
   std::vector<std::string> log_;
   Stats stats_;
 };
+
+/// The RFC 7606 corruption invariant family. Registers custom checks on the
+/// checker: (1) with revised error handling on, no scheduled attribute
+/// corruption may have reset a session; (2) no RIB entry — Adj-RIB-In or
+/// Loc-RIB, any router — may carry a communities set the engine recorded as
+/// corruption-manufactured (a poisoned MOAS list must never be accepted).
+/// The engine must outlive the checker's last check() call.
+void register_corruption_invariants(NetworkInvariantChecker& checker, const ChaosEngine& engine);
 
 }  // namespace moas::chaos

@@ -21,6 +21,7 @@ enum class FaultKind : std::uint8_t {
   SessionReset,   // BGP session torn down + re-established; link stays up
   RouterCrash,    // router loses all protocol state, sessions drop
   RouterRestart,  // crashed router cold-starts and re-announces
+  AttrCorrupt,    // next announcement a->b gets its attribute bytes damaged
 };
 
 const char* to_string(FaultKind kind);
@@ -29,6 +30,7 @@ struct FaultEvent {
   sim::Time at = 0.0;
   FaultKind kind = FaultKind::LinkDown;
   /// Link faults use (a, b) with a < b; router faults use a and leave b 0.
+  /// AttrCorrupt is directed: a is the sender, b the receiver.
   bgp::Asn a = 0;
   bgp::Asn b = 0;
 

@@ -53,8 +53,21 @@ struct ScheduleConfig {
   double msg_corrupt = 0.0;
   int max_corrupt_flips = 3;
 
+  // --- scheduled attribute corruption (discrete AttrCorrupt events) --------
+  /// Mean number of attribute-corruption events per link over the horizon
+  /// (Poisson). Unlike msg_corrupt this compiles into discrete, directed
+  /// AttrCorrupt events: each arms one corruption that hits the next
+  /// announcement crossing its direction, and only the attribute section is
+  /// damaged (the NLRI stays parseable). Because the events — not the
+  /// per-message outcomes — are what the replay log records, the log is
+  /// byte-identical whether the receivers run RFC 4271 or RFC 7606
+  /// handling, which is what lets the ablation compare the two arms under
+  /// literally the same fault schedule.
+  double attr_corruptions_per_link = 0.0;
+
   bool has_message_faults() const {
-    return msg_drop > 0.0 || msg_duplicate > 0.0 || msg_reorder > 0.0 || msg_corrupt > 0.0;
+    return msg_drop > 0.0 || msg_duplicate > 0.0 || msg_reorder > 0.0 || msg_corrupt > 0.0 ||
+           attr_corruptions_per_link > 0.0;
   }
 };
 

@@ -60,6 +60,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::SessionReset: return "session-reset";
     case FaultKind::RouterCrash: return "router-crash";
     case FaultKind::RouterRestart: return "router-restart";
+    case FaultKind::AttrCorrupt: return "attr-corrupt";
   }
   return "?";
 }
@@ -68,6 +69,8 @@ std::string FaultEvent::to_string() const {
   char buf[96];
   if (kind == FaultKind::RouterCrash || kind == FaultKind::RouterRestart) {
     std::snprintf(buf, sizeof(buf), "t=%.6f %s %u", at, chaos::to_string(kind), a);
+  } else if (kind == FaultKind::AttrCorrupt) {
+    std::snprintf(buf, sizeof(buf), "t=%.6f %s %u->%u", at, chaos::to_string(kind), a, b);
   } else {
     std::snprintf(buf, sizeof(buf), "t=%.6f %s %u--%u", at, chaos::to_string(kind), a, b);
   }
@@ -88,7 +91,7 @@ FaultSchedule compile_schedule(const ScheduleConfig& config,
                                const std::vector<bgp::Asn>& asns) {
   MOAS_REQUIRE(config.horizon > 0.0, "schedule horizon must be positive");
   MOAS_REQUIRE(config.flaps_per_link >= 0.0 && config.session_resets_per_link >= 0.0 &&
-                   config.crashes_per_router >= 0.0,
+                   config.crashes_per_router >= 0.0 && config.attr_corruptions_per_link >= 0.0,
                "fault rates must be non-negative");
   MOAS_REQUIRE(config.msg_drop >= 0.0 && config.msg_drop <= 1.0 &&
                    config.msg_duplicate >= 0.0 && config.msg_duplicate <= 1.0 &&
@@ -117,6 +120,16 @@ FaultSchedule compile_schedule(const ScheduleConfig& config,
       for (unsigned i = 0; i < resets; ++i) {
         const sim::Time at = config.start + rng.uniform01() * config.horizon * 0.9;
         schedule.events.push_back({at, FaultKind::SessionReset, a, b});
+      }
+    }
+    if (config.attr_corruptions_per_link > 0.0) {
+      const unsigned corruptions = rng.poisson(config.attr_corruptions_per_link);
+      for (unsigned i = 0; i < corruptions; ++i) {
+        const sim::Time at = config.start + rng.uniform01() * config.horizon * 0.9;
+        // Directed: pick which side's announcements get damaged.
+        const bool a_sends = rng.chance(0.5);
+        schedule.events.push_back(
+            {at, FaultKind::AttrCorrupt, a_sends ? a : b, a_sends ? b : a});
       }
     }
   }

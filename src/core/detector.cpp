@@ -190,6 +190,25 @@ void MoasDetector::on_peer_down(bgp::Asn peer, bgp::RouterContext& /*ctx*/) {
   }
 }
 
+void MoasDetector::on_error_withdraw(const net::Prefix& prefix, bgp::Asn from_peer,
+                                     bgp::RouterContext& ctx) {
+  auto it = state_.find(prefix);
+  if (it == state_.end()) return;
+  PrefixState& state = it->second;
+  state.supporters.erase(from_peer);
+  if (state.supporters.empty()) {
+    // The reference rests on nothing the detector can still point to.
+    // Rebuild it from routes that survived in the Adj-RIB-In (the router
+    // already dropped the error-withdrawn one), so the next announcement is
+    // checked against real evidence rather than adopted blindly — and never
+    // against anything salvaged from the damaged message.
+    state.reference = ctx.accepted_origins(prefix);
+  }
+  if (state.reference.empty() && state.banned.empty() && state.supporters.empty()) {
+    state_.erase(it);
+  }
+}
+
 void MoasDetector::on_reset(bgp::RouterContext& /*ctx*/) { state_.clear(); }
 
 AsnSet MoasDetector::reference_list(const net::Prefix& prefix) const {

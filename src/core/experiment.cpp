@@ -119,6 +119,7 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   net_config.jitter = config_.jitter;
   net_config.graceful_restart = config_.graceful_restart;
   net_config.gr_restart_time = config_.gr_restart_time;
+  net_config.revised_error_handling = config_.revised_error_handling;
   net_config.seed = rng.next();
   bgp::Network network(net_config);
 
@@ -263,13 +264,20 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     result.message_faults = chaos_stats.msgs_dropped + chaos_stats.msgs_duplicated +
                             chaos_stats.msgs_reordered + chaos_stats.corruptions_detected +
                             chaos_stats.corruptions_undetected +
-                            chaos_stats.corruptions_harmless;
+                            chaos_stats.corruptions_harmless +
+                            chaos_stats.attr_corruptions_applied;
+    result.attr_corruptions = chaos_stats.attr_corruptions_applied;
+    result.corrupt_session_resets = chaos_stats.corrupt_session_resets;
+    result.treat_as_withdraws = chaos_stats.treat_as_withdraws;
+    result.attr_discards = chaos_stats.attr_discards;
+    result.poisoned_blocked = chaos_stats.poisoned_blocked;
     result.fault_log = engine->log_text();
   }
   if (config_.check_invariants) {
     chaos::NetworkInvariantChecker checker;
     register_moas_invariants(checker, alarms);
     if (engine) {
+      chaos::register_corruption_invariants(checker, *engine);
       for (const auto& [from, to] : engine->dirty_links()) {
         checker.exclude_direction(from, to);
       }
@@ -296,6 +304,8 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     result.announcements += rs.announcements_sent;
     result.stale_retained += rs.stale_retained;
     result.stale_swept += rs.stale_swept;
+    result.routes_withdrawn += rs.routes_withdrawn;
+    result.error_withdraws += rs.error_withdraws;
   }
   if (cache) {
     result.resolver_queries = cache->inner().stats().queries;

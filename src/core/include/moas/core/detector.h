@@ -51,6 +51,15 @@ class MoasDetector final : public bgp::ImportValidator {
   /// conflict — if still real — re-resolves from fresh announcements).
   void on_peer_down(bgp::Asn peer, bgp::RouterContext& ctx) override;
 
+  /// RFC 7606 treat-as-withdraw revoked this peer's route: the announcement
+  /// arrived damaged, so whatever list it carried is not evidence. The peer
+  /// stops supporting the reference for `prefix`; if it was the last
+  /// supporter the reference is rebuilt from the origins still standing in
+  /// the Adj-RIB-In (never from the damaged announcement). Bans stay — the
+  /// peer's earlier, intact assertions are unaffected by one corrupt UPDATE.
+  void on_error_withdraw(const net::Prefix& prefix, bgp::Asn from_peer,
+                         bgp::RouterContext& ctx) override;
+
   /// A crashed router loses detector memory wholesale.
   void on_reset(bgp::RouterContext& ctx) override;
 

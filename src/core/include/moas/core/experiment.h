@@ -66,6 +66,12 @@ struct ExperimentConfig {
   bool graceful_restart = false;
   double gr_restart_time = 60.0;
 
+  /// RFC 7606 revised UPDATE error handling, network-wide. Attribute-level
+  /// damage degrades to treat-as-withdraw or attribute-discard instead of a
+  /// NOTIFICATION + session reset, so one corrupt UPDATE costs at most the
+  /// routes it carried — not the whole session's worth of detector evidence.
+  bool revised_error_handling = false;
+
   /// Off (default): valid and false announcements race from a cold start —
   /// one SSFnet scenario per run, which is what reproduces the paper's
   /// numbers (cut-off ASes never hear the valid route and adopt the false
@@ -112,6 +118,20 @@ struct RunResult {
   std::uint64_t announcements = 0;
   std::uint64_t stale_retained = 0;  // routes parked as stale at crashes
   std::uint64_t stale_swept = 0;     // flushed by End-of-RIB or restart timer
+  /// Adj-RIB-In entries removed by explicit/error withdrawals, session
+  /// flushes, and stale sweeps — the receiver-side route loss `withdrawals`
+  /// (messages on the wire) cannot see when sessions are down.
+  std::uint64_t routes_withdrawn = 0;
+
+  /// RFC 7606 error-handling bookkeeping. `error_withdraws` counts routes
+  /// revoked by treat-as-withdraw across all routers; the rest come from the
+  /// chaos engine's scheduled attribute corruptions (zero without churn).
+  std::uint64_t error_withdraws = 0;
+  std::uint64_t attr_corruptions = 0;       // scheduled corruptions that landed
+  std::uint64_t corrupt_session_resets = 0; // RFC 4271 fate (reset)
+  std::uint64_t treat_as_withdraws = 0;     // RFC 7606 fate (degrade)
+  std::uint64_t attr_discards = 0;          // RFC 7606 fate (salvage)
+  std::uint64_t poisoned_blocked = 0;       // corrupted MOAS lists intercepted
 
   /// Registry load: queries that actually reached the backend resolver
   /// (behind the cache when resolver_cache_ttl > 0) and hits the cache

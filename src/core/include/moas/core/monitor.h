@@ -11,12 +11,45 @@
 // vantages.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "moas/bgp/network.h"
+#include "moas/chaos/engine.h"
 #include "moas/core/alarm.h"
 
 namespace moas::core {
+
+/// Aggregated RFC 7606 error-handling counters for one network: how much
+/// damage arrived and which degradation mode absorbed it. Router-side
+/// `error_withdraws` counts routes revoked by treat-as-withdraw; the rest
+/// come from the chaos engine's scheduled attribute corruptions (zero when
+/// `engine` is null). Session-FSM runs surface the same trio as
+/// bgp::Session::Stats counters.
+struct ErrorHandlingSummary {
+  std::uint64_t error_withdraws = 0;
+  std::uint64_t attr_corruptions = 0;
+  std::uint64_t treat_as_withdraws = 0;
+  std::uint64_t attr_discards = 0;
+  std::uint64_t corrupt_session_resets = 0;
+  std::uint64_t poisoned_blocked = 0;
+
+  /// Corruptions a strict RFC 4271 receiver would have answered with a
+  /// session reset but revised handling degraded instead.
+  std::uint64_t resets_avoided() const { return treat_as_withdraws + attr_discards; }
+};
+
+/// Collect the summary from every router's stats plus (optionally) a chaos
+/// engine's corruption counters.
+ErrorHandlingSummary collect_error_handling(const bgp::Network& network,
+                                            const chaos::ChaosEngine* engine = nullptr);
+
+/// Render labeled summaries as one aligned table (one row per label) — the
+/// bench harnesses print this so degradation mode is visible at a glance.
+std::string error_handling_table(
+    const std::vector<std::pair<std::string, ErrorHandlingSummary>>& rows);
 
 class MoasMonitor {
  public:

@@ -1,11 +1,47 @@
 #include "moas/core/monitor.h"
 
 #include <map>
+#include <sstream>
 
 #include "moas/core/moas_list.h"
 #include "moas/util/assert.h"
+#include "moas/util/table.h"
 
 namespace moas::core {
+
+ErrorHandlingSummary collect_error_handling(const bgp::Network& network,
+                                            const chaos::ChaosEngine* engine) {
+  ErrorHandlingSummary summary;
+  for (bgp::Asn asn : network.asns()) {
+    summary.error_withdraws += network.router(asn).stats().error_withdraws;
+  }
+  if (engine) {
+    const chaos::ChaosEngine::Stats& stats = engine->stats();
+    summary.attr_corruptions = stats.attr_corruptions_applied;
+    summary.treat_as_withdraws = stats.treat_as_withdraws;
+    summary.attr_discards = stats.attr_discards;
+    summary.corrupt_session_resets = stats.corrupt_session_resets;
+    summary.poisoned_blocked = stats.poisoned_blocked;
+  }
+  return summary;
+}
+
+std::string error_handling_table(
+    const std::vector<std::pair<std::string, ErrorHandlingSummary>>& rows) {
+  util::TablePrinter table({"arm", "corruptions", "treat-as-withdraw", "attr-discard",
+                            "resets-avoided", "session-resets", "error-withdraws",
+                            "poisoned-blocked"});
+  for (const auto& [label, s] : rows) {
+    table.add_row({label, std::to_string(s.attr_corruptions),
+                   std::to_string(s.treat_as_withdraws), std::to_string(s.attr_discards),
+                   std::to_string(s.resets_avoided()),
+                   std::to_string(s.corrupt_session_resets),
+                   std::to_string(s.error_withdraws), std::to_string(s.poisoned_blocked)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
 
 MoasMonitor::MoasMonitor(std::vector<bgp::Asn> vantages) : vantages_(std::move(vantages)) {
   MOAS_REQUIRE(!vantages_.empty(), "monitor needs at least one vantage");

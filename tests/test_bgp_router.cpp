@@ -324,5 +324,67 @@ TEST(Router, MraiPacesUpdates) {
   EXPECT_EQ(tap.sent[3][1].route->attrs.path.to_string(), "1 2 9");
 }
 
+TEST(Router, ErrorWithdrawRemovesRouteAndRecordsIt) {
+  Wiretap tap;
+  Router router(1, PolicyMode::ShortestPath, tap.fn(), nullptr);
+  router.add_peer(2, Relationship::Peer);
+  router.add_peer(3, Relationship::Peer);
+  router.handle_update(2, Update::announce(make_route("10.0.0.0/8", {2, 9})));
+  ASSERT_NE(router.best(pfx("10.0.0.0/8")), nullptr);
+
+  // RFC 7606 treat-as-withdraw: the route goes away like a withdrawal, but
+  // the peer is remembered as error-withdrawn until it re-announces.
+  router.handle_update(2, Update::make_error_withdraw(pfx("10.0.0.0/8")));
+  EXPECT_EQ(router.best(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(router.stats().error_withdraws, 1u);
+  EXPECT_TRUE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+
+  // A fresh announcement supersedes the record.
+  router.handle_update(2, Update::announce(make_route("10.0.0.0/8", {2, 9})));
+  EXPECT_FALSE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+
+  // So does an explicit withdrawal from the peer...
+  router.handle_update(2, Update::make_error_withdraw(pfx("10.0.0.0/8")));
+  ASSERT_TRUE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+  router.handle_update(2, Update::withdraw(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+
+  // ...and a session loss (peer_down flushes everything it tracked).
+  router.handle_update(2, Update::announce(make_route("10.0.0.0/8", {2, 9})));
+  router.handle_update(2, Update::make_error_withdraw(pfx("10.0.0.0/8")));
+  ASSERT_TRUE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+  router.peer_down(2);
+  EXPECT_FALSE(router.route_error_withdrawn(2, pfx("10.0.0.0/8")));
+}
+
+TEST(Router, RefreshRouteResendsBookedAdvertisement) {
+  Wiretap tap;
+  Router router(1, PolicyMode::ShortestPath, tap.fn(), nullptr);
+  router.add_peer(2, Relationship::Peer);
+  router.originate(pfx("10.0.0.0/8"));
+  ASSERT_EQ(tap.sent[2].size(), 1u);
+
+  // The refresh bypasses duplicate suppression: the exact booked route goes
+  // out again even though nothing changed.
+  router.refresh_route(2, pfx("10.0.0.0/8"));
+  ASSERT_EQ(tap.sent[2].size(), 2u);
+  EXPECT_EQ(tap.sent[2][1].kind, Update::Kind::Announce);
+  EXPECT_EQ(*tap.sent[2][1].route, *tap.sent[2][0].route);
+  EXPECT_EQ(router.stats().route_refreshes, 1u);
+
+  // Nothing advertised for the prefix → silent no-op.
+  router.refresh_route(2, pfx("192.0.2.0/24"));
+  EXPECT_EQ(tap.sent[2].size(), 2u);
+  EXPECT_EQ(router.stats().route_refreshes, 1u);
+
+  // Unknown peer is a caller bug.
+  EXPECT_THROW(router.refresh_route(7, pfx("10.0.0.0/8")), std::invalid_argument);
+
+  // A dead session serves no refresh; session replay covers it instead.
+  router.peer_down(2);
+  router.refresh_route(2, pfx("10.0.0.0/8"));
+  EXPECT_EQ(tap.sent[2].size(), 2u);
+}
+
 }  // namespace
 }  // namespace moas::bgp

@@ -293,5 +293,70 @@ TEST(Session, GarbageReceiveCancelsAllTimers) {
   EXPECT_EQ(pair.clock.pending(), 0u) << "reset after garbage leaks a timer";
 }
 
+TEST(Session, RevisedHandlingTreatsAttributeDamageAsWithdraw) {
+  auto cb = SessionPair::config_for(2);
+  cb.revised_error_handling = true;
+  SessionPair pair(SessionPair::config_for(1), cb);
+
+  std::vector<wire::UpdateMessage> delivered;
+  pair.b->set_update_handler(
+      [&delivered](const wire::UpdateMessage& m) { delivered.push_back(m); });
+  pair.bring_up();
+  ASSERT_TRUE(pair.b->established());
+
+  // A well-framed UPDATE whose ORIGIN value is out of range: RFC 7606
+  // classifies this as treat-as-withdraw — the NLRI is trustworthy, the
+  // attributes are not.
+  Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  route.attrs.path = AsPath({1});
+  auto bytes = wire::encode_sim_update(Update::announce(route));
+  // header(19) + withdrawn_len(2) + attrs_len(2) + ORIGIN flags/type/len(3).
+  bytes[19 + 2 + 2 + 3] = 9;
+
+  pair.b->receive(bytes);
+  EXPECT_EQ(pair.b->state(), SessionState::Established) << "no reset under RFC 7606";
+  EXPECT_EQ(pair.b->stats().treat_as_withdraws, 1u);
+  EXPECT_EQ(pair.b->stats().resets_avoided, 1u);
+  EXPECT_EQ(pair.b->stats().malformed_messages, 0u);
+  EXPECT_EQ(pair.b->stats().updates_received, 1u);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_TRUE(delivered[0].nlri.empty()) << "damaged routes must not be announced";
+  ASSERT_EQ(delivered[0].error_withdrawn.size(), 1u);
+  EXPECT_EQ(delivered[0].error_withdrawn[0], route.prefix);
+  EXPECT_FALSE(delivered[0].attrs.has_value());
+
+  // The session keeps working afterwards: a clean UPDATE flows through.
+  pair.b->receive(wire::encode_sim_update(Update::announce(route)));
+  ASSERT_EQ(delivered.size(), 2u);
+  ASSERT_EQ(delivered[1].nlri.size(), 1u);
+  EXPECT_EQ(delivered[1].nlri[0], route.prefix);
+}
+
+TEST(Session, RevisedHandlingStillResetsOnFramingDamage) {
+  auto cb = SessionPair::config_for(2);
+  cb.revised_error_handling = true;
+  SessionPair pair(SessionPair::config_for(1), cb);
+  pair.bring_up();
+  ASSERT_TRUE(pair.b->established());
+
+  // Truncated mid-NLRI: the prefix lists themselves are untrustworthy, so
+  // even RFC 7606 falls back to a session reset (its SessionReset class).
+  Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  route.attrs.path = AsPath({1});
+  auto bytes = wire::encode_sim_update(Update::announce(route));
+  bytes.pop_back();
+  bytes[16] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  bytes[17] = static_cast<std::uint8_t>(bytes.size() & 0xff);
+
+  pair.b->receive(bytes);
+  EXPECT_EQ(pair.b->state(), SessionState::Idle);
+  EXPECT_EQ(pair.b->stats().malformed_messages, 1u);
+  EXPECT_EQ(pair.b->stats().last_notification_code, 3u) << "UPDATE Message Error";
+  EXPECT_EQ(pair.b->stats().treat_as_withdraws, 0u);
+  EXPECT_EQ(pair.b->stats().resets_avoided, 0u);
+}
+
 }  // namespace
 }  // namespace moas::bgp

@@ -189,6 +189,133 @@ TEST(Wire, UnknownOptionalAttributeSkipped) {
   EXPECT_EQ(decoded.attrs->path.to_string(), "7");
 }
 
+TEST(Wire, UnknownOptionalTransitiveRetainedWithPartialBit) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({7});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  auto bytes = encode_update(msg);
+  // Splice an unknown optional *transitive* attribute (type 200, 2 bytes)
+  // into the attribute section, patching the section and header lengths.
+  const std::vector<std::uint8_t> extra{0xc0, 200, 0x02, 0xab, 0xcd};
+  const std::size_t attr_len_pos = kHeaderSize + 2;
+  const std::uint16_t attr_len =
+      static_cast<std::uint16_t>((bytes[attr_len_pos] << 8) | bytes[attr_len_pos + 1]);
+  const std::size_t insert_pos = attr_len_pos + 2 + attr_len;
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(insert_pos), extra.begin(),
+               extra.end());
+  const std::uint16_t new_attr_len = static_cast<std::uint16_t>(attr_len + extra.size());
+  bytes[attr_len_pos] = static_cast<std::uint8_t>(new_attr_len >> 8);
+  bytes[attr_len_pos + 1] = static_cast<std::uint8_t>(new_attr_len);
+  bytes[16] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  bytes[17] = static_cast<std::uint8_t>(bytes.size());
+
+  // RFC 4271 §9: retained, not skipped.
+  const UpdateMessage decoded = decode_update(bytes);
+  ASSERT_EQ(decoded.unknown_attrs.size(), 1u);
+  EXPECT_EQ(decoded.unknown_attrs[0].type, 200);
+  EXPECT_EQ(decoded.unknown_attrs[0].value, (std::vector<std::uint8_t>{0xab, 0xcd}));
+
+  // Re-encoding propagates it with the Partial bit set (this speaker did
+  // not originate the attribute).
+  const auto reencoded = encode_update(decoded);
+  const UpdateMessage again = decode_update(reencoded);
+  ASSERT_EQ(again.unknown_attrs.size(), 1u);
+  EXPECT_EQ(again.unknown_attrs[0].value, decoded.unknown_attrs[0].value);
+  bool found_partial = false;
+  for (std::size_t i = kHeaderSize + 4; i + 1 < reencoded.size(); ++i) {
+    if (reencoded[i + 1] == 200) {
+      EXPECT_EQ(reencoded[i] & 0xe0, 0xe0);  // optional | transitive | partial
+      found_partial = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_partial);
+}
+
+TEST(Wire, WrongMessageTypeIsBadTypeAcrossAllDecoders) {
+  // Feeding any decoder the wrong message kind is the same protocol error
+  // everywhere: Message Header Error / Bad Message Type.
+  const auto keepalive = encode_keepalive();
+  OpenMessage open;
+  open.my_as = 7;
+  const auto open_bytes = encode_open(open);
+  const auto check = [](auto&& decode, std::span<const std::uint8_t> bytes) {
+    try {
+      decode(bytes);
+      ADD_FAILURE() << "wrong message type must not decode";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MessageHeader);
+      EXPECT_EQ(e.subcode(), kHdrBadType);
+    }
+  };
+  check([](auto b) { (void)decode_update(b); }, keepalive);
+  check([](auto b) { (void)decode_open(b); }, keepalive);
+  check([](auto b) { (void)decode_notification(b); }, keepalive);
+  check([](auto b) { decode_keepalive(b); }, open_bytes);
+  check([](auto b) { (void)decode_update_revised(b); }, keepalive);
+}
+
+TEST(Wire, DecodeKeepalive) {
+  EXPECT_NO_THROW(decode_keepalive(encode_keepalive()));
+  auto bytes = encode_keepalive();
+  bytes.push_back(0x00);  // KEEPALIVE must be header-only
+  bytes[17] = static_cast<std::uint8_t>(bytes.size());
+  try {
+    decode_keepalive(bytes);
+    ADD_FAILURE() << "oversized KEEPALIVE must not decode";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::MessageHeader);
+    EXPECT_EQ(e.subcode(), kHdrBadLength);
+  }
+}
+
+TEST(Wire, RevisedDecodeTreatsBrokenOriginAsWithdraw) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({7, 40});
+  msg.withdrawn = {pfx("192.0.2.0/24")};
+  msg.nlri = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
+  auto bytes = encode_update(msg);
+  // ORIGIN is the first encoded attribute: [flags 0x40][type 1][len 1][code].
+  // Layout: header, withdrawn-len (2), the /24 withdrawn route (1+3),
+  // total-attr-len (2), then the attribute itself.
+  const std::size_t origin_value = kHeaderSize + 2 + 4 + 2 + 3;
+  ASSERT_EQ(bytes[origin_value - 2], 1u);  // type octet sanity
+  bytes[origin_value] = 9;  // undefined ORIGIN code
+
+  EXPECT_THROW(decode_update(bytes), WireError);  // strict 4271: reset class
+
+  const DecodeResult result = decode_update_revised(bytes);
+  EXPECT_EQ(result.severity(), ErrorAction::TreatAsWithdraw);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues.front().subcode, kUpdInvalidOrigin);
+  const UpdateMessage deliverable = result.to_deliverable();
+  EXPECT_EQ(deliverable.withdrawn, msg.withdrawn);
+  EXPECT_EQ(deliverable.error_withdrawn, msg.nlri);
+
+  // The sim conversion marks the synthesized withdrawals as error-withdraws
+  // so the router can tell them apart from the peer's own revocations.
+  const auto updates = to_sim_updates(deliverable);
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_FALSE(updates[0].error_withdraw);  // the explicit withdrawal
+  EXPECT_TRUE(updates[1].error_withdraw);
+  EXPECT_TRUE(updates[2].error_withdraw);
+  for (const auto& update : updates) EXPECT_EQ(update.kind, Update::Kind::Withdraw);
+}
+
+TEST(Wire, RevisedDecodeOfValidMessageIsClean) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({701, 1239});
+  msg.attrs->communities = core::encode_moas_list({40, 226});
+  msg.nlri = {pfx("135.38.0.0/16")};
+  const DecodeResult result = decode_update_revised(encode_update(msg));
+  EXPECT_TRUE(result.issues.empty());
+  EXPECT_EQ(result.severity(), ErrorAction::Ignore);
+  const UpdateMessage deliverable = result.to_deliverable();
+  EXPECT_EQ(deliverable.nlri, msg.nlri);
+  EXPECT_TRUE(deliverable.error_withdrawn.empty());
+  EXPECT_EQ(deliverable.attrs->communities, msg.attrs->communities);
+}
+
 TEST(Wire, OpenRoundTrip) {
   OpenMessage open;
   open.my_as = 4006;

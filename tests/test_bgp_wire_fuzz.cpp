@@ -299,5 +299,155 @@ TEST_P(WireFuzz, CorruptAsPathSegmentsAreRejected) {
   EXPECT_GT(bad_kinds, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// RFC 7606 classification under attribute-level mutation. The revised
+// decoder must never crash and never escalate attribute-confined damage to
+// session-reset severity: the NLRI field and the section framing are
+// untouched, so every outcome is Ignore (the flip landed on semantically
+// inert bits), AttributeDiscard, or TreatAsWithdraw — and a treat-as-
+// withdraw must revoke exactly the prefixes the original message announced.
+
+TEST_P(WireFuzz, RevisedClassifiesEveryAttributeMutation) {
+  util::Rng rng(GetParam() + 6000);
+  std::uint64_t treat_as_withdraw = 0, clean = 0, mutated = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs) continue;
+    auto bytes = encode_update(original);
+    const auto attrs = parse_attrs(bytes);
+    ASSERT_FALSE(attrs.empty());
+    const AttrView& attr = attrs[rng.index(attrs.size())];
+    // Flip one bit in the flags, length, or payload of the chosen attribute
+    // — never the type octet, so the damage is field damage, not identity
+    // confusion, and never the section framing, so severity must stay below
+    // SessionReset.
+    std::size_t pos = attr.offset;
+    switch (rng.index(3)) {
+      case 0: pos = attr.offset; break;
+      case 1: pos = attr.len_offset + rng.index(attr.len_size); break;
+      default:
+        pos = attr.value_len == 0 ? attr.offset
+                                  : attr.value_offset + rng.index(attr.value_len);
+        break;
+    }
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+    ++mutated;
+
+    DecodeResult result;
+    ASSERT_NO_THROW(result = decode_update_revised(bytes))
+        << "attribute-confined damage must never be session-reset class";
+    ASSERT_LE(result.severity(), ErrorAction::TreatAsWithdraw);
+    for (const AttributeIssue& issue : result.issues) {
+      EXPECT_NE(issue.action, ErrorAction::SessionReset);
+      EXPECT_EQ(issue.code, ErrorCode::UpdateMessage);
+      EXPECT_FALSE(issue.detail.empty()) << "unclassified issue";
+    }
+
+    const UpdateMessage deliverable = result.to_deliverable();
+    if (result.severity() == ErrorAction::TreatAsWithdraw) {
+      ++treat_as_withdraw;
+      EXPECT_FALSE(result.issues.empty());
+      // The salvaged NLRI becomes the error-withdrawn set, on top of the
+      // explicit withdrawals the message already carried.
+      EXPECT_EQ(deliverable.withdrawn, original.withdrawn);
+      EXPECT_EQ(deliverable.error_withdrawn, original.nlri);
+      EXPECT_TRUE(deliverable.nlri.empty());
+      EXPECT_FALSE(deliverable.attrs.has_value());
+    } else {
+      if (result.issues.empty()) ++clean;
+      // Discard or ignore: the routes themselves survive untouched.
+      EXPECT_EQ(deliverable.withdrawn, original.withdrawn);
+      EXPECT_EQ(deliverable.nlri, original.nlri);
+      EXPECT_TRUE(deliverable.error_withdrawn.empty());
+    }
+  }
+  EXPECT_GT(mutated, 0u);
+  EXPECT_GT(treat_as_withdraw, 0u) << "mutator never produced a treat-as-withdraw";
+  EXPECT_GT(clean, 0u) << "mutator never produced a still-valid message";
+}
+
+TEST_P(WireFuzz, MedLengthDamageIsAttributeDiscard) {
+  util::Rng rng(GetParam() + 7000);
+  std::uint64_t exercised = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs) continue;
+    auto bytes = encode_update(original);
+    const auto attrs = parse_attrs(bytes);
+    const AttrView* med = nullptr;
+    for (const AttrView& attr : attrs) {
+      if (attr.type == static_cast<std::uint8_t>(AttrType::Med)) med = &attr;
+    }
+    if (med == nullptr) continue;  // MED is omitted from the wire when zero
+    ASSERT_EQ(med->value_len, 4u);
+    // Shrink MED to a 2-octet value, removing two value bytes and patching
+    // the section and header lengths: the framing stays consistent, so the
+    // *only* defect is the per-type length — non-essential, hence discard.
+    bytes[med->len_offset] = 2;
+    const auto value_begin = bytes.begin() + static_cast<std::ptrdiff_t>(med->value_offset);
+    bytes.erase(value_begin, value_begin + 2);
+    const std::size_t alo = attrs_len_offset(bytes);
+    const std::size_t attrs_len =
+        ((static_cast<std::size_t>(bytes[alo]) << 8) | bytes[alo + 1]) - 2;
+    bytes[alo] = static_cast<std::uint8_t>(attrs_len >> 8);
+    bytes[alo + 1] = static_cast<std::uint8_t>(attrs_len & 0xff);
+    bytes[16] = static_cast<std::uint8_t>(bytes.size() >> 8);
+    bytes[17] = static_cast<std::uint8_t>(bytes.size() & 0xff);
+    ++exercised;
+
+    const DecodeResult result = decode_update_revised(bytes);
+    ASSERT_EQ(result.severity(), ErrorAction::AttributeDiscard);
+    ASSERT_EQ(result.issues.size(), 1u);
+    EXPECT_EQ(result.issues.front().attr_type, static_cast<std::uint8_t>(AttrType::Med));
+    EXPECT_EQ(result.issues.front().subcode, kUpdAttrLengthError);
+    const UpdateMessage deliverable = result.to_deliverable();
+    EXPECT_EQ(deliverable.nlri, original.nlri);
+    EXPECT_EQ(deliverable.withdrawn, original.withdrawn);
+    ASSERT_TRUE(deliverable.attrs.has_value());
+    EXPECT_EQ(deliverable.attrs->med, 0u);  // the broken attr is dropped (default)
+    EXPECT_EQ(deliverable.attrs->path, original.attrs->path);
+    EXPECT_EQ(deliverable.attrs->communities, original.attrs->communities);
+    // Strict RFC 4271 handling of the very same bytes resets the session.
+    EXPECT_THROW(decode_update(bytes), WireError);
+  }
+  EXPECT_GT(exercised, 0u);
+}
+
+TEST_P(WireFuzz, CorruptedCommunitiesNeverSurviveAsDifferentList) {
+  // The MOAS-list carrier: damage confined to the COMMUNITIES attribute
+  // either leaves the list bit-identical (inert flip), yields a *different*
+  // list — which the revised decoder reports as parseable, so callers (the
+  // chaos engine) must quarantine it — or breaks the attribute and degrades
+  // to withdraw. What must never happen is an unclassified in-between.
+  util::Rng rng(GetParam() + 8000);
+  std::uint64_t different = 0, degraded = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const UpdateMessage original = random_update(rng);
+    if (!original.attrs || original.attrs->communities.empty()) continue;
+    auto bytes = encode_update(original);
+    const auto attrs = parse_attrs(bytes);
+    const AttrView* communities = nullptr;
+    for (const AttrView& attr : attrs) {
+      if (attr.type == static_cast<std::uint8_t>(AttrType::Communities)) communities = &attr;
+    }
+    ASSERT_NE(communities, nullptr);
+    const std::size_t span = communities->value_offset + communities->value_len -
+                             communities->offset;
+    const std::size_t pos = communities->offset + rng.index(span);
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+
+    DecodeResult result;
+    ASSERT_NO_THROW(result = decode_update_revised(bytes));
+    if (result.severity() >= ErrorAction::TreatAsWithdraw) {
+      ++degraded;
+      EXPECT_EQ(result.to_deliverable().error_withdrawn, original.nlri);
+    } else if (result.message.attrs &&
+               !(result.message.attrs->communities == original.attrs->communities)) {
+      ++different;  // parseable-but-poisoned: the caller's quarantine case
+    }
+  }
+  EXPECT_GT(different + degraded, 0u);
+}
+
 }  // namespace
 }  // namespace moas::bgp::wire

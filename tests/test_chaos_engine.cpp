@@ -205,6 +205,89 @@ TEST_P(CrashRestartProperty, RestartReconvergesToBaseline) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRestartProperty, ::testing::Values(1, 2, 3, 7, 11));
 
+ScheduleConfig corruption_only(std::uint64_t seed) {
+  ScheduleConfig config;
+  config.seed = seed;
+  config.horizon = 30.0;
+  config.attr_corruptions_per_link = 2.0;
+  return config;
+}
+
+/// Armed corruptions only fire when an announcement crosses their direction,
+/// so keep announcements flowing across the horizon: routers 1 and 4
+/// alternate fresh originations every couple of seconds.
+void drive_traffic(Network& network) {
+  for (int i = 0; i < 14; ++i) {
+    const Asn origin = (i % 2 == 0) ? 1u : 4u;
+    const std::string text = "10." + std::to_string(i + 1) + ".0.0/16";
+    network.clock().schedule_after(2.0 * (i + 1), [&network, origin, text] {
+      network.router(origin).originate(*net::Prefix::parse(text));
+    });
+  }
+}
+
+TEST(ChaosEngine, ScheduledCorruptionResetsSessionsUnderStrict4271) {
+  Network network = diamond(17);
+  ChaosEngine engine(network,
+                     compile_schedule(corruption_only(17), network.links(), network.asns()));
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.router(4).originate(pfx("20.0.0.0/8"));
+  drive_traffic(network);
+  engine.arm();
+  ASSERT_TRUE(network.run_to_quiescence());
+
+  const ChaosEngine::Stats& stats = engine.stats();
+  ASSERT_GT(stats.attr_corruptions_applied, 0u);
+  // Strict 4271: every landed corruption is a NOTIFICATION + session reset.
+  EXPECT_EQ(stats.corrupt_session_resets, stats.attr_corruptions_applied);
+  EXPECT_EQ(stats.treat_as_withdraws, 0u);
+  EXPECT_EQ(stats.attr_discards, 0u);
+  // The resets heal: full reachability and a clean audit afterwards.
+  for (Asn asn : network.asns()) {
+    EXPECT_NE(network.router(asn).best(pfx("10.0.0.0/8")), nullptr) << "AS" << asn;
+  }
+  check_with_exclusions(network, engine);
+}
+
+TEST(ChaosEngine, ScheduledCorruptionDegradesWithoutResetsUnder7606) {
+  Network::Config net_config;
+  net_config.seed = 17;
+  net_config.revised_error_handling = true;
+  Network network(net_config);
+  for (Asn asn : {1u, 2u, 3u, 4u}) network.add_router(asn);
+  network.connect(1, 2);
+  network.connect(1, 3);
+  network.connect(2, 4);
+  network.connect(3, 4);
+  ChaosEngine engine(network,
+                     compile_schedule(corruption_only(17), network.links(), network.asns()));
+  network.router(1).originate(pfx("10.0.0.0/8"));
+  network.router(4).originate(pfx("20.0.0.0/8"));
+  drive_traffic(network);
+  engine.arm();
+  ASSERT_TRUE(network.run_to_quiescence());
+
+  const ChaosEngine::Stats& stats = engine.stats();
+  ASSERT_GT(stats.attr_corruptions_applied, 0u);
+  // RFC 7606: attribute-confined damage never resets a session; every
+  // landed corruption degrades to treat-as-withdraw or attribute-discard,
+  // and each treat-as-withdraw triggers a route-refresh recovery.
+  EXPECT_EQ(stats.corrupt_session_resets, 0u);
+  EXPECT_EQ(stats.treat_as_withdraws + stats.attr_discards, stats.attr_corruptions_applied);
+  EXPECT_EQ(stats.route_refreshes_requested, stats.treat_as_withdraws);
+  // The refresh heals every treat-as-withdrawn hole: full reachability.
+  for (Asn asn : network.asns()) {
+    EXPECT_NE(network.router(asn).best(pfx("10.0.0.0/8")), nullptr) << "AS" << asn;
+    EXPECT_NE(network.router(asn).best(pfx("20.0.0.0/8")), nullptr) << "AS" << asn;
+  }
+  // The corruption invariant family holds: no resets in revised mode, and
+  // no corrupted MOAS list anywhere in any RIB.
+  NetworkInvariantChecker checker;
+  register_corruption_invariants(checker, engine);
+  for (const auto& [from, to] : engine.dirty_links()) checker.exclude_direction(from, to);
+  checker.require_clean(network);
+}
+
 TEST(ChaosEngine, CrashDropsInFlightAndState) {
   Network network = diamond(9);
   network.router(1).originate(pfx("10.0.0.0/8"));

@@ -2,6 +2,7 @@
 // all-clear-by-horizon guarantee the invariant checker relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "moas/chaos/schedule.h"
@@ -111,6 +112,25 @@ TEST(ChaosSchedule, ConfigValidation) {
   bad = ScheduleConfig();
   bad.msg_drop = 1.5;
   EXPECT_THROW(compile_schedule(bad, test_links(), test_asns()), std::invalid_argument);
+}
+
+TEST(ChaosSchedule, AttrCorruptCompilesDeterministicallyAndDirected) {
+  ScheduleConfig config;
+  config.seed = 21;
+  config.attr_corruptions_per_link = 3.0;
+  const FaultSchedule a = compile_schedule(config, test_links(), test_asns());
+  const FaultSchedule b = compile_schedule(config, test_links(), test_asns());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_FALSE(a.empty());
+  for (const FaultEvent& event : a.events) {
+    EXPECT_EQ(event.kind, FaultKind::AttrCorrupt);
+    // Directed along a real peering: {a,b} must be one of the input links.
+    const auto key = std::minmax(event.a, event.b);
+    bool known = false;
+    for (const auto& [x, y] : test_links()) known |= std::minmax(x, y) == key;
+    EXPECT_TRUE(known) << event.to_string();
+  }
 }
 
 TEST(ChaosSchedule, LogFormatIsStable) {

@@ -22,10 +22,15 @@ class FakeContext final : public bgp::RouterContext {
     return purge_result;
   }
 
+  AsnSet accepted_origins(const net::Prefix& /*prefix*/) const override {
+    return rib_origins;
+  }
+
   net::Prefix last_prefix;
   AsnSet last_false_origins;
   int invalidations = 0;
   std::size_t purge_result = 1;
+  AsnSet rib_origins;  // what accepted_origins reports (the fake Adj-RIB-In)
 
  private:
   bgp::Asn self_;
@@ -208,6 +213,50 @@ TEST(MoasDetector, ValidListWrongOriginBansAttackerNotVictims) {
   EXPECT_FALSE(detector.accept(route_from({52}, {1, 2}), 52, h.ctx));
   EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
   EXPECT_TRUE(detector.accept(route_from({8, 2}, {1, 2}), 8, h.ctx));
+}
+
+TEST(MoasDetector, ErrorWithdrawDropsEvidenceAndRebuildsReference) {
+  Harness h;
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}, {1, 2}), 9, h.ctx));
+  EXPECT_TRUE(detector.accept(route_from({8, 2}, {1, 2}), 8, h.ctx));
+  ASSERT_EQ(detector.reference_list(kPrefix), (AsnSet{1, 2}));
+
+  // One supporter's announcement arrived damaged (RFC 7606 treat-as-
+  // withdraw): the other still backs the reference, so nothing changes.
+  detector.on_error_withdraw(kPrefix, 9, h.ctx);
+  EXPECT_EQ(detector.reference_list(kPrefix), (AsnSet{1, 2}));
+
+  // The last supporter goes too: the reference is rebuilt from what
+  // survived in the Adj-RIB-In — never from the damaged message.
+  h.ctx.rib_origins = {1};
+  detector.on_error_withdraw(kPrefix, 8, h.ctx);
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{1});
+}
+
+TEST(MoasDetector, ErrorWithdrawKeepsBansAndForgetsEmptyState) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));
+  EXPECT_FALSE(detector.accept(route_from({52}), 52, h.ctx));
+  ASSERT_EQ(detector.banned_origins(kPrefix), AsnSet{52});
+  EXPECT_TRUE(detector.accept(route_from({9, 1}), 9, h.ctx));  // 9 supports again
+
+  // Losing the supporting evidence must not unban the attacker.
+  detector.on_error_withdraw(kPrefix, 9, h.ctx);
+  EXPECT_EQ(detector.banned_origins(kPrefix), AsnSet{52});
+  EXPECT_FALSE(detector.accept(route_from({8, 52}), 8, h.ctx));
+
+  // A prefix with no reference, no bans, and no supporters left is
+  // forgotten entirely; the next announcement starts a fresh adoption.
+  Harness h2;
+  auto fresh = h2.make();
+  EXPECT_TRUE(fresh.accept(route_from({9, 1}, {1}), 9, h2.ctx));
+  fresh.on_error_withdraw(kPrefix, 9, h2.ctx);  // rib_origins is empty
+  EXPECT_EQ(fresh.reference_list(kPrefix), AsnSet{});
+  EXPECT_TRUE(fresh.accept(route_from({3, 5}, {5}), 3, h2.ctx));
+  EXPECT_EQ(fresh.reference_list(kPrefix), AsnSet{5});
 }
 
 TEST(MoasDetector, RequiresAlarmLog) {
