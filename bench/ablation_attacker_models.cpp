@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: attacker list-forging strategies ===\n";
@@ -30,12 +31,12 @@ int main() {
     config.deployment = core::Deployment::None;
     core::Experiment normal(graph, config);
     util::Rng rng_a(7);
-    const auto without = normal.run_point(0.15, kOriginSets, kAttackerSets, rng_a);
+    const auto without = normal.run_point(0.15, kOriginSets, kAttackerSets, rng_a, jobs);
 
     config.deployment = core::Deployment::Full;
     core::Experiment full(graph, config);
     util::Rng rng_b(7);
-    const auto with = full.run_point(0.15, kOriginSets, kAttackerSets, rng_b);
+    const auto with = full.run_point(0.15, kOriginSets, kAttackerSets, rng_b, jobs);
 
     table.add_row({core::to_string(strategy),
                    util::fmt_double(without.mean_affected * 100.0, 2),

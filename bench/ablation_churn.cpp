@@ -62,42 +62,41 @@ struct Cell {
 };
 
 /// Mirrors Experiment::run_point (3 origin sets x 5 attacker sets), but
-/// keeps the churn bookkeeping run_point's SweepPoint drops.
-Cell run_cell(const core::Experiment& experiment, const topo::AsGraph& graph,
-              double attacker_fraction, util::Rng& rng) {
-  std::size_t num_attackers = static_cast<std::size_t>(
-      std::lround(attacker_fraction * static_cast<double>(graph.node_count())));
-  if (attacker_fraction > 0.0 && num_attackers == 0) num_attackers = 1;
+/// keeps the churn bookkeeping run_point's SweepPoint drops. Uses the same
+/// plan → execute → reduce shape as Experiment::sweep, so the Rng stream
+/// and every run result match the historical serial loop for any `jobs`.
+Cell run_cell(const core::Experiment& experiment, double attacker_fraction,
+              util::Rng& rng, std::size_t jobs) {
+  const core::SweepPlan plan =
+      experiment.plan_sweep({attacker_fraction}, kOriginSets, kAttackerSets, rng);
+  util::ThreadPool pool(jobs);
+  const std::vector<core::RunResult> results = experiment.execute_plan(plan, pool);
 
   Cell cell;
   util::Accumulator adopted, no_route, alarms;
-  for (std::size_t i = 0; i < kOriginSets; ++i) {
-    const bgp::AsnSet origins = experiment.draw_origins(rng);
-    for (std::size_t j = 0; j < kAttackerSets; ++j) {
-      const bgp::AsnSet attackers = experiment.draw_attackers(num_attackers, origins, rng);
-      const core::RunResult run = experiment.run_with(origins, attackers, rng.next());
-      adopted.add(run.adopted_false_fraction());
-      no_route.add(run.no_route_fraction());
-      alarms.add(static_cast<double>(run.alarms));
-      cell.fault_events += run.fault_events;
-      cell.message_faults += run.message_faults;
-      cell.violations += run.invariant_report.size();
-      cell.withdrawals += run.withdrawals;
-      cell.routes_withdrawn += run.routes_withdrawn;
-      cell.announcements += run.announcements;
-      cell.stale_retained += run.stale_retained;
-      cell.resolver_queries += run.resolver_queries;
-      cell.cache_hits += run.resolver_cache_hits;
-      cell.error_handling.error_withdraws += run.error_withdraws;
-      cell.error_handling.attr_corruptions += run.attr_corruptions;
-      cell.error_handling.treat_as_withdraws += run.treat_as_withdraws;
-      cell.error_handling.attr_discards += run.attr_discards;
-      cell.error_handling.corrupt_session_resets += run.corrupt_session_resets;
-      cell.error_handling.poisoned_blocked += run.poisoned_blocked;
-      if (i == 0 && j == 0) cell.first_fault_log = run.fault_log;
-      for (const std::string& violation : run.invariant_report) {
-        std::cerr << "invariant violation: " << violation << "\n";
-      }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::RunResult& run = results[i];
+    adopted.add(run.adopted_false_fraction());
+    no_route.add(run.no_route_fraction());
+    alarms.add(static_cast<double>(run.alarms));
+    cell.fault_events += run.fault_events;
+    cell.message_faults += run.message_faults;
+    cell.violations += run.invariant_report.size();
+    cell.withdrawals += run.withdrawals;
+    cell.routes_withdrawn += run.routes_withdrawn;
+    cell.announcements += run.announcements;
+    cell.stale_retained += run.stale_retained;
+    cell.resolver_queries += run.resolver_queries;
+    cell.cache_hits += run.resolver_cache_hits;
+    cell.error_handling.error_withdraws += run.error_withdraws;
+    cell.error_handling.attr_corruptions += run.attr_corruptions;
+    cell.error_handling.treat_as_withdraws += run.treat_as_withdraws;
+    cell.error_handling.attr_discards += run.attr_discards;
+    cell.error_handling.corrupt_session_resets += run.corrupt_session_resets;
+    cell.error_handling.poisoned_blocked += run.poisoned_blocked;
+    if (i == 0) cell.first_fault_log = run.fault_log;
+    for (const std::string& violation : run.invariant_report) {
+      std::cerr << "invariant violation: " << violation << "\n";
     }
   }
   cell.adopted_false = adopted.mean();
@@ -108,7 +107,8 @@ Cell run_cell(const core::Experiment& experiment, const topo::AsGraph& graph,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: detection under churn (fault schedules) ===\n";
@@ -137,7 +137,7 @@ int main() {
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws per regime
     for (std::size_t f = 0; f < fractions.size(); ++f) {
-      const Cell cell = run_cell(experiment, graph, fractions[f], rng);
+      const Cell cell = run_cell(experiment, fractions[f], rng, jobs);
       table.add_row({regime.label, util::fmt_double(fractions[f] * 100.0, 0),
                      util::fmt_double(cell.adopted_false * 100.0, 2),
                      util::fmt_double(cell.no_route * 100.0, 2),
@@ -192,7 +192,7 @@ int main() {
     config.gr_restart_time = 30.0;
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws for both restart modes
-    return run_cell(experiment, graph, 0.05, rng);
+    return run_cell(experiment, 0.05, rng, jobs);
   };
   const Cell cold = run_restart_cell(false);
   const Cell graceful = run_restart_cell(true);
@@ -258,7 +258,7 @@ int main() {
     config.resolver_cache_ttl = ttl;
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws with and without the cache
-    return run_cell(experiment, graph, 0.20, rng);
+    return run_cell(experiment, 0.20, rng, jobs);
   };
   const Cell uncached = run_cache_cell(0.0);
   const Cell cached = run_cache_cell(30.0);
@@ -307,7 +307,7 @@ int main() {
     config.revised_error_handling = revised;
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws for both error-handling modes
-    return run_cell(experiment, graph, 0.05, rng);
+    return run_cell(experiment, 0.05, rng, jobs);
   };
   const Cell legacy = run_error_cell(false);
   const Cell revised = run_error_cell(true);

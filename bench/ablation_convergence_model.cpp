@@ -13,7 +13,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: cold-start race vs attack on a converged network ===\n\n";
@@ -26,7 +27,7 @@ int main() {
       config.deployment = deployment;
       core::Experiment experiment(graph, config);
       util::Rng rng(23);
-      const auto point = experiment.run_point(0.20, kOriginSets, kAttackerSets, rng);
+      const auto point = experiment.run_point(0.20, kOriginSets, kAttackerSets, rng, jobs);
       table.add_row({converged ? "converged-then-attack" : "cold-start race",
                      core::to_string(deployment),
                      util::fmt_double(point.mean_adopted_false * 100.0, 2),

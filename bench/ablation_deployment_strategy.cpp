@@ -18,23 +18,47 @@ namespace {
 
 /// Run the partial-deployment experiment with an explicit capable set.
 double adoption_with_deployment(const topo::AsGraph& graph, const bgp::AsnSet& capable,
-                                double attacker_fraction, std::uint64_t seed) {
+                                double attacker_fraction, std::uint64_t seed,
+                                std::size_t jobs) {
   // run_with() derives deployment internally for Random; for planned sets
   // we emulate Partial deployment by running Experiment with Full
   // deployment on a copy where non-capable nodes use plain BGP. The
   // Experiment API samples deployment itself, so here we drive the network
-  // manually through Experiment's building blocks.
+  // manually through Experiment's building blocks — same plan → execute →
+  // reduce shape: all draws happen serially up front, the self-contained
+  // runs fan out across the pool, and the reduction replays plan order.
   core::ExperimentConfig config;
   config.deployment = core::Deployment::None;  // validators installed below
   core::Experiment experiment(graph, config);
   util::Rng rng(seed);
 
-  util::Accumulator adopted;
-  for (int run = 0; run < 9; ++run) {
-    const auto origins = experiment.draw_origins(rng);
+  struct PlannedCell {
+    bgp::AsnSet origins;
+    bgp::AsnSet attackers;
+    std::vector<double> origin_delays;    // in origins iteration order
+    std::vector<double> attacker_delays;  // in attackers iteration order
+  };
+  constexpr std::size_t kRuns = 9;
+  std::vector<PlannedCell> plan(kRuns);
+  for (PlannedCell& cell : plan) {
+    cell.origins = experiment.draw_origins(rng);
     const std::size_t n_attackers = static_cast<std::size_t>(
         attacker_fraction * static_cast<double>(graph.node_count()));
-    const auto attackers = experiment.draw_attackers(n_attackers, origins, rng);
+    cell.attackers = experiment.draw_attackers(n_attackers, cell.origins, rng);
+    for (std::size_t i = 0; i < cell.origins.size(); ++i) {
+      cell.origin_delays.push_back(rng.uniform01() * 0.5);
+    }
+    for (std::size_t i = 0; i < cell.attackers.size(); ++i) {
+      cell.attacker_delays.push_back(rng.uniform01() * 0.5);
+    }
+  }
+
+  std::vector<double> fractions(kRuns, 0.0);
+  util::ThreadPool pool(jobs);
+  pool.parallel_for(kRuns, [&](std::size_t run) {
+    const PlannedCell& cell = plan[run];
+    const bgp::AsnSet& origins = cell.origins;
+    const bgp::AsnSet& attackers = cell.attackers;
 
     // Build the network exactly as Experiment does, then overlay detectors
     // on the planned capable set.
@@ -53,18 +77,23 @@ double adoption_with_deployment(const topo::AsGraph& graph, const bgp::AsnSet& c
           std::make_shared<core::MoasDetector>(alarms, resolver));
     }
 
+    std::size_t delay = 0;
     for (bgp::Asn origin : origins) {
-      network.clock().schedule_after(rng.uniform01() * 0.5, [&network, origin, victim] {
-        network.router(origin).originate(victim);
-      });
+      network.clock().schedule_after(cell.origin_delays[delay++],
+                                     [&network, origin, victim] {
+                                       network.router(origin).originate(victim);
+                                     });
     }
+    delay = 0;
     for (bgp::Asn attacker : attackers) {
-      core::AttackPlan plan;
-      plan.attacker = attacker;
-      plan.target = victim;
-      plan.valid_origins = origins;
-      network.clock().schedule_after(rng.uniform01() * 0.5,
-                                     [&network, plan] { core::launch_attack(network, plan); });
+      core::AttackPlan plan_for_attacker;
+      plan_for_attacker.attacker = attacker;
+      plan_for_attacker.target = victim;
+      plan_for_attacker.valid_origins = origins;
+      network.clock().schedule_after(cell.attacker_delays[delay++],
+                                     [&network, plan_for_attacker] {
+                                       core::launch_attack(network, plan_for_attacker);
+                                     });
     }
     network.run_to_quiescence();
 
@@ -76,14 +105,18 @@ double adoption_with_deployment(const topo::AsGraph& graph, const bgp::AsnSet& c
       const auto origin = network.router(asn).best_origin(victim);
       if (origin && attackers.contains(*origin)) ++fooled;
     }
-    adopted.add(static_cast<double>(fooled) / static_cast<double>(population));
-  }
+    fractions[run] = static_cast<double>(fooled) / static_cast<double>(population);
+  });
+
+  util::Accumulator adopted;
+  for (double fraction : fractions) adopted.add(fraction);
   return adopted.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Extension: deployment placement strategies (Experiment 3 redux) ===\n";
@@ -103,7 +136,7 @@ int main() {
       util::Rng rng(31);
       const auto capable = core::plan_deployment(graph, count, strategy, rng);
       if (strategy == core::DeploymentStrategy::GreedyCoverage) greedy_set = capable;
-      const double adoption = adoption_with_deployment(graph, capable, 0.20, 77);
+      const double adoption = adoption_with_deployment(graph, capable, 0.20, 77, jobs);
       row.push_back(util::fmt_double(adoption * 100.0, 2));
     }
     row.push_back(util::fmt_double(core::edge_coverage(graph, greedy_set), 3));

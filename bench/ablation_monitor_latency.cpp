@@ -97,7 +97,8 @@ LatencySample run_once(const topo::AsGraph& graph, bool inline_detection,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: time-to-alarm, in-line checking vs off-line monitor ===\n";
@@ -107,11 +108,18 @@ int main() {
   util::TablePrinter table(
       {"mechanism", "detection_rate", "mean_latency_s", "p95_latency_s"});
   auto add_row = [&](const std::string& label, bool inline_detection, double period) {
+    // Trials carry explicit per-trial seeds, so they run across the pool;
+    // the reduction walks trial order to keep the row deterministic.
+    constexpr std::size_t kTrials = 25;
+    std::vector<LatencySample> samples(kTrials);
+    util::ThreadPool pool(jobs);
+    pool.parallel_for(kTrials, [&](std::size_t trial) {
+      samples[trial] =
+          run_once(graph, inline_detection, period, 1000 + static_cast<std::uint64_t>(trial));
+    });
     std::vector<double> latencies;
     int detected = 0;
-    for (int trial = 0; trial < 25; ++trial) {
-      const auto sample =
-          run_once(graph, inline_detection, period, 1000 + static_cast<std::uint64_t>(trial));
+    for (const LatencySample& sample : samples) {
       if (sample.detected) {
         ++detected;
         latencies.push_back(sample.latency);

@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: attacker placement (stub vs transit) ===\n\n";
@@ -27,7 +28,7 @@ int main() {
       config.deployment = deployment;
       core::Experiment experiment(graph, config);
       util::Rng rng(11);
-      const auto point = experiment.run_point(0.10, kOriginSets, kAttackerSets, rng);
+      const auto point = experiment.run_point(0.10, kOriginSets, kAttackerSets, rng, jobs);
       table.add_row({label, core::to_string(deployment),
                      util::fmt_double(point.mean_affected * 100.0, 2),
                      util::fmt_double(point.mean_structural_cutoff * 100.0, 2)});

@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: shortest-path vs Gao-Rexford policy ===\n\n";
@@ -26,23 +27,34 @@ int main() {
       core::Experiment experiment(graph, config);
       util::Rng rng(17);
       // Single representative point; also average message counts by hand.
+      // Plan (draw placements + seeds serially), execute across the pool,
+      // reduce in plan order — same structure as Experiment::sweep.
+      const std::size_t runs = 9;
+      std::vector<core::PlannedRun> plan(runs);
+      for (core::PlannedRun& planned : plan) {
+        planned.origins = experiment.draw_origins(rng);
+        planned.attackers = experiment.draw_attackers(
+            static_cast<std::size_t>(0.15 * static_cast<double>(graph.node_count())),
+            planned.origins, rng);
+        planned.seed = rng.next();
+      }
+      std::vector<core::RunResult> results(runs);
+      util::ThreadPool pool(jobs);
+      pool.parallel_for(runs, [&](std::size_t i) {
+        results[i] =
+            experiment.run_with(plan[i].origins, plan[i].attackers, plan[i].seed);
+      });
       double adopted = 0.0;
       double noroute = 0.0;
       double msgs = 0.0;
-      const int runs = 9;
-      for (int i = 0; i < runs; ++i) {
-        const auto origins = experiment.draw_origins(rng);
-        const auto attackers = experiment.draw_attackers(
-            static_cast<std::size_t>(0.15 * static_cast<double>(graph.node_count())),
-            origins, rng);
-        const auto result = experiment.run_with(origins, attackers, rng.next());
+      for (const core::RunResult& result : results) {
         adopted += result.adopted_false_fraction();
         noroute += result.no_route_fraction();
         msgs += static_cast<double>(result.messages);
       }
-      adopted /= runs;
-      noroute /= runs;
-      msgs /= runs;
+      adopted /= static_cast<double>(runs);
+      noroute /= static_cast<double>(runs);
+      msgs /= static_cast<double>(runs);
       if (baseline_msgs == 0.0) baseline_msgs = msgs;
       table.add_row({to_string(mode), core::to_string(deployment),
                      util::fmt_double(adopted * 100.0, 2),

@@ -12,16 +12,18 @@ using namespace moas::bench;
 
 namespace {
 
-core::SweepPoint run(const topo::AsGraph& graph, core::ExperimentConfig config) {
+core::SweepPoint run(const topo::AsGraph& graph, core::ExperimentConfig config,
+                     std::size_t jobs) {
   config.deployment = core::Deployment::Full;
   core::Experiment experiment(graph, config);
   util::Rng rng(5);
-  return experiment.run_point(0.15, kOriginSets, kAttackerSets, rng);
+  return experiment.run_point(0.15, kOriginSets, kAttackerSets, rng, jobs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: origin-resolution back-ends (Sec 4.4) ===\n";
@@ -35,7 +37,7 @@ int main() {
   {
     core::ExperimentConfig config;
     config.resolver = core::ResolverKind::Oracle;
-    const auto p = run(graph, config);
+    const auto p = run(graph, config, jobs);
     table.add_row({"oracle (paper's assumption)",
                    util::fmt_double(p.mean_adopted_false * 100.0, 2),
                    util::fmt_double(p.mean_no_route * 100.0, 2),
@@ -45,7 +47,7 @@ int main() {
     core::ExperimentConfig config;
     config.resolver = core::ResolverKind::Dns;
     config.dns_unavailability = unavail;
-    const auto p = run(graph, config);
+    const auto p = run(graph, config, jobs);
     table.add_row({"dns, " + util::fmt_double(unavail * 100.0, 0) + "% unavailable",
                    util::fmt_double(p.mean_adopted_false * 100.0, 2),
                    util::fmt_double(p.mean_no_route * 100.0, 2),
@@ -55,7 +57,7 @@ int main() {
     core::ExperimentConfig config;
     config.resolver = core::ResolverKind::Irr;
     config.irr_staleness = stale;
-    const auto p = run(graph, config);
+    const auto p = run(graph, config, jobs);
     table.add_row({"irr, " + util::fmt_double(stale * 100.0, 0) + "% stale records",
                    util::fmt_double(p.mean_adopted_false * 100.0, 2),
                    util::fmt_double(p.mean_no_route * 100.0, 2),
@@ -64,7 +66,7 @@ int main() {
   {
     core::ExperimentConfig config;
     config.resolver = core::ResolverKind::None;
-    const auto p = run(graph, config);
+    const auto p = run(graph, config, jobs);
     table.add_row({"none (alarm-only monitoring)",
                    util::fmt_double(p.mean_adopted_false * 100.0, 2),
                    util::fmt_double(p.mean_no_route * 100.0, 2),

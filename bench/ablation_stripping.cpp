@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: community-attribute stripping (Sec 4.3) ===\n";
@@ -26,7 +27,8 @@ int main() {
     config.strip_fraction = strip;
     core::Experiment experiment(graph, config);
     util::Rng rng(42);
-    const core::SweepPoint point = experiment.run_point(0.10, kOriginSets, kAttackerSets, rng);
+    const core::SweepPoint point =
+        experiment.run_point(0.10, kOriginSets, kAttackerSets, rng, jobs);
     table.add_row({util::fmt_double(strip * 100.0, 0),
                    util::fmt_double(point.mean_false_alarms, 1),
                    util::fmt_double(point.mean_alarms - point.mean_false_alarms, 1),

@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: sub-prefix hijack escapes MOAS-list checking (Sec 4.3) ===\n\n";
@@ -24,7 +25,7 @@ int main() {
       config.deployment = deployment;
       core::Experiment experiment(graph, config);
       util::Rng rng(13);
-      const auto point = experiment.run_point(0.04, kOriginSets, kAttackerSets, rng);
+      const auto point = experiment.run_point(0.04, kOriginSets, kAttackerSets, rng, jobs);
       table.add_row({core::to_string(strategy), core::to_string(deployment),
                      util::fmt_double(point.mean_affected * 100.0, 2),
                      util::fmt_double(point.mean_alarms, 1)});

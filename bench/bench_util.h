@@ -10,14 +10,23 @@
 #include "moas/core/experiment.h"
 #include "moas/topo/graph.h"
 #include "moas/util/table.h"
+#include "moas/util/thread_pool.h"
 
 namespace moas::bench {
 
 /// The deterministic "full Internet" all benches sample from (~2500 ASes).
 const topo::AsGraph& shared_internet();
 
-/// The paper's sampled topology of roughly `target` ASes (cached).
+/// The paper's sampled topology of roughly `target` ASes (cached). The
+/// paper's three sizes (250/460/630) are pre-warmed in one shot, so
+/// concurrent curves read an immutable map lock-free; other sizes go
+/// through a mutex-guarded side cache. Safe to call from pool workers.
 const topo::AsGraph& paper_topology(std::size_t target);
+
+/// Worker count for parallel sweeps: `--jobs N` / `--jobs=N` on the
+/// command line beats the MOAS_JOBS env var beats the hardware
+/// concurrency (util::ThreadPool::default_jobs()).
+std::size_t bench_jobs(int argc, char** argv);
 
 /// Figures 9-11 x-axis: attacker percentage of all ASes.
 std::vector<double> paper_attacker_fractions();
@@ -28,11 +37,13 @@ inline constexpr std::size_t kAttackerSets = 5;
 
 /// Run one curve: a sweep over paper_attacker_fractions(). The paper uses
 /// 3 origin sets x 5 attacker sets = 15 runs per point; figure benches pass
-/// `attacker_sets` = 10 (30 runs) for tighter error bars.
+/// `attacker_sets` = 10 (30 runs) for tighter error bars. `jobs` workers
+/// execute the runs; the curve is bit-identical for any job count.
 std::vector<core::SweepPoint> run_curve(const topo::AsGraph& graph,
                                         const core::ExperimentConfig& config,
                                         std::uint64_t seed,
-                                        std::size_t attacker_sets = kAttackerSets);
+                                        std::size_t attacker_sets = kAttackerSets,
+                                        std::size_t jobs = 1);
 
 /// Label -> curve, printed as one table with a column per curve (mirrors
 /// the multi-series figures).
@@ -40,6 +51,22 @@ struct Curve {
   std::string label;
   std::vector<core::SweepPoint> points;
 };
+
+/// A curve request for run_curves(): topology + label + config + sweep
+/// seed. `graph` must outlive the call (the cached paper topologies do).
+struct CurveSpec {
+  std::string label;
+  const topo::AsGraph* graph = nullptr;
+  core::ExperimentConfig config;
+  std::uint64_t seed = 0;
+  std::size_t attacker_sets = kAttackerSets;
+};
+
+/// Run several curves' planned runs through ONE worker pool, so the tail
+/// of one curve overlaps the head of the next instead of each curve
+/// draining its own pool. Each curve's points are identical to running
+/// run_curve() with the same seed, for any job count.
+std::vector<Curve> run_curves(const std::vector<CurveSpec>& specs, std::size_t jobs);
 
 util::TablePrinter curves_table(const std::vector<Curve>& curves);
 

@@ -10,33 +10,32 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const std::vector<std::size_t> sizes{250, 460, 630};
 
   for (std::size_t origins : {std::size_t{1}, std::size_t{2}}) {
-    std::vector<Curve> curves;
+    std::vector<CurveSpec> specs;
     for (std::size_t size : sizes) {
-      const topo::AsGraph& graph = paper_topology(size);
       core::ExperimentConfig config;
       config.num_origins = origins;
       config.deployment = core::Deployment::None;
-      curves.push_back(Curve{std::to_string(size) + "as_normal",
-                             run_curve(graph, config, size * 10 + origins, 10)});
+      specs.push_back(CurveSpec{std::to_string(size) + "as_normal", &paper_topology(size),
+                                config, size * 10 + origins, 10});
     }
     for (std::size_t size : sizes) {
-      const topo::AsGraph& graph = paper_topology(size);
       core::ExperimentConfig config;
       config.num_origins = origins;
       config.deployment = core::Deployment::Full;
-      curves.push_back(Curve{std::to_string(size) + "as_full",
-                             run_curve(graph, config, size * 10 + origins, 10)});
+      specs.push_back(CurveSpec{std::to_string(size) + "as_full", &paper_topology(size),
+                                config, size * 10 + origins, 10});
     }
     print_report("Figure 10(" + std::string(origins == 1 ? "a" : "b") + "): topology size "
                      "comparison, " + std::to_string(origins) + " origin AS" +
                      (origins > 1 ? "es" : ""),
                  "paper: the three normal-BGP curves bunch together at the top; with "
                  "detection, larger topologies are more robust",
-                 curves);
+                 run_curves(specs, jobs));
   }
   return 0;
 }

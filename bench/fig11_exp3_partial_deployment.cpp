@@ -10,25 +10,26 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   for (std::size_t size : {std::size_t{460}, std::size_t{630}}) {
     const topo::AsGraph& graph = paper_topology(size);
     core::ExperimentConfig config;
     config.num_origins = 1;
 
     config.deployment = core::Deployment::None;
-    Curve normal{"normal_bgp", run_curve(graph, config, size + 1, 10)};
+    CurveSpec normal{"normal_bgp", &graph, config, size + 1, 10};
     config.deployment = core::Deployment::Partial;
     config.deployment_fraction = 0.5;
-    Curve half{"half_moas", run_curve(graph, config, size + 2, 10)};
+    CurveSpec half{"half_moas", &graph, config, size + 2, 10};
     config.deployment = core::Deployment::Full;
-    Curve full{"full_moas", run_curve(graph, config, size + 3, 10)};
+    CurveSpec full{"full_moas", &graph, config, size + 3, 10};
 
     print_report("Figure 11: partial vs complete deployment, " +
                      std::to_string(graph.node_count()) + "-AS topology",
                  "paper: half of the nodes checking MOAS lists already blocks most "
                  "false-route adoption for everyone",
-                 {normal, half, full});
+                 run_curves({normal, half, full}, jobs));
   }
   return 0;
 }

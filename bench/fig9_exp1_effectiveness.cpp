@@ -10,7 +10,8 @@
 using namespace moas;
 using namespace moas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench_jobs(argc, argv);
   const topo::AsGraph& graph = paper_topology(460);
 
   for (std::size_t origins : {std::size_t{1}, std::size_t{2}}) {
@@ -18,9 +19,10 @@ int main() {
     config.num_origins = origins;
 
     config.deployment = core::Deployment::None;
-    Curve normal{"normal_bgp", run_curve(graph, config, 460 + origins, 10)};
+    CurveSpec normal{"normal_bgp", &graph, config, 460 + origins, 10};
     config.deployment = core::Deployment::Full;
-    Curve full{"full_moas", run_curve(graph, config, 460 + origins, 10)};
+    CurveSpec full{"full_moas", &graph, config, 460 + origins, 10};
+    const std::vector<Curve> curves = run_curves({normal, full}, jobs);
 
     print_report("Figure 9(" + std::string(origins == 1 ? "a" : "b") + "): " +
                      std::to_string(origins) + " origin AS" + (origins > 1 ? "es" : "") +
@@ -28,7 +30,7 @@ int main() {
                  "paper: normal BGP rises steeply and stays high; full MOAS detection "
                  "stays near zero for small attacker sets and grows only with the "
                  "structural cut-off",
-                 {normal, full});
+                 curves);
   }
   return 0;
 }

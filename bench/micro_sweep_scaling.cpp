@@ -1,0 +1,168 @@
+// Microbenchmark — parallel sweep scaling: time the Figure 9 full-MOAS
+// sweep (460-AS topology) at jobs = 1, 2, and N and emit BENCH_sweep.json
+// with runs/sec per job count. Doubles as a determinism gate: the
+// SweepPoints from every job count are compared field-for-field with
+// exact floating-point equality, and the bench fails if they diverge.
+//
+// Usage:
+//   micro_sweep_scaling [--smoke] [--jobs N] [--out PATH]
+//
+// --smoke shrinks the sweep (2 fractions, 2x2 runs per point) so CI can
+// run the gate in seconds; --jobs sets the largest worker count measured
+// (default: MOAS_JOBS or the hardware concurrency); --out overrides the
+// BENCH_sweep.json path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "moas/util/strings.h"
+
+using namespace moas;
+using namespace moas::bench;
+
+namespace {
+
+struct Timing {
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  double runs_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+bool points_identical(const std::vector<core::SweepPoint>& a,
+                      const std::vector<core::SweepPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const core::SweepPoint& x = a[i];
+    const core::SweepPoint& y = b[i];
+    if (x.attacker_fraction != y.attacker_fraction || x.runs != y.runs ||
+        x.mean_adopted_false != y.mean_adopted_false ||
+        x.stddev_adopted_false != y.stddev_adopted_false ||
+        x.mean_affected != y.mean_affected || x.mean_no_route != y.mean_no_route ||
+        x.mean_alarms != y.mean_alarms || x.mean_false_alarms != y.mean_false_alarms ||
+        x.mean_structural_cutoff != y.mean_structural_cutoff) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_double(double value) {
+  // Full round-trip precision, no locale surprises.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+  }
+  const std::size_t max_jobs = bench_jobs(argc, argv);
+
+  const topo::AsGraph& graph = paper_topology(460);
+  core::ExperimentConfig config;
+  config.num_origins = 1;
+  config.deployment = core::Deployment::Full;
+
+  const std::vector<double> fractions =
+      smoke ? std::vector<double>{0.05, 0.20} : paper_attacker_fractions();
+  const std::size_t origin_sets = smoke ? 2 : kOriginSets;
+  const std::size_t attacker_sets = smoke ? 2 : 10;
+  const std::size_t total_runs = fractions.size() * origin_sets * attacker_sets;
+  constexpr std::uint64_t kSeed = 461;  // fig9 one-origin sweep seed
+
+  std::vector<std::size_t> job_counts{1, 2, max_jobs};
+  std::sort(job_counts.begin(), job_counts.end());
+  job_counts.erase(std::unique(job_counts.begin(), job_counts.end()), job_counts.end());
+
+  std::cout << "=== Micro: parallel sweep scaling (fig9 full-MOAS, "
+            << graph.node_count() << "-AS, " << total_runs << " runs"
+            << (smoke ? ", smoke" : "") << ") ===\n\n";
+
+  core::Experiment experiment(graph, config);
+  std::vector<core::SweepPoint> reference;
+  std::vector<Timing> timings;
+  bool deterministic = true;
+  util::TablePrinter table({"jobs", "seconds", "runs_per_sec", "speedup", "identical"});
+  for (std::size_t jobs : job_counts) {
+    util::Rng rng(kSeed);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<core::SweepPoint> points =
+        experiment.sweep(fractions, origin_sets, attacker_sets, rng, jobs);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    Timing timing;
+    timing.jobs = jobs;
+    timing.seconds = elapsed.count();
+    timing.runs_per_sec = static_cast<double>(total_runs) / elapsed.count();
+    timing.speedup = timings.empty() ? 1.0 : timings.front().seconds / timing.seconds;
+    timings.push_back(timing);
+
+    bool identical = true;
+    if (reference.empty()) {
+      reference = points;
+    } else {
+      identical = points_identical(reference, points);
+      if (!identical) deterministic = false;
+    }
+    table.add_row({std::to_string(jobs), util::fmt_double(timing.seconds, 3),
+                   util::fmt_double(timing.runs_per_sec, 2),
+                   util::fmt_double(timing.speedup, 2), identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"bench\": \"micro_sweep_scaling\",\n";
+  out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  out << "  \"topology_ases\": " << graph.node_count() << ",\n";
+  out << "  \"fractions\": [";
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    out << (i ? ", " : "") << json_double(fractions[i]);
+  }
+  out << "],\n";
+  out << "  \"origin_sets\": " << origin_sets << ",\n";
+  out << "  \"attacker_sets\": " << attacker_sets << ",\n";
+  out << "  \"total_runs\": " << total_runs << ",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    out << "    {\"jobs\": " << t.jobs << ", \"seconds\": " << json_double(t.seconds)
+        << ", \"runs_per_sec\": " << json_double(t.runs_per_sec)
+        << ", \"speedup\": " << json_double(t.speedup) << "}"
+        << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
+  out << "}\n";
+  out.close();
+  std::cout << "\nwrote " << out_path << " (hardware_concurrency=" << hardware << ")\n";
+
+  if (!deterministic) {
+    std::cerr << "FAIL: sweep results differ across job counts — the plan → execute → "
+                 "reduce contract is broken\n";
+    return 1;
+  }
+  std::cout << "sweep results are bit-identical across jobs = {";
+  for (std::size_t i = 0; i < job_counts.size(); ++i) {
+    std::cout << (i ? ", " : "") << job_counts[i];
+  }
+  std::cout << "}; speedup tracks the cores actually available (see "
+               "hardware_concurrency above).\n";
+  return 0;
+}

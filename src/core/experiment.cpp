@@ -11,6 +11,7 @@
 #include "moas/topo/route_views.h"
 #include "moas/util/assert.h"
 #include "moas/util/stats.h"
+#include "moas/util/thread_pool.h"
 
 namespace moas::core {
 
@@ -320,55 +321,110 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   return result;
 }
 
-SweepPoint Experiment::run_point(double attacker_fraction, std::size_t origin_sets,
-                                 std::size_t attacker_sets, util::Rng& rng) const {
-  MOAS_REQUIRE(attacker_fraction >= 0.0 && attacker_fraction < 1.0,
-               "attacker fraction must be in [0, 1)");
-  std::size_t num_attackers = static_cast<std::size_t>(
-      std::lround(attacker_fraction * static_cast<double>(graph_->node_count())));
-  if (attacker_fraction > 0.0 && num_attackers == 0) num_attackers = 1;
-
-  SweepPoint point;
-  point.attacker_fraction = attacker_fraction;
-  util::Accumulator adopted;
-  util::Accumulator affected;
-  util::Accumulator no_route;
-  util::Accumulator alarm_count;
-  util::Accumulator false_alarm_count;
-  util::Accumulator cutoff;
-  for (std::size_t i = 0; i < origin_sets; ++i) {
-    const bgp::AsnSet origins = draw_origins(rng);
-    for (std::size_t j = 0; j < attacker_sets; ++j) {
-      const bgp::AsnSet attackers = draw_attackers(num_attackers, origins, rng);
-      const RunResult run = run_with(origins, attackers, rng.next());
-      adopted.add(run.adopted_false_fraction());
-      affected.add(run.affected_fraction());
-      no_route.add(run.no_route_fraction());
-      alarm_count.add(static_cast<double>(run.alarms));
-      false_alarm_count.add(static_cast<double>(run.false_alarms));
-      cutoff.add(run.structural_cutoff);
+SweepPlan Experiment::plan_sweep(const std::vector<double>& attacker_fractions,
+                                 std::size_t origin_sets, std::size_t attacker_sets,
+                                 util::Rng& rng) const {
+  MOAS_REQUIRE(origin_sets > 0 && attacker_sets > 0,
+               "empty run budget: origin_sets and attacker_sets must both be >= 1");
+  SweepPlan plan;
+  plan.attacker_fractions = attacker_fractions;
+  plan.origin_sets = origin_sets;
+  plan.attacker_sets = attacker_sets;
+  plan.runs.reserve(attacker_fractions.size() * origin_sets * attacker_sets);
+  for (std::size_t p = 0; p < attacker_fractions.size(); ++p) {
+    const double fraction = attacker_fractions[p];
+    MOAS_REQUIRE(fraction >= 0.0 && fraction < 1.0, "attacker fraction must be in [0, 1)");
+    std::size_t num_attackers = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(graph_->node_count())));
+    if (fraction > 0.0 && num_attackers == 0) num_attackers = 1;
+    for (std::size_t i = 0; i < origin_sets; ++i) {
+      const bgp::AsnSet origins = draw_origins(rng);
+      for (std::size_t j = 0; j < attacker_sets; ++j) {
+        PlannedRun run;
+        run.point = p;
+        run.origins = origins;
+        run.attackers = draw_attackers(num_attackers, origins, rng);
+        run.seed = rng.next();
+        plan.runs.push_back(std::move(run));
+      }
     }
   }
-  point.runs = adopted.count();
-  point.mean_adopted_false = adopted.mean();
-  point.stddev_adopted_false = adopted.stddev();
-  point.mean_affected = affected.mean();
-  point.mean_no_route = no_route.mean();
-  point.mean_alarms = alarm_count.mean();
-  point.mean_false_alarms = false_alarm_count.mean();
-  point.mean_structural_cutoff = cutoff.mean();
-  return point;
+  return plan;
+}
+
+std::vector<RunResult> Experiment::execute_plan(const SweepPlan& plan,
+                                                util::ThreadPool& pool) const {
+  std::vector<RunResult> results(plan.runs.size());
+  pool.parallel_for(plan.runs.size(), [&](std::size_t i) {
+    const PlannedRun& run = plan.runs[i];
+    results[i] = run_with(run.origins, run.attackers, run.seed);
+  });
+  return results;
+}
+
+std::vector<SweepPoint> Experiment::reduce_plan(const SweepPlan& plan,
+                                                const std::vector<RunResult>& results) const {
+  MOAS_REQUIRE(results.size() == plan.runs.size(),
+               "result count does not match the plan's run count");
+  struct PointAccumulators {
+    util::Accumulator adopted;
+    util::Accumulator affected;
+    util::Accumulator no_route;
+    util::Accumulator alarms;
+    util::Accumulator false_alarms;
+    util::Accumulator cutoff;
+  };
+  std::vector<PointAccumulators> accumulators(plan.attacker_fractions.size());
+  // merge() of a single-sample accumulator takes the exact add() path, so
+  // this plan-order reduction is bit-identical to the historical serial
+  // loop no matter what order the runs completed in.
+  const auto take = [](util::Accumulator& into, double x) {
+    util::Accumulator sample;
+    sample.add(x);
+    into.merge(sample);
+  };
+  for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+    PointAccumulators& acc = accumulators[plan.runs[i].point];
+    const RunResult& run = results[i];
+    take(acc.adopted, run.adopted_false_fraction());
+    take(acc.affected, run.affected_fraction());
+    take(acc.no_route, run.no_route_fraction());
+    take(acc.alarms, static_cast<double>(run.alarms));
+    take(acc.false_alarms, static_cast<double>(run.false_alarms));
+    take(acc.cutoff, run.structural_cutoff);
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(plan.attacker_fractions.size());
+  for (std::size_t p = 0; p < plan.attacker_fractions.size(); ++p) {
+    const PointAccumulators& acc = accumulators[p];
+    SweepPoint point;
+    point.attacker_fraction = plan.attacker_fractions[p];
+    point.runs = acc.adopted.count();
+    point.mean_adopted_false = acc.adopted.mean();
+    point.stddev_adopted_false = acc.adopted.stddev();
+    point.mean_affected = acc.affected.mean();
+    point.mean_no_route = acc.no_route.mean();
+    point.mean_alarms = acc.alarms.mean();
+    point.mean_false_alarms = acc.false_alarms.mean();
+    point.mean_structural_cutoff = acc.cutoff.mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+SweepPoint Experiment::run_point(double attacker_fraction, std::size_t origin_sets,
+                                 std::size_t attacker_sets, util::Rng& rng,
+                                 std::size_t jobs) const {
+  return sweep({attacker_fraction}, origin_sets, attacker_sets, rng, jobs).front();
 }
 
 std::vector<SweepPoint> Experiment::sweep(const std::vector<double>& attacker_fractions,
                                           std::size_t origin_sets, std::size_t attacker_sets,
-                                          util::Rng& rng) const {
-  std::vector<SweepPoint> out;
-  out.reserve(attacker_fractions.size());
-  for (double fraction : attacker_fractions) {
-    out.push_back(run_point(fraction, origin_sets, attacker_sets, rng));
-  }
-  return out;
+                                          util::Rng& rng, std::size_t jobs) const {
+  const SweepPlan plan = plan_sweep(attacker_fractions, origin_sets, attacker_sets, rng);
+  util::ThreadPool pool(jobs);
+  const std::vector<RunResult> results = execute_plan(plan, pool);
+  return reduce_plan(plan, results);
 }
 
 }  // namespace moas::core

@@ -7,6 +7,19 @@
 // averages several runs (the paper uses 15: 3 origin sets x 5 attacker
 // sets); a *sweep* walks the attacker fraction across the x-axis of
 // Figures 9–11.
+//
+// Sweeps are structured plan → execute → reduce. A serial planning pass
+// (plan_sweep) draws every run's origins, attackers, and per-run seed,
+// consuming the shared Rng stream in exactly the order the historical
+// serial loop did. The independent runs then execute across a
+// util::ThreadPool in any order (execute_plan), each seeded run fully
+// self-contained. Finally reduce_plan merges per-run results into
+// SweepPoints in plan order via util::Accumulator::merge.
+//
+// Determinism contract: for a fixed topology, config, and seed, sweep()
+// output is bit-identical for ANY job count — including jobs=1 versus the
+// historical single-threaded loop — because all randomness is drawn
+// serially up front and the floating-point reduction replays plan order.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +34,10 @@
 #include "moas/core/resolver.h"
 #include "moas/topo/graph.h"
 #include "moas/util/rng.h"
+
+namespace moas::util {
+class ThreadPool;
+}
 
 namespace moas::core {
 
@@ -183,6 +200,27 @@ struct SweepPoint {
   double mean_structural_cutoff = 0.0;
 };
 
+/// One planned simulation: placements and seed drawn up front by the
+/// serial planning pass, so the run itself touches no shared Rng state.
+struct PlannedRun {
+  std::size_t point = 0;  // index into SweepPlan::attacker_fractions
+  bgp::AsnSet origins;
+  bgp::AsnSet attackers;
+  std::uint64_t seed = 0;
+};
+
+/// A fully-drawn sweep. `runs` is in plan order — point-major, then
+/// origin-set, then attacker-set — which is both the order the shared Rng
+/// stream was consumed in and the order the reduction replays.
+struct SweepPlan {
+  std::vector<double> attacker_fractions;
+  std::size_t origin_sets = 0;
+  std::size_t attacker_sets = 0;
+  std::vector<PlannedRun> runs;
+
+  std::size_t runs_per_point() const { return origin_sets * attacker_sets; }
+};
+
 class Experiment {
  public:
   /// `graph` must stay alive as long as the experiment. It must be
@@ -199,14 +237,37 @@ class Experiment {
                      std::uint64_t seed) const;
 
   /// One figure data point: `origin_sets` origin draws x `attacker_sets`
-  /// attacker draws (the paper's 3 x 5 = 15 runs).
+  /// attacker draws (the paper's 3 x 5 = 15 runs). Both budgets must be
+  /// >= 1. `jobs` workers execute the runs (0 resolves via
+  /// util::ThreadPool::default_jobs()); output is identical for any value.
   SweepPoint run_point(double attacker_fraction, std::size_t origin_sets,
-                       std::size_t attacker_sets, util::Rng& rng) const;
+                       std::size_t attacker_sets, util::Rng& rng,
+                       std::size_t jobs = 1) const;
 
-  /// A full curve.
+  /// A full curve: plan_sweep → execute_plan → reduce_plan. Bit-identical
+  /// output for any `jobs` (see the determinism contract above).
   std::vector<SweepPoint> sweep(const std::vector<double>& attacker_fractions,
                                 std::size_t origin_sets, std::size_t attacker_sets,
-                                util::Rng& rng) const;
+                                util::Rng& rng, std::size_t jobs = 1) const;
+
+  /// Serial planning pass: draws every run's origins, attackers and seed,
+  /// consuming `rng` in exactly the order the serial sweep always did.
+  /// Rejects empty run budgets (origin_sets or attacker_sets == 0) and
+  /// out-of-range attacker fractions up front.
+  SweepPlan plan_sweep(const std::vector<double>& attacker_fractions,
+                       std::size_t origin_sets, std::size_t attacker_sets,
+                       util::Rng& rng) const;
+
+  /// Execute a plan's independent runs across `pool`, in any completion
+  /// order; the result vector is indexed in plan order. Callers may share
+  /// one pool across several experiments' plans (see bench_util).
+  std::vector<RunResult> execute_plan(const SweepPlan& plan,
+                                      util::ThreadPool& pool) const;
+
+  /// Deterministic reduction: merge per-run results into one SweepPoint
+  /// per attacker fraction, replaying plan order.
+  std::vector<SweepPoint> reduce_plan(const SweepPlan& plan,
+                                      const std::vector<RunResult>& results) const;
 
   /// Random distinct origin stubs per config().num_origins.
   bgp::AsnSet draw_origins(util::Rng& rng) const;

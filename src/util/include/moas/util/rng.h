@@ -44,7 +44,12 @@ class Rng {
   /// normal approximation above 60).
   unsigned poisson(double mean);
 
-  /// Gaussian via Box–Muller.
+  /// Gaussian via Box–Muller. Each uniform pair yields *two* independent
+  /// normals; the sine half is cached and returned by the next call, so a
+  /// pair of calls costs one pair of uniform draws. The cached half is
+  /// part of the generator state (copied with it, absent from a fresh
+  /// fork()); note that odd/even call parity therefore affects how many
+  /// raw next() draws a gaussian() consumes.
   double gaussian(double mean, double stddev);
 
   /// Sample k distinct indices from [0, n) (k <= n), in random order.
@@ -71,6 +76,8 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+  double gaussian_spare_ = 0.0;        // the unscaled (mean 0, stddev 1) sine half
+  bool has_gaussian_spare_ = false;
 };
 
 }  // namespace moas::util

@@ -1,0 +1,68 @@
+// Fixed-size worker pool for embarrassingly parallel fan-out (the
+// experiment harness's independent seeded runs).
+//
+// Determinism contract: the pool runs tasks in any order and on any number
+// of workers, so callers that need reproducible output must (1) draw all
+// randomness *before* submitting (a serial planning pass), (2) have each
+// task write into its own pre-allocated result slot, and (3) reduce the
+// slots in submission (plan) order, never in completion order. See
+// core::Experiment::plan_sweep / execute_plan / reduce_plan for the
+// canonical use.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moas::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `jobs` workers; 0 resolves via default_jobs().
+  explicit ThreadPool(std::size_t jobs = 0);
+
+  /// Drains the queue (outstanding tasks still run), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t jobs() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not submit to their own pool and then
+  /// wait on it — nested fan-out deadlocks a saturated pool.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. If any task threw,
+  /// the first captured exception is rethrown here — after the remaining
+  /// tasks have still run to completion, so result slots stay consistent.
+  void wait();
+
+  /// submit() fn(i) for i in [0, n), then wait().
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The pool-size default: MOAS_JOBS (if set to a positive integer),
+  /// else std::thread::hardware_concurrency(), else 1.
+  static std::size_t default_jobs();
+
+  /// `requested` if positive, else default_jobs(). Never 0.
+  static std::size_t resolve_jobs(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace moas::util

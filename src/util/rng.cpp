@@ -89,13 +89,20 @@ unsigned Rng::poisson(double mean) {
 
 double Rng::gaussian(double mean, double stddev) {
   MOAS_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return mean + stddev * gaussian_spare_;
+  }
   double u1;
   do {
     u1 = uniform01();
   } while (u1 <= 0.0);
   const double u2 = uniform01();
   const double mag = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  gaussian_spare_ = mag * std::sin(angle);
+  has_gaussian_spare_ = true;
+  return mean + stddev * mag * std::cos(angle);
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {

@@ -1,0 +1,91 @@
+#include "moas/util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "moas/util/assert.h"
+
+namespace moas::util {
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  const std::size_t n = resolve_jobs(jobs);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MOAS_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    const std::scoped_lock lock(mutex_);
+    ++in_flight_;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait();
+}
+
+std::size_t ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("MOAS_JOBS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t ThreadPool::resolve_jobs(std::size_t requested) {
+  return requested > 0 ? requested : default_jobs();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    if (error && !first_error_) first_error_ = error;
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+}  // namespace moas::util

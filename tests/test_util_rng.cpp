@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 namespace moas::util {
@@ -115,6 +116,52 @@ TEST(Rng, GaussianMoments) {
   const double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 10.0, 0.1);
   EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, GaussianCachesBoxMullerSineHalf) {
+  // One Box-Muller transform yields two independent deviates from one
+  // uniform pair: cos(angle) first, then the cached sin(angle) half. A
+  // mirror stream replays the raw draws to pin the exact values.
+  Rng rng(43);
+  Rng mirror(43);
+  double u1;
+  do {
+    u1 = mirror.uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = mirror.uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  EXPECT_EQ(rng.gaussian(0.0, 1.0), mag * std::cos(angle));
+  EXPECT_EQ(rng.gaussian(0.0, 1.0), mag * std::sin(angle));
+  // The pair consumed exactly one uniform pair: the streams align again.
+  EXPECT_EQ(rng.next(), mirror.next());
+}
+
+TEST(Rng, GaussianSpareRescalesPerCall) {
+  // The spare is stored unscaled, so a second call with different
+  // mean/stddev applies its own affine transform.
+  Rng rng(47);
+  Rng mirror(47);
+  (void)rng.gaussian(0.0, 1.0);
+  double u1;
+  do {
+    u1 = mirror.uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = mirror.uniform01();
+  const double spare = std::sqrt(-2.0 * std::log(u1)) *
+                       std::sin(2.0 * 3.14159265358979323846 * u2);
+  EXPECT_EQ(rng.gaussian(10.0, 3.0), 10.0 + 3.0 * spare);
+}
+
+TEST(Rng, ForkDoesNotInheritGaussianSpare) {
+  Rng a(53);
+  (void)a.gaussian(0.0, 1.0);  // a now holds a spare
+  Rng b = a.fork();
+  // The observable contract: the child draws new uniforms rather than
+  // replaying the parent's cached sine half.
+  const double child_first = b.gaussian(0.0, 1.0);
+  const double parent_spare = a.gaussian(0.0, 1.0);
+  EXPECT_NE(child_first, parent_spare);
 }
 
 TEST(Rng, SampleIndicesDistinctAndInRange) {

@@ -1,0 +1,108 @@
+#include "moas/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace moas::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, ResultsLandInSubmissionSlots) {
+  // The determinism contract: each task owns a pre-allocated slot, so the
+  // reduction can replay submission order regardless of completion order.
+  ThreadPool pool(3);
+  std::vector<std::size_t> slots(64, 0);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    pool.submit([&slots, i] { slots[i] = i * i; });
+  }
+  pool.wait();
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure did not cancel the other tasks (result slots stay valid)...
+  EXPECT_EQ(completed.load(), 7);
+  // ...and the pool remains usable: the error does not re-fire.
+  pool.submit([&completed] { ++completed; });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&count] { ++count; });
+    // No wait(): the destructor must still run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ResolveJobsNeverReturnsZero) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvVar) {
+  ::setenv("MOAS_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3u);
+  ::setenv("MOAS_JOBS", "0", 1);  // not positive: fall back
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+  ::setenv("MOAS_JOBS", "nope", 1);  // not a number: fall back
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+  ::unsetenv("MOAS_JOBS");
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait();
+  // One worker drains the queue FIFO, so submission order is preserved.
+  std::vector<int> expected(5);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace moas::util
