@@ -6,6 +6,7 @@
 // blow adoption of false routes past 2x the fault-free baseline.
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -19,6 +20,12 @@ using namespace moas;
 using namespace moas::bench;
 
 namespace {
+
+// --trace-out / MOAS_TRACE dump state: every cell's runs append their event
+// streams in plan order, so the file is a deterministic replay of the whole
+// bench. Set once in main before any cell runs.
+TraceOptions g_trace;
+std::ofstream g_trace_out;
 
 struct Regime {
   const char* label;
@@ -58,7 +65,11 @@ struct Cell {
   std::uint64_t resolver_queries = 0;  // backend (registry) load
   std::uint64_t cache_hits = 0;
   std::string first_fault_log;  // replay log of the cell's first run
-  core::ErrorHandlingSummary error_handling;  // summed over runs
+  core::ErrorHandlingSummary error_handling;  // typed view over `metrics`
+  /// Per-run registries merged in plan order, plus the cell's alarm-latency
+  /// histograms under the same names the sweep reducer uses.
+  obs::MetricsRegistry metrics;
+  std::size_t stuck_runs = 0;  // false route still installed at quiescence
 };
 
 /// Mirrors Experiment::run_point (3 origin sets x 5 attacker sets), but
@@ -88,27 +99,49 @@ Cell run_cell(const core::Experiment& experiment, double attacker_fraction,
     cell.stale_retained += run.stale_retained;
     cell.resolver_queries += run.resolver_queries;
     cell.cache_hits += run.resolver_cache_hits;
-    cell.error_handling.error_withdraws += run.error_withdraws;
-    cell.error_handling.attr_corruptions += run.attr_corruptions;
-    cell.error_handling.treat_as_withdraws += run.treat_as_withdraws;
-    cell.error_handling.attr_discards += run.attr_discards;
-    cell.error_handling.corrupt_session_resets += run.corrupt_session_resets;
-    cell.error_handling.poisoned_blocked += run.poisoned_blocked;
+    cell.metrics.merge(run.metrics);
+    if (run.first_alarm_latency >= 0.0) {
+      cell.metrics.histogram("detector.first_alarm_latency", core::kAlarmLatencySpec)
+          .add(run.first_alarm_latency);
+    }
+    if (run.eviction_latency >= 0.0) {
+      cell.metrics.histogram("detector.eviction_latency", core::kAlarmLatencySpec)
+          .add(run.eviction_latency);
+    }
+    if (run.false_route_stuck) ++cell.stuck_runs;
     if (i == 0) cell.first_fault_log = run.fault_log;
     for (const std::string& violation : run.invariant_report) {
       std::cerr << "invariant violation: " << violation << "\n";
     }
   }
+  if (g_trace_out.is_open()) write_run_traces(g_trace_out, results);
+  cell.metrics.histogram("detector.first_alarm_latency", core::kAlarmLatencySpec);
+  cell.metrics.histogram("detector.eviction_latency", core::kAlarmLatencySpec);
+  // The summary table is a typed read of the merged registry — the chaos
+  // and router counters feeding it have no separate bookkeeping path.
+  cell.error_handling = core::ErrorHandlingSummary::from_metrics(cell.metrics);
   cell.adopted_false = adopted.mean();
   cell.no_route = no_route.mean();
   cell.alarms = alarms.mean();
   return cell;
 }
 
+/// The churn configs share the observability setup: Summary-level tracing
+/// feeds the eviction-latency histogram, and --trace-out keeps the streams.
+void enable_observability(core::ExperimentConfig& config) {
+  config.trace_level = obs::TraceLevel::Summary;
+  if (g_trace.enabled()) {
+    if (config.trace_level < g_trace.level) config.trace_level = g_trace.level;
+    config.keep_trace = true;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t jobs = bench_jobs(argc, argv);
+  g_trace = bench_trace(argc, argv);
+  if (g_trace.enabled()) g_trace_out.open(g_trace.path);
   const topo::AsGraph& graph = paper_topology(460);
 
   std::cout << "=== Ablation: detection under churn (fault schedules) ===\n";
@@ -125,7 +158,8 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions = {0.05, 0.20};
 
   util::TablePrinter table({"churn", "attacker_pct", "adopting_false_pct", "no_route_pct",
-                            "alarms_per_run", "fault_events", "msg_faults", "violations"});
+                            "alarms_per_run", "alarm_p50_s", "evict_p90_s", "stuck",
+                            "fault_events", "msg_faults", "violations"});
   bool ok = true;
   std::vector<double> baseline(fractions.size(), 0.0);
   for (const Regime& regime : regimes) {
@@ -134,14 +168,22 @@ int main(int argc, char** argv) {
     config.strategy = core::AttackerStrategy::OwnList;
     config.churn = regime.churn;
     config.check_invariants = true;
+    enable_observability(config);
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws per regime
     for (std::size_t f = 0; f < fractions.size(); ++f) {
       const Cell cell = run_cell(experiment, fractions[f], rng, jobs);
+      const obs::FixedHistogram* alarm_lat =
+          cell.metrics.find_histogram("detector.first_alarm_latency");
+      const obs::FixedHistogram* evict_lat =
+          cell.metrics.find_histogram("detector.eviction_latency");
       table.add_row({regime.label, util::fmt_double(fractions[f] * 100.0, 0),
                      util::fmt_double(cell.adopted_false * 100.0, 2),
                      util::fmt_double(cell.no_route * 100.0, 2),
-                     util::fmt_double(cell.alarms, 1), std::to_string(cell.fault_events),
+                     util::fmt_double(cell.alarms, 1),
+                     util::fmt_double(alarm_lat->quantile(0.5), 2),
+                     util::fmt_double(evict_lat->quantile(0.9), 2),
+                     std::to_string(cell.stuck_runs), std::to_string(cell.fault_events),
                      std::to_string(cell.message_faults), std::to_string(cell.violations)});
       if (cell.violations > 0) {
         ok = false;
@@ -190,6 +232,7 @@ int main(int argc, char** argv) {
     config.check_invariants = true;  // includes the stale-route-hygiene family
     config.graceful_restart = graceful;
     config.gr_restart_time = 30.0;
+    enable_observability(config);
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws for both restart modes
     return run_cell(experiment, 0.05, rng, jobs);
@@ -256,6 +299,7 @@ int main(int argc, char** argv) {
     config.strategy = core::AttackerStrategy::OwnList;
     config.churn = churn_regime(0.2, 0.005);
     config.resolver_cache_ttl = ttl;
+    enable_observability(config);
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws with and without the cache
     return run_cell(experiment, 0.20, rng, jobs);
@@ -305,6 +349,7 @@ int main(int argc, char** argv) {
     config.churn = corrupt_churn;
     config.check_invariants = true;  // includes the corruption invariant family
     config.revised_error_handling = revised;
+    enable_observability(config);
     core::Experiment experiment(graph, config);
     util::Rng rng(42);  // same workload draws for both error-handling modes
     return run_cell(experiment, 0.05, rng, jobs);
@@ -313,8 +358,8 @@ int main(int argc, char** argv) {
   const Cell revised = run_error_cell(true);
   const Cell revised_rerun = run_error_cell(true);
 
-  std::cout << core::error_handling_table(
-      {{"rfc4271", legacy.error_handling}, {"rfc7606", revised.error_handling}});
+  std::cout << core::error_handling_table_from_metrics(
+      {{"rfc4271", legacy.metrics}, {"rfc7606", revised.metrics}});
 
   util::TablePrinter error_table({"error_handling", "session_resets", "routes_withdrawn",
                                   "wire_withdrawals", "adopting_false_pct", "violations"});

@@ -1,11 +1,13 @@
 #include "bench_util.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <string_view>
 
+#include "moas/obs/event.h"
 #include "moas/topo/gen_internet.h"
 #include "moas/topo/sampler.h"
 #include "moas/util/assert.h"
@@ -95,6 +97,56 @@ std::vector<double> paper_attacker_fractions() {
   return {0.02, 0.04, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40};
 }
 
+TraceOptions bench_trace(int argc, char** argv) {
+  TraceOptions options;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      options.path = argv[i + 1];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.path = std::string(arg.substr(12));
+    } else if (arg == "--trace-full") {
+      full = true;
+    }
+  }
+  if (options.path.empty()) {
+    if (const char* env = std::getenv("MOAS_TRACE")) options.path = env;
+  }
+  if (const char* env = std::getenv("MOAS_TRACE_LEVEL")) {
+    if (std::string_view(env) == "full") full = true;
+  }
+  if (options.enabled()) {
+    options.level = full ? obs::TraceLevel::Full : obs::TraceLevel::Summary;
+    if (!obs::kTraceCompiledIn) {
+      std::cerr << "[bench] trace requested but the bus is compiled out "
+                   "(MOAS_OBS_TRACE=OFF) — the dump will be empty\n";
+    }
+  }
+  return options;
+}
+
+void write_run_traces(std::ostream& out, const std::vector<core::RunResult>& results) {
+  for (const core::RunResult& run : results) {
+    obs::write_trace_jsonl(out, run.trace);
+  }
+}
+
+void write_metrics_manifest(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, const obs::MetricsRegistry*>>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"rows\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    MOAS_REQUIRE(rows[i].second != nullptr, "manifest row needs a registry");
+    out << "    \"" << rows[i].first << "\": " << rows[i].second->to_json()
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  out.close();
+  std::cout << "wrote metrics manifest " << path << "\n";
+}
+
 std::vector<core::SweepPoint> run_curve(const topo::AsGraph& graph,
                                         const core::ExperimentConfig& config,
                                         std::uint64_t seed, std::size_t attacker_sets,
@@ -104,7 +156,8 @@ std::vector<core::SweepPoint> run_curve(const topo::AsGraph& graph,
   return experiment.sweep(paper_attacker_fractions(), kOriginSets, attacker_sets, rng, jobs);
 }
 
-std::vector<Curve> run_curves(const std::vector<CurveSpec>& specs, std::size_t jobs) {
+std::vector<Curve> run_curves(const std::vector<CurveSpec>& specs, std::size_t jobs,
+                              const TraceOptions& trace) {
   // Plan every curve serially (each from its own seed), then interleave
   // ALL runs through one pool: the slow tail of one curve overlaps the
   // next curve's head. Reduction stays per-curve in plan order, so each
@@ -116,7 +169,14 @@ std::vector<Curve> run_curves(const std::vector<CurveSpec>& specs, std::size_t j
   std::vector<std::vector<core::RunResult>> results(specs.size());
   for (std::size_t c = 0; c < specs.size(); ++c) {
     MOAS_REQUIRE(specs[c].graph != nullptr, "CurveSpec needs a topology");
-    experiments.emplace_back(*specs[c].graph, specs[c].config);
+    core::ExperimentConfig config = specs[c].config;
+    if (trace.enabled()) {
+      // Recording at a coarser level than the config asked for would drop
+      // events the bench relies on — only ever raise the level.
+      if (config.trace_level < trace.level) config.trace_level = trace.level;
+      config.keep_trace = true;
+    }
+    experiments.emplace_back(*specs[c].graph, config);
     util::Rng rng(specs[c].seed);
     plans.push_back(experiments.back().plan_sweep(paper_attacker_fractions(), kOriginSets,
                                                   specs[c].attacker_sets, rng));
@@ -132,6 +192,16 @@ std::vector<Curve> run_curves(const std::vector<CurveSpec>& specs, std::size_t j
     }
   }
   pool.wait();
+  if (trace.enabled()) {
+    // Curve-major, plan-order dump: the per-run streams were recorded by
+    // single-threaded runs, so this serialization is bit-identical for any
+    // job count.
+    std::ofstream out(trace.path);
+    for (const std::vector<core::RunResult>& curve_results : results) {
+      write_run_traces(out, curve_results);
+    }
+    std::cerr << "[bench] wrote event trace " << trace.path << "\n";
+  }
   std::vector<Curve> curves;
   curves.reserve(specs.size());
   for (std::size_t c = 0; c < specs.size(); ++c) {
@@ -171,6 +241,35 @@ void print_report(const std::string& title, const std::string& paper_note,
   std::cout << "\ncsv:\n";
   table.print_csv(std::cout);
   std::cout << "\n";
+}
+
+void print_latency_report(const std::vector<Curve>& curves) {
+  for (const Curve& curve : curves) {
+    std::cout << "alarm latency [" << curve.label
+              << "] (simulated seconds from false-origin injection; alarm = first "
+                 "attacker-implicating alarm, evict = network-wide false-route "
+                 "eviction; stuck runs keep the false route at quiescence):\n";
+    util::TablePrinter table({"attackers_pct", "runs", "alarmed", "alarm_mean", "alarm_p50",
+                              "alarm_p90", "evicted", "evict_mean", "evict_p90", "stuck"});
+    for (const core::SweepPoint& point : curve.points) {
+      const obs::FixedHistogram* alarm =
+          point.metrics.find_histogram("detector.first_alarm_latency");
+      const obs::FixedHistogram* evict =
+          point.metrics.find_histogram("detector.eviction_latency");
+      MOAS_REQUIRE(alarm != nullptr && evict != nullptr,
+                   "SweepPoint registry is missing the latency histograms");
+      table.add_row({util::fmt_double(point.attacker_fraction * 100.0, 0),
+                     std::to_string(point.runs), std::to_string(alarm->count()),
+                     util::fmt_double(alarm->mean(), 3),
+                     util::fmt_double(alarm->quantile(0.5), 3),
+                     util::fmt_double(alarm->quantile(0.9), 3),
+                     std::to_string(evict->count()), util::fmt_double(evict->mean(), 3),
+                     util::fmt_double(evict->quantile(0.9), 3),
+                     std::to_string(point.runs_false_route_stuck)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
 }
 
 }  // namespace moas::bench

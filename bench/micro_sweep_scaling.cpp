@@ -46,7 +46,11 @@ bool points_identical(const std::vector<core::SweepPoint>& a,
         x.stddev_adopted_false != y.stddev_adopted_false ||
         x.mean_affected != y.mean_affected || x.mean_no_route != y.mean_no_route ||
         x.mean_alarms != y.mean_alarms || x.mean_false_alarms != y.mean_false_alarms ||
-        x.mean_structural_cutoff != y.mean_structural_cutoff) {
+        x.mean_structural_cutoff != y.mean_structural_cutoff ||
+        x.runs_false_route_stuck != y.runs_false_route_stuck ||
+        // Whole-registry equality: every counter, gauge, and histogram
+        // bucket (latency histograms included) must merge identically.
+        !(x.metrics == y.metrics)) {
       return false;
     }
   }

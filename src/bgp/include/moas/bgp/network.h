@@ -20,6 +20,11 @@
 #include "moas/sim/event_queue.h"
 #include "moas/util/rng.h"
 
+namespace moas::obs {
+class MetricsRegistry;
+class TraceBus;
+}  // namespace moas::obs
+
 namespace moas::bgp {
 
 class Network {
@@ -146,6 +151,18 @@ class Network {
   /// Messages dropped because their link was down when they would arrive.
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  /// Attach (or detach, with nullptr) the observability trace bus; the bus
+  /// is propagated to every existing and future router. It must outlive the
+  /// network. Components around the network (chaos engine, detector) read
+  /// it back through trace().
+  void set_trace(obs::TraceBus* bus);
+  obs::TraceBus* trace() const { return trace_; }
+
+  /// Snapshot the whole network into a metrics registry: every router's
+  /// Stats summed under "router.*", transport counters under "network.*",
+  /// and the event engine's lifetime count under "sim.events_executed".
+  obs::MetricsRegistry collect_metrics() const;
+
  private:
   void deliver(Asn from, Asn to, const Update& update);
   void schedule_delivery(Asn from, Asn to, const Update& update, double extra_delay,
@@ -166,6 +183,7 @@ class Network {
   std::map<std::pair<Asn, Asn>, std::uint64_t> link_down_epoch_;
   std::set<Asn> crashed_;
   MessageTap tap_;
+  obs::TraceBus* trace_ = nullptr;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
 };

@@ -23,6 +23,11 @@
 #include "moas/bgp/validator.h"
 #include "moas/sim/event_queue.h"
 
+namespace moas::obs {
+class MetricsRegistry;
+class TraceBus;
+}  // namespace moas::obs
+
 namespace moas::bgp {
 
 class Router final : public RouterContext {
@@ -211,6 +216,16 @@ class Router final : public RouterContext {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attach (or detach, with nullptr) the observability trace bus. The bus
+  /// must outlive the router; emission is gated by obs::trace_wants so a
+  /// null/Off bus costs one branch per site.
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
+  /// Snapshot every Stats counter into `registry` under "router.*" names.
+  /// Counters sum on registry merge, so calling this for each router of a
+  /// network yields the network-wide aggregate.
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
   // --- RouterContext (for validators) ---------------------------------------
   Asn self() const override { return asn_; }
   sim::Time current_time() const override { return clock_ ? clock_->now() : 0.0; }
@@ -298,6 +313,7 @@ class Router final : public RouterContext {
   std::set<Asn> gr_awaiting_eor_from_;  // peers whose End-of-RIB we await
   std::uint64_t gr_defer_generation_ = 0;
   std::optional<FlapDamper> damper_;
+  obs::TraceBus* trace_ = nullptr;
 
   Stats stats_;
 };

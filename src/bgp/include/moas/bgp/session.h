@@ -18,6 +18,11 @@
 #include "moas/sim/event_queue.h"
 #include "moas/util/rng.h"
 
+namespace moas::obs {
+class MetricsRegistry;
+class TraceBus;
+}  // namespace moas::obs
+
 namespace moas::bgp {
 
 enum class SessionState : std::uint8_t {
@@ -131,6 +136,14 @@ class Session {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attach (or detach, with nullptr) the observability trace bus: FSM
+  /// transitions and RFC 7606 degradation actions are emitted at Summary
+  /// level. The bus must outlive the session.
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
+  /// Snapshot every Stats counter into `registry` under "session.*" names.
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   void enter(SessionState next);
   void send_open();
@@ -158,6 +171,7 @@ class Session {
   sim::Time next_connect_retry_ = 0.0;  // backoff state; 0 = start from base
   std::optional<wire::GracefulRestartCapability> peer_gr_;
   util::Rng jitter_rng_;
+  obs::TraceBus* trace_ = nullptr;
   Stats stats_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
 #include "moas/util/assert.h"
 
 namespace moas::bgp {
@@ -25,8 +27,25 @@ Router& Network::add_router(Asn asn) {
       &clock_);
   Router& ref = *router;
   if (config_.graceful_restart) ref.set_graceful_restart(config_.gr_restart_time);
+  ref.set_trace(trace_);
   routers_.emplace(asn, std::move(router));
   return ref;
+}
+
+void Network::set_trace(obs::TraceBus* bus) {
+  trace_ = bus;
+  for (auto& [_, router] : routers_) router->set_trace(bus);
+}
+
+obs::MetricsRegistry Network::collect_metrics() const {
+  obs::MetricsRegistry registry;
+  for (const auto& [_, router] : routers_) router->collect_metrics(registry);
+  registry.count("network.messages_sent", messages_sent_);
+  registry.count("network.messages_dropped", messages_dropped_);
+  registry.set_gauge("network.routers", static_cast<double>(routers_.size()));
+  registry.set_gauge("network.links", static_cast<double>(links().size()));
+  registry.count("sim.events_executed", clock_.executed());
+  return registry;
 }
 
 void Network::connect(Asn a, Asn b, Relationship rel_of_b) {

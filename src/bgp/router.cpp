@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
 #include "moas/util/assert.h"
 #include "moas/util/log.h"
 
@@ -76,11 +78,21 @@ void Router::handle_update(Asn from, const Update& update) {
   ++stats_.updates_received;
 
   if (update.kind == Update::Kind::EndOfRib) {
+    if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::UpdateReceived, asn_, from)
+                       .with_note("end-of-rib"));
+    }
     handle_end_of_rib(from);
     return;
   }
 
   if (update.kind == Update::Kind::Withdraw) {
+    if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+      obs::TraceEvent event(obs::EventKind::WithdrawReceived, asn_, from);
+      event.with_prefix(update.prefix);
+      if (update.error_withdraw) event.with_note("error-withdraw");
+      trace_->emit(std::move(event));
+    }
     const bool had = adj_in_.erase(from, update.prefix);
     if (had) ++stats_.routes_withdrawn;
     if (had && damper_) damper_->on_withdrawal(from, update.prefix, current_time());
@@ -90,6 +102,10 @@ void Router::handle_update(Asn from, const Update& update) {
       // audits (and the detector's cold-reference rebuild) know this peer's
       // route is not usable evidence until it re-announces.
       ++stats_.error_withdraws;
+      if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+        trace_->emit(obs::TraceEvent(obs::EventKind::ErrorWithdraw, asn_, from)
+                         .with_prefix(update.prefix));
+      }
       peers_.at(from).error_withdrawn.insert(update.prefix);
       validator_->on_error_withdraw(update.prefix, from, *this);
     } else {
@@ -104,6 +120,10 @@ void Router::handle_update(Asn from, const Update& update) {
   MOAS_ENSURE(update.route.has_value(), "announce without a route");
   Route route = *update.route;
   MOAS_ENSURE(route.prefix == update.prefix, "update prefix mismatch");
+  if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+    trace_->emit(obs::TraceEvent(obs::EventKind::UpdateReceived, asn_, from)
+                     .with_prefix(update.prefix));
+  }
   // A fresh announcement — accepted or not — replaces whatever damaged one
   // the error-withdrawn record was tracking.
   peers_.at(from).error_withdrawn.erase(update.prefix);
@@ -210,6 +230,10 @@ void Router::peer_up(Asn peer) {
     // marker sweeps its stale leftovers.
     ++stats_.updates_sent;
     ++stats_.eor_sent;
+    if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::UpdateSent, asn_, peer)
+                       .with_note("end-of-rib"));
+    }
     send_(asn_, peer, Update::end_of_rib());
   }
 }
@@ -240,6 +264,10 @@ void Router::complete_restart_deferral() {
     if (it == peers_.end() || !it->second.session_up) continue;
     ++stats_.updates_sent;
     ++stats_.eor_sent;
+    if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::UpdateSent, asn_, peer)
+                       .with_note("end-of-rib"));
+    }
     send_(asn_, peer, Update::end_of_rib());
   }
   gr_eor_deferred_to_.clear();
@@ -295,6 +323,11 @@ void Router::refresh_route(Asn peer, const net::Prefix& prefix) {
   // current state; it neither waits for nor restarts the MRAI timer.
   ++stats_.updates_sent;
   ++stats_.announcements_sent;
+  if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+    trace_->emit(obs::TraceEvent(obs::EventKind::UpdateSent, asn_, peer)
+                     .with_prefix(prefix)
+                     .with_note("route-refresh"));
+  }
   send_(asn_, peer, Update::announce(adv->second));
 }
 
@@ -426,6 +459,14 @@ void Router::decide(const net::Prefix& prefix) {
     }
   }
 
+  // Capture the outgoing origin before mutating the Loc-RIB: `old` points
+  // into it, and set/erase below invalidates that pointer.
+  const bool tracing = obs::trace_wants(trace_, obs::TraceLevel::Summary);
+  std::int64_t traced_old = -1;
+  if (tracing && old) {
+    traced_old = static_cast<std::int64_t>(old->route.origin_as().value_or(kNoAs));
+  }
+
   bool changed = false;
   if (!best) {
     changed = loc_rib_.erase(prefix);
@@ -436,6 +477,22 @@ void Router::decide(const net::Prefix& prefix) {
 
   if (changed) {
     ++stats_.best_changes;
+    if (tracing) {
+      // Route-change events precede the exports they trigger — the trace
+      // reads cause-then-effect.
+      const RibEntry* now_best = loc_rib_.best(prefix);
+      if (now_best) {
+        const auto new_origin =
+            static_cast<std::int64_t>(now_best->route.origin_as().value_or(kNoAs));
+        trace_->emit(obs::TraceEvent(obs::EventKind::RoutePreferred, asn_)
+                         .with_prefix(prefix)
+                         .with_values(traced_old, new_origin));
+      } else {
+        trace_->emit(obs::TraceEvent(obs::EventKind::RouteDepreferred, asn_)
+                         .with_prefix(prefix)
+                         .with_values(traced_old));
+      }
+    }
     export_prefix(prefix);
   }
 }
@@ -525,7 +582,32 @@ void Router::transmit(Asn peer, PeerState& state, Update update) {
   } else {
     ++stats_.announcements_sent;
   }
+  if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
+    obs::TraceEvent event(obs::EventKind::UpdateSent, asn_, peer);
+    event.with_prefix(prefix);
+    if (update.kind == Update::Kind::Withdraw) event.with_note("withdraw");
+    trace_->emit(std::move(event));
+  }
   send_(asn_, peer, update);
+}
+
+void Router::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.count("router.updates_received", stats_.updates_received);
+  registry.count("router.updates_sent", stats_.updates_sent);
+  registry.count("router.announcements_sent", stats_.announcements_sent);
+  registry.count("router.withdrawals_sent", stats_.withdrawals_sent);
+  registry.count("router.announcements_rejected", stats_.announcements_rejected);
+  registry.count("router.error_withdraws", stats_.error_withdraws);
+  registry.count("router.route_refreshes", stats_.route_refreshes);
+  registry.count("router.routes_withdrawn", stats_.routes_withdrawn);
+  registry.count("router.loops_detected", stats_.loops_detected);
+  registry.count("router.decisions", stats_.decisions);
+  registry.count("router.best_changes", stats_.best_changes);
+  registry.count("router.candidates_damped", stats_.candidates_damped);
+  registry.count("router.eor_sent", stats_.eor_sent);
+  registry.count("router.eor_received", stats_.eor_received);
+  registry.count("router.stale_retained", stats_.stale_retained);
+  registry.count("router.stale_swept", stats_.stale_swept);
 }
 
 void Router::flush_pending(Asn peer, const net::Prefix& prefix) {

@@ -1,7 +1,10 @@
 #include "moas/bgp/session.h"
 
 #include <algorithm>
+#include <string>
 
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
 #include "moas/util/assert.h"
 
 namespace moas::bgp {
@@ -165,9 +168,19 @@ void Session::receive(std::span<const std::uint8_t> data) {
         if (severity == wire::ErrorAction::TreatAsWithdraw) {
           ++stats_.treat_as_withdraws;
           ++stats_.resets_avoided;
+          if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+            trace_->emit(
+                obs::TraceEvent(obs::EventKind::ErrorDegraded, config_.local_as)
+                    .with_note("treat-as-withdraw"));
+          }
         } else if (severity == wire::ErrorAction::AttributeDiscard) {
           ++stats_.attribute_discards;
           ++stats_.resets_avoided;
+          if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+            trace_->emit(
+                obs::TraceEvent(obs::EventKind::ErrorDegraded, config_.local_as)
+                    .with_note("attribute-discard"));
+          }
         }
         if (on_update_) on_update_(result.to_deliverable());
         return;
@@ -204,7 +217,29 @@ void Session::receive(std::span<const std::uint8_t> data) {
   }
 }
 
-void Session::enter(SessionState next) { state_ = next; }
+void Session::enter(SessionState next) {
+  if (next != state_ && obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+    trace_->emit(
+        obs::TraceEvent(obs::EventKind::SessionTransition, config_.local_as)
+            .with_note(std::string(to_string(state_)) + "->" + to_string(next)));
+  }
+  state_ = next;
+}
+
+void Session::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.count("session.opens_sent", stats_.opens_sent);
+  registry.count("session.keepalives_sent", stats_.keepalives_sent);
+  registry.count("session.notifications_sent", stats_.notifications_sent);
+  registry.count("session.hold_expirations", stats_.hold_expirations);
+  registry.count("session.times_established", stats_.times_established);
+  registry.count("session.connect_retries", stats_.connect_retries);
+  registry.count("session.updates_received", stats_.updates_received);
+  registry.count("session.malformed_messages", stats_.malformed_messages);
+  registry.count("session.remote_resets", stats_.remote_resets);
+  registry.count("session.treat_as_withdraws", stats_.treat_as_withdraws);
+  registry.count("session.attribute_discards", stats_.attribute_discards);
+  registry.count("session.resets_avoided", stats_.resets_avoided);
+}
 
 void Session::send_open() {
   wire::OpenMessage open;

@@ -6,6 +6,8 @@
 
 #include "moas/bgp/wire.h"
 #include "moas/chaos/invariants.h"
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
 
 namespace moas::chaos {
 
@@ -88,8 +90,43 @@ void ChaosEngine::clean_router(Asn asn) {
   }
 }
 
+void ChaosEngine::trace_fault(const char* note, Asn from, Asn to, bool degraded) {
+  obs::TraceBus* bus = network_.trace();
+  if (!obs::trace_wants(bus, obs::TraceLevel::Summary)) return;
+  bus->emit(obs::TraceEvent(
+                degraded ? obs::EventKind::ErrorDegraded : obs::EventKind::MessageFault,
+                from, to)
+                .with_note(note));
+}
+
+void ChaosEngine::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.count("chaos.link_downs", stats_.link_downs);
+  registry.count("chaos.link_ups", stats_.link_ups);
+  registry.count("chaos.session_resets", stats_.session_resets);
+  registry.count("chaos.crashes", stats_.crashes);
+  registry.count("chaos.restarts", stats_.restarts);
+  registry.count("chaos.msgs_seen", stats_.msgs_seen);
+  registry.count("chaos.msgs_dropped", stats_.msgs_dropped);
+  registry.count("chaos.msgs_duplicated", stats_.msgs_duplicated);
+  registry.count("chaos.msgs_reordered", stats_.msgs_reordered);
+  registry.count("chaos.corruptions_detected", stats_.corruptions_detected);
+  registry.count("chaos.corruptions_undetected", stats_.corruptions_undetected);
+  registry.count("chaos.corruptions_harmless", stats_.corruptions_harmless);
+  registry.count("chaos.attr_corruptions_applied", stats_.attr_corruptions_applied);
+  registry.count("chaos.corrupt_session_resets", stats_.corrupt_session_resets);
+  registry.count("chaos.treat_as_withdraws", stats_.treat_as_withdraws);
+  registry.count("chaos.attr_discards", stats_.attr_discards);
+  registry.count("chaos.poisoned_blocked", stats_.poisoned_blocked);
+  registry.count("chaos.route_refreshes_requested", stats_.route_refreshes_requested);
+}
+
 void ChaosEngine::apply(const FaultEvent& event) {
   log_.push_back(event.to_string());
+  if (obs::TraceBus* bus = network_.trace();
+      obs::trace_wants(bus, obs::TraceLevel::Summary)) {
+    bus->emit(obs::TraceEvent(obs::EventKind::FaultInjected, event.a, event.b)
+                  .with_note(event.to_string()));
+  }
   switch (event.kind) {
     case FaultKind::LinkDown:
       // peer_down flushes both receivers, so any dirt on the link is gone.
@@ -153,6 +190,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
     ++stats_.msgs_dropped;
     dirty_.insert({from, to});
     log_.push_back(msg_log_line(now, "msg-drop", from, to));
+    trace_fault("msg-drop", from, to);
     verdict.action = Verdict::Action::Drop;
     return verdict;
   }
@@ -194,6 +232,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
           ++stats_.corruptions_undetected;
           dirty_.insert({from, to});
           log_.push_back(msg_log_line(now, "msg-corrupt-empty", from, to));
+          trace_fault("msg-corrupt-empty", from, to);
           verdict.action = Verdict::Action::Drop;
           return verdict;
         } else {
@@ -201,6 +240,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
           ++stats_.corruptions_undetected;
           dirty_.insert({from, to});
           log_.push_back(msg_log_line(now, "msg-corrupt-undetected", from, to));
+          trace_fault("msg-corrupt-undetected", from, to);
           verdict.deliveries = std::move(updates);
         }
       } catch (const bgp::wire::WireError&) {
@@ -209,6 +249,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
         ++stats_.corruptions_detected;
         clean_direction_pair(from, to);
         log_.push_back(msg_log_line(now, "msg-corrupt-reset", from, to));
+        trace_fault("msg-corrupt-reset", from, to);
         verdict.action = Verdict::Action::ResetSession;
         return verdict;
       }
@@ -220,6 +261,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
     // itself), so no dirt.
     ++stats_.msgs_duplicated;
     log_.push_back(msg_log_line(now, "msg-duplicate", from, to));
+    trace_fault("msg-duplicate", from, to);
     verdict.deliveries = {update, update};
   }
 
@@ -229,6 +271,7 @@ bgp::Network::TapVerdict ChaosEngine::tap(Asn from, Asn to, const Update& update
     ++stats_.msgs_reordered;
     dirty_.insert({from, to});
     log_.push_back(msg_log_line(now, "msg-reorder", from, to));
+    trace_fault("msg-reorder", from, to);
     verdict.extra_delay = tap_rng_.uniform01() * cfg.reorder_jitter;
     verdict.allow_reorder = true;
   }
@@ -288,6 +331,7 @@ bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
     // RFC 4271 arm: the receiver NOTIFYs and resets; flush + replay restore
     // consistency, so the direction is not dirty.
     ++stats_.corrupt_session_resets;
+    trace_fault("session-reset", from, to, /*degraded=*/true);
     clean_direction_pair(from, to);
     verdict.action = Verdict::Action::ResetSession;
     return verdict;
@@ -301,6 +345,7 @@ bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
     // Attribute-confined damage must never be SessionReset class; if it
     // somehow is, count it so the no-reset invariant flags the run.
     ++stats_.corrupt_session_resets;
+    trace_fault("session-reset", from, to, /*degraded=*/true);
     clean_direction_pair(from, to);
     verdict.action = Verdict::Action::ResetSession;
     return verdict;
@@ -308,6 +353,7 @@ bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
 
   if (result.severity() >= bgp::wire::ErrorAction::TreatAsWithdraw) {
     ++stats_.treat_as_withdraws;
+    trace_fault("treat-as-withdraw", from, to, /*degraded=*/true);
     // Record what the damaged attributes would have injected — the RIB
     // audit can then assert none of it was accepted anywhere.
     if (update.route && result.message.attrs &&
@@ -340,6 +386,7 @@ bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
   // case delivering it would hand the detector a corrupted list; demote
   // those prefixes to error-withdraw instead.
   ++stats_.attr_discards;
+  trace_fault("attribute-discard", from, to, /*degraded=*/true);
   std::vector<Update> deliveries = bgp::wire::to_sim_updates(result.to_deliverable());
   bool differs = deliveries.size() != 1;
   for (Update& delivery : deliveries) {
@@ -349,6 +396,7 @@ bgp::Network::TapVerdict ChaosEngine::apply_attr_corruption(Asn from, Asn to,
         poisoned_communities_.insert(delivery.route->attrs.communities);
       }
       ++stats_.poisoned_blocked;
+      trace_fault("poisoned-blocked", from, to, /*degraded=*/true);
       delivery = Update::make_error_withdraw(delivery.prefix);
     }
     if (!same_update(delivery, update)) differs = true;

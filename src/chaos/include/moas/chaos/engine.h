@@ -30,6 +30,10 @@
 #include "moas/chaos/schedule.h"
 #include "moas/util/rng.h"
 
+namespace moas::obs {
+class MetricsRegistry;
+}  // namespace moas::obs
+
 namespace moas::chaos {
 
 class NetworkInvariantChecker;
@@ -97,6 +101,11 @@ class ChaosEngine {
   const FaultSchedule& schedule() const { return schedule_; }
   const Stats& stats() const { return stats_; }
 
+  /// Snapshot every Stats counter into `registry` under "chaos.*" names.
+  /// The engine also emits FaultInjected / MessageFault / ErrorDegraded
+  /// events onto the network's trace bus (network.trace()) as faults land.
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
   /// Directed links whose receiver-side view is unreliable because a lossy
   /// message fault hit them and no reset has cleaned up since. Feed these
   /// into NetworkInvariantChecker::exclude_direction before checking.
@@ -125,6 +134,9 @@ class ChaosEngine {
                                                  const bgp::Update& update);
   void clean_direction_pair(bgp::Asn a, bgp::Asn b);
   void clean_router(bgp::Asn asn);
+  /// Emit a MessageFault (or, for the RFC fates, ErrorDegraded) trace event
+  /// onto the network's bus, if one is attached and recording.
+  void trace_fault(const char* note, bgp::Asn from, bgp::Asn to, bool degraded = false);
 
   bgp::Network& network_;
   FaultSchedule schedule_;

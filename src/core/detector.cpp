@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "moas/obs/metrics.h"
 #include "moas/util/assert.h"
 
 namespace moas::core {
@@ -114,6 +115,11 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
     // record. Do not overwrite the reference — later evidence may still
     // resolve the conflict.
     ++stats_.resolutions_failed;
+    if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::AlarmDropped, ctx.self())
+                       .with_prefix(prefix)
+                       .with_note("resolution-failed"));
+    }
     return true;
   }
 
@@ -138,6 +144,12 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
   }
   state.reference = *truth;
   state.supporters.clear();
+
+  if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+    trace_->emit(obs::TraceEvent(obs::EventKind::AlarmResolved, ctx.self())
+                     .with_prefix(prefix)
+                     .with_values(static_cast<std::int64_t>(false_origins.size())));
+  }
 
   if (!false_origins.empty()) {
     stats_.purges += ctx.invalidate_origins(prefix, false_origins);
@@ -210,6 +222,14 @@ void MoasDetector::on_error_withdraw(const net::Prefix& prefix, bgp::Asn from_pe
 }
 
 void MoasDetector::on_reset(bgp::RouterContext& /*ctx*/) { state_.clear(); }
+
+void MoasDetector::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.count("detector.routes_checked", stats_.routes_checked);
+  registry.count("detector.alarms_raised", stats_.alarms_raised);
+  registry.count("detector.rejections", stats_.rejections);
+  registry.count("detector.purges", stats_.purges);
+  registry.count("detector.resolutions_failed", stats_.resolutions_failed);
+}
 
 AsnSet MoasDetector::reference_list(const net::Prefix& prefix) const {
   auto it = state_.find(prefix);

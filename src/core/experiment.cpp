@@ -124,6 +124,13 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   net_config.seed = rng.next();
   bgp::Network network(net_config);
 
+  // Per-run trace bus, stamped from the run's own clock. Runs are
+  // self-contained and single-threaded (the PR 4 contract), so one bus per
+  // run is the "per-thread buffer": the sweep harness serializes buses in
+  // plan order and the merged stream is bit-identical for any --jobs.
+  obs::TraceBus bus(config_.trace_level, &network.clock());
+  if (config_.trace_level != obs::TraceLevel::Off) network.set_trace(&bus);
+
   const std::vector<bgp::Asn> all_ases = graph_->nodes();
   for (bgp::Asn asn : all_ases) network.add_router(asn);
   for (const auto& edge : graph_->edges()) {
@@ -149,6 +156,7 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   // half among *all* nodes; capability on a compromised node is moot, so we
   // simply never give attackers a detector.
   auto alarms = std::make_shared<AlarmLog>();
+  if (config_.trace_level != obs::TraceLevel::Off) alarms->set_trace(&bus);
   std::vector<std::shared_ptr<MoasDetector>> detectors;
   bgp::AsnSet capable;
   if (config_.deployment == Deployment::Full) {
@@ -163,6 +171,7 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   for (bgp::Asn asn : capable) {
     if (attackers.contains(asn)) continue;
     auto detector = std::make_shared<MoasDetector>(alarms, resolver);
+    if (config_.trace_level != obs::TraceLevel::Off) detector->set_trace(&bus);
     network.router(asn).set_validator(detector);
     detectors.push_back(std::move(detector));
   }
@@ -223,7 +232,20 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     plan.valid_origins = origins;
     plan.strategy = config_.strategy;
     const double at = rng.uniform01() * 0.5;
-    network.clock().schedule_after(at, [&network, plan] { launch_attack(network, plan); });
+    // Injection time = earliest false origination on the run's clock; the
+    // latency metrics below measure from here.
+    const sim::Time inject_at = network.clock().now() + at;
+    if (result.attack_injected_at < 0.0 || inject_at < result.attack_injected_at) {
+      result.attack_injected_at = inject_at;
+    }
+    network.clock().schedule_after(at, [&network, plan] {
+      if (obs::trace_wants(network.trace(), obs::TraceLevel::Summary)) {
+        network.trace()->emit(
+            obs::TraceEvent(obs::EventKind::AttackInjected, plan.attacker)
+                .with_prefix(plan.target));
+      }
+      launch_attack(network, plan);
+    });
   }
   result.quiesced = network.run_to_quiescence(config_.max_events);
   MOAS_ENSURE(result.quiesced, "simulation failed to quiesce within the event cap");
@@ -259,19 +281,27 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     }
   }
 
+  // Metrics snapshot. The registry is the source of truth: every scalar
+  // counter RunResult reports below is read back out of it, so a drifting
+  // name or a missed collect shows up in the run results, not just in an
+  // exporter nobody looks at.
+  result.metrics = network.collect_metrics();
+  if (engine) engine->collect_metrics(result.metrics);
+  for (const auto& detector : detectors) detector->collect_metrics(result.metrics);
+
   if (engine) {
     result.fault_events = engine->schedule().events.size();
-    const chaos::ChaosEngine::Stats& chaos_stats = engine->stats();
-    result.message_faults = chaos_stats.msgs_dropped + chaos_stats.msgs_duplicated +
-                            chaos_stats.msgs_reordered + chaos_stats.corruptions_detected +
-                            chaos_stats.corruptions_undetected +
-                            chaos_stats.corruptions_harmless +
-                            chaos_stats.attr_corruptions_applied;
-    result.attr_corruptions = chaos_stats.attr_corruptions_applied;
-    result.corrupt_session_resets = chaos_stats.corrupt_session_resets;
-    result.treat_as_withdraws = chaos_stats.treat_as_withdraws;
-    result.attr_discards = chaos_stats.attr_discards;
-    result.poisoned_blocked = chaos_stats.poisoned_blocked;
+    const obs::MetricsRegistry& m = result.metrics;
+    result.message_faults =
+        m.counter("chaos.msgs_dropped") + m.counter("chaos.msgs_duplicated") +
+        m.counter("chaos.msgs_reordered") + m.counter("chaos.corruptions_detected") +
+        m.counter("chaos.corruptions_undetected") + m.counter("chaos.corruptions_harmless") +
+        m.counter("chaos.attr_corruptions_applied");
+    result.attr_corruptions = m.counter("chaos.attr_corruptions_applied");
+    result.corrupt_session_resets = m.counter("chaos.corrupt_session_resets");
+    result.treat_as_withdraws = m.counter("chaos.treat_as_withdraws");
+    result.attr_discards = m.counter("chaos.attr_discards");
+    result.poisoned_blocked = m.counter("chaos.poisoned_blocked");
     result.fault_log = engine->log_text();
   }
   if (config_.check_invariants) {
@@ -289,25 +319,67 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   }
 
   result.alarms = alarms->size();
+  double first_alarm_at = -1.0;
   for (const MoasAlarm& alarm : alarms->alarms()) {
     const bool implicates_attacker =
         std::any_of(attackers.begin(), attackers.end(), [&](bgp::Asn a) {
           return alarm.offending_origins.contains(a) || alarm.observed_list.contains(a) ||
                  alarm.reference_list.contains(a);
         });
-    if (!implicates_attacker) ++result.false_alarms;
+    if (!implicates_attacker) {
+      ++result.false_alarms;
+    } else if (first_alarm_at < 0.0 || alarm.at < first_alarm_at) {
+      first_alarm_at = alarm.at;
+    }
   }
-  for (const auto& detector : detectors) result.rejections += detector->stats().rejections;
-  result.messages = network.messages_sent();
-  for (bgp::Asn asn : all_ases) {
-    const bgp::Router::Stats& rs = network.router(asn).stats();
-    result.withdrawals += rs.withdrawals_sent;
-    result.announcements += rs.announcements_sent;
-    result.stale_retained += rs.stale_retained;
-    result.stale_swept += rs.stale_swept;
-    result.routes_withdrawn += rs.routes_withdrawn;
-    result.error_withdraws += rs.error_withdraws;
+  if (first_alarm_at >= 0.0 && result.attack_injected_at >= 0.0) {
+    result.first_alarm_latency = std::max(0.0, first_alarm_at - result.attack_injected_at);
   }
+
+  // Eviction latency: replay the route-change stream and track the set of
+  // non-attacker routers whose best route for the scored prefix points at an
+  // attacker (RoutePreferred carries the new best origin in value2; any
+  // other change at the prefix clears the router from the set). The latency
+  // is from injection to the moment that set last became empty.
+  if (obs::kTraceCompiledIn && result.attack_injected_at >= 0.0 &&
+      bus.wants(obs::TraceLevel::Summary)) {
+    bgp::AsnSet on_false_route;
+    double last_cleared = -1.0;
+    bool ever_adopted = false;
+    for (const obs::TraceEvent& event : bus.events()) {
+      if (event.kind != obs::EventKind::RoutePreferred &&
+          event.kind != obs::EventKind::RouteDepreferred) {
+        continue;
+      }
+      if (!event.has_prefix || !(event.prefix == scored_prefix)) continue;
+      if (attackers.contains(event.actor)) continue;
+      const bool now_false = event.kind == obs::EventKind::RoutePreferred &&
+                             event.value2 > 0 &&
+                             attackers.contains(static_cast<bgp::Asn>(event.value2));
+      if (now_false) {
+        ever_adopted = true;
+        on_false_route.insert(event.actor);
+      } else if (on_false_route.erase(event.actor) > 0 && on_false_route.empty()) {
+        last_cleared = event.at;
+      }
+    }
+    if (!ever_adopted) {
+      result.eviction_latency = 0.0;  // the false route never took hold
+    } else if (!on_false_route.empty()) {
+      result.false_route_stuck = true;  // still installed at quiescence
+    } else {
+      result.eviction_latency = std::max(0.0, last_cleared - result.attack_injected_at);
+    }
+  }
+
+  result.rejections = static_cast<std::size_t>(result.metrics.counter("detector.rejections"));
+  result.messages = result.metrics.counter("network.messages_sent");
+  result.withdrawals = result.metrics.counter("router.withdrawals_sent");
+  result.announcements = result.metrics.counter("router.announcements_sent");
+  result.stale_retained = result.metrics.counter("router.stale_retained");
+  result.stale_swept = result.metrics.counter("router.stale_swept");
+  result.routes_withdrawn = result.metrics.counter("router.routes_withdrawn");
+  result.error_withdraws = result.metrics.counter("router.error_withdraws");
   if (cache) {
     result.resolver_queries = cache->inner().stats().queries;
     result.resolver_cache_hits =
@@ -315,9 +387,12 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   } else if (backend) {
     result.resolver_queries = backend->stats().queries;
   }
+  result.metrics.count("resolver.queries", result.resolver_queries);
+  result.metrics.count("resolver.cache_hits", result.resolver_cache_hits);
   if (!attackers.empty()) {
     result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
   }
+  if (config_.keep_trace) result.trace = bus.take();
   return result;
 }
 
@@ -373,6 +448,8 @@ std::vector<SweepPoint> Experiment::reduce_plan(const SweepPlan& plan,
     util::Accumulator alarms;
     util::Accumulator false_alarms;
     util::Accumulator cutoff;
+    obs::MetricsRegistry metrics;
+    std::size_t stuck = 0;
   };
   std::vector<PointAccumulators> accumulators(plan.attacker_fractions.size());
   // merge() of a single-sample accumulator takes the exact add() path, so
@@ -392,11 +469,24 @@ std::vector<SweepPoint> Experiment::reduce_plan(const SweepPlan& plan,
     take(acc.alarms, static_cast<double>(run.alarms));
     take(acc.false_alarms, static_cast<double>(run.false_alarms));
     take(acc.cutoff, run.structural_cutoff);
+    // Counters sum, histograms merge bucket-wise — both order-independent,
+    // but this loop walks plan order anyway so gauges (last-writer-wins)
+    // stay deterministic across --jobs too.
+    acc.metrics.merge(run.metrics);
+    if (run.first_alarm_latency >= 0.0) {
+      acc.metrics.histogram("detector.first_alarm_latency", kAlarmLatencySpec)
+          .add(run.first_alarm_latency);
+    }
+    if (run.eviction_latency >= 0.0) {
+      acc.metrics.histogram("detector.eviction_latency", kAlarmLatencySpec)
+          .add(run.eviction_latency);
+    }
+    if (run.false_route_stuck) ++acc.stuck;
   }
   std::vector<SweepPoint> points;
   points.reserve(plan.attacker_fractions.size());
   for (std::size_t p = 0; p < plan.attacker_fractions.size(); ++p) {
-    const PointAccumulators& acc = accumulators[p];
+    PointAccumulators& acc = accumulators[p];
     SweepPoint point;
     point.attacker_fraction = plan.attacker_fractions[p];
     point.runs = acc.adopted.count();
@@ -407,7 +497,13 @@ std::vector<SweepPoint> Experiment::reduce_plan(const SweepPlan& plan,
     point.mean_alarms = acc.alarms.mean();
     point.mean_false_alarms = acc.false_alarms.mean();
     point.mean_structural_cutoff = acc.cutoff.mean();
-    points.push_back(point);
+    point.runs_false_route_stuck = acc.stuck;
+    // Make sure both latency histograms exist even when no run produced a
+    // sample — consumers can then rely on the names unconditionally.
+    acc.metrics.histogram("detector.first_alarm_latency", kAlarmLatencySpec);
+    acc.metrics.histogram("detector.eviction_latency", kAlarmLatencySpec);
+    point.metrics = std::move(acc.metrics);
+    points.push_back(std::move(point));
   }
   return points;
 }

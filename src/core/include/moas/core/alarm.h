@@ -11,6 +11,7 @@
 
 #include "moas/bgp/asn.h"
 #include "moas/net/prefix.h"
+#include "moas/obs/trace.h"
 #include "moas/sim/event_queue.h"
 
 namespace moas::core {
@@ -38,7 +39,14 @@ const char* to_string(MoasAlarm::Cause cause);
 /// Append-only alarm sink shared by all detectors in one experiment.
 class AlarmLog {
  public:
-  void record(MoasAlarm alarm) { alarms_.push_back(std::move(alarm)); }
+  void record(MoasAlarm alarm) {
+    if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::AlarmRaised, alarm.observer)
+                       .with_prefix(alarm.prefix)
+                       .with_note(to_string(alarm.cause)));
+    }
+    alarms_.push_back(std::move(alarm));
+  }
 
   const std::vector<MoasAlarm>& alarms() const { return alarms_; }
   std::size_t size() const { return alarms_.size(); }
@@ -48,8 +56,13 @@ class AlarmLog {
   /// Number of alarms with the given cause.
   std::size_t count(MoasAlarm::Cause cause) const;
 
+  /// Attach (or detach, with nullptr) the trace bus; every recorded alarm
+  /// is mirrored as an AlarmRaised event. The bus must outlive the log.
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
  private:
   std::vector<MoasAlarm> alarms_;
+  obs::TraceBus* trace_ = nullptr;
 };
 
 }  // namespace moas::core

@@ -22,6 +22,10 @@
 #include "moas/core/moas_list.h"
 #include "moas/core/resolver.h"
 
+namespace moas::obs {
+class MetricsRegistry;
+}  // namespace moas::obs
+
 namespace moas::core {
 
 class MoasDetector final : public bgp::ImportValidator {
@@ -72,6 +76,14 @@ class MoasDetector final : public bgp::ImportValidator {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attach (or detach, with nullptr) the trace bus: conflict resolutions
+  /// emit AlarmResolved / AlarmDropped events (AlarmRaised comes from the
+  /// shared AlarmLog). The bus must outlive the detector.
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
+  /// Snapshot every Stats counter into `registry` under "detector.*" names.
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
   /// The reference list currently held for `prefix` (empty if none yet).
   AsnSet reference_list(const net::Prefix& prefix) const;
 
@@ -100,6 +112,7 @@ class MoasDetector final : public bgp::ImportValidator {
   std::shared_ptr<OriginResolver> resolver_;
   Config config_;
   std::map<net::Prefix, PrefixState> state_;
+  obs::TraceBus* trace_ = nullptr;
   Stats stats_;
 };
 

@@ -32,6 +32,8 @@
 #include "moas/core/attacker.h"
 #include "moas/core/detector.h"
 #include "moas/core/resolver.h"
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
 #include "moas/topo/graph.h"
 #include "moas/util/rng.h"
 
@@ -111,7 +113,20 @@ struct ExperimentConfig {
   /// Audit the NetworkInvariantChecker (plus the MOAS-layer custom checks)
   /// at final quiescence; violations are reported in RunResult.
   bool check_invariants = false;
+
+  /// Observability: attach a per-run trace bus recording at this level.
+  /// Summary is enough for the alarm-latency metrics (route changes, alarms,
+  /// faults); Full adds per-UPDATE send/receive. Off attaches nothing.
+  obs::TraceLevel trace_level = obs::TraceLevel::Off;
+  /// Keep the raw event stream in RunResult::trace after the run's own
+  /// latency computation. Off by default — a Full-level stream is large.
+  bool keep_trace = false;
 };
+
+/// Bucket layout of the per-point alarm-latency histograms: 0.5 s buckets
+/// up to 30 s (one MRAI interval), explicit overflow beyond. Shared by
+/// every producer so point registries merge without spec conflicts.
+inline constexpr obs::HistogramSpec kAlarmLatencySpec{0.0, 0.5, 60};
 
 struct RunResult {
   std::size_t total_ases = 0;
@@ -171,6 +186,27 @@ struct RunResult {
   /// Violations found when ExperimentConfig::check_invariants is set.
   std::vector<std::string> invariant_report;
 
+  /// Alarm-latency instrumentation (simulated seconds; -1 = not applicable).
+  /// `attack_injected_at` is the earliest scheduled false origination on the
+  /// run's clock; `first_alarm_latency` measures from there to the first
+  /// alarm implicating an attacker; `eviction_latency` to the moment the
+  /// last non-attacker router dropped its attacker-origin best route (0 when
+  /// no non-attacker ever adopted one; -1 with `false_route_stuck` set when
+  /// one still held it at quiescence). Eviction needs trace_level >= Summary
+  /// — it is computed from the RoutePreferred/RouteDepreferred stream.
+  double attack_injected_at = -1.0;
+  double first_alarm_latency = -1.0;
+  double eviction_latency = -1.0;
+  bool false_route_stuck = false;
+
+  /// Per-run metrics snapshot: router.*/network.*/sim.* (always), chaos.*
+  /// (with churn), detector.*/resolver.* (with deployment). The scalar
+  /// counters above are read back out of this registry — it is the source
+  /// of truth, not a parallel bookkeeping path.
+  obs::MetricsRegistry metrics;
+  /// The raw event stream (only with ExperimentConfig::keep_trace).
+  std::vector<obs::TraceEvent> trace;
+
   double adopted_false_fraction() const {
     return population == 0 ? 0.0
                            : static_cast<double>(adopted_false) /
@@ -198,6 +234,14 @@ struct SweepPoint {
   double mean_alarms = 0.0;
   double mean_false_alarms = 0.0;
   double mean_structural_cutoff = 0.0;
+  /// Runs whose false route was still installed somewhere at quiescence
+  /// (excluded from the eviction-latency histogram).
+  std::size_t runs_false_route_stuck = 0;
+  /// Per-run registries merged in plan order, plus the point's latency
+  /// histograms: "detector.first_alarm_latency" (injection → first
+  /// attacker-implicating alarm) and "detector.eviction_latency"
+  /// (injection → network-wide false-route eviction), both kAlarmLatencySpec.
+  obs::MetricsRegistry metrics;
 };
 
 /// One planned simulation: placements and seed drawn up front by the

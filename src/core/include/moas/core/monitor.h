@@ -19,6 +19,7 @@
 #include "moas/bgp/network.h"
 #include "moas/chaos/engine.h"
 #include "moas/core/alarm.h"
+#include "moas/obs/metrics.h"
 
 namespace moas::core {
 
@@ -28,6 +29,10 @@ namespace moas::core {
 /// come from the chaos engine's scheduled attribute corruptions (zero when
 /// `engine` is null). Session-FSM runs surface the same trio as
 /// bgp::Session::Stats counters.
+///
+/// The counters live in the metrics registry ("router.error_withdraws" +
+/// "chaos.*"); this struct is a typed view over a registry snapshot, kept
+/// for callers that want named fields instead of string lookups.
 struct ErrorHandlingSummary {
   std::uint64_t error_withdraws = 0;
   std::uint64_t attr_corruptions = 0;
@@ -39,15 +44,28 @@ struct ErrorHandlingSummary {
   /// Corruptions a strict RFC 4271 receiver would have answered with a
   /// session reset but revised handling degraded instead.
   std::uint64_t resets_avoided() const { return treat_as_withdraws + attr_discards; }
+
+  /// Read the summary out of a registry snapshot (the names written by
+  /// Network::collect_metrics and ChaosEngine::collect_metrics).
+  static ErrorHandlingSummary from_metrics(const obs::MetricsRegistry& registry);
+
+  /// Write the summary's counters back under the same registry names.
+  void to_metrics(obs::MetricsRegistry& registry) const;
 };
 
-/// Collect the summary from every router's stats plus (optionally) a chaos
-/// engine's corruption counters.
+/// Collect the summary from a network + (optionally) chaos-engine registry
+/// snapshot. Thin shim over collect_metrics + from_metrics.
 ErrorHandlingSummary collect_error_handling(const bgp::Network& network,
                                             const chaos::ChaosEngine* engine = nullptr);
 
-/// Render labeled summaries as one aligned table (one row per label) — the
-/// bench harnesses print this so degradation mode is visible at a glance.
+/// Render labeled registry snapshots as one aligned error-handling table
+/// (one row per label) — the bench harnesses print this so degradation mode
+/// is visible at a glance.
+std::string error_handling_table_from_metrics(
+    const std::vector<std::pair<std::string, obs::MetricsRegistry>>& rows);
+
+/// Struct-field flavor of the table; shim that round-trips each summary
+/// through a registry snapshot and renders with the registry printer.
 std::string error_handling_table(
     const std::vector<std::pair<std::string, ErrorHandlingSummary>>& rows);
 
@@ -61,6 +79,12 @@ class MoasMonitor {
   /// alarms raised by this pass (one per conflicting prefix, attributed to
   /// the first vantage that exposed the conflict).
   std::vector<MoasAlarm> scan(const bgp::Network& network) const;
+
+  /// Network-wide activity summary rendered from Network::collect_metrics()
+  /// — the aggregation the scattered per-router Stats never had. One line
+  /// per headline metric (updates, withdrawals, best changes, error
+  /// handling, transport counters).
+  std::string summary(const bgp::Network& network) const;
 
   const std::vector<bgp::Asn>& vantages() const { return vantages_; }
 

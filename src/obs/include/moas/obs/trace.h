@@ -1,0 +1,95 @@
+// The deterministic event trace bus.
+//
+// One TraceBus belongs to one simulation run. Runs are single-threaded (the
+// sweep parallelism of PR 4 is *across* runs, never within one), so the bus
+// is a plain per-run buffer — the "per-thread buffer" of the determinism
+// contract — and needs no locks on the emission path. The harness that
+// executed a plan merges the per-run buses in plan order, which makes the
+// combined stream bit-identical for any --jobs value, exactly like the
+// SweepPoint reduction.
+//
+// Overhead model, in increasing cost:
+//   * compile-time off (cmake -DMOAS_OBS_TRACE=OFF defines MOAS_OBS_NO_TRACE):
+//     trace_wants() is constexpr-false and every emission site folds away —
+//     zero instructions on the hot path.
+//   * runtime Off (the default level): emission sites pay one null/level
+//     check and skip building the event.
+//   * Summary: low-volume events only — route (de)preference, alarms,
+//     faults, FSM transitions, RFC 7606 degradations. What the latency
+//     instrumentation needs; cheap enough for every bench run.
+//   * Full: adds per-UPDATE send/receive — the debugging firehose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moas/obs/event.h"
+#include "moas/sim/event_queue.h"
+
+namespace moas::obs {
+
+enum class TraceLevel : std::uint8_t { Off = 0, Summary = 1, Full = 2 };
+
+const char* to_string(TraceLevel level);
+
+#ifdef MOAS_OBS_NO_TRACE
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+class TraceBus {
+ public:
+  /// `clock` (may be null) stamps every emitted event with the simulated
+  /// time; it must outlive the bus.
+  explicit TraceBus(TraceLevel level, const sim::EventQueue* clock = nullptr)
+      : level_(level), clock_(clock) {}
+
+  TraceLevel level() const { return level_; }
+
+  /// Would an event at `at_least` be recorded? Callers pass Summary or Full.
+  bool wants(TraceLevel at_least) const {
+    return level_ != TraceLevel::Off && level_ >= at_least;
+  }
+
+  /// Record `event`, stamping `event.at` from the clock when one is
+  /// attached. Emission sites gate on trace_wants() *before* building the
+  /// event so a disabled bus costs no allocation.
+  void emit(TraceEvent event) {
+    if (clock_ != nullptr) event.at = clock_->now();
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Move the buffer out (the harness collects per-run streams this way).
+  std::vector<TraceEvent> take() { return std::move(events_); }
+  void clear() { events_.clear(); }
+
+ private:
+  TraceLevel level_;
+  const sim::EventQueue* clock_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The one gate every instrumentation site uses:
+///
+///   if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+///     trace_->emit(...);
+///   }
+///
+/// Compile-time no-op when the sink is compiled out; otherwise one null
+/// check plus one level compare.
+inline bool trace_wants(const TraceBus* bus, TraceLevel at_least) {
+  if constexpr (!kTraceCompiledIn) {
+    (void)bus;
+    (void)at_least;
+    return false;
+  } else {
+    return bus != nullptr && bus->wants(at_least);
+  }
+}
+
+}  // namespace moas::obs

@@ -1,0 +1,14 @@
+#include "moas/obs/trace.h"
+
+namespace moas::obs {
+
+const char* to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off: return "off";
+    case TraceLevel::Summary: return "summary";
+    case TraceLevel::Full: return "full";
+  }
+  return "?";
+}
+
+}  // namespace moas::obs

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "moas/obs/event.h"
 #include "moas/topo/gen_internet.h"
 #include "moas/topo/sampler.h"
 #include "moas/util/stats.h"
@@ -168,6 +170,46 @@ TEST(SweepParallel, ReducePlanRejectsMismatchedResults) {
   const SweepPlan plan = experiment.plan_sweep({0.05}, 1, 2, rng);
   const std::vector<RunResult> too_few(1);
   EXPECT_THROW(experiment.reduce_plan(plan, too_few), std::invalid_argument);
+}
+
+TEST(SweepParallel, TraceAndMetricsIdenticalAcrossJobs) {
+  // The observability layer rides the same plan → execute → reduce contract:
+  // each run owns its trace bus and registry, and the harness serializes
+  // them in plan order — so the concatenated JSONL trace and the reduced
+  // per-point registries must be byte-identical for any job count.
+  ExperimentConfig config = sweep_config();
+  config.trace_level = obs::TraceLevel::Summary;
+  config.keep_trace = true;
+  const Experiment experiment(shared_topology(), config);
+  const std::vector<double> fractions{0.05, 0.20};
+
+  std::string golden_trace;
+  std::vector<std::string> golden_metrics;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("jobs = " + std::to_string(jobs));
+    util::Rng rng(77);
+    const SweepPlan plan = experiment.plan_sweep(fractions, 2, 2, rng);
+    util::ThreadPool pool(jobs);
+    const std::vector<RunResult> results = experiment.execute_plan(plan, pool);
+
+    std::ostringstream trace;
+    for (const RunResult& run : results) obs::write_trace_jsonl(trace, run.trace);
+
+    const std::vector<SweepPoint> points = experiment.reduce_plan(plan, results);
+    std::vector<std::string> metrics;
+    for (const SweepPoint& point : points) metrics.push_back(point.metrics.to_json());
+
+    if (jobs == 1) {
+      golden_trace = trace.str();
+      golden_metrics = metrics;
+      if (obs::kTraceCompiledIn) {
+        EXPECT_FALSE(golden_trace.empty());
+      }
+    } else {
+      EXPECT_EQ(trace.str(), golden_trace);
+      EXPECT_EQ(metrics, golden_metrics);
+    }
+  }
 }
 
 TEST(SweepParallel, SharedPoolAcrossPlansMatchesPerSweepPools) {

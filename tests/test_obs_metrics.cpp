@@ -1,0 +1,152 @@
+// Metrics registry + fixed-bucket histogram unit tests: bucketing edges,
+// quantiles, merge semantics (counters sum, gauges last-writer-wins,
+// histograms merge bucket-wise with spec checking), and the deterministic
+// JSON export the bench manifests rely on.
+#include "moas/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace moas::obs {
+namespace {
+
+TEST(FixedHistogram, RejectsDegenerateSpecs) {
+  EXPECT_THROW(FixedHistogram({0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({0.0, 0.0, 4}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({0.0, -1.0, 4}), std::invalid_argument);
+}
+
+TEST(FixedHistogram, BucketsValuesAtEdges) {
+  FixedHistogram hist({0.0, 0.5, 4});  // [0, 0.5) [0.5, 1) [1, 1.5) [1.5, 2)
+  hist.add(0.0);    // first bucket, inclusive lower edge
+  hist.add(0.499);  // still first bucket
+  hist.add(0.5);    // second bucket — edges are half-open
+  hist.add(1.999);  // last bucket
+  hist.add(2.0);    // == hi: overflow
+  hist.add(-0.001); // underflow
+  EXPECT_EQ(hist.bucket_counts()[0], 2u);
+  EXPECT_EQ(hist.bucket_counts()[1], 1u);
+  EXPECT_EQ(hist.bucket_counts()[2], 0u);
+  EXPECT_EQ(hist.bucket_counts()[3], 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.count(), 6u);  // every add() counts, in or out of range
+  EXPECT_EQ(hist.min(), -0.001);
+  EXPECT_EQ(hist.max(), 2.0);
+}
+
+TEST(FixedHistogram, EmptyHistogramHasNeutralStats) {
+  const FixedHistogram hist({0.0, 1.0, 4});
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+}
+
+TEST(FixedHistogram, QuantilesInterpolateWithinBuckets) {
+  FixedHistogram hist({0.0, 1.0, 10});
+  for (int i = 0; i < 100; ++i) hist.add(static_cast<double>(i % 10) + 0.5);
+  // Uniform over [0,10): the median lands near 5, p90 near 9.
+  EXPECT_NEAR(hist.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(hist.quantile(0.9), 9.0, 1.0);
+  EXPECT_LE(hist.quantile(0.0), hist.quantile(1.0));
+  EXPECT_LE(hist.quantile(1.0), hist.spec().hi());
+}
+
+TEST(FixedHistogram, MergeIsBucketWiseAndChecksSpec) {
+  FixedHistogram a({0.0, 1.0, 4});
+  FixedHistogram b({0.0, 1.0, 4});
+  a.add(0.5);
+  a.add(7.0);  // overflow
+  b.add(0.6);
+  b.add(-1.0);  // underflow
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket_counts()[0], 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.min(), -1.0);
+  EXPECT_EQ(a.max(), 7.0);
+
+  const FixedHistogram narrower({0.0, 0.5, 4});
+  EXPECT_THROW(a.merge(narrower), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("absent"), 0u);
+  registry.count("updates", 3);
+  registry.count("updates");
+  EXPECT_EQ(registry.counter("updates"), 4u);
+}
+
+TEST(MetricsRegistry, HistogramIsGetOrCreateWithSpecConflictDetection) {
+  MetricsRegistry registry;
+  const HistogramSpec spec{0.0, 0.5, 60};
+  registry.histogram("latency", spec).add(1.0);
+  registry.histogram("latency", spec).add(2.0);  // same spec: same histogram
+  EXPECT_EQ(registry.find_histogram("latency")->count(), 2u);
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+  EXPECT_THROW(registry.histogram("latency", HistogramSpec{0.0, 1.0, 60}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeSumsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.count("c", 2);
+  b.count("c", 3);
+  b.count("only_b", 1);
+  a.set_gauge("g", 1.0);
+  b.set_gauge("g", 5.0);
+  const HistogramSpec spec{0.0, 1.0, 4};
+  a.histogram("h", spec).add(0.5);
+  b.histogram("h", spec).add(1.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_EQ(a.gauge("g"), 5.0);  // last writer wins
+  EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+}
+
+TEST(MetricsRegistry, JsonExportIsSortedAndDeterministic) {
+  MetricsRegistry a;
+  a.count("zeta", 1);
+  a.count("alpha", 2);
+  a.set_gauge("mid", 2.5);
+  a.histogram("lat", HistogramSpec{0.0, 1.0, 2}).add(0.5);
+
+  // Same content inserted in a different order exports identical bytes.
+  MetricsRegistry b;
+  b.histogram("lat", HistogramSpec{0.0, 1.0, 2}).add(0.5);
+  b.count("alpha", 2);
+  b.set_gauge("mid", 2.5);
+  b.count("zeta", 1);
+  EXPECT_EQ(a.to_json(), b.to_json());
+
+  const std::string json = a.to_json();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+
+  std::ostringstream os;
+  a.write_json(os);
+  EXPECT_EQ(os.str(), json);
+}
+
+TEST(MetricsRegistry, EqualityIsStructural) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  EXPECT_TRUE(a == b);
+  a.count("c", 1);
+  EXPECT_FALSE(a == b);
+  b.count("c", 1);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace moas::obs
