@@ -80,6 +80,22 @@ int main(int argc, char** argv) {
   core::ExperimentConfig config;
   config.num_origins = 1;
   config.deployment = core::Deployment::Full;
+  if (smoke) {
+    // The smoke gate doubles as the sanitizer check for the asynchronous
+    // resolution path: flaky DNS behind the fault-tolerant chain plus the
+    // registry-outage fault family, all racing across the worker pool. The
+    // full-mode bench stays the plain fig9 sweep so its timings remain
+    // comparable across revisions.
+    config.resolver = core::ResolverKind::Dns;
+    config.dns_unavailability = 0.2;
+    config.async_resolution = core::AsyncResolver::Config{};
+    config.async_fallback_irr = true;
+    chaos::RegistryOutageConfig outage;
+    outage.outages = 3.0;
+    outage.spikes = 2.0;
+    config.registry_outage = outage;
+    config.trace_level = obs::TraceLevel::Summary;
+  }
 
   const std::vector<double> fractions =
       smoke ? std::vector<double>{0.05, 0.20} : paper_attacker_fractions();

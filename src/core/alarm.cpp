@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "moas/core/moas_list.h"
+#include "moas/util/assert.h"
 
 namespace moas::core {
 
@@ -13,6 +14,27 @@ const char* to_string(MoasAlarm::Cause cause) {
     case MoasAlarm::Cause::BannedOriginSeen: return "banned-origin-seen";
   }
   return "?";
+}
+
+const char* to_string(MoasAlarm::State state) {
+  switch (state) {
+    case MoasAlarm::State::Raised: return "raised";
+    case MoasAlarm::State::Pending: return "pending";
+    case MoasAlarm::State::Resolved: return "resolved";
+    case MoasAlarm::State::Expired: return "expired";
+  }
+  return "?";
+}
+
+void AlarmLog::settle(std::size_t id, MoasAlarm::State state, sim::Time at) {
+  MOAS_REQUIRE(id < alarms_.size(), "settling an alarm that was never recorded");
+  MOAS_REQUIRE(state != MoasAlarm::State::Raised, "cannot settle back to Raised");
+  MoasAlarm& alarm = alarms_[id];
+  MOAS_REQUIRE(alarm.state == MoasAlarm::State::Raised ||
+                   alarm.state == MoasAlarm::State::Pending,
+               "alarm already reached a terminal state");
+  alarm.state = state;
+  if (state != MoasAlarm::State::Pending) alarm.settled_at = at;
 }
 
 std::string MoasAlarm::to_string() const {
@@ -30,6 +52,12 @@ std::size_t AlarmLog::count(MoasAlarm::Cause cause) const {
   return static_cast<std::size_t>(
       std::count_if(alarms_.begin(), alarms_.end(),
                     [cause](const MoasAlarm& a) { return a.cause == cause; }));
+}
+
+std::size_t AlarmLog::count_state(MoasAlarm::State state) const {
+  return static_cast<std::size_t>(
+      std::count_if(alarms_.begin(), alarms_.end(),
+                    [state](const MoasAlarm& a) { return a.state == state; }));
 }
 
 }  // namespace moas::core

@@ -54,8 +54,10 @@ bool MoasDetector::accept(const bgp::Route& route, bgp::Asn from_peer,
       if (state.banned.contains(asn)) state.banned_support[asn].insert(from_peer);
     }
     if (config_.alarm_on_banned_repeat) {
-      raise(ctx, prefix, state.reference, incoming_list, origins,
-            MoasAlarm::Cause::BannedOriginSeen);
+      // Needs no investigation — the rejection below *is* the response.
+      const std::size_t id = raise(ctx, prefix, state.reference, incoming_list, origins,
+                                   MoasAlarm::Cause::BannedOriginSeen);
+      alarms_->settle(id, MoasAlarm::State::Resolved, ctx.current_time());
     }
     ++stats_.rejections;
     return false;
@@ -65,8 +67,9 @@ bool MoasDetector::accept(const bgp::Route& route, bgp::Asn from_peer,
   // own origin; otherwise it is bogus on its face.
   if (config_.check_origin_in_list && has_explicit_moas_list(route) &&
       !origins.empty() && !subset(origins, incoming_list)) {
-    raise(ctx, prefix, state.reference, incoming_list, origins,
-          MoasAlarm::Cause::OriginNotInList);
+    const std::size_t id = raise(ctx, prefix, state.reference, incoming_list, origins,
+                                 MoasAlarm::Cause::OriginNotInList);
+    alarms_->settle(id, MoasAlarm::State::Resolved, ctx.current_time());
     ++stats_.rejections;
     return false;
   }
@@ -103,8 +106,38 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
   const net::Prefix prefix = route.prefix;
   const AsnSet origins = route.origin_candidates();
 
-  raise(ctx, prefix, state.reference, incoming_list, origins,
-        MoasAlarm::Cause::ListMismatch);
+  const std::size_t alarm_id = raise(ctx, prefix, state.reference, incoming_list, origins,
+                                     MoasAlarm::Cause::ListMismatch);
+
+  if (async_) {
+    // Degraded mode: investigation takes wall-clock time now. The alarm goes
+    // Pending, the route is accepted (availability never regresses while we
+    // wait), and nothing is evicted or overwritten until an answer arrives —
+    // the resolution completion does the banning/purging retroactively.
+    alarms_->settle(alarm_id, MoasAlarm::State::Pending, ctx.current_time());
+    auto [it, inserted] = pending_.try_emplace(prefix);
+    PendingConflict& pc = it->second;
+    pc.ctx = &ctx;
+    pc.alarm_ids.push_back(alarm_id);
+    for (Asn asn : origins) pc.asserted[asn].insert(from_peer);
+    for (Asn asn : incoming_list) pc.asserted[asn].insert(from_peer);
+    if (inserted) {
+      // First conflict for this prefix: also implicate the current reference
+      // and its supporters, then launch exactly one resolution. Later
+      // conflicting routes for the same prefix fold into this request.
+      for (Asn asn : state.reference) {
+        AsnSet& support = pc.asserted[asn];
+        for (Asn peer : state.supporters) support.insert(peer);
+      }
+      pc.generation = next_generation_++;
+      const std::uint64_t generation = pc.generation;
+      async_->request(prefix, [this, prefix, generation](const AsyncResolver::Outcome& o) {
+        on_resolution(prefix, generation, o);
+      });
+    }
+    ++stats_.degraded_accepts;
+    return true;
+  }
 
   std::optional<AsnSet> truth;
   if (resolver_) truth = resolver_->resolve(prefix);
@@ -112,9 +145,10 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
   if (!truth) {
     // Investigation came up empty: behave like plain BGP (accept) so the
     // mechanism never makes availability worse, but keep the alarm on
-    // record. Do not overwrite the reference — later evidence may still
-    // resolve the conflict.
+    // record (explicitly Expired). Do not overwrite the reference — later
+    // evidence may still resolve the conflict.
     ++stats_.resolutions_failed;
+    alarms_->settle(alarm_id, MoasAlarm::State::Expired, ctx.current_time());
     if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
       trace_->emit(obs::TraceEvent(obs::EventKind::AlarmDropped, ctx.self())
                        .with_prefix(prefix)
@@ -125,24 +159,45 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
 
   // Ban every origin we have seen asserted that is not actually valid, and
   // purge any such routes that made it into the RIB before the conflict
-  // surfaced.
-  AsnSet implicated = origins;
-  for (Asn asn : incoming_list) implicated.insert(asn);
-  for (Asn asn : state.reference) implicated.insert(asn);
-  const AsnSet false_origins = difference(implicated, *truth);
+  // surfaced. The sender of this route asserts its origins and list; the
+  // old reference is asserted by its supporters.
+  std::map<Asn, AsnSet> asserted;
+  for (Asn asn : origins) asserted[asn].insert(from_peer);
+  for (Asn asn : incoming_list) asserted[asn].insert(from_peer);
+  apply_truth(prefix, ctx, state, *truth, asserted, {alarm_id});
+
+  if (!subset(origins, *truth)) {
+    ++stats_.rejections;
+    return false;
+  }
+  state.supporters.insert(from_peer);
+  return true;
+}
+
+void MoasDetector::apply_truth(const net::Prefix& prefix, bgp::RouterContext& ctx,
+                               PrefixState& state, const AsnSet& truth,
+                               const std::map<Asn, AsnSet>& asserted,
+                               const std::vector<std::size_t>& alarm_ids) {
+  AsnSet implicated = state.reference;
+  for (const auto& [asn, peers] : asserted) implicated.insert(asn);
+  const AsnSet false_origins = difference(implicated, truth);
   for (Asn asn : false_origins) {
     state.banned.insert(asn);
-    // Tie the ban to the peers that asserted the false origin: the sender
-    // of this route (if it carried it) and, when the *old* reference was
-    // the lie, the peers that had backed that reference.
+    // Tie the ban to the peers that asserted the false origin; when the
+    // *old* reference was the lie, the peers that had backed it.
     AsnSet& support = state.banned_support[asn];
-    if (origins.contains(asn) || incoming_list.contains(asn)) support.insert(from_peer);
+    if (auto it = asserted.find(asn); it != asserted.end()) {
+      for (Asn peer : it->second) support.insert(peer);
+    }
     if (state.reference.contains(asn)) {
       for (Asn peer : state.supporters) support.insert(peer);
     }
-    if (support.empty()) support.insert(from_peer);
+    if (support.empty() && !asserted.empty()) {
+      // Last resort so the ban has a live witness: the first asserting peer.
+      support.insert(*asserted.begin()->second.begin());
+    }
   }
-  state.reference = *truth;
+  state.reference = truth;
   state.supporters.clear();
 
   if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
@@ -154,18 +209,40 @@ bool MoasDetector::resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
   if (!false_origins.empty()) {
     stats_.purges += ctx.invalidate_origins(prefix, false_origins);
   }
-
-  if (!subset(origins, *truth)) {
-    ++stats_.rejections;
-    return false;
+  for (std::size_t id : alarm_ids) {
+    alarms_->settle(id, MoasAlarm::State::Resolved, ctx.current_time());
   }
-  state.supporters.insert(from_peer);
-  return true;
 }
 
-void MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
-                         const AsnSet& reference, const AsnSet& observed,
-                         const AsnSet& offending, MoasAlarm::Cause cause) {
+void MoasDetector::on_resolution(const net::Prefix& prefix, std::uint64_t generation,
+                                 const AsyncResolver::Outcome& outcome) {
+  auto it = pending_.find(prefix);
+  if (it == pending_.end() || it->second.generation != generation) return;
+  PendingConflict pc = std::move(it->second);
+  pending_.erase(it);
+  bgp::RouterContext& ctx = *pc.ctx;
+
+  if (outcome.fate != AsyncResolver::Fate::Resolved || !outcome.answer.has_value()) {
+    // Every source failed or the budget ran out: the conflict stays open,
+    // and every alarm folded into it expires explicitly — none is lost.
+    ++stats_.resolutions_failed;
+    for (std::size_t id : pc.alarm_ids) {
+      alarms_->settle(id, MoasAlarm::State::Expired, ctx.current_time());
+    }
+    if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::AlarmDropped, ctx.self())
+                       .with_prefix(prefix)
+                       .with_note(core::to_string(outcome.fate)));
+    }
+    return;
+  }
+
+  apply_truth(prefix, ctx, state_[prefix], *outcome.answer, pc.asserted, pc.alarm_ids);
+}
+
+std::size_t MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
+                                const AsnSet& reference, const AsnSet& observed,
+                                const AsnSet& offending, MoasAlarm::Cause cause) {
   ++stats_.alarms_raised;
   MoasAlarm alarm;
   alarm.at = ctx.current_time();
@@ -175,7 +252,7 @@ void MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
   alarm.observed_list = observed;
   alarm.offending_origins = offending;
   alarm.cause = cause;
-  alarms_->record(std::move(alarm));
+  return alarms_->record(std::move(alarm));
 }
 
 void MoasDetector::on_peer_down(bgp::Asn peer, bgp::RouterContext& /*ctx*/) {
@@ -221,7 +298,19 @@ void MoasDetector::on_error_withdraw(const net::Prefix& prefix, bgp::Asn from_pe
   }
 }
 
-void MoasDetector::on_reset(bgp::RouterContext& /*ctx*/) { state_.clear(); }
+void MoasDetector::on_reset(bgp::RouterContext& ctx) {
+  // The crash wipes detector memory, so in-flight investigations have
+  // nothing to apply to: their alarms expire explicitly (never silently)
+  // and stale completions no-op on the generation guard.
+  for (auto& [prefix, pc] : pending_) {
+    ++stats_.resolutions_failed;
+    for (std::size_t id : pc.alarm_ids) {
+      alarms_->settle(id, MoasAlarm::State::Expired, ctx.current_time());
+    }
+  }
+  pending_.clear();
+  state_.clear();
+}
 
 void MoasDetector::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.count("detector.routes_checked", stats_.routes_checked);
@@ -229,6 +318,7 @@ void MoasDetector::collect_metrics(obs::MetricsRegistry& registry) const {
   registry.count("detector.rejections", stats_.rejections);
   registry.count("detector.purges", stats_.purges);
   registry.count("detector.resolutions_failed", stats_.resolutions_failed);
+  registry.count("detector.degraded_accepts", stats_.degraded_accepts);
 }
 
 AsnSet MoasDetector::reference_list(const net::Prefix& prefix) const {

@@ -38,6 +38,12 @@ Experiment::Experiment(const topo::AsGraph& graph, ExperimentConfig config)
   MOAS_REQUIRE(config.resolver_cache_ttl >= 0.0, "resolver cache TTL must be non-negative");
   MOAS_REQUIRE(!config.graceful_restart || config.gr_restart_time > 0.0,
                "graceful restart needs a positive restart time");
+  MOAS_REQUIRE(!config.async_fallback_irr || config.async_resolution.has_value(),
+               "the IRR fallback source needs async_resolution");
+  MOAS_REQUIRE(!config.registry_outage.has_value() || config.async_resolution.has_value(),
+               "registry outages act on the async resolution path");
+  MOAS_REQUIRE(!config.async_resolution.has_value() || config.resolver != ResolverKind::None,
+               "async resolution needs a backend resolver");
 }
 
 bgp::AsnSet Experiment::draw_origins(util::Rng& rng) const {
@@ -152,6 +158,35 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     resolver = cache;
   }
 
+  // Asynchronous fault-tolerant resolution: the (possibly cached) primary
+  // becomes source 0 of the fallback chain, optionally backed by an IRR
+  // mirror, with a seeded registry-outage schedule replayed against both.
+  // Declared after `network` so in-flight requests die before the clock.
+  std::shared_ptr<AsyncResolver> async;
+  std::shared_ptr<chaos::RegistryOutageSchedule> outage_schedule;
+  if (config_.async_resolution && resolver) {
+    AsyncResolver::Config async_config = *config_.async_resolution;
+    async_config.seed ^= rng.next();  // one run seed reproduces latency draws
+    async = std::make_shared<AsyncResolver>(network.clock(), async_config);
+    async->add_source(resolver);
+    if (config_.async_fallback_irr) {
+      auto stale = std::make_shared<PrefixOriginDb>();
+      if (!config_.irr_stale_origins.empty()) stale->set(victim, config_.irr_stale_origins);
+      IrrResolver::Config irr;
+      irr.staleness = config_.irr_staleness;
+      irr.seed = rng.next();
+      async->add_source(std::make_shared<IrrResolver>(truth, stale, irr));
+    }
+    if (config_.registry_outage) {
+      chaos::RegistryOutageConfig outage = *config_.registry_outage;
+      outage.seed ^= seed;  // same mixing rule as churn
+      outage_schedule = std::make_shared<chaos::RegistryOutageSchedule>(
+          chaos::compile_registry_outages(outage, async->source_count()));
+      async->set_outage_schedule(outage_schedule);
+    }
+    if (config_.trace_level != obs::TraceLevel::Off) async->set_trace(&bus);
+  }
+
   // Detector deployment. The paper's partial deployment picks the capable
   // half among *all* nodes; capability on a compromised node is moot, so we
   // simply never give attackers a detector.
@@ -171,6 +206,7 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   for (bgp::Asn asn : capable) {
     if (attackers.contains(asn)) continue;
     auto detector = std::make_shared<MoasDetector>(alarms, resolver);
+    if (async) detector->set_async_resolver(async);
     if (config_.trace_level != obs::TraceLevel::Off) detector->set_trace(&bus);
     network.router(asn).set_validator(detector);
     detectors.push_back(std::move(detector));
@@ -288,6 +324,15 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   result.metrics = network.collect_metrics();
   if (engine) engine->collect_metrics(result.metrics);
   for (const auto& detector : detectors) detector->collect_metrics(result.metrics);
+  // Resolver counters ("resolver.*") come straight from the components: the
+  // async resolver collects its whole fallback chain (each source's backend
+  // included); otherwise the possibly-cached synchronous resolver reports.
+  if (async) {
+    async->collect_metrics(result.metrics);
+    result.outage_log = outage_schedule ? outage_schedule->to_string() : std::string();
+  } else if (resolver) {
+    resolver->collect_metrics(result.metrics);
+  }
 
   if (engine) {
     result.fault_events = engine->schedule().events.size();
@@ -319,6 +364,19 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   }
 
   result.alarms = alarms->size();
+  result.alarms_pending = alarms->count_state(MoasAlarm::State::Pending);
+  result.alarms_resolved = alarms->count_state(MoasAlarm::State::Resolved);
+  result.alarms_expired = alarms->count_state(MoasAlarm::State::Expired);
+  // Settle latency (alarm raised -> terminal state): instantaneous on the
+  // synchronous path, and exactly the resolution latency the degraded mode
+  // added on the async path — the bounded-inflation gate reads this.
+  {
+    auto& settle =
+        result.metrics.histogram("detector.alarm_settle_latency", kAlarmLatencySpec);
+    for (const MoasAlarm& alarm : alarms->alarms()) {
+      if (alarm.settled_at >= 0.0) settle.add(alarm.settled_at - alarm.at);
+    }
+  }
   double first_alarm_at = -1.0;
   for (const MoasAlarm& alarm : alarms->alarms()) {
     const bool implicates_attacker =
@@ -380,15 +438,14 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   result.stale_swept = result.metrics.counter("router.stale_swept");
   result.routes_withdrawn = result.metrics.counter("router.routes_withdrawn");
   result.error_withdraws = result.metrics.counter("router.error_withdraws");
-  if (cache) {
-    result.resolver_queries = cache->inner().stats().queries;
-    result.resolver_cache_hits =
-        cache->cache_stats().hits + cache->cache_stats().negative_hits;
-  } else if (backend) {
-    result.resolver_queries = backend->stats().queries;
-  }
-  result.metrics.count("resolver.queries", result.resolver_queries);
-  result.metrics.count("resolver.cache_hits", result.resolver_cache_hits);
+  // The registry is the source of truth for resolver load too: the scalars
+  // are read back out of it (and the names exist even for resolver-less
+  // runs, so manifest consumers can rely on them unconditionally).
+  result.metrics.count("resolver.queries", 0);
+  result.metrics.count("resolver.cache_hits", 0);
+  result.resolver_queries = result.metrics.counter("resolver.queries");
+  result.resolver_cache_hits = result.metrics.counter("resolver.cache_hits") +
+                               result.metrics.counter("resolver.cache_negative_hits");
   if (!attackers.empty()) {
     result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
   }

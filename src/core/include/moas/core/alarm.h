@@ -23,6 +23,13 @@ struct MoasAlarm {
     BannedOriginSeen,  // a route from an origin already identified as false
   };
 
+  /// Alarm lifecycle. Every alarm must reach a terminal state: Resolved
+  /// (investigation identified the false origins) or Expired (resolution
+  /// failed or ran out of budget — the conflict stays open, explicitly).
+  /// Pending marks an alarm whose resolution is still in flight (degraded
+  /// detector mode); a run that quiesces with Pending alarms lost them.
+  enum class State : std::uint8_t { Raised, Pending, Resolved, Expired };
+
   sim::Time at = 0.0;
   bgp::Asn observer = bgp::kNoAs;  // the AS that raised the alarm
   net::Prefix prefix;
@@ -30,23 +37,34 @@ struct MoasAlarm {
   bgp::AsnSet observed_list;   // the list on the offending announcement
   bgp::AsnSet offending_origins;  // origin candidates of that announcement
   Cause cause = Cause::ListMismatch;
+  State state = State::Raised;
+  sim::Time settled_at = -1.0;  // when a terminal state was reached (-1 = not yet)
 
   std::string to_string() const;
 };
 
 const char* to_string(MoasAlarm::Cause cause);
+const char* to_string(MoasAlarm::State state);
 
 /// Append-only alarm sink shared by all detectors in one experiment.
 class AlarmLog {
  public:
-  void record(MoasAlarm alarm) {
+  /// Records the alarm and returns its id (index) so the raiser can settle
+  /// it later.
+  std::size_t record(MoasAlarm alarm) {
     if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
       trace_->emit(obs::TraceEvent(obs::EventKind::AlarmRaised, alarm.observer)
                        .with_prefix(alarm.prefix)
                        .with_note(to_string(alarm.cause)));
     }
     alarms_.push_back(std::move(alarm));
+    return alarms_.size() - 1;
   }
+
+  /// Transition alarm `id` to `state` at time `at`. Only forward moves are
+  /// legal: Raised -> Pending, and Raised/Pending -> Resolved/Expired; a
+  /// settled alarm never changes again.
+  void settle(std::size_t id, MoasAlarm::State state, sim::Time at);
 
   const std::vector<MoasAlarm>& alarms() const { return alarms_; }
   std::size_t size() const { return alarms_.size(); }
@@ -55,6 +73,9 @@ class AlarmLog {
 
   /// Number of alarms with the given cause.
   std::size_t count(MoasAlarm::Cause cause) const;
+
+  /// Number of alarms currently in the given lifecycle state.
+  std::size_t count_state(MoasAlarm::State state) const;
 
   /// Attach (or detach, with nullptr) the trace bus; every recorded alarm
   /// is mirrored as an AlarmRaised event. The bus must outlive the log.

@@ -16,9 +16,11 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "moas/bgp/validator.h"
 #include "moas/core/alarm.h"
+#include "moas/core/async_resolver.h"
 #include "moas/core/moas_list.h"
 #include "moas/core/resolver.h"
 
@@ -45,6 +47,22 @@ class MoasDetector final : public bgp::ImportValidator {
   MoasDetector(std::shared_ptr<AlarmLog> alarms, std::shared_ptr<OriginResolver> resolver);
   MoasDetector(std::shared_ptr<AlarmLog> alarms, std::shared_ptr<OriginResolver> resolver,
                Config config);
+
+  /// Switch conflict investigation to the clock-driven fault-tolerant path:
+  /// list mismatches raise a Pending alarm and enter degraded mode instead
+  /// of blocking on the synchronous resolver (which is then unused for
+  /// conflicts). The resolver must outlive the detector's last in-flight
+  /// request — in practice both live for the whole run.
+  void set_async_resolver(std::shared_ptr<AsyncResolver> resolver) {
+    async_ = std::move(resolver);
+  }
+
+  /// Degraded mode: at least one conflict is awaiting resolution. While
+  /// degraded the detector contains conservatively — conflicting routes are
+  /// accepted (availability never regresses), nothing is evicted, and the
+  /// reference list is left untouched until an answer arrives.
+  bool degraded() const { return !pending_.empty(); }
+  std::size_t pending_conflicts() const { return pending_.size(); }
 
   bool accept(const bgp::Route& route, bgp::Asn from_peer,
               bgp::RouterContext& ctx) override;
@@ -73,6 +91,7 @@ class MoasDetector final : public bgp::ImportValidator {
     std::uint64_t rejections = 0;          // announcements vetoed
     std::uint64_t purges = 0;              // installed routes invalidated
     std::uint64_t resolutions_failed = 0;  // conflict stayed unresolved
+    std::uint64_t degraded_accepts = 0;    // routes accepted while a conflict was pending
   };
   const Stats& stats() const { return stats_; }
 
@@ -100,18 +119,46 @@ class MoasDetector final : public bgp::ImportValidator {
     std::map<bgp::Asn, AsnSet> banned_support;
   };
 
-  void raise(bgp::RouterContext& ctx, const net::Prefix& prefix, const AsnSet& reference,
-             const AsnSet& observed, const AsnSet& offending, MoasAlarm::Cause cause);
+  /// A conflict whose resolution is in flight. The RouterContext pointer is
+  /// safe to keep: the Router outlives the run, and every completion is
+  /// delivered through the run's own event queue.
+  struct PendingConflict {
+    bgp::RouterContext* ctx = nullptr;
+    std::vector<std::size_t> alarm_ids;  // every alarm folded into this conflict
+    /// origin -> peers that asserted it while the conflict was pending;
+    /// feeds ban attribution when the answer arrives.
+    std::map<bgp::Asn, AsnSet> asserted;
+    /// Guards against callbacks from a pre-reset incarnation of the conflict.
+    std::uint64_t generation = 0;
+  };
+
+  /// Records the alarm and returns its AlarmLog id.
+  std::size_t raise(bgp::RouterContext& ctx, const net::Prefix& prefix,
+                    const AsnSet& reference, const AsnSet& observed,
+                    const AsnSet& offending, MoasAlarm::Cause cause);
 
   /// Handle a list conflict; returns whether the incoming route is accepted.
   bool resolve_conflict(const bgp::Route& route, bgp::Asn from_peer,
                         bgp::RouterContext& ctx, PrefixState& state,
                         const AsnSet& incoming_list);
 
+  /// Apply a resolved truth: ban and purge false origins, adopt the
+  /// reference, settle `alarm_ids`.
+  void apply_truth(const net::Prefix& prefix, bgp::RouterContext& ctx, PrefixState& state,
+                   const AsnSet& truth, const std::map<bgp::Asn, AsnSet>& asserted,
+                   const std::vector<std::size_t>& alarm_ids);
+
+  /// Completion of an async resolution for `prefix` (generation-guarded).
+  void on_resolution(const net::Prefix& prefix, std::uint64_t generation,
+                     const AsyncResolver::Outcome& outcome);
+
   std::shared_ptr<AlarmLog> alarms_;
   std::shared_ptr<OriginResolver> resolver_;
+  std::shared_ptr<AsyncResolver> async_;
   Config config_;
   std::map<net::Prefix, PrefixState> state_;
+  std::map<net::Prefix, PendingConflict> pending_;
+  std::uint64_t next_generation_ = 1;
   obs::TraceBus* trace_ = nullptr;
   Stats stats_;
 };

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "moas/bgp/network.h"
+#include "moas/chaos/registry_outage.h"
 #include "moas/chaos/schedule.h"
+#include "moas/core/async_resolver.h"
 #include "moas/core/attacker.h"
 #include "moas/core/detector.h"
 #include "moas/core/resolver.h"
@@ -77,6 +79,22 @@ struct ExperimentConfig {
   /// disables. Under churn the same prefix alarms repeatedly, and without a
   /// cache every alarm is a fresh registry lookup.
   double resolver_cache_ttl = 0.0;
+
+  /// Asynchronous fault-tolerant resolution. When set, conflict
+  /// investigation goes through a clock-driven AsyncResolver (timeouts,
+  /// retry/backoff, circuit breaker, fallback chain, stale-cache) built
+  /// around the configured backend, and detectors run the degraded-mode
+  /// alarm lifecycle (Pending alarms that later Resolve or Expire) instead
+  /// of blocking on the synchronous resolver. The async seed is mixed with
+  /// the run seed, so one run seed reproduces the latency draws too.
+  std::optional<AsyncResolver::Config> async_resolution;
+  /// Add an IRR source (knobbed by irr_staleness / irr_stale_origins) behind
+  /// the primary backend in the fallback chain. Only with async_resolution.
+  bool async_fallback_irr = false;
+  /// Seeded registry outage windows and latency spikes replayed against the
+  /// async sources. The seed is XOR-mixed with the run seed, like churn.
+  /// Only meaningful with async_resolution.
+  std::optional<chaos::RegistryOutageConfig> registry_outage;
 
   /// RFC 4724 graceful restart, negotiated network-wide. Router crashes
   /// then leave peers' learned routes in use (marked stale) until the
@@ -139,6 +157,12 @@ struct RunResult {
 
   std::size_t alarms = 0;
   std::size_t false_alarms = 0;  // alarms not implicating any attacker
+  /// Alarm lifecycle at quiescence (zero-lost-alarms contract: pending must
+  /// be 0 — every alarm either resolved or expired explicitly). Alarms that
+  /// needed no investigation settle as resolved on the spot.
+  std::size_t alarms_pending = 0;
+  std::size_t alarms_resolved = 0;
+  std::size_t alarms_expired = 0;
   std::size_t rejections = 0;    // detector vetoes across all routers
   std::uint64_t messages = 0;
   bool quiesced = true;
@@ -183,6 +207,10 @@ struct RunResult {
   std::size_t fault_events = 0;      // discrete faults replayed
   std::uint64_t message_faults = 0;  // drops/dups/reorders/corruptions sampled
   std::string fault_log;             // byte-identical for equal seeds
+  /// Compiled registry-outage windows (empty without registry_outage);
+  /// byte-identical for equal seeds — bench arms compare these to prove two
+  /// configurations saw the same fault schedule.
+  std::string outage_log;
   /// Violations found when ExperimentConfig::check_invariants is set.
   std::vector<std::string> invariant_report;
 

@@ -16,6 +16,9 @@ namespace moas::core {
 /// Register the MOAS-layer checks on `checker`:
 ///  * alarm-log monotonicity: alarm timestamps never decrease (the log is
 ///    append-only and simulation time never runs backwards);
+///  * no pending alarms: at quiescence every alarm has reached a terminal
+///    state (Resolved/Expired) — a still-Pending alarm was lost by the
+///    asynchronous resolution path;
 ///  * MOAS self-consistency: a route installed in any Loc-RIB that carries
 ///    an explicit MOAS list must contain its own origin — an installed
 ///    violation means a detector-bypassing import path exists.

@@ -21,6 +21,17 @@ void register_moas_invariants(chaos::NetworkInvariantChecker& checker,
                              std::to_string(log[i - 1].at)});
         }
       }
+      // Zero lost alarms: at quiescence (which is when the checker runs)
+      // every investigation has completed, so nothing may still be Pending —
+      // a Pending alarm here was silently dropped by the resolution path.
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        if (log[i].state == MoasAlarm::State::Pending) {
+          out.push_back({"no-pending-alarms",
+                         "alarm " + std::to_string(i) + " for " +
+                             log[i].prefix.to_string() +
+                             " is still pending at quiescence"});
+        }
+      }
     });
   }
 

@@ -1,5 +1,8 @@
 #include "moas/core/resolver.h"
 
+#include <algorithm>
+
+#include "moas/obs/metrics.h"
 #include "moas/util/assert.h"
 
 namespace moas::core {
@@ -15,15 +18,21 @@ std::optional<bgp::AsnSet> PrefixOriginDb::lookup(const net::Prefix& prefix) con
   return it->second;
 }
 
+void OriginResolver::collect_metrics(obs::MetricsRegistry& registry) const {
+  registry.count("resolver.queries", counters_.queries);
+  registry.count("resolver.failures", counters_.failures);
+  registry.count("resolver.corrupted", counters_.corrupted);
+}
+
 OracleResolver::OracleResolver(std::shared_ptr<const PrefixOriginDb> truth)
     : truth_(std::move(truth)) {
   MOAS_REQUIRE(truth_ != nullptr, "oracle needs a truth database");
 }
 
 std::optional<bgp::AsnSet> OracleResolver::resolve(const net::Prefix& prefix) {
-  ++stats_.queries;
+  ++counters_.queries;
   auto answer = truth_->lookup(prefix);
-  if (!answer) ++stats_.failures;
+  if (!answer) ++counters_.failures;
   return answer;
 }
 
@@ -37,17 +46,17 @@ DnsResolver::DnsResolver(std::shared_ptr<const PrefixOriginDb> db, Config config
 }
 
 std::optional<bgp::AsnSet> DnsResolver::resolve(const net::Prefix& prefix) {
-  ++stats_.queries;
+  ++counters_.queries;
   if (rng_.chance(config_.unavailability)) {
-    ++stats_.failures;
+    ++counters_.failures;
     return std::nullopt;
   }
   if (!config_.forged_answer.empty() && rng_.chance(config_.forgery)) {
-    ++stats_.corrupted;
+    ++counters_.corrupted;
     return config_.forged_answer;
   }
   auto answer = db_->lookup(prefix);
-  if (!answer) ++stats_.failures;
+  if (!answer) ++counters_.failures;
   return answer;
 }
 
@@ -63,23 +72,33 @@ IrrResolver::IrrResolver(std::shared_ptr<const PrefixOriginDb> current,
 }
 
 std::optional<bgp::AsnSet> IrrResolver::resolve(const net::Prefix& prefix) {
-  ++stats_.queries;
+  ++counters_.queries;
   auto [it, inserted] = record_is_stale_.try_emplace(prefix, false);
-  if (inserted) it->second = rng_.chance(config_.staleness);
+  if (inserted) {
+    it->second = rng_.chance(config_.staleness);
+    record_order_.push_back(prefix);
+    // Bounded memory: drop the oldest-inserted sticky decision. A re-query
+    // of an evicted prefix re-draws its staleness — acceptable drift, and
+    // deterministic because insertion order is deterministic.
+    if (config_.max_records > 0 && record_is_stale_.size() > config_.max_records) {
+      record_is_stale_.erase(record_order_.front());
+      record_order_.pop_front();
+    }
+  }
   if (it->second) {
     auto old = stale_->lookup(prefix);
     if (old) {
       // Only a stale record that actually *disagrees* with the current
       // registry is corrupted data; an unchanged record answers correctly
       // no matter how old it is.
-      if (current_->lookup(prefix) != old) ++stats_.corrupted;
+      if (current_->lookup(prefix) != old) ++counters_.corrupted;
       return old;
     }
-    ++stats_.failures;
+    ++counters_.failures;
     return std::nullopt;  // record simply missing from the registry
   }
   auto answer = current_->lookup(prefix);
-  if (!answer) ++stats_.failures;
+  if (!answer) ++counters_.failures;
   return answer;
 }
 
@@ -92,29 +111,69 @@ CachingResolver::CachingResolver(std::shared_ptr<OriginResolver> inner, TimeFn n
   MOAS_REQUIRE(config_.negative_ttl >= 0.0, "negative ttl must be non-negative");
 }
 
+double CachingResolver::negative_lifetime(std::uint32_t streak) const {
+  double lifetime = config_.negative_ttl;
+  if (lifetime <= 0.0) return 0.0;
+  // Double per prior consecutive failure, saturating at the cap. The loop
+  // stops as soon as the cap is reached, so a long streak cannot overflow.
+  for (std::uint32_t i = 1; i < streak && lifetime < config_.negative_ttl_cap; ++i) {
+    lifetime *= 2.0;
+  }
+  return std::min(lifetime, std::max(config_.negative_ttl, config_.negative_ttl_cap));
+}
+
+double CachingResolver::next_negative_ttl(const net::Prefix& prefix) const {
+  auto it = cache_.find(prefix);
+  const std::uint32_t streak = it == cache_.end() ? 0 : it->second.failure_streak;
+  return negative_lifetime(streak + 1);
+}
+
+void CachingResolver::evict_oldest_expiry() {
+  // Deterministic victim: smallest expiry; the map's prefix order breaks
+  // ties (strict < keeps the first, i.e. lowest, prefix).
+  auto victim = cache_.begin();
+  for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+    if (it->second.expires < victim->second.expires) victim = it;
+  }
+  cache_.erase(victim);
+  ++cache_counters_.evictions;
+}
+
 std::optional<bgp::AsnSet> CachingResolver::resolve(const net::Prefix& prefix) {
-  ++stats_.queries;
+  ++cache_counters_.lookups;
   const double now = now_();
   auto it = cache_.find(prefix);
   if (it != cache_.end() && now < it->second.expires) {
     if (it->second.answer) {
-      ++cache_stats_.hits;
+      ++cache_counters_.hits;
     } else {
-      ++cache_stats_.negative_hits;
-      ++stats_.failures;  // the caller still observes a failed lookup
+      ++cache_counters_.negative_hits;
     }
     return it->second.answer;
   }
-  ++cache_stats_.misses;
+  ++cache_counters_.misses;
   auto answer = inner_->resolve(prefix);
-  if (!answer) ++stats_.failures;
-  const double lifetime = answer ? config_.ttl : config_.negative_ttl;
+  const std::uint32_t streak =
+      answer ? 0 : (it != cache_.end() ? it->second.failure_streak : 0) + 1;
+  const double lifetime = answer ? config_.ttl : negative_lifetime(streak);
   if (lifetime > 0.0) {
-    cache_.insert_or_assign(prefix, Entry{answer, now + lifetime});
+    cache_.insert_or_assign(prefix, Entry{answer, now + lifetime, streak});
+    if (config_.max_entries > 0 && cache_.size() > config_.max_entries) {
+      evict_oldest_expiry();
+    }
   } else if (it != cache_.end()) {
     cache_.erase(it);  // expired and not re-cacheable
   }
   return answer;
+}
+
+void CachingResolver::collect_metrics(obs::MetricsRegistry& registry) const {
+  inner_->collect_metrics(registry);
+  registry.count("resolver.cache_lookups", cache_counters_.lookups);
+  registry.count("resolver.cache_hits", cache_counters_.hits);
+  registry.count("resolver.cache_negative_hits", cache_counters_.negative_hits);
+  registry.count("resolver.cache_misses", cache_counters_.misses);
+  registry.count("resolver.cache_evictions", cache_counters_.evictions);
 }
 
 }  // namespace moas::core

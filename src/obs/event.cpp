@@ -21,6 +21,11 @@ const char* to_string(EventKind kind) {
     case EventKind::ErrorDegraded: return "error-degraded";
     case EventKind::ErrorWithdraw: return "error-withdraw";
     case EventKind::AttackInjected: return "attack-injected";
+    case EventKind::ResolverRequest: return "resolver-request";
+    case EventKind::ResolverTimeout: return "resolver-timeout";
+    case EventKind::ResolverRetry: return "resolver-retry";
+    case EventKind::ResolverBreaker: return "resolver-breaker";
+    case EventKind::ResolverFallback: return "resolver-fallback";
   }
   return "?";
 }

@@ -37,6 +37,11 @@ enum class EventKind : std::uint8_t {
   ErrorDegraded,      // RFC 7606 action; note = treat-as-withdraw / attribute-discard / ...
   ErrorWithdraw,      // router processed a treat-as-withdraw revocation
   AttackInjected,     // harness launched a false origination; actor = attacker
+  ResolverRequest,    // async resolution attempt dispatched; note = source name
+  ResolverTimeout,    // attempt exceeded its per-request timeout; note = source
+  ResolverRetry,      // attempt re-dispatched after backoff; value = attempt #
+  ResolverBreaker,    // circuit-breaker transition; note = open/half-open/closed
+  ResolverFallback,   // chain advanced to the next source; note = new source
 };
 
 /// Stable kebab-case name (the JSONL "kind" field).

@@ -2,10 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "moas/obs/metrics.h"
+
 namespace moas::core {
 namespace {
 
 const net::Prefix kPrefix = *net::Prefix::parse("135.38.0.0/16");
+
+/// Resolver counters live in the metrics registry now; this snapshots one.
+std::uint64_t counter(const OriginResolver& resolver, const std::string& name) {
+  obs::MetricsRegistry registry;
+  resolver.collect_metrics(registry);
+  return registry.counter(name);
+}
 
 TEST(PrefixOriginDb, SetAndLookup) {
   PrefixOriginDb db;
@@ -28,8 +37,8 @@ TEST(OracleResolver, AnswersTruth) {
   truth->set(kPrefix, {1, 2});
   OracleResolver oracle(truth);
   EXPECT_EQ(oracle.resolve(kPrefix), (bgp::AsnSet{1, 2}));
-  EXPECT_EQ(oracle.stats().queries, 1u);
-  EXPECT_EQ(oracle.stats().failures, 0u);
+  EXPECT_EQ(counter(oracle, "resolver.queries"), 1u);
+  EXPECT_EQ(counter(oracle, "resolver.failures"), 0u);
   EXPECT_EQ(oracle.name(), "oracle");
 }
 
@@ -37,11 +46,27 @@ TEST(OracleResolver, MissingRecordIsFailure) {
   auto truth = std::make_shared<PrefixOriginDb>();
   OracleResolver oracle(truth);
   EXPECT_FALSE(oracle.resolve(kPrefix).has_value());
-  EXPECT_EQ(oracle.stats().failures, 1u);
+  EXPECT_EQ(counter(oracle, "resolver.failures"), 1u);
 }
 
 TEST(OracleResolver, RequiresDatabase) {
   EXPECT_THROW(OracleResolver(nullptr), std::invalid_argument);
+}
+
+TEST(OriginResolver, MetricsSumAcrossCollects) {
+  // Counters sum on repeated collection into one registry — that is what
+  // lets a fallback chain aggregate per-source backends under one name.
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1});
+  OracleResolver a(truth);
+  OracleResolver b(truth);
+  a.resolve(kPrefix);
+  a.resolve(kPrefix);
+  b.resolve(kPrefix);
+  obs::MetricsRegistry registry;
+  a.collect_metrics(registry);
+  b.collect_metrics(registry);
+  EXPECT_EQ(registry.counter("resolver.queries"), 3u);
 }
 
 TEST(DnsResolver, PerfectDnsBehavesLikeOracle) {
@@ -49,8 +74,8 @@ TEST(DnsResolver, PerfectDnsBehavesLikeOracle) {
   db->set(kPrefix, {1});
   DnsResolver dns(db, DnsResolver::Config{});
   for (int i = 0; i < 20; ++i) EXPECT_EQ(dns.resolve(kPrefix), bgp::AsnSet{1});
-  EXPECT_EQ(dns.stats().failures, 0u);
-  EXPECT_EQ(dns.stats().corrupted, 0u);
+  EXPECT_EQ(counter(dns, "resolver.failures"), 0u);
+  EXPECT_EQ(counter(dns, "resolver.corrupted"), 0u);
 }
 
 TEST(DnsResolver, UnavailabilityRate) {
@@ -65,7 +90,7 @@ TEST(DnsResolver, UnavailabilityRate) {
     if (!dns.resolve(kPrefix).has_value()) ++failures;
   }
   EXPECT_NEAR(failures / 2000.0, 0.5, 0.05);
-  EXPECT_EQ(dns.stats().failures, static_cast<std::uint64_t>(failures));
+  EXPECT_EQ(counter(dns, "resolver.failures"), static_cast<std::uint64_t>(failures));
 }
 
 TEST(DnsResolver, ForgeryReturnsAttackerAnswer) {
@@ -76,7 +101,7 @@ TEST(DnsResolver, ForgeryReturnsAttackerAnswer) {
   config.forged_answer = {666};
   DnsResolver dns(db, config);
   EXPECT_EQ(dns.resolve(kPrefix), bgp::AsnSet{666});
-  EXPECT_EQ(dns.stats().corrupted, 1u);
+  EXPECT_EQ(counter(dns, "resolver.corrupted"), 1u);
 }
 
 TEST(DnsResolver, ValidatesProbabilities) {
@@ -103,7 +128,7 @@ TEST(IrrResolver, StaleRecordAnswersOldOrigins) {
   config.staleness = 1.0;
   IrrResolver irr(current, stale, config);
   EXPECT_EQ(irr.resolve(kPrefix), bgp::AsnSet{1});
-  EXPECT_EQ(irr.stats().corrupted, 1u);
+  EXPECT_EQ(counter(irr, "resolver.corrupted"), 1u);
 }
 
 TEST(IrrResolver, StaleWithoutSnapshotIsFailure) {
@@ -114,7 +139,7 @@ TEST(IrrResolver, StaleWithoutSnapshotIsFailure) {
   config.staleness = 1.0;
   IrrResolver irr(current, stale, config);
   EXPECT_FALSE(irr.resolve(kPrefix).has_value());
-  EXPECT_EQ(irr.stats().failures, 1u);
+  EXPECT_EQ(counter(irr, "resolver.failures"), 1u);
 }
 
 TEST(IrrResolver, UnchangedStaleRecordIsNotCorrupted) {
@@ -129,8 +154,8 @@ TEST(IrrResolver, UnchangedStaleRecordIsNotCorrupted) {
   config.staleness = 1.0;
   IrrResolver irr(current, stale, config);
   EXPECT_EQ(irr.resolve(kPrefix), (bgp::AsnSet{1, 2}));
-  EXPECT_EQ(irr.stats().corrupted, 0u) << "identical answer is not corruption";
-  EXPECT_EQ(irr.stats().failures, 0u);
+  EXPECT_EQ(counter(irr, "resolver.corrupted"), 0u) << "identical answer is not corruption";
+  EXPECT_EQ(counter(irr, "resolver.failures"), 0u);
 }
 
 TEST(IrrResolver, StalenessDecisionIsStickyPerPrefix) {
@@ -148,6 +173,20 @@ TEST(IrrResolver, StalenessDecisionIsStickyPerPrefix) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(irr.resolve(kPrefix), first);
 }
 
+TEST(IrrResolver, StickyRecordMapIsBounded) {
+  auto current = std::make_shared<PrefixOriginDb>();
+  auto stale = std::make_shared<PrefixOriginDb>();
+  IrrResolver::Config config;
+  config.max_records = 8;
+  IrrResolver irr(current, stale, config);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net::Prefix p = *net::Prefix::parse(std::to_string(i + 1) + ".0.0.0/8");
+    irr.resolve(p);
+    EXPECT_LE(irr.record_count(), 8u);
+  }
+  EXPECT_EQ(irr.record_count(), 8u);
+}
+
 TEST(CachingResolver, ServesFromCacheWithinTtl) {
   auto truth = std::make_shared<PrefixOriginDb>();
   truth->set(kPrefix, {1, 2});
@@ -158,11 +197,30 @@ TEST(CachingResolver, ServesFromCacheWithinTtl) {
   EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2}));  // miss: fills
   now = 29.0;
   EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2}));  // hit
-  EXPECT_EQ(oracle->stats().queries, 1u) << "second query never reached the backend";
-  EXPECT_EQ(cached.cache_stats().hits, 1u);
-  EXPECT_EQ(cached.cache_stats().misses, 1u);
-  EXPECT_EQ(cached.stats().queries, 2u) << "outer stats count every caller query";
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 1u)
+      << "second query never reached the backend";
+  EXPECT_EQ(counter(cached, "resolver.cache_hits"), 1u);
+  EXPECT_EQ(counter(cached, "resolver.cache_misses"), 1u);
+  EXPECT_EQ(counter(cached, "resolver.cache_lookups"), 2u)
+      << "the cache sees every caller query";
   EXPECT_EQ(cached.name(), "oracle+cache");
+}
+
+TEST(CachingResolver, CollectIncludesInnerBackend) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(kPrefix, {1});
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver cached(oracle, [&now] { return now; }, {.ttl = 30.0});
+  cached.resolve(kPrefix);
+  cached.resolve(kPrefix);
+  // One collect on the wrapper reports the whole stack: backend queries and
+  // cache traffic side by side.
+  obs::MetricsRegistry registry;
+  cached.collect_metrics(registry);
+  EXPECT_EQ(registry.counter("resolver.queries"), 1u);
+  EXPECT_EQ(registry.counter("resolver.cache_lookups"), 2u);
+  EXPECT_EQ(registry.counter("resolver.cache_hits"), 1u);
 }
 
 TEST(CachingResolver, ExpiryRefetches) {
@@ -175,7 +233,7 @@ TEST(CachingResolver, ExpiryRefetches) {
   now = 30.0;  // entry expires exactly at now + ttl
   truth->set(kPrefix, {1, 2});
   EXPECT_EQ(cached.resolve(kPrefix), (bgp::AsnSet{1, 2})) << "expired entry refetched";
-  EXPECT_EQ(oracle->stats().queries, 2u);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 2u);
 }
 
 TEST(CachingResolver, NegativeCacheAbsorbsFailures) {
@@ -187,13 +245,84 @@ TEST(CachingResolver, NegativeCacheAbsorbsFailures) {
   EXPECT_FALSE(cached.resolve(kPrefix).has_value());
   now = 4.0;
   EXPECT_FALSE(cached.resolve(kPrefix).has_value());
-  EXPECT_EQ(oracle->stats().queries, 1u) << "negative entry served the repeat";
-  EXPECT_EQ(cached.cache_stats().negative_hits, 1u);
-  EXPECT_EQ(cached.stats().failures, 2u) << "callers observe both failures";
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 1u) << "negative entry served the repeat";
+  EXPECT_EQ(counter(cached, "resolver.cache_negative_hits"), 1u);
 
   now = 6.0;  // negative entry expired; registry has the record now
   truth->set(kPrefix, {7});
   EXPECT_EQ(cached.resolve(kPrefix), bgp::AsnSet{7});
+}
+
+TEST(CachingResolver, NegativeTtlBacksOffExponentially) {
+  auto truth = std::make_shared<PrefixOriginDb>();  // every lookup fails
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver cached(oracle, [&now] { return now; },
+                         {.ttl = 30.0, .negative_ttl = 5.0, .negative_ttl_cap = 20.0});
+
+  // Streak 1: the failure caches for the base 5 s.
+  cached.resolve(kPrefix);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 1u);
+  EXPECT_DOUBLE_EQ(cached.next_negative_ttl(kPrefix), 10.0);
+  now = 4.9;
+  cached.resolve(kPrefix);  // negative hit, streak unchanged
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 1u);
+
+  // Streak 2: 10 s. Probe just after the base TTL would have expired.
+  now = 5.0;
+  cached.resolve(kPrefix);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 2u);
+  now = 14.9;  // inside the doubled window: still absorbed
+  cached.resolve(kPrefix);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 2u);
+
+  // Streak 3: 20 s (the cap); streak 4 stays capped.
+  now = 15.0;
+  cached.resolve(kPrefix);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 3u);
+  EXPECT_DOUBLE_EQ(cached.next_negative_ttl(kPrefix), 20.0) << "capped";
+  now = 35.0;
+  cached.resolve(kPrefix);
+  EXPECT_DOUBLE_EQ(cached.next_negative_ttl(kPrefix), 20.0) << "stays capped";
+
+  // A success resets the streak to the base lifetime.
+  truth->set(kPrefix, {7});
+  now = 55.0;
+  EXPECT_EQ(cached.resolve(kPrefix), bgp::AsnSet{7});
+  EXPECT_DOUBLE_EQ(cached.next_negative_ttl(kPrefix), 5.0) << "success resets the streak";
+}
+
+TEST(CachingResolver, EntryCapEvictsOldestExpiry) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  std::vector<net::Prefix> prefixes;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    net::Prefix p = *net::Prefix::parse(std::to_string(i + 1) + ".0.0.0/8");
+    truth->set(p, {i + 1});
+    prefixes.push_back(p);
+  }
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver::Config config;
+  config.ttl = 30.0;
+  config.max_entries = 4;
+  CachingResolver cached(oracle, [&now] { return now; }, config);
+
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    now = static_cast<double>(i);  // staggered expiry: earlier insert = older
+    cached.resolve(prefixes[i]);
+    EXPECT_LE(cached.entry_count(), 4u);
+  }
+  EXPECT_EQ(cached.entry_count(), 4u);
+  EXPECT_EQ(counter(cached, "resolver.cache_evictions"), 2u);
+
+  // The two oldest-expiring entries are gone — re-resolving them reaches the
+  // backend again; the youngest are still served from cache.
+  const auto queries_before = counter(*oracle, "resolver.queries");
+  cached.resolve(prefixes[5]);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), queries_before) << "young entry cached";
+  cached.resolve(prefixes[0]);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), queries_before + 1)
+      << "oldest entry was evicted";
 }
 
 TEST(CachingResolver, ZeroTtlDisablesCaching) {
@@ -203,8 +332,8 @@ TEST(CachingResolver, ZeroTtlDisablesCaching) {
   CachingResolver cached(oracle, [] { return 0.0; }, {.ttl = 0.0, .negative_ttl = 0.0});
   cached.resolve(kPrefix);
   cached.resolve(kPrefix);
-  EXPECT_EQ(oracle->stats().queries, 2u);
-  EXPECT_EQ(cached.cache_stats().hits, 0u);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), 2u);
+  EXPECT_EQ(counter(cached, "resolver.cache_hits"), 0u);
 }
 
 TEST(CachingResolver, Validation) {
