@@ -123,9 +123,21 @@ void AsyncResolver::start_attempt(std::uint64_t id) {
       return;
     }
     source.breaker = BreakerState::HalfOpen;
+    source.probing_request = id;
     ++counters_.breaker_half_opens;
     trace_event(obs::EventKind::ResolverBreaker, request,
                 source.name + ":half-open");
+  } else if (source.breaker == BreakerState::HalfOpen) {
+    if (source.probing_request != 0 && source.probing_request != id) {
+      // One canary at a time: while another request's half-open probe is in
+      // flight, everyone else fails fast down the chain instead of piling a
+      // thundering herd onto a source that is barely recovering.
+      ++counters_.breaker_fast_fails;
+      advance_source(id, request);
+      return;
+    }
+    // The previous canary's request expired mid-probe: claim the probe.
+    source.probing_request = id;
   }
 
   ++counters_.attempts;
@@ -194,6 +206,7 @@ double AsyncResolver::backoff_delay(const SourceConfig& config, std::size_t atte
 
 void AsyncResolver::attempt_failed(std::uint64_t id, Request& request) {
   Source& source = sources_[request.source];
+  if (source.probing_request == id) source.probing_request = 0;
   ++source.consecutive_failures;
 
   bool tripped = false;
@@ -232,6 +245,7 @@ void AsyncResolver::attempt_failed(std::uint64_t id, Request& request) {
 void AsyncResolver::attempt_succeeded(std::uint64_t id, Request& request,
                                       bgp::AsnSet answer) {
   Source& source = sources_[request.source];
+  if (source.probing_request == id) source.probing_request = 0;
   const bool was_open = source.breaker != BreakerState::Closed;
   note_success(source);
   if (was_open) {
@@ -272,21 +286,23 @@ void AsyncResolver::advance_source(std::uint64_t id, Request& request) {
 }
 
 void AsyncResolver::exhausted(std::uint64_t id, Request& request) {
+  if (!request.answers.empty()) {
+    // Sources answered but no value reached the quorum: conflicting data is
+    // worse than no data, so the caller gets an explicit conflict, not a
+    // coin-flip answer — and not a (possibly attacker-era) stale answer that
+    // would silently mask what the live sources just disagreed about.
+    ++counters_.quorum_conflicts;
+    complete(id, Outcome{std::nullopt, Fate::QuorumConflict, {}, 0.0, false});
+    return;
+  }
   if (config_.stale_cache) {
+    // Last resort only when no live source produced any answer at all.
     auto it = stale_cache_.find(request.prefix);
     if (it != stale_cache_.end()) {
       ++counters_.stale_served;
       complete(id, Outcome{it->second, Fate::Resolved, "stale-cache", 0.0, true});
       return;
     }
-  }
-  if (!request.answers.empty()) {
-    // Sources answered but no value reached the quorum: conflicting data is
-    // worse than no data, so the caller gets an explicit conflict, not a
-    // coin-flip answer.
-    ++counters_.quorum_conflicts;
-    complete(id, Outcome{std::nullopt, Fate::QuorumConflict, {}, 0.0, false});
-    return;
   }
   complete(id, Outcome{std::nullopt, Fate::SourcesExhausted, {}, 0.0, false});
 }
@@ -296,6 +312,12 @@ void AsyncResolver::complete(std::uint64_t id, Outcome outcome) {
   MOAS_REQUIRE(it != requests_.end(), "completing a request that is not in flight");
   Request request = std::move(it->second);
   requests_.erase(it);
+  // If this request held a half-open probe (e.g. its deadline expired while
+  // the probe was still in flight), release it so the next request through
+  // the chain can become the canary instead of the breaker wedging.
+  for (Source& source : sources_) {
+    if (source.probing_request == id) source.probing_request = 0;
+  }
 
   outcome.latency = clock_.now() - request.started;
   latency_.add(outcome.latency);

@@ -182,20 +182,29 @@ void MoasDetector::apply_truth(const net::Prefix& prefix, bgp::RouterContext& ct
   for (const auto& [asn, peers] : asserted) implicated.insert(asn);
   const AsnSet false_origins = difference(implicated, truth);
   for (Asn asn : false_origins) {
-    state.banned.insert(asn);
     // Tie the ban to the peers that asserted the false origin; when the
     // *old* reference was the lie, the peers that had backed it.
-    AsnSet& support = state.banned_support[asn];
-    if (auto it = asserted.find(asn); it != asserted.end()) {
-      for (Asn peer : it->second) support.insert(peer);
-    }
+    AsnSet support;
+    if (auto it = asserted.find(asn); it != asserted.end()) support = it->second;
     if (state.reference.contains(asn)) {
       for (Asn peer : state.supporters) support.insert(peer);
     }
-    if (support.empty() && !asserted.empty()) {
-      // Last resort so the ban has a live witness: the first asserting peer.
-      support.insert(*asserted.begin()->second.begin());
+    if (support.empty()) {
+      // Last resort so the ban has a live witness: the first peer that
+      // asserted anything in this conflict. Evidence-derived entries carry
+      // empty peer-sets, so scan for a non-empty one rather than blindly
+      // dereferencing the first.
+      for (const auto& [other, peers] : asserted) {
+        if (!peers.empty()) {
+          support.insert(*peers.begin());
+          break;
+        }
+      }
     }
+    if (support.empty()) continue;  // no live witness anywhere: don't ban
+    state.banned.insert(asn);
+    AsnSet& dst = state.banned_support[asn];
+    for (Asn peer : support) dst.insert(peer);
   }
   state.reference = truth;
   state.supporters.clear();
@@ -237,7 +246,23 @@ void MoasDetector::on_resolution(const net::Prefix& prefix, std::uint64_t genera
     return;
   }
 
-  apply_truth(prefix, ctx, state_[prefix], *outcome.answer, pc.asserted, pc.alarm_ids);
+  auto sit = state_.find(prefix);
+  if (sit == state_.end()) {
+    // The prefix state was pruned (peer churn, error-withdraw) while the
+    // answer was in flight: the detector deliberately forgot this prefix, so
+    // don't resurrect state from stale peer attribution. The alarms still
+    // settle explicitly — the investigation did conclude.
+    for (std::size_t id : pc.alarm_ids) {
+      alarms_->settle(id, MoasAlarm::State::Resolved, ctx.current_time());
+    }
+    if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
+      trace_->emit(obs::TraceEvent(obs::EventKind::AlarmResolved, ctx.self())
+                       .with_prefix(prefix)
+                       .with_note("state-pruned"));
+    }
+    return;
+  }
+  apply_truth(prefix, ctx, sit->second, *outcome.answer, pc.asserted, pc.alarm_ids);
 }
 
 std::size_t MoasDetector::raise(bgp::RouterContext& ctx, const net::Prefix& prefix,

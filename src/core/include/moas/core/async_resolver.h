@@ -10,7 +10,8 @@
 //   * a per-attempt timeout and a per-request absolute deadline,
 //   * bounded retries with exponential backoff + seeded jitter,
 //   * a per-source circuit breaker (trips after N consecutive failures,
-//     half-opens on a cooldown timer, closes on a successful probe),
+//     half-opens on a cooldown timer for a single canary probe — concurrent
+//     requests fail fast past it — and closes on probe success),
 //   * an ordered fallback chain across independent sources
 //     (e.g. DNS-MOASRR -> IRR -> cached-stale) with a quorum rule for
 //     conflicting answers, and
@@ -74,7 +75,9 @@ class AsyncResolver {
     /// 1 = first successful source wins (the plain fallback chain).
     std::size_t quorum = 1;
     /// Keep the last resolved answer per prefix and serve it — explicitly
-    /// marked stale — when every live source has failed.
+    /// marked stale — when no live source produced any answer at all.
+    /// Conflicting live answers still surface as QuorumConflict; the stale
+    /// store never outvotes live disagreement.
     bool stale_cache = true;
     std::size_t stale_cache_max = 1 << 12;  // bounded, FIFO eviction
     std::uint64_t seed = 17;
@@ -141,6 +144,9 @@ class AsyncResolver {
     std::size_t consecutive_failures = 0;
     BreakerState breaker = BreakerState::Closed;
     double open_until = 0.0;  // when an Open breaker may half-open
+    /// Request currently holding the single half-open canary probe (0 =
+    /// none); other requests fail fast past the source while it is set.
+    std::uint64_t probing_request = 0;
   };
 
   struct Request {

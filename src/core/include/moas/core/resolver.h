@@ -148,9 +148,9 @@ class CachingResolver final : public OriginResolver {
     /// (negative_ttl, 2x, 4x, ...) up to this cap; a success resets the
     /// streak. <= negative_ttl disables the backoff.
     double negative_ttl_cap = 60.0;
-    /// Cap on cached entries; the entry with the oldest expiry is evicted
-    /// (deterministically — ties break toward the smallest prefix) when the
-    /// cap is exceeded. 0 = unbounded.
+    /// Cap on cached entries; the entry with the oldest expiry — never the
+    /// one just inserted — is evicted (deterministically — ties break toward
+    /// the smallest prefix) when the cap is exceeded. 0 = unbounded.
     std::size_t max_entries = 1 << 16;
   };
   /// Current simulation time, supplied by the owner (e.g. the network clock).
@@ -185,7 +185,7 @@ class CachingResolver final : public OriginResolver {
   };
 
   double negative_lifetime(std::uint32_t streak) const;
-  void evict_oldest_expiry();
+  void evict_oldest_expiry(const net::Prefix& keep);
 
   std::shared_ptr<OriginResolver> inner_;
   TimeFn now_;

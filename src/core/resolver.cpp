@@ -128,13 +128,19 @@ double CachingResolver::next_negative_ttl(const net::Prefix& prefix) const {
   return negative_lifetime(streak + 1);
 }
 
-void CachingResolver::evict_oldest_expiry() {
-  // Deterministic victim: smallest expiry; the map's prefix order breaks
-  // ties (strict < keeps the first, i.e. lowest, prefix).
-  auto victim = cache_.begin();
-  for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
-    if (it->second.expires < victim->second.expires) victim = it;
+void CachingResolver::evict_oldest_expiry(const net::Prefix& keep) {
+  // Deterministic victim: smallest expiry among entries other than `keep`
+  // (the just-inserted one — evicting it would make short-lived negative
+  // entries evict themselves at the cap while long positives survive); the
+  // map's prefix order breaks ties (strict < keeps the lowest prefix).
+  auto victim = cache_.end();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->first == keep) continue;
+    if (victim == cache_.end() || it->second.expires < victim->second.expires) {
+      victim = it;
+    }
   }
+  if (victim == cache_.end()) return;
   cache_.erase(victim);
   ++cache_counters_.evictions;
 }
@@ -159,7 +165,7 @@ std::optional<bgp::AsnSet> CachingResolver::resolve(const net::Prefix& prefix) {
   if (lifetime > 0.0) {
     cache_.insert_or_assign(prefix, Entry{answer, now + lifetime, streak});
     if (config_.max_entries > 0 && cache_.size() > config_.max_entries) {
-      evict_oldest_expiry();
+      evict_oldest_expiry(prefix);
     }
   } else if (it != cache_.end()) {
     cache_.erase(it);  // expired and not re-cacheable

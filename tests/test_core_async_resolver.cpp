@@ -215,6 +215,40 @@ TEST(AsyncResolver, HalfOpenProbeFailureReopens) {
   EXPECT_EQ(counter(resolver, "resolver.breaker_trips"), 2u);
 }
 
+TEST(AsyncResolver, HalfOpenAdmitsSingleCanaryProbe) {
+  Harness h;  // primary fails forever
+  auto source = fast_source();
+  source.max_attempts = 1;
+  source.breaker_threshold = 1;
+  source.breaker_cooldown = 5.0;
+  AsyncResolver resolver(h.clock, {});
+  resolver.add_source(h.backend, source);
+  auto irr = std::make_shared<ScriptedResolver>("irr");
+  irr->answer = bgp::AsnSet{1};
+  resolver.add_source(irr, source);
+
+  resolver.request(kPrefix, h.collect());  // dns fails, breaker trips, irr answers
+  h.clock.run();
+  EXPECT_EQ(resolver.breaker_state(0), AsyncResolver::BreakerState::Open);
+
+  h.clock.schedule_after(6.0, [] {});  // the cooldown elapses
+  h.clock.run();
+  // Two concurrent requests hit the recovering source: exactly one becomes
+  // the half-open canary; the other fails fast past it instead of piling on.
+  resolver.request(kPrefix, h.collect());
+  resolver.request(kPrefix, h.collect());
+  h.clock.run();
+  ASSERT_EQ(h.outcomes.size(), 3u);
+  EXPECT_EQ(h.outcomes[1].fate, AsyncResolver::Fate::Resolved);
+  EXPECT_EQ(h.outcomes[2].fate, AsyncResolver::Fate::Resolved);
+  EXPECT_EQ(counter(resolver, "resolver.breaker_half_opens"), 1u);
+  EXPECT_GE(counter(resolver, "resolver.breaker_fast_fails"), 1u);
+  obs::MetricsRegistry dns_only;
+  h.backend->collect_metrics(dns_only);
+  EXPECT_EQ(dns_only.counter("resolver.queries"), 2u)
+      << "initial failure plus one canary probe — no thundering herd";
+}
+
 TEST(AsyncResolver, FallsBackToSecondSource) {
   Harness h;  // primary fails forever
   auto source = fast_source();
@@ -272,6 +306,29 @@ TEST(AsyncResolver, QuorumConflictWhenSourcesDisagree) {
   EXPECT_FALSE(h.outcomes[0].answer.has_value())
       << "conflicting data must not be coin-flipped into an answer";
   EXPECT_EQ(counter(resolver, "resolver.quorum_conflicts"), 1u);
+}
+
+TEST(AsyncResolver, QuorumConflictNotMaskedByStaleCache) {
+  Harness h;
+  h.backend->answer = bgp::AsnSet{1};
+  auto irr = std::make_shared<ScriptedResolver>("irr");
+  irr->answer = bgp::AsnSet{1};
+  AsyncResolver::Config config;
+  config.quorum = 2;  // stale cache stays enabled
+  AsyncResolver resolver(h.clock, config);
+  resolver.add_source(h.backend, fast_source());
+  resolver.add_source(irr, fast_source());
+
+  resolver.request(kPrefix, h.collect());  // agreement: deposits a stale answer
+  h.clock.run();
+  irr->answer = bgp::AsnSet{666};  // the registry record turns attacker-era
+  resolver.request(kPrefix, h.collect());
+  h.clock.run();
+  ASSERT_EQ(h.outcomes.size(), 2u);
+  EXPECT_EQ(h.outcomes[1].fate, AsyncResolver::Fate::QuorumConflict)
+      << "live disagreement must surface, never be papered over by the stale store";
+  EXPECT_EQ(counter(resolver, "resolver.quorum_conflicts"), 1u);
+  EXPECT_EQ(counter(resolver, "resolver.stale_served"), 0u);
 }
 
 TEST(AsyncResolver, StaleCacheServesWhenAllSourcesFail) {

@@ -32,8 +32,11 @@ class FakeClockContext final : public bgp::RouterContext {
     ++invalidations;
     return 1;
   }
-  AsnSet accepted_origins(const net::Prefix& /*prefix*/) const override { return {}; }
+  AsnSet accepted_origins(const net::Prefix& /*prefix*/) const override {
+    return rib_origins;
+  }
 
+  AsnSet rib_origins;  // what the Adj-RIB-In already holds
   net::Prefix last_prefix;
   AsnSet last_false_origins;
   int invalidations = 0;
@@ -186,6 +189,49 @@ TEST(DegradedMode, ConcurrentConflictsFoldIntoOneRequest) {
   EXPECT_EQ(h.ctx.invalidations, 1);
   EXPECT_EQ(h.ctx.last_false_origins, (AsnSet{52, 53}));
   EXPECT_EQ(detector.banned_origins(kPrefix), (AsnSet{52, 53}));
+}
+
+TEST(DegradedMode, EvidenceDerivedReferenceBansWithoutWitnessCrash) {
+  Harness h;
+  h.truth->set(kPrefix, {2});
+  auto detector = h.make();
+  // Cold detector, but the Adj-RIB-In already holds origin 1: the reference
+  // is rebuilt from evidence with no supporting peers on record. The
+  // conflicting origin (2, larger ASN) turns out to be the truth, so the
+  // evidence-derived reference — asserted by an empty peer-set — is the lie.
+  h.ctx.rib_origins = {1};
+  EXPECT_TRUE(detector.accept(route_from({52, 2}), 52, h.ctx));
+  EXPECT_TRUE(detector.degraded());
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{1});
+
+  h.clock.run();  // must not dereference the empty peer-set's iterator
+  EXPECT_EQ(h.alarms->alarms()[0].state, MoasAlarm::State::Resolved);
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{2});
+  EXPECT_EQ(detector.banned_origins(kPrefix), AsnSet{1});
+  EXPECT_EQ(h.ctx.last_false_origins, AsnSet{1});
+}
+
+TEST(DegradedMode, LateCompletionDoesNotResurrectPrunedState) {
+  Harness h;
+  h.truth->set(kPrefix, {1});
+  auto detector = h.make();
+  detector.accept(route_from({9, 1}), 9, h.ctx);
+  detector.accept(route_from({52}), 52, h.ctx);
+  EXPECT_TRUE(detector.degraded());
+
+  // The supporting peer's session drops while the investigation is in
+  // flight: the detector deliberately forgets the prefix.
+  detector.on_peer_down(9, h.ctx);
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{});
+
+  h.clock.run();  // the answer arrives for a prefix the detector forgot
+  EXPECT_FALSE(detector.degraded());
+  EXPECT_EQ(h.alarms->alarms()[0].state, MoasAlarm::State::Resolved)
+      << "the investigation concluded — the alarm settles explicitly";
+  EXPECT_EQ(detector.reference_list(kPrefix), AsnSet{})
+      << "no state resurrection from stale peer attribution";
+  EXPECT_EQ(detector.banned_origins(kPrefix), AsnSet{});
+  EXPECT_EQ(h.ctx.invalidations, 0);
 }
 
 TEST(DegradedMode, ResetExpiresInFlightInvestigations) {

@@ -325,6 +325,36 @@ TEST(CachingResolver, EntryCapEvictsOldestExpiry) {
       << "oldest entry was evicted";
 }
 
+TEST(CachingResolver, CapNeverEvictsTheJustInsertedEntry) {
+  auto truth = std::make_shared<PrefixOriginDb>();
+  const net::Prefix p1 = *net::Prefix::parse("1.0.0.0/8");
+  const net::Prefix p2 = *net::Prefix::parse("2.0.0.0/8");
+  const net::Prefix missing = *net::Prefix::parse("9.0.0.0/8");
+  truth->set(p1, {1});
+  truth->set(p2, {2});
+  auto oracle = std::make_shared<OracleResolver>(truth);
+  double now = 0.0;
+  CachingResolver::Config config;
+  config.ttl = 300.0;
+  config.negative_ttl = 5.0;
+  config.max_entries = 2;
+  CachingResolver cached(oracle, [&now] { return now; }, config);
+
+  cached.resolve(p1);
+  cached.resolve(p2);
+  // A failure at the cap: the short-lived negative entry must displace an
+  // old positive — not evict itself by virtue of having the smallest expiry,
+  // which would re-probe the dead registry on every lookup.
+  EXPECT_EQ(cached.resolve(missing), std::nullopt);
+  EXPECT_EQ(cached.entry_count(), 2u);
+  const auto queries_before = counter(*oracle, "resolver.queries");
+  now = 1.0;
+  EXPECT_EQ(cached.resolve(missing), std::nullopt);
+  EXPECT_EQ(counter(*oracle, "resolver.queries"), queries_before)
+      << "the negative entry survived the cap";
+  EXPECT_EQ(counter(cached, "resolver.cache_negative_hits"), 1u);
+}
+
 TEST(CachingResolver, ZeroTtlDisablesCaching) {
   auto truth = std::make_shared<PrefixOriginDb>();
   truth->set(kPrefix, {1});
