@@ -18,8 +18,11 @@ namespace moas::bench {
 const topo::AsGraph& shared_internet() {
   static const topo::AsGraph graph = [] {
     util::Rng rng(19971108);  // the first day of the paper's measurement
-    topo::InternetConfig config;  // defaults: ~2500 ASes, power-law, tiered
-    return topo::generate_internet(config, rng);
+    topo::InternetConfig config;  // defaults: ~10k ASes, power-law, tiered
+    topo::AsGraph g = topo::generate_internet(config, rng);
+    std::cerr << "[bench] generated shared internet: " << g.node_count() << " ASes ("
+              << g.stubs().size() << " stubs), " << g.edge_count() << " edges\n";
+    return g;
   }();
   return graph;
 }

@@ -18,7 +18,10 @@
 
 namespace moas::bench {
 
-/// The deterministic "full Internet" all benches sample from (~2500 ASes).
+/// The deterministic "full Internet" all benches sample from — the default
+/// topo::InternetConfig (~10k ASes: 12 tier-1 + 240 tier-2 + 500 tier-3 +
+/// 9000 stubs). The first call logs the actual generated node/edge counts
+/// to stderr so this claim cannot silently rot.
 const topo::AsGraph& shared_internet();
 
 /// The paper's sampled topology of roughly `target` ASes (cached). The

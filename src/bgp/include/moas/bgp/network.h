@@ -164,8 +164,8 @@ class Network {
   obs::MetricsRegistry collect_metrics() const;
 
  private:
-  void deliver(Asn from, Asn to, const Update& update);
-  void schedule_delivery(Asn from, Asn to, const Update& update, double extra_delay,
+  void deliver(Asn from, Asn to, Update update);
+  void schedule_delivery(Asn from, Asn to, Update update, double extra_delay,
                          bool allow_reorder);
 
   Config config_;

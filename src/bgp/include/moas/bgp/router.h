@@ -35,7 +35,10 @@ class Router final : public RouterContext {
   /// Transport callback: deliver `update` from this router to peer `to`.
   /// Provided by the Network (adds link delay); may be a direct call in
   /// unit tests.
-  using SendFn = std::function<void(Asn from, Asn to, const Update& update)>;
+  /// By-value Update so the send path can move instead of copy: transmit()
+  /// hands its update over, and an engine's sink may move it onward into a
+  /// queue slot. Callables taking `const Update&` still convert.
+  using SendFn = std::function<void(Asn from, Asn to, Update update)>;
 
   /// Filter applied to every outgoing update; return false to suppress.
   /// Used by the experiment harness to model compromised routers.
@@ -109,6 +112,23 @@ class Router final : public RouterContext {
 
   /// Entry point for updates arriving from a peer.
   void handle_update(Asn from, const Update& update);
+
+  /// Import half of handle_update: runs loop detection, import policy,
+  /// validation and the Adj-RIB-In write, but NOT the decision process.
+  /// Returns true when the RIB changed and the caller owes a
+  /// decide_prefix(update.prefix). The wave engine uses this to ingest a
+  /// whole sweep batch before deciding once per touched prefix — the
+  /// fixpoint is identical (the decision is a pure function of RIB state),
+  /// it just skips the intra-batch transient exports.
+  bool import_update(Asn from, const Update& update);
+  /// Move-through variant for callers that own the update (the wave
+  /// engine's drained slot entries): the announced route is moved into the
+  /// Adj-RIB-In instead of copied.
+  bool import_update(Asn from, Update&& update);
+
+  /// Run the decision process for `prefix` now (exports on best change).
+  /// Pairs with import_update.
+  void decide_prefix(const net::Prefix& prefix) { decide(prefix); }
 
   /// Session with `peer` went down: flush everything learned from it,
   /// reselect, and forget what was advertised to it (nothing can be

@@ -23,7 +23,7 @@ Router& Network::add_router(Asn asn) {
   MOAS_REQUIRE(!routers_.contains(asn), "router already exists");
   auto router = std::make_unique<Router>(
       asn, config_.mode,
-      [this](Asn from, Asn to, const Update& update) { deliver(from, to, update); },
+      [this](Asn from, Asn to, Update update) { deliver(from, to, std::move(update)); },
       &clock_);
   Router& ref = *router;
   if (config_.graceful_restart) ref.set_graceful_restart(config_.gr_restart_time);
@@ -179,7 +179,7 @@ void Network::sever_link_silently(Asn a, Asn b) {
   ++link_down_epoch_[key];
 }
 
-void Network::deliver(Asn from, Asn to, const Update& update) {
+void Network::deliver(Asn from, Asn to, Update update) {
   if (!link_up(from, to) || crashed_.contains(from) || crashed_.contains(to)) {
     ++messages_dropped_;
     return;
@@ -204,14 +204,15 @@ void Network::deliver(Asn from, Asn to, const Update& update) {
           }
           return;
         }
-        schedule_delivery(from, to, update, verdict.extra_delay, verdict.allow_reorder);
+        schedule_delivery(from, to, std::move(update), verdict.extra_delay,
+                          verdict.allow_reorder);
         return;
     }
   }
-  schedule_delivery(from, to, update, 0.0, false);
+  schedule_delivery(from, to, std::move(update), 0.0, false);
 }
 
-void Network::schedule_delivery(Asn from, Asn to, const Update& update, double extra_delay,
+void Network::schedule_delivery(Asn from, Asn to, Update update, double extra_delay,
                                 bool allow_reorder) {
   const double delay = config_.link_delay + extra_delay +
                        (config_.jitter > 0.0 ? rng_.uniform01() * config_.jitter : 0.0);
@@ -227,9 +228,9 @@ void Network::schedule_delivery(Asn from, Asn to, const Update& update, double e
   } else if (at > last) {
     last = at;
   }
-  // Copy the update into the event: the sender may mutate its state freely
-  // while the message is "on the wire".
-  clock_.schedule_at(at, [this, from, to, update] {
+  // Move the update into the event: the sender may mutate its state freely
+  // while the message is "on the wire" (we own this copy since deliver()).
+  clock_.schedule_at(at, [this, from, to, update = std::move(update)] {
     if (!link_up(from, to)) {  // the link failed while the message was in flight
       ++messages_dropped_;
       return;

@@ -39,15 +39,17 @@ const RibEntry* select_best(const std::vector<const RibEntry*>& candidates) {
 
 bool AdjRibIn::set(Asn peer, Route route) {
   auto& per_peer = table_[route.prefix];
-  RibEntry entry{std::move(route), peer};
   // Any announcement refreshes the entry: even a byte-identical replay
   // clears the graceful-restart stale mark (RFC 4724: the replayed route
   // replaces the stale one).
-  clear_stale(peer, entry.route.prefix);
-  auto [it, inserted] = per_peer.try_emplace(peer, entry);
-  if (inserted) return true;
-  if (it->second == entry) return false;
-  it->second = std::move(entry);
+  clear_stale(peer, route.prefix);
+  auto it = per_peer.find(peer);
+  if (it == per_peer.end()) {
+    per_peer.emplace(peer, RibEntry{std::move(route), peer});
+    return true;
+  }
+  if (it->second.route == route) return false;  // learned_from is already `peer`
+  it->second.route = std::move(route);
   return true;
 }
 

@@ -74,7 +74,17 @@ void Router::withdraw_origination(const net::Prefix& prefix) {
 }
 
 void Router::handle_update(Asn from, const Update& update) {
-  MOAS_REQUIRE(peers_.contains(from), "update from unknown peer");
+  if (import_update(from, update)) decide(update.prefix);
+}
+
+bool Router::import_update(Asn from, const Update& update) {
+  return import_update(from, Update(update));
+}
+
+bool Router::import_update(Asn from, Update&& update) {
+  auto peer_it = peers_.find(from);
+  MOAS_REQUIRE(peer_it != peers_.end(), "update from unknown peer");
+  PeerState& peer = peer_it->second;
   ++stats_.updates_received;
 
   if (update.kind == Update::Kind::EndOfRib) {
@@ -83,7 +93,7 @@ void Router::handle_update(Asn from, const Update& update) {
                        .with_note("end-of-rib"));
     }
     handle_end_of_rib(from);
-    return;
+    return false;  // End-of-RIB runs its own decides during the stale sweep
   }
 
   if (update.kind == Update::Kind::Withdraw) {
@@ -106,19 +116,18 @@ void Router::handle_update(Asn from, const Update& update) {
         trace_->emit(obs::TraceEvent(obs::EventKind::ErrorWithdraw, asn_, from)
                          .with_prefix(update.prefix));
       }
-      peers_.at(from).error_withdrawn.insert(update.prefix);
+      peer.error_withdrawn.insert(update.prefix);
       validator_->on_error_withdraw(update.prefix, from, *this);
     } else {
       // An explicit withdrawal supersedes any error-withdrawn record.
-      peers_.at(from).error_withdrawn.erase(update.prefix);
+      peer.error_withdrawn.erase(update.prefix);
       validator_->on_withdraw(update.prefix, from, *this);
     }
-    if (had) decide(update.prefix);
-    return;
+    return had;
   }
 
   MOAS_ENSURE(update.route.has_value(), "announce without a route");
-  Route route = *update.route;
+  Route route = std::move(*update.route);
   MOAS_ENSURE(route.prefix == update.prefix, "update prefix mismatch");
   if (obs::trace_wants(trace_, obs::TraceLevel::Full)) {
     trace_->emit(obs::TraceEvent(obs::EventKind::UpdateReceived, asn_, from)
@@ -126,18 +135,17 @@ void Router::handle_update(Asn from, const Update& update) {
   }
   // A fresh announcement — accepted or not — replaces whatever damaged one
   // the error-withdrawn record was tracking.
-  peers_.at(from).error_withdrawn.erase(update.prefix);
+  peer.error_withdrawn.erase(update.prefix);
 
   // Loop detection: a path containing our own ASN is discarded. The
   // announcement still implicitly withdraws whatever this peer sent before.
   if (route.attrs.path.contains(asn_)) {
     ++stats_.loops_detected;
-    if (adj_in_.erase(from, route.prefix)) decide(route.prefix);
-    return;
+    return adj_in_.erase(from, route.prefix);
   }
 
   // Import policy: LOCAL_PREF is assigned locally by relationship.
-  route.attrs.local_pref = import_local_pref(mode_, peers_.at(from).rel);
+  route.attrs.local_pref = import_local_pref(mode_, peer.rel);
 
   // Flap accounting: a replacement announcement with different attributes
   // is a flap (RFC 2439's attribute-change event).
@@ -152,11 +160,10 @@ void Router::handle_update(Asn from, const Update& update) {
   // previously installed routes through RouterContext::invalidate_origins.
   if (!validator_->accept(route, from, *this)) {
     ++stats_.announcements_rejected;
-    if (adj_in_.erase(from, route.prefix)) decide(route.prefix);
-    return;
+    return adj_in_.erase(from, route.prefix);
   }
 
-  if (adj_in_.set(from, std::move(route))) decide(update.prefix);
+  return adj_in_.set(from, std::move(route));
 }
 
 void Router::peer_down(Asn peer) {
@@ -588,7 +595,7 @@ void Router::transmit(Asn peer, PeerState& state, Update update) {
     if (update.kind == Update::Kind::Withdraw) event.with_note("withdraw");
     trace_->emit(std::move(event));
   }
-  send_(asn_, peer, update);
+  send_(asn_, peer, std::move(update));
 }
 
 void Router::collect_metrics(obs::MetricsRegistry& registry) const {

@@ -43,7 +43,11 @@ bgp::CommunitySet attack_communities(const AttackPlan& plan) {
 
 void launch_attack(bgp::Network& network, const AttackPlan& plan) {
   MOAS_REQUIRE(network.has_router(plan.attacker), "attacker AS not in network");
-  bgp::Router& router = network.router(plan.attacker);
+  launch_attack(network.router(plan.attacker), plan);
+}
+
+void install_suppression(bgp::Router& router, const AttackPlan& plan) {
+  MOAS_REQUIRE(router.asn() == plan.attacker, "plan is for a different attacker AS");
 
   // A compromised router blocks the valid route from flowing through it:
   // for the victim block it only ever exports its own false origination.
@@ -54,7 +58,10 @@ void launch_attack(bgp::Network& network, const AttackPlan& plan) {
     if (update.kind != bgp::Update::Kind::Announce) return false;
     return update.route->origin_as() == std::optional<bgp::Asn>(self);
   });
+}
 
+void launch_attack(bgp::Router& router, const AttackPlan& plan) {
+  install_suppression(router, plan);
   router.originate(attack_prefix(plan), attack_communities(plan));
 }
 

@@ -1,12 +1,14 @@
 #include "moas/core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "moas/chaos/engine.h"
 #include "moas/chaos/invariants.h"
 #include "moas/core/moas_invariants.h"
+#include "moas/sim/wave_engine.h"
 #include "moas/topo/metrics.h"
 #include "moas/topo/route_views.h"
 #include "moas/util/assert.h"
@@ -20,6 +22,14 @@ const char* to_string(Deployment deployment) {
     case Deployment::None: return "normal-bgp";
     case Deployment::Partial: return "partial-moas";
     case Deployment::Full: return "full-moas";
+  }
+  return "?";
+}
+
+const char* to_string(Engine engine) {
+  switch (engine) {
+    case Engine::Event: return "event";
+    case Engine::Wave: return "wave";
   }
   return "?";
 }
@@ -44,6 +54,30 @@ Experiment::Experiment(const topo::AsGraph& graph, ExperimentConfig config)
                "registry outages act on the async resolution path");
   MOAS_REQUIRE(!config.async_resolution.has_value() || config.resolver != ResolverKind::None,
                "async resolution needs a backend resolver");
+  if (config.engine == Engine::Wave) {
+    // The wave engine has no clock: every event-time knob must be loudly
+    // absent rather than silently ignored.
+    MOAS_REQUIRE(config.mrai == 0.0,
+                 "wave engine: MRAI pacing is an event-time concept — set mrai = 0");
+    MOAS_REQUIRE(!config.prefer_established,
+                 "wave engine: route-age preference needs arrival times — set "
+                 "prefer_established = false (ties break by lowest neighbor ASN)");
+    MOAS_REQUIRE(!config.churn.has_value(),
+                 "wave engine: background churn schedules replay on the event clock");
+    MOAS_REQUIRE(!config.async_resolution.has_value(),
+                 "wave engine: asynchronous resolution is clock-driven — use a "
+                 "synchronous resolver");
+    MOAS_REQUIRE(!config.graceful_restart,
+                 "wave engine: graceful restart needs restart timers");
+    MOAS_REQUIRE(!config.revised_error_handling,
+                 "wave engine: error handling acts on wire-level faults the wave "
+                 "model does not carry");
+    MOAS_REQUIRE(config.trace_level == obs::TraceLevel::Off && !config.keep_trace,
+                 "wave engine: trace events are timestamped — latency metrics are "
+                 "meaningless without a clock");
+    MOAS_REQUIRE(!config.check_invariants,
+                 "wave engine: the invariant checker audits a bgp::Network");
+  }
 }
 
 bgp::AsnSet Experiment::draw_origins(util::Rng& rng) const {
@@ -84,6 +118,12 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     MOAS_REQUIRE(graph_->has_node(o), "origin not in topology");
     MOAS_REQUIRE(!attackers.contains(o), "an origin cannot also be an attacker");
   }
+  if (config_.engine == Engine::Wave) return run_wave(origins, attackers, seed);
+  return run_event(origins, attackers, seed);
+}
+
+RunResult Experiment::run_event(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                                std::uint64_t seed) const {
   util::Rng rng(seed);
 
   const net::Prefix victim = topo::prefix_for_asn(*origins.begin());
@@ -227,6 +267,11 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   if (config_.mrai > 0.0) {
     for (bgp::Asn asn : all_ases) network.router(asn).set_mrai(config_.mrai);
   }
+  if (!config_.prefer_established) {
+    // Equal-key tie contests then resolve by lowest neighbor ASN instead of
+    // route age — the timing-independent mode the wave engine matches.
+    for (bgp::Asn asn : all_ases) network.router(asn).set_prefer_established(false);
+  }
 
   // Background churn: compile the seeded fault schedule for this topology
   // and arm it on the shared clock, so faults interleave with the workload.
@@ -256,17 +301,30 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   RunResult result;
   if (config_.converge_before_attack) {
     // Phase 1: the legitimate announcements converge (steady state).
+    const auto phase_start = std::chrono::steady_clock::now();
     result.quiesced = network.run_to_quiescence(config_.max_events);
+    result.propagation_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start)
+            .count();
     MOAS_ENSURE(result.quiesced, "valid-route convergence failed within the event cap");
   }
 
-  // Phase 2 (or a single racing phase): the fault/attack is injected.
+  // Phase 2 (or a single racing phase): the fault/attack is injected. In
+  // the racing model the attacker is compromised from t = 0 — its
+  // suppression filter is armed before any valid announcement can transit
+  // it (see install_suppression) — and only the false origination races the
+  // valid ones. Under converge_before_attack the attacker instead behaves
+  // honestly through phase 1 (the steady state includes it) and turns at
+  // injection time.
   for (bgp::Asn attacker : attackers) {
     AttackPlan plan;
     plan.attacker = attacker;
     plan.target = victim;
     plan.valid_origins = origins;
     plan.strategy = config_.strategy;
+    if (!config_.converge_before_attack) {
+      install_suppression(network.router(attacker), plan);
+    }
     const double at = rng.uniform01() * 0.5;
     // Injection time = earliest false origination on the run's clock; the
     // latency metrics below measure from here.
@@ -283,7 +341,11 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
       launch_attack(network, plan);
     });
   }
+  const auto drain_start = std::chrono::steady_clock::now();
   result.quiesced = network.run_to_quiescence(config_.max_events);
+  result.propagation_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - drain_start)
+          .count();
   MOAS_ENSURE(result.quiesced, "simulation failed to quiesce within the event cap");
 
   // Scoring. Under SubPrefixHijack the attacker wins a node whenever the
@@ -363,33 +425,7 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
     }
   }
 
-  result.alarms = alarms->size();
-  result.alarms_pending = alarms->count_state(MoasAlarm::State::Pending);
-  result.alarms_resolved = alarms->count_state(MoasAlarm::State::Resolved);
-  result.alarms_expired = alarms->count_state(MoasAlarm::State::Expired);
-  // Settle latency (alarm raised -> terminal state): instantaneous on the
-  // synchronous path, and exactly the resolution latency the degraded mode
-  // added on the async path — the bounded-inflation gate reads this.
-  {
-    auto& settle =
-        result.metrics.histogram("detector.alarm_settle_latency", kAlarmLatencySpec);
-    for (const MoasAlarm& alarm : alarms->alarms()) {
-      if (alarm.settled_at >= 0.0) settle.add(alarm.settled_at - alarm.at);
-    }
-  }
-  double first_alarm_at = -1.0;
-  for (const MoasAlarm& alarm : alarms->alarms()) {
-    const bool implicates_attacker =
-        std::any_of(attackers.begin(), attackers.end(), [&](bgp::Asn a) {
-          return alarm.offending_origins.contains(a) || alarm.observed_list.contains(a) ||
-                 alarm.reference_list.contains(a);
-        });
-    if (!implicates_attacker) {
-      ++result.false_alarms;
-    } else if (first_alarm_at < 0.0 || alarm.at < first_alarm_at) {
-      first_alarm_at = alarm.at;
-    }
-  }
+  const double first_alarm_at = account_alarms(result, *alarms, attackers);
   if (first_alarm_at >= 0.0 && result.attack_injected_at >= 0.0) {
     result.first_alarm_latency = std::max(0.0, first_alarm_at - result.attack_injected_at);
   }
@@ -449,7 +485,239 @@ RunResult Experiment::run_with(const bgp::AsnSet& origins, const bgp::AsnSet& at
   if (!attackers.empty()) {
     result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
   }
+  if (config_.keep_final_ribs) {
+    for (bgp::Asn asn : all_ases) {
+      const bgp::LocRib& rib = network.router(asn).loc_rib();
+      for (const net::Prefix& prefix : rib.prefixes()) {
+        result.final_ribs.push_back({asn, *rib.best(prefix)});
+      }
+    }
+  }
   if (config_.keep_trace) result.trace = bus.take();
+  return result;
+}
+
+double Experiment::account_alarms(RunResult& result, const AlarmLog& alarms,
+                                  const bgp::AsnSet& attackers) const {
+  result.alarms = alarms.size();
+  result.alarms_pending = alarms.count_state(MoasAlarm::State::Pending);
+  result.alarms_resolved = alarms.count_state(MoasAlarm::State::Resolved);
+  result.alarms_expired = alarms.count_state(MoasAlarm::State::Expired);
+  // Settle latency (alarm raised -> terminal state): instantaneous on the
+  // synchronous path, and exactly the resolution latency the degraded mode
+  // added on the async path — the bounded-inflation gate reads this.
+  {
+    auto& settle =
+        result.metrics.histogram("detector.alarm_settle_latency", kAlarmLatencySpec);
+    for (const MoasAlarm& alarm : alarms.alarms()) {
+      if (alarm.settled_at >= 0.0) settle.add(alarm.settled_at - alarm.at);
+    }
+  }
+  double first_alarm_at = -1.0;
+  for (const MoasAlarm& alarm : alarms.alarms()) {
+    const bool implicates_attacker =
+        std::any_of(attackers.begin(), attackers.end(), [&](bgp::Asn a) {
+          return alarm.offending_origins.contains(a) || alarm.observed_list.contains(a) ||
+                 alarm.reference_list.contains(a);
+        });
+    if (!implicates_attacker) {
+      ++result.false_alarms;
+    } else if (first_alarm_at < 0.0 || alarm.at < first_alarm_at) {
+      first_alarm_at = alarm.at;
+    }
+  }
+  return first_alarm_at;
+}
+
+RunResult Experiment::run_wave(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                               std::uint64_t seed) const {
+  util::Rng rng(seed);
+
+  const net::Prefix victim = topo::prefix_for_asn(*origins.begin());
+
+  // Ground truth / registry databases — the same construction (and the same
+  // rng draws) as run_event, so one PlannedRun seed resolves to the same
+  // resolver behavior under either engine.
+  auto truth = std::make_shared<PrefixOriginDb>();
+  truth->set(victim, origins);
+  std::shared_ptr<OriginResolver> resolver;
+  switch (config_.resolver) {
+    case ResolverKind::Oracle:
+      resolver = std::make_shared<OracleResolver>(truth);
+      break;
+    case ResolverKind::Dns: {
+      DnsResolver::Config dns;
+      dns.unavailability = config_.dns_unavailability;
+      dns.forgery = config_.dns_forgery;
+      if (!attackers.empty()) dns.forged_answer = attackers;
+      dns.seed = rng.next();
+      resolver = std::make_shared<DnsResolver>(truth, dns);
+      break;
+    }
+    case ResolverKind::Irr: {
+      auto stale = std::make_shared<PrefixOriginDb>();
+      if (!config_.irr_stale_origins.empty()) stale->set(victim, config_.irr_stale_origins);
+      IrrResolver::Config irr;
+      irr.staleness = config_.irr_staleness;
+      irr.seed = rng.next();
+      resolver = std::make_shared<IrrResolver>(truth, stale, irr);
+      break;
+    }
+    case ResolverKind::None:
+      resolver = nullptr;  // alarm-only detectors
+      break;
+  }
+
+  // run_event draws the network seed here; burn the same draw so the
+  // deployment and stripping samples below land on the same stream offsets
+  // — the differential gate compares the two engines run-for-run, and that
+  // only means anything if a run's capable set matches across engines.
+  (void)rng.next();
+
+  sim::WaveEngine::Config wave_config;
+  wave_config.mode = config_.policy;
+  sim::WaveEngine wave(*graph_, wave_config);
+
+  // Resolver cache on a frozen clock: entries never expire, which is the
+  // right model for a timeless run — within one run the registry answer for
+  // a prefix is fixed anyway.
+  std::shared_ptr<OriginResolver> backend = resolver;
+  std::shared_ptr<CachingResolver> cache;
+  if (resolver && config_.resolver_cache_ttl > 0.0) {
+    CachingResolver::Config cache_config;
+    cache_config.ttl = config_.resolver_cache_ttl;
+    cache_config.negative_ttl = std::min(config_.resolver_cache_ttl, 5.0);
+    cache = std::make_shared<CachingResolver>(backend, [] { return 0.0; }, cache_config);
+    resolver = cache;
+  }
+
+  const std::vector<bgp::Asn> all_ases = graph_->nodes();
+
+  // Detector deployment — identical sampling (and rng draws) to run_event.
+  auto alarms = std::make_shared<AlarmLog>();
+  std::vector<std::shared_ptr<MoasDetector>> detectors;
+  bgp::AsnSet capable;
+  if (config_.deployment == Deployment::Full) {
+    for (bgp::Asn asn : all_ases) capable.insert(asn);
+  } else if (config_.deployment == Deployment::Partial) {
+    const auto want = static_cast<std::size_t>(
+        std::lround(config_.deployment_fraction * static_cast<double>(all_ases.size())));
+    for (std::size_t i : rng.sample_indices(all_ases.size(), want)) {
+      capable.insert(all_ases[i]);
+    }
+  }
+  for (bgp::Asn asn : capable) {
+    if (attackers.contains(asn)) continue;
+    auto detector = std::make_shared<MoasDetector>(alarms, resolver);
+    wave.router(asn).set_validator(detector);
+    detectors.push_back(std::move(detector));
+  }
+
+  if (config_.strip_fraction > 0.0) {
+    std::vector<bgp::Asn> pool = all_ases;
+    std::erase_if(pool, [&](bgp::Asn asn) { return origins.contains(asn); });
+    const auto want = static_cast<std::size_t>(
+        std::lround(config_.strip_fraction * static_cast<double>(pool.size())));
+    for (std::size_t i : rng.sample_indices(pool.size(), want)) {
+      wave.router(pool[i]).set_strip_communities(true);
+    }
+  }
+
+  // Origination. No clock, so no scheduling jitter: valid originations are
+  // seeded, then (racing mode) the attacks, and the sweeps run everything
+  // to the fixpoint together. Under converge_before_attack the valid
+  // routes reach their fixpoint first and the attack hits the converged
+  // state incrementally — the wave analog of the two-phase event run.
+  bgp::CommunitySet origin_communities;
+  if (origins.size() > 1) origin_communities = encode_moas_list(origins);
+  for (bgp::Asn origin : origins) {
+    wave.router(origin).originate(victim, origin_communities);
+  }
+
+  RunResult result;
+  if (config_.converge_before_attack) {
+    const auto phase_start = std::chrono::steady_clock::now();
+    wave.propagate();
+    result.propagation_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start)
+            .count();
+  }
+
+  for (bgp::Asn attacker : attackers) {
+    AttackPlan plan;
+    plan.attacker = attacker;
+    plan.target = victim;
+    plan.valid_origins = origins;
+    plan.strategy = config_.strategy;
+    launch_attack(wave.router(attacker), plan);
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  wave.propagate();
+  result.propagation_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+  result.quiesced = true;  // propagate() returns only at the fixpoint
+
+  // Scoring — identical to run_event.
+  net::Prefix scored_prefix = victim;
+  if (config_.strategy == AttackerStrategy::SubPrefixHijack && !attackers.empty()) {
+    scored_prefix = victim.children().first;
+  }
+  result.total_ases = all_ases.size();
+  result.attackers = attackers.size();
+  result.origin_set = origins;
+  result.attacker_set = attackers;
+  for (bgp::Asn asn : all_ases) {
+    if (attackers.contains(asn)) continue;
+    ++result.population;
+    const bgp::Router& router = wave.router(asn);
+    const auto hijacked_origin = router.best_origin(scored_prefix);
+    if (hijacked_origin && attackers.contains(*hijacked_origin)) {
+      ++result.adopted_false;
+      continue;
+    }
+    const auto valid_origin = router.best_origin(victim);
+    if (!valid_origin) {
+      ++result.no_route;
+    } else if (origins.contains(*valid_origin)) {
+      ++result.adopted_valid;
+    } else if (attackers.contains(*valid_origin)) {
+      ++result.adopted_false;
+    }
+  }
+
+  wave.collect_metrics(result.metrics);
+  for (const auto& detector : detectors) detector->collect_metrics(result.metrics);
+  if (resolver) resolver->collect_metrics(result.metrics);
+
+  account_alarms(result, *alarms, attackers);
+  // attack_injected_at / first_alarm_latency / eviction_latency stay -1:
+  // a timeless engine has no latencies to report.
+
+  result.rejections = static_cast<std::size_t>(result.metrics.counter("detector.rejections"));
+  result.messages = result.metrics.counter("network.messages_sent");
+  result.withdrawals = result.metrics.counter("router.withdrawals_sent");
+  result.announcements = result.metrics.counter("router.announcements_sent");
+  result.stale_retained = result.metrics.counter("router.stale_retained");
+  result.stale_swept = result.metrics.counter("router.stale_swept");
+  result.routes_withdrawn = result.metrics.counter("router.routes_withdrawn");
+  result.error_withdraws = result.metrics.counter("router.error_withdraws");
+  result.metrics.count("resolver.queries", 0);
+  result.metrics.count("resolver.cache_hits", 0);
+  result.resolver_queries = result.metrics.counter("resolver.queries");
+  result.resolver_cache_hits = result.metrics.counter("resolver.cache_hits") +
+                               result.metrics.counter("resolver.cache_negative_hits");
+  if (!attackers.empty()) {
+    result.structural_cutoff = topo::fraction_cut_off(*graph_, origins, attackers);
+  }
+  if (config_.keep_final_ribs) {
+    for (bgp::Asn asn : all_ases) {
+      const bgp::LocRib& rib = wave.router(asn).loc_rib();
+      for (const net::Prefix& prefix : rib.prefixes()) {
+        result.final_ribs.push_back({asn, *rib.best(prefix)});
+      }
+    }
+  }
   return result;
 }
 

@@ -50,8 +50,23 @@ net::Prefix attack_prefix(const AttackPlan& plan);
 /// The communities the false announcement carries under `plan.strategy`.
 bgp::CommunitySet attack_communities(const AttackPlan& plan);
 
+/// Install only the suppression export filter, without originating. The
+/// attacker is compromised for the whole run: in the racing convergence
+/// model the filter must be armed *before* any valid announcement could
+/// transit the attacker — otherwise the valid route leaks through and
+/// downstream ASes the attacker cuts off end up banning the false origin
+/// (no_route) instead of adopting it, contradicting the paper's "an
+/// attacker must block all the potential paths" model. The false
+/// origination itself may then fire on any schedule.
+void install_suppression(bgp::Router& router, const AttackPlan& plan);
+
 /// Configure the attacker's router: install the suppression export filter
 /// for the victim block and originate the false route.
 void launch_attack(bgp::Network& network, const AttackPlan& plan);
+
+/// Same, on a bare router — the engine-agnostic core both the event
+/// Network and the sim::WaveEngine attackers go through. `router` must be
+/// the attacker's.
+void launch_attack(bgp::Router& router, const AttackPlan& plan);
 
 }  // namespace moas::core

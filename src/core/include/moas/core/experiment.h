@@ -51,10 +51,27 @@ const char* to_string(Deployment deployment);
 
 enum class ResolverKind : std::uint8_t { Oracle, Dns, Irr, None };
 
+/// Which propagation backend executes a run.
+///
+/// Event: the SSFnet-style timed simulation (bgp::Network over the event
+/// queue) — message delays, MRAI pacing, churn, latency metrics.
+/// Wave: the rank-ordered three-sweep engine (sim::WaveEngine) — the same
+/// converged Loc-RIBs at O(edges) per prefix, no clock. Wave runs reject
+/// every event-time knob loudly (see the Experiment constructor): MRAI must
+/// be 0, prefer_established false, and churn / async resolution / graceful
+/// restart / revised error handling / tracing / invariant audits off.
+enum class Engine : std::uint8_t { Event, Wave };
+
+const char* to_string(Engine engine);
+
 /// Where attackers may be placed.
 enum class AttackerPlacement : std::uint8_t { Anywhere, StubsOnly, TransitOnly };
 
 struct ExperimentConfig {
+  /// Propagation backend (see Engine). The default is the paper-faithful
+  /// event simulation; Wave trades event-time fidelity for O(edges) runs.
+  Engine engine = Engine::Event;
+
   Deployment deployment = Deployment::Full;
   double deployment_fraction = 0.5;  // MOAS-capable share under Partial
 
@@ -68,6 +85,14 @@ struct ExperimentConfig {
   /// dense topologies without changing the converged outcome.
   double mrai = 30.0;
   double strip_fraction = 0.0;  // routers that drop communities on export
+
+  /// Route-age preference (keep the established best on attribute-key
+  /// ties). On by default — the stability step real BGP implementations
+  /// apply — but it makes the event engine's converged tie winners depend
+  /// on message timing. The wave engine is timeless and REQUIREs this off;
+  /// turn it off on the event engine too when differentially comparing the
+  /// two (DESIGN.md §10).
+  bool prefer_established = true;
 
   ResolverKind resolver = ResolverKind::Oracle;
   double dns_unavailability = 0.0;  // when resolver == Dns
@@ -139,12 +164,28 @@ struct ExperimentConfig {
   /// Keep the raw event stream in RunResult::trace after the run's own
   /// latency computation. Off by default — a Full-level stream is large.
   bool keep_trace = false;
+
+  /// Snapshot every router's final Loc-RIB into RunResult::final_ribs.
+  /// Off by default (it is O(ASes) memory per run); the event-vs-wave
+  /// differential gate turns it on to compare converged routing tables
+  /// entry for entry.
+  bool keep_final_ribs = false;
 };
 
 /// Bucket layout of the per-point alarm-latency histograms: 0.5 s buckets
 /// up to 30 s (one MRAI interval), explicit overflow beyond. Shared by
 /// every producer so point registries merge without spec conflicts.
 inline constexpr obs::HistogramSpec kAlarmLatencySpec{0.0, 0.5, 60};
+
+/// One converged Loc-RIB entry, labeled with the AS holding it (only with
+/// ExperimentConfig::keep_final_ribs). Full-route equality — path, origin
+/// code, LOCAL_PREF, MED, communities, learned-from neighbor.
+struct FinalRoute {
+  bgp::Asn asn = bgp::kNoAs;
+  bgp::RibEntry entry;
+
+  friend bool operator==(const FinalRoute&, const FinalRoute&) = default;
+};
 
 struct RunResult {
   std::size_t total_ases = 0;
@@ -227,6 +268,13 @@ struct RunResult {
   double eviction_latency = -1.0;
   bool false_route_stuck = false;
 
+  /// Wall-clock seconds spent inside the engine's propagation phase alone —
+  /// the event-queue drains (run_event) or the wave sweeps (run_wave) —
+  /// excluding scenario setup and scoring. Real time, not simulated: it is
+  /// NOT in the metrics registry and never enters a determinism comparison;
+  /// micro_wave_vs_event reads it for the per-prefix speedup gate.
+  double propagation_seconds = 0.0;
+
   /// Per-run metrics snapshot: router.*/network.*/sim.* (always), chaos.*
   /// (with churn), detector.*/resolver.* (with deployment). The scalar
   /// counters above are read back out of this registry — it is the source
@@ -234,6 +282,10 @@ struct RunResult {
   obs::MetricsRegistry metrics;
   /// The raw event stream (only with ExperimentConfig::keep_trace).
   std::vector<obs::TraceEvent> trace;
+  /// Every router's converged Loc-RIB, sorted by (asn, prefix) — only with
+  /// ExperimentConfig::keep_final_ribs. Both engines populate it the same
+  /// way, so the differential gate compares the vectors with ==.
+  std::vector<FinalRoute> final_ribs;
 
   double adopted_false_fraction() const {
     return population == 0 ? 0.0
@@ -349,6 +401,20 @@ class Experiment {
                              util::Rng& rng) const;
 
  private:
+  /// The event-queue backend (the historical run_with body).
+  RunResult run_event(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                      std::uint64_t seed) const;
+  /// The rank-ordered wave backend. Consumes the run seed in the same draw
+  /// order as run_event up through the deployment/stripping samples, so a
+  /// PlannedRun resolves to the same capable set under either engine.
+  RunResult run_wave(const bgp::AsnSet& origins, const bgp::AsnSet& attackers,
+                     std::uint64_t seed) const;
+  /// Alarm bookkeeping shared by both engines: lifecycle counts, settle
+  /// histogram, false-alarm classification. Returns the earliest
+  /// attacker-implicating alarm time (-1 if none).
+  double account_alarms(RunResult& result, const AlarmLog& alarms,
+                        const bgp::AsnSet& attackers) const;
+
   const topo::AsGraph* graph_;
   ExperimentConfig config_;
 };

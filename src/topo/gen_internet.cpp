@@ -12,24 +12,7 @@ namespace {
 /// fresh nodes can be picked). `pool` must be non-empty.
 Asn pick_provider(const AsGraph& g, const std::vector<Asn>& pool, util::Rng& rng,
                   const AsnSet& exclude) {
-  double total = 0.0;
-  for (Asn asn : pool) {
-    if (exclude.contains(asn)) continue;
-    total += static_cast<double>(g.degree(asn)) + 1.0;
-  }
-  MOAS_ENSURE(total > 0.0, "provider pool exhausted");
-  double target = rng.uniform01() * total;
-  for (Asn asn : pool) {
-    if (exclude.contains(asn)) continue;
-    target -= static_cast<double>(g.degree(asn)) + 1.0;
-    if (target <= 0.0) return asn;
-  }
-  // Floating-point slack: return the last eligible candidate.
-  for (auto it = pool.rbegin(); it != pool.rend(); ++it) {
-    if (!exclude.contains(*it)) return *it;
-  }
-  MOAS_ENSURE(false, "unreachable");
-  return bgp::kNoAs;
+  return detail::pick_weighted_provider(g, pool, rng.uniform01(), exclude);
 }
 
 void attach_with_providers(AsGraph& g, Asn node, std::size_t n_providers,
@@ -45,6 +28,36 @@ void attach_with_providers(AsGraph& g, Asn node, std::size_t n_providers,
 }
 
 }  // namespace
+
+namespace detail {
+
+Asn pick_weighted_provider(const AsGraph& g, const std::vector<Asn>& pool, double roll01,
+                           const AsnSet& exclude) {
+  double total = 0.0;
+  for (Asn asn : pool) {
+    if (exclude.contains(asn)) continue;
+    total += static_cast<double>(g.degree(asn)) + 1.0;
+  }
+  MOAS_ENSURE(total > 0.0, "provider pool exhausted");
+  double target = roll01 * total;
+  // One pass over the cumulative weights. The scan itself remembers the
+  // last eligible candidate it visited: when floating-point slack leaves
+  // target marginally positive after the final subtraction (roll01 at or
+  // rounding to 1), the leftover sliver belongs to that candidate — the one
+  // whose weight interval ends at `total`. The old fallback re-scanned the
+  // pool from the back instead of resolving within the weighted scan.
+  Asn last_visited = bgp::kNoAs;
+  for (Asn asn : pool) {
+    if (exclude.contains(asn)) continue;
+    target -= static_cast<double>(g.degree(asn)) + 1.0;
+    if (target <= 0.0) return asn;
+    last_visited = asn;
+  }
+  MOAS_ENSURE(last_visited != bgp::kNoAs, "unreachable");
+  return last_visited;
+}
+
+}  // namespace detail
 
 AsGraph generate_internet(const InternetConfig& config, util::Rng& rng) {
   MOAS_REQUIRE(config.tier1 >= 2, "need at least two tier-1 ASes");

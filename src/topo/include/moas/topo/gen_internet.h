@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "moas/topo/graph.h"
 #include "moas/util/rng.h"
@@ -51,5 +52,18 @@ struct InternetConfig {
 /// Generate; the result is guaranteed connected (tier-1 backbone plus
 /// provider chains reach every node).
 AsGraph generate_internet(const InternetConfig& config, util::Rng& rng);
+
+namespace detail {
+
+/// The degree-weighted provider draw behind generate_internet's
+/// preferential attachment, exposed with the roll made explicit so tests
+/// can pin the boundary behavior. `roll01` in [0, 1] selects from the
+/// cumulative (degree + 1) weights over the non-excluded pool entries;
+/// floating-point slack at roll01 == 1 resolves to the last candidate the
+/// weighted scan visited. The eligible pool must be non-empty.
+Asn pick_weighted_provider(const AsGraph& g, const std::vector<Asn>& pool, double roll01,
+                           const AsnSet& exclude);
+
+}  // namespace detail
 
 }  // namespace moas::topo

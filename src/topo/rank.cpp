@@ -1,0 +1,67 @@
+#include "moas/topo/rank.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::topo {
+
+RankAssignment rank_by_customer_cone(const AsGraph& graph) {
+  // Kahn's algorithm with longest-path level assignment: a node's rank is
+  // final once every customer below it has been processed, so a node is
+  // queued exactly when its pending-customer count hits zero. If the queue
+  // drains before every node was processed, the leftover nodes all sit on a
+  // customer-provider cycle.
+  std::map<Asn, std::size_t> pending_customers;
+  for (Asn asn : graph.nodes()) {
+    std::size_t customers = 0;
+    for (Asn neighbor : graph.neighbors(asn)) {
+      if (graph.relationship(asn, neighbor) == bgp::Relationship::Customer) ++customers;
+    }
+    pending_customers.emplace(asn, customers);
+  }
+
+  RankAssignment out;
+  std::vector<Asn> queue;
+  queue.reserve(pending_customers.size());
+  for (const auto& [asn, pending] : pending_customers) {
+    if (pending == 0) {
+      out.rank[asn] = 0;
+      queue.push_back(asn);  // map order: ascending ASN
+    }
+  }
+
+  std::map<Asn, std::size_t> tentative;  // running max of 1 + rank(customer)
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Asn asn = queue[head];
+    const std::size_t rank = out.rank.at(asn);
+    for (Asn provider : graph.neighbors(asn)) {
+      if (graph.relationship(asn, provider) != bgp::Relationship::Provider) continue;
+      std::size_t& best = tentative[provider];
+      best = std::max(best, rank + 1);
+      std::size_t& pending = pending_customers.at(provider);
+      MOAS_REQUIRE(pending > 0, "asymmetric customer-provider edge annotations");
+      if (--pending == 0) {
+        out.rank[provider] = best;
+        queue.push_back(provider);
+      }
+    }
+  }
+
+  MOAS_REQUIRE(queue.size() == graph.node_count(),
+               "customer-provider relationships contain a cycle — topological ranks "
+               "are undefined");
+
+  std::size_t max_rank = 0;
+  for (const auto& [asn, rank] : out.rank) max_rank = std::max(max_rank, rank);
+  if (!out.rank.empty()) out.levels.resize(max_rank + 1);
+  // Bucket in map order so every level lists its ASes in ascending ASN —
+  // the deterministic visit order the wave sweeps rely on.
+  for (const auto& [asn, rank] : out.rank) out.levels[rank].push_back(asn);
+  for (const auto& level : out.levels) {
+    MOAS_ENSURE(!level.empty(), "rank levels must be contiguous");
+  }
+  return out;
+}
+
+}  // namespace moas::topo

@@ -212,6 +212,37 @@ TEST(SweepParallel, TraceAndMetricsIdenticalAcrossJobs) {
   }
 }
 
+TEST(SweepParallel, WaveEngineSweepBitIdenticalAcrossJobCounts) {
+  // The wave engine rides the same plan → execute → reduce contract as the
+  // event engine: runs are self-contained (the engine is built per run) and
+  // the reduction replays plan order, so sweep output — merged registries
+  // included — is byte-identical for any job count.
+  ExperimentConfig config = sweep_config();
+  config.engine = Engine::Wave;
+  config.mrai = 0.0;
+  config.prefer_established = false;
+  const Experiment experiment(shared_topology(), config);
+  const std::vector<double> fractions{0.05, 0.20};
+
+  std::vector<SweepPoint> golden;
+  std::vector<std::string> golden_metrics;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("jobs = " + std::to_string(jobs));
+    util::Rng rng(77);
+    const std::vector<SweepPoint> points = experiment.sweep(fractions, 2, 2, rng, jobs);
+    std::vector<std::string> metrics;
+    for (const SweepPoint& point : points) metrics.push_back(point.metrics.to_json());
+    if (jobs == 1) {
+      golden = points;
+      golden_metrics = metrics;
+      EXPECT_GT(points.front().runs, 0u);
+    } else {
+      expect_points_bitwise_equal(golden, points);
+      EXPECT_EQ(metrics, golden_metrics);
+    }
+  }
+}
+
 TEST(SweepParallel, SharedPoolAcrossPlansMatchesPerSweepPools) {
   // bench_util::run_curves funnels several experiments' plans through one
   // pool; that must not change any curve's output.

@@ -96,6 +96,64 @@ TEST(GenInternet, RejectsDegenerateConfig) {
   EXPECT_THROW(generate_internet(config, rng), std::invalid_argument);
 }
 
+/// Pool of three providers with degrees 0 / 1 / 2 (weights 1 / 2 / 3,
+/// cumulative 1 / 3 / 6 over a total of 6).
+AsGraph weighted_pool_graph() {
+  AsGraph g;
+  for (bgp::Asn asn : {1u, 2u, 3u, 4u, 5u}) g.add_node(asn, AsKind::Transit);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  g.add_edge(3, 5);
+  return g;
+}
+
+TEST(PickWeightedProvider, RollSelectsByCumulativeWeight) {
+  const AsGraph g = weighted_pool_graph();
+  const std::vector<bgp::Asn> pool{1, 2, 3};
+  // Interval ends at 1/6, 3/6, 6/6 of the total weight.
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 0.0, {}), 1u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 1.0 / 6.0, {}), 1u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 0.2, {}), 2u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 0.5, {}), 2u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 0.6, {}), 3u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, pool, 0.999, {}), 3u);
+}
+
+TEST(PickWeightedProvider, BoundaryRollResolvesToLastVisitedCandidate) {
+  // The regression this pins: when floating-point slack leaves the target
+  // marginally positive after the final subtraction (roll01 == 1), the
+  // leftover sliver belongs to the candidate whose weight interval ends at
+  // the total — the last one the weighted scan visited. It must NOT depend
+  // on pool order beyond eligibility (the old fallback re-scanned from the
+  // back, which happened to agree; this makes the contract explicit).
+  const AsGraph g = weighted_pool_graph();
+  EXPECT_EQ(detail::pick_weighted_provider(g, {1, 2, 3}, 1.0, {}), 3u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, {3, 2, 1}, 1.0, {}), 1u);
+  // Excluded entries are invisible to the scan: the boundary roll lands on
+  // the last *eligible* candidate.
+  EXPECT_EQ(detail::pick_weighted_provider(g, {1, 2, 3}, 1.0, {3}), 2u);
+  EXPECT_EQ(detail::pick_weighted_provider(g, {1, 2, 3}, 0.0, {1}), 2u);
+}
+
+TEST(PickWeightedProvider, ExhaustedPoolIsLoud) {
+  const AsGraph g = weighted_pool_graph();
+  EXPECT_ANY_THROW(detail::pick_weighted_provider(g, {1, 2}, 0.5, {1, 2}));
+}
+
+TEST(GenInternet, DrawSequenceGolden) {
+  // Pins the generator's rng draw sequence across refactors of the provider
+  // draw: the single-pass boundary fix is behavior-preserving, so the
+  // seed-7 small topology keeps these exact structural counts. If this
+  // breaks, every committed golden derived from generated topologies moves.
+  util::Rng rng(7);
+  const AsGraph g = generate_internet(small_config(), rng);
+  EXPECT_EQ(g.node_count(), 465u);
+  EXPECT_EQ(g.edge_count(), 973u);
+  EXPECT_EQ(g.degree(1), 41u);
+  EXPECT_EQ(g.degree(65), 13u);
+  EXPECT_EQ(rng.next(), 10985903897301118718ULL);
+}
+
 TEST(Metrics, FractionCutOffLinearChain) {
   AsGraph g;
   for (bgp::Asn asn : {1u, 2u, 3u, 4u, 5u}) g.add_node(asn, AsKind::Transit);
