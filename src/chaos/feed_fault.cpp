@@ -1,0 +1,119 @@
+#include "moas/chaos/feed_fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "moas/util/assert.h"
+#include "moas/util/rng.h"
+#include "moas/util/strings.h"
+
+namespace moas::chaos {
+
+namespace {
+
+/// splitmix64 finalizer — the per-seq decision hash. Independent of util::Rng
+/// state so decisions are order-free.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_prob(double p, const char* name) {
+  MOAS_REQUIRE(p >= 0.0 && p <= 1.0, std::string(name) + " must be in [0, 1]");
+}
+
+}  // namespace
+
+bool FeedFaultSchedule::gapped(int day) const {
+  for (const GapWindow& g : gaps) {
+    if (day < g.first_day) return false;
+    if (day <= g.last_day) return true;
+  }
+  return false;
+}
+
+int FeedFaultSchedule::gap_days() const {
+  int total = 0;
+  for (const GapWindow& g : gaps) total += g.last_day - g.first_day + 1;
+  return total;
+}
+
+FeedFaultSchedule::Decision FeedFaultSchedule::decide(std::uint64_t seq) const {
+  Decision d;
+  if (!config.has_update_faults()) return d;
+  const std::uint64_t h = mix(config.seed ^ (seq * 0xd1b54a32d192ed03ULL));
+  // Three independent draws carved from one hash: low bits for garble,
+  // middle for duplicate, a re-mix for the reorder roll + skew.
+  if (config.garble_prob > 0.0 && unit(h) < config.garble_prob) d.garble = true;
+  const std::uint64_t h2 = mix(h);
+  if (config.duplicate_prob > 0.0 && unit(h2) < config.duplicate_prob) d.duplicate = true;
+  const std::uint64_t h3 = mix(h2);
+  if (config.reorder_prob > 0.0 && config.reorder_max_skew > 0 &&
+      unit(h3) < config.reorder_prob) {
+    d.reorder_skew = 1 + static_cast<int>(mix(h3) %
+                                          static_cast<std::uint64_t>(config.reorder_max_skew));
+  }
+  return d;
+}
+
+std::string FeedFaultSchedule::to_string() const {
+  std::string out = "feed-faults seed=" + std::to_string(config.seed) +
+                    " horizon=" + std::to_string(config.horizon_days) +
+                    " dup=" + util::fmt_double(config.duplicate_prob, 4) +
+                    " reorder=" + util::fmt_double(config.reorder_prob, 4) +
+                    " skew<=" + std::to_string(config.reorder_max_skew) +
+                    " garble=" + util::fmt_double(config.garble_prob, 4) + "\n";
+  for (const GapWindow& g : gaps) {
+    out += "gap days " + std::to_string(g.first_day) + ".." + std::to_string(g.last_day) + "\n";
+  }
+  return out;
+}
+
+FeedFaultSchedule compile_feed_faults(const FeedFaultConfig& config) {
+  check_prob(config.duplicate_prob, "duplicate_prob");
+  check_prob(config.reorder_prob, "reorder_prob");
+  check_prob(config.garble_prob, "garble_prob");
+  MOAS_REQUIRE(config.reorder_max_skew >= 0, "reorder_max_skew must be >= 0");
+  MOAS_REQUIRE(config.gaps == 0.0 || config.horizon_days > 0,
+               "gap windows need a positive horizon");
+  MOAS_REQUIRE(config.gaps >= 0.0 && config.gap_mean_days >= 0.0,
+               "gap knobs must be non-negative");
+
+  FeedFaultSchedule schedule;
+  schedule.config = config;
+  if (config.gaps > 0.0) {
+    util::Rng rng(config.seed ^ 0xfeedfa017a11ULL);
+    const unsigned n = rng.poisson(config.gaps);
+    std::vector<GapWindow> raw;
+    for (unsigned i = 0; i < n; ++i) {
+      const int first = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(config.horizon_days - 1)));
+      double u;
+      do {
+        u = rng.uniform01();
+      } while (u <= 0.0);
+      const int extra = static_cast<int>(std::floor(-std::max(0.0, config.gap_mean_days - 1.0) *
+                                                    std::log(u)));
+      const int last = std::min(first + extra, config.horizon_days - 1);
+      raw.push_back({first, last});
+    }
+    std::sort(raw.begin(), raw.end(), [](const GapWindow& a, const GapWindow& b) {
+      return a.first_day < b.first_day || (a.first_day == b.first_day && a.last_day < b.last_day);
+    });
+    for (const GapWindow& g : raw) {
+      if (!schedule.gaps.empty() && g.first_day <= schedule.gaps.back().last_day + 1) {
+        schedule.gaps.back().last_day = std::max(schedule.gaps.back().last_day, g.last_day);
+      } else {
+        schedule.gaps.push_back(g);
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace moas::chaos

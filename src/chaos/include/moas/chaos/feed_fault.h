@@ -1,0 +1,84 @@
+// Seeded feed-fault schedule for the streaming detection pipeline.
+//
+// A long-lived detector consumes a collector feed that fails in mundane
+// ways: the collector goes dark for whole days (gap windows), the transport
+// delivers an update twice or out of order within a bounded skew, and table
+// lines arrive truncated or garbled. compile_feed_faults() turns a config
+// into a deterministic schedule: explicit day-granular gap windows plus a
+// pure per-sequence-number fault decision, so the same seed produces the
+// same faulted feed no matter how the consumer is threaded or resumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moas::chaos {
+
+struct FeedFaultConfig {
+  std::uint64_t seed = 1;
+
+  /// Gap windows are placed inside [0, horizon_days). Required > 0 when
+  /// `gaps` > 0.
+  int horizon_days = 0;
+  /// Mean number of whole-day feed outages over the horizon (Poisson).
+  double gaps = 0.0;
+  /// Mean outage length in days (exponential, at least 1, clamped to the
+  /// horizon).
+  double gap_mean_days = 2.0;
+
+  /// Probability an update is delivered twice (the copy lands in the next
+  /// delivery slot, so duplicates arrive adjacent unless also reordered).
+  double duplicate_prob = 0.0;
+  /// Probability an update is delayed and overtaken by later traffic.
+  double reorder_prob = 0.0;
+  /// Maximum delay in delivery slots for a reordered update (bounded skew).
+  int reorder_max_skew = 8;
+  /// Probability an update's payload is truncated/garbled in flight: the
+  /// line still arrives (and consumes a sequence number) but carries no
+  /// parseable observation.
+  double garble_prob = 0.0;
+
+  bool has_update_faults() const {
+    return duplicate_prob > 0.0 || reorder_prob > 0.0 || garble_prob > 0.0;
+  }
+};
+
+/// Whole days [first_day, last_day] (inclusive) with no feed at all.
+struct GapWindow {
+  int first_day = 0;
+  int last_day = 0;
+
+  bool operator==(const GapWindow&) const = default;
+};
+
+struct FeedFaultSchedule {
+  FeedFaultConfig config;
+  std::vector<GapWindow> gaps;  // sorted, non-overlapping, merged
+
+  /// True if the feed is dark on `day`.
+  bool gapped(int day) const;
+
+  /// Total number of dark days.
+  int gap_days() const;
+
+  /// Per-update fault decision, a pure function of (seed, seq): the same
+  /// update draws the same fate regardless of consumption order, restarts,
+  /// or thread count.
+  struct Decision {
+    bool duplicate = false;
+    int reorder_skew = 0;  // 0 = in order; else delay in delivery slots
+    bool garble = false;
+  };
+  Decision decide(std::uint64_t seq) const;
+
+  /// Canonical replay log: config knobs plus one line per gap window.
+  /// Byte-identical across runs of the same config.
+  std::string to_string() const;
+};
+
+/// Compile the schedule. Throws std::invalid_argument on a config that asks
+/// for gaps without a horizon or has probabilities outside [0, 1].
+FeedFaultSchedule compile_feed_faults(const FeedFaultConfig& config);
+
+}  // namespace moas::chaos

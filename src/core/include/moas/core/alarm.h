@@ -5,6 +5,7 @@
 //  should be conducted to identify the cause of the inconsistency."
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,16 +42,26 @@ struct MoasAlarm {
   sim::Time settled_at = -1.0;  // when a terminal state was reached (-1 = not yet)
 
   std::string to_string() const;
+
+  bool operator==(const MoasAlarm&) const = default;
 };
 
 const char* to_string(MoasAlarm::Cause cause);
 const char* to_string(MoasAlarm::State state);
 
 /// Append-only alarm sink shared by all detectors in one experiment.
+///
+/// Long-lived (streaming) deployments cap the log with set_retention():
+/// once more than `cap` alarms are retained, the oldest *settled* alarms
+/// are folded into per-state/per-cause tallies and dropped. Ids stay
+/// stable across compaction (they are absolute record indices), open
+/// alarms are never compacted, and count()/count_state()/size() keep
+/// reporting totals over everything ever recorded. The default (cap 0,
+/// unlimited) preserves the historical append-only behaviour exactly.
 class AlarmLog {
  public:
-  /// Records the alarm and returns its id (index) so the raiser can settle
-  /// it later.
+  /// Records the alarm and returns its id so the raiser can settle it
+  /// later. Ids are absolute: they survive compaction.
   std::size_t record(MoasAlarm alarm) {
     if (obs::trace_wants(trace_, obs::TraceLevel::Summary)) {
       trace_->emit(obs::TraceEvent(obs::EventKind::AlarmRaised, alarm.observer)
@@ -58,31 +69,66 @@ class AlarmLog {
                        .with_note(to_string(alarm.cause)));
     }
     alarms_.push_back(std::move(alarm));
-    return alarms_.size() - 1;
+    maybe_compact();
+    return base_ + alarms_.size() - 1;
   }
 
   /// Transition alarm `id` to `state` at time `at`. Only forward moves are
   /// legal: Raised -> Pending, and Raised/Pending -> Resolved/Expired; a
-  /// settled alarm never changes again.
+  /// settled alarm never changes again. Settling an already-compacted id
+  /// is a precondition violation (only settled alarms are ever compacted).
   void settle(std::size_t id, MoasAlarm::State state, sim::Time at);
 
+  /// The retained window (everything, when no retention cap is set).
   const std::vector<MoasAlarm>& alarms() const { return alarms_; }
-  std::size_t size() const { return alarms_.size(); }
-  bool empty() const { return alarms_.empty(); }
-  void clear() { alarms_.clear(); }
+  /// Total alarms ever recorded, compacted ones included.
+  std::size_t size() const { return base_ + alarms_.size(); }
+  bool empty() const { return size() == 0; }
+  void clear();
 
-  /// Number of alarms with the given cause.
+  /// Number of alarms with the given cause (compacted ones included).
   std::size_t count(MoasAlarm::Cause cause) const;
 
-  /// Number of alarms currently in the given lifecycle state.
+  /// Number of alarms currently in the given lifecycle state (compacted
+  /// ones included; they are all terminal by construction).
   std::size_t count_state(MoasAlarm::State state) const;
+
+  /// Cap the retained window at `cap` alarms (0 = unlimited). Compaction
+  /// only ever folds the oldest settled alarms; an old alarm that is still
+  /// open blocks compaction behind it, so the window can exceed the cap by
+  /// the number of open alarms preceding it.
+  void set_retention(std::size_t cap);
+  std::size_t retention() const { return retention_; }
+
+  /// Id of the oldest retained alarm (== number of compacted alarms).
+  std::size_t first_retained() const { return base_; }
+  std::size_t compacted() const { return base_; }
+  const std::array<std::uint64_t, 4>& compacted_by_state() const { return compacted_states_; }
+  const std::array<std::uint64_t, 3>& compacted_by_cause() const { return compacted_causes_; }
+
+  /// Checkpoint restore: seed the compaction tallies of an empty log.
+  void restore_compacted(std::size_t base, const std::array<std::uint64_t, 4>& by_state,
+                         const std::array<std::uint64_t, 3>& by_cause);
 
   /// Attach (or detach, with nullptr) the trace bus; every recorded alarm
   /// is mirrored as an AlarmRaised event. The bus must outlive the log.
   void set_trace(obs::TraceBus* bus) { trace_ = bus; }
 
+  /// Content equality (the attached trace bus is not part of the content).
+  bool operator==(const AlarmLog& other) const {
+    return alarms_ == other.alarms_ && base_ == other.base_ &&
+           retention_ == other.retention_ && compacted_states_ == other.compacted_states_ &&
+           compacted_causes_ == other.compacted_causes_;
+  }
+
  private:
+  void maybe_compact();
+
   std::vector<MoasAlarm> alarms_;
+  std::size_t base_ = 0;  // ids < base_ have been compacted away
+  std::size_t retention_ = 0;
+  std::array<std::uint64_t, 4> compacted_states_{};  // indexed by State
+  std::array<std::uint64_t, 3> compacted_causes_{};  // indexed by Cause
   obs::TraceBus* trace_ = nullptr;
 };
 

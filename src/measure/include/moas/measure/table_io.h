@@ -30,4 +30,22 @@ void save_trace(const SyntheticTrace& trace, std::ostream& os);
 /// Load an archive and return the dumps in day order.
 std::vector<DailyDump> load_trace(std::istream& is);
 
+/// What the tolerant loader skipped. A production feed ingester must never
+/// crash on a truncated or garbled archive line; it drops exactly the
+/// damaged data, keeps everything parseable, and accounts for every loss
+/// (surfaced as the `measure.rejected_lines` / `measure.rejected_dumps`
+/// counters by callers).
+struct LoadStats {
+  std::size_t lines = 0;           // non-blank, non-comment lines examined
+  std::size_t dumps = 0;           // dumps returned
+  std::size_t rejected_lines = 0;  // malformed lines skipped (headers included)
+  std::size_t rejected_dumps = 0;  // whole dumps dropped (bad or out-of-order day)
+};
+
+/// Like load_trace(), but malformed input is skipped and counted instead of
+/// throwing: truncated/garbled table lines are dropped line-by-line; a
+/// malformed or non-monotonic "day" header drops that whole dump (its body
+/// lines are unattributable and counted as rejected too).
+std::vector<DailyDump> load_trace_tolerant(std::istream& is, LoadStats& stats);
+
 }  // namespace moas::measure

@@ -1,8 +1,10 @@
 #include "moas/measure/table_io.h"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "moas/util/assert.h"
 #include "moas/util/strings.h"
@@ -20,6 +22,36 @@ void write_one(const DailyDump& dump, std::ostream& os) {
   }
 }
 
+/// Parse one "<prefix> <asn> <asn>..." table line. nullopt on any damage:
+/// unparseable prefix, non-numeric or out-of-range ASN, trailing garbage,
+/// or a line with no origins at all.
+std::optional<std::pair<net::Prefix, bgp::AsnSet>> parse_table_line(std::string_view trimmed) {
+  std::istringstream ls{std::string(trimmed)};
+  std::string prefix_text;
+  ls >> prefix_text;
+  const auto prefix = net::Prefix::parse(prefix_text);
+  if (!prefix.has_value()) return std::nullopt;
+  bgp::AsnSet origins;
+  std::uint64_t asn = 0;
+  while (ls >> asn) {
+    if (asn == 0 || asn > ~bgp::Asn{0}) return std::nullopt;
+    origins.insert(static_cast<bgp::Asn>(asn));
+  }
+  if (!ls.eof()) return std::nullopt;  // a field failed to parse as a number
+  if (origins.empty()) return std::nullopt;
+  return std::make_pair(*prefix, std::move(origins));
+}
+
+/// Parse a "day <n>" header line. nullopt when malformed or out of range.
+std::optional<int> parse_day_header(std::string_view trimmed) {
+  if (trimmed.rfind("day ", 0) != 0) return std::nullopt;
+  std::uint64_t day = 0;
+  if (!util::parse_u64(util::trim(trimmed.substr(4)), day) || day > 1u << 30) {
+    return std::nullopt;
+  }
+  return static_cast<int>(day);
+}
+
 /// Reads one dump starting after its "day" line has been consumed into
 /// `day`. Stops before the next "day" line or at EOF.
 DailyDump read_body(int day, std::istream& is) {
@@ -35,20 +67,9 @@ DailyDump read_body(int day, std::istream& is) {
       is.seekg(pos);  // belongs to the next dump
       break;
     }
-    std::istringstream ls{std::string(trimmed)};
-    std::string prefix_text;
-    ls >> prefix_text;
-    const auto prefix = net::Prefix::parse(prefix_text);
-    MOAS_REQUIRE(prefix.has_value(), "malformed prefix '" + prefix_text + "'");
-    bgp::AsnSet origins;
-    std::uint64_t asn = 0;
-    while (ls >> asn) {
-      MOAS_REQUIRE(asn != 0 && asn <= ~bgp::Asn{0}, "ASN out of range");
-      origins.insert(static_cast<bgp::Asn>(asn));
-    }
-    MOAS_REQUIRE(ls.eof(), "trailing garbage on table line");
-    MOAS_REQUIRE(!origins.empty(), "table line without origins");
-    dump.origins[*prefix] = std::move(origins);
+    auto parsed = parse_table_line(trimmed);
+    MOAS_REQUIRE(parsed.has_value(), "malformed table line '" + std::string(trimmed) + "'");
+    dump.origins[parsed->first] = std::move(parsed->second);
   }
   return dump;
 }
@@ -58,11 +79,9 @@ std::optional<int> read_day_header(std::istream& is) {
   while (std::getline(is, line)) {
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
-    MOAS_REQUIRE(trimmed.rfind("day ", 0) == 0, "expected a 'day <n>' header");
-    std::uint64_t day = 0;
-    MOAS_REQUIRE(util::parse_u64(util::trim(trimmed.substr(4)), day) && day <= 1u << 30,
-                 "malformed day number");
-    return static_cast<int>(day);
+    const auto day = parse_day_header(trimmed);
+    MOAS_REQUIRE(day.has_value(), "expected a 'day <n>' header");
+    return day;
   }
   return std::nullopt;
 }
@@ -90,6 +109,60 @@ std::vector<DailyDump> load_trace(std::istream& is) {
   while (auto day = read_day_header(is)) {
     out.push_back(read_body(*day, is));
   }
+  return out;
+}
+
+std::vector<DailyDump> load_trace_tolerant(std::istream& is, LoadStats& stats) {
+  std::vector<DailyDump> out;
+  // Current dump under construction; nullopt while skipping the body of a
+  // rejected dump (or before the first valid header).
+  std::optional<DailyDump> current;
+  int last_day = -1;
+  auto flush = [&] {
+    if (current.has_value()) {
+      last_day = current->day;
+      out.push_back(std::move(*current));
+      ++stats.dumps;
+      current.reset();
+    }
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    ++stats.lines;
+
+    if (trimmed.rfind("day", 0) == 0 && (trimmed.size() == 3 || trimmed[3] == ' ')) {
+      // A header (possibly damaged). Close the previous dump either way.
+      // Note the limit of tolerance: the header is the only dump boundary
+      // marker, so one destroyed beyond its "day" token reads as a body
+      // line and the rows after it attribute to the previous dump.
+      flush();
+      const auto day = parse_day_header(trimmed);
+      if (!day.has_value() || *day <= last_day) {
+        // Bad day number, or a day that runs backwards: the whole dump is
+        // unattributable. Its body lines are rejected as they stream past.
+        ++stats.rejected_lines;
+        ++stats.rejected_dumps;
+        current.reset();
+      } else {
+        current.emplace();
+        current->day = *day;
+      }
+      continue;
+    }
+
+    auto parsed = parse_table_line(trimmed);
+    if (!parsed.has_value() || !current.has_value()) {
+      // Truncated/garbled line, or an intact line inside a rejected dump
+      // (no day to attribute it to) — skip it, count it.
+      ++stats.rejected_lines;
+      continue;
+    }
+    current->origins[parsed->first] = std::move(parsed->second);
+  }
+  flush();
   return out;
 }
 

@@ -26,6 +26,9 @@ const char* to_string(EventKind kind) {
     case EventKind::ResolverRetry: return "resolver-retry";
     case EventKind::ResolverBreaker: return "resolver-breaker";
     case EventKind::ResolverFallback: return "resolver-fallback";
+    case EventKind::FeedGap: return "feed-gap";
+    case EventKind::UpdatesShed: return "updates-shed";
+    case EventKind::StateEvicted: return "state-evicted";
   }
   return "?";
 }

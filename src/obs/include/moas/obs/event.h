@@ -42,6 +42,9 @@ enum class EventKind : std::uint8_t {
   ResolverRetry,      // attempt re-dispatched after backoff; value = attempt #
   ResolverBreaker,    // circuit-breaker transition; note = open/half-open/closed
   ResolverFallback,   // chain advanced to the next source; note = new source
+  FeedGap,            // stream ingest detected missing feed days; value = first, value2 = last
+  UpdatesShed,        // shard degraded to summary-only; value = shed count, value2 = shard
+  StateEvicted,       // shard compacted cold prefix state; value = evicted count, value2 = shard
 };
 
 /// Stable kebab-case name (the JSONL "kind" field).

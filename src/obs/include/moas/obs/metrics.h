@@ -58,6 +58,15 @@ class FixedHistogram {
   /// [0, 1]; underflow counts at `lo`, overflow at `hi`. 0.0 when empty.
   double quantile(double q) const;
 
+  /// Rebuild a histogram from persisted state (the stream checkpoint
+  /// format). `counts` must match the spec's bucket count and `count` the
+  /// total including under/overflow; min/max/sum are restored bit-exact so
+  /// a restored histogram compares equal to the one that was saved.
+  static FixedHistogram restore(const HistogramSpec& spec,
+                                std::vector<std::uint64_t> counts, std::uint64_t underflow,
+                                std::uint64_t overflow, std::uint64_t count, double sum,
+                                double min, double max);
+
   bool operator==(const FixedHistogram&) const = default;
 
  private:

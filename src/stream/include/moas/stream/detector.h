@@ -1,0 +1,158 @@
+// The long-lived streaming MOAS detector.
+//
+// Architecture: a strictly serial ingest front-end feeding prefix-hashed
+// shards that run in parallel, one flushed day at a time.
+//
+//   feed -> ingest (dedup, reject malformed, buffer by day)
+//        -> flush day d once `flush_margin` later-day updates arrived
+//        -> sort batch by (at, seq), slice by shard_of(prefix)
+//        -> ThreadPool::parallel_for over shards (disjoint state)
+//        -> barrier; front-end emits trace events, updates gauges
+//
+// Every decision that depends on order is made either in the serial
+// front-end or inside one shard from its own deterministic state, so the
+// whole pipeline — alarms, metrics, checkpoints — is byte-identical for
+// any --jobs value. That invariant is what makes crash/restore testable:
+// restore a checkpoint, fast-forward the recreated feed chain past
+// consumed() updates, run to the end, and the result must equal an
+// uninterrupted run bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "moas/obs/metrics.h"
+#include "moas/obs/trace.h"
+#include "moas/stream/shard.h"
+#include "moas/stream/update.h"
+#include "moas/util/thread_pool.h"
+
+namespace moas::stream {
+
+struct StreamConfig {
+  /// Number of prefix-hash shards (parallelism grain, not thread count).
+  std::size_t shards = 8;
+  /// Worker threads (0 = ThreadPool::default_jobs()). Not part of the
+  /// checkpoint fingerprint: results are identical for any value.
+  std::size_t jobs = 0;
+  /// Backpressure bound: day d is flushed to the shards once this many
+  /// updates of later days have been delivered (the transport's reorder
+  /// skew is slots, so a small margin guarantees day completeness), or at
+  /// end of feed. Also bounds ingest buffering: at most ~margin updates of
+  /// later days sit buffered beyond the open day.
+  int flush_margin = 64;
+  /// Sliding window of recent sequence numbers for duplicate suppression.
+  std::size_t dup_window = 4096;
+  /// Checkpoint cadence in flushed days (0 = only on demand).
+  int checkpoint_every_days = 0;
+  ShardConfig shard;
+
+  bool operator==(const StreamConfig&) const = default;
+};
+
+/// Ingest-side counters (shard counters live in DetectorShard).
+struct FrontCounters {
+  std::uint64_t delivered = 0;
+  std::uint64_t malformed_rejected = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t late_updates = 0;  // arrived after their day was flushed
+  std::uint64_t gap_days = 0;      // feed-dark days detected
+  std::uint64_t days_flushed = 0;
+
+  bool operator==(const FrontCounters&) const = default;
+};
+
+class StreamDetector {
+ public:
+  explicit StreamDetector(StreamConfig config);
+
+  StreamDetector(StreamDetector&&) = default;
+  StreamDetector& operator=(StreamDetector&&) = default;
+
+  /// Called at each checkpoint boundary with the detector quiesced (all
+  /// flushed days fully processed) and the just-flushed day.
+  using CheckpointSink = std::function<void(const StreamDetector&, int day)>;
+
+  /// Consume the whole feed, then finish(). `sink` (optional) fires every
+  /// checkpoint_every_days flushed days.
+  void run(UpdateFeed& feed, const CheckpointSink& sink = {});
+
+  /// Incremental front-end (what run() loops over): deliver one update.
+  void ingest(StreamUpdate u);
+  /// Flush every buffered day regardless of margin.
+  void flush_all();
+  /// Expire remaining open alarms; the detector is read-only afterwards.
+  void finish();
+
+  const StreamConfig& config() const { return config_; }
+  std::uint64_t consumed() const { return consumed_; }
+  int last_flushed_day() const { return last_flushed_day_; }
+  bool finished() const { return finished_; }
+  const FrontCounters& front_counters() const { return front_; }
+  const std::vector<DetectorShard>& shards() const { return shards_; }
+
+  /// All retained alarms across shards, sorted by (at, prefix).
+  std::vector<core::MoasAlarm> merged_alarms() const;
+
+  /// Canonical human-readable log; byte-identical for equal detectors.
+  std::string alarm_log_text() const;
+
+  /// stream.* counters and gauges plus the duration/latency histograms.
+  obs::MetricsRegistry metrics() const;
+
+  /// Aggregate footprint across shards (accounting bytes, post-compaction).
+  std::uint64_t bytes_held() const;
+  std::uint64_t peak_bytes() const { return peak_total_bytes_; }
+
+  void save_checkpoint(std::ostream& os) const;
+  /// Rebuild from a checkpoint. `config` must match the checkpointed
+  /// structural fields (shards, margins, shard policy); jobs and
+  /// checkpoint cadence are runtime choices and may differ. The caller
+  /// fast-forwards the feed chain past consumed() updates and resumes with
+  /// run(). Throws std::invalid_argument on damage or config mismatch.
+  static StreamDetector restore_checkpoint(std::istream& is, StreamConfig config);
+
+  /// Attach the trace bus (events are emitted from the serial front-end
+  /// only, post-barrier, so the non-thread-safe bus is safe here).
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
+  std::size_t shard_of(const net::Prefix& prefix) const {
+    return static_cast<std::size_t>(mix64(prefix_key(prefix)) %
+                                    static_cast<std::uint64_t>(shards_.size()));
+  }
+
+  bool operator==(const StreamDetector& other) const;
+
+ private:
+  void flush_ready();
+  void flush_day(int day, std::vector<StreamUpdate> batch);
+  void maybe_checkpoint(const CheckpointSink& sink);
+  util::ThreadPool& pool();
+
+  StreamConfig config_;
+  std::vector<DetectorShard> shards_;
+  std::unique_ptr<util::ThreadPool> pool_;  // lazy; never checkpointed
+
+  std::uint64_t consumed_ = 0;
+  int last_flushed_day_ = -1;
+  int last_checkpoint_day_ = -1;
+  bool finished_ = false;
+  FrontCounters front_;
+  std::uint64_t peak_total_bytes_ = 0;
+
+  std::map<int, std::vector<StreamUpdate>> buffered_;  // open day batches
+  std::map<int, std::uint64_t> later_counts_;  // per open day: later-day deliveries
+  std::deque<std::uint64_t> dup_order_;        // dedup window, FIFO
+  std::set<std::uint64_t> dup_seen_;
+
+  obs::TraceBus* trace_ = nullptr;
+};
+
+}  // namespace moas::stream

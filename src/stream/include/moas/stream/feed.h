@@ -1,0 +1,59 @@
+// Applying a chaos::FeedFaultSchedule to a clean update feed.
+//
+// FaultyFeed sits between a source and the detector and delivers exactly
+// the adversity the schedule prescribes: whole gap days vanish, some
+// updates arrive twice, some are delayed by a bounded number of delivery
+// slots, and some arrive garbled (a line that consumes a slot but carries
+// no observation). All decisions are pure functions of (seed, seq), so the
+// same schedule over the same source is byte-identical every run.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "moas/chaos/feed_fault.h"
+#include "moas/stream/update.h"
+
+namespace moas::stream {
+
+class FaultyFeed final : public UpdateFeed {
+ public:
+  /// Both referents must outlive the feed.
+  FaultyFeed(UpdateFeed& inner, const chaos::FeedFaultSchedule& schedule);
+
+  std::optional<StreamUpdate> next() override;
+
+  struct Counters {
+    std::uint64_t gap_dropped = 0;  // updates on dark days, never delivered
+    std::uint64_t duplicated = 0;   // extra copies injected
+    std::uint64_t reordered = 0;    // updates delayed past later traffic
+    std::uint64_t garbled = 0;      // payloads destroyed in flight
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Item {
+    std::uint64_t release = 0;  // delivery slot this item becomes due
+    std::uint64_t order = 0;    // tie-break: injection order
+    StreamUpdate update;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.release != b.release ? a.release > b.release : a.order > b.order;
+    }
+  };
+
+  /// Pull from the inner feed until something is due (or the feed is dry).
+  void fill();
+
+  UpdateFeed* inner_;
+  const chaos::FeedFaultSchedule* schedule_;
+  std::priority_queue<Item, std::vector<Item>, Later> pending_;
+  std::uint64_t slot_ = 0;   // delivery slots consumed from the inner feed
+  std::uint64_t order_ = 0;  // monotone injection counter
+  bool inner_done_ = false;
+  Counters counters_;
+};
+
+}  // namespace moas::stream

@@ -1,0 +1,414 @@
+#include "moas/stream/shard.h"
+
+#include <algorithm>
+
+#include "moas/util/assert.h"
+
+namespace moas::stream {
+
+namespace {
+
+/// Deterministic footprint estimates (bytes). These are accounting units,
+/// not allocator truth: the budget gate needs a number that is identical on
+/// every platform and --jobs value, so we charge flat per-object costs plus
+/// a per-ASN cost for the origin sets.
+constexpr std::uint64_t kShardBaseBytes = 256;
+constexpr std::uint64_t kMapNodeBytes = 64;
+constexpr std::uint64_t kAsnBytes = 48;  // a std::set node is ~this big
+
+std::uint64_t state_bytes(const PrefixState& st) {
+  return 96 + kAsnBytes * static_cast<std::uint64_t>(st.reference.size() + st.observed.size());
+}
+
+std::uint64_t alarm_bytes(const core::MoasAlarm& a) {
+  return 160 + kAsnBytes * static_cast<std::uint64_t>(a.reference_list.size() +
+                                                      a.observed_list.size() +
+                                                      a.offending_origins.size());
+}
+
+/// observed introduces no origin outside the reference list.
+bool covered_by(const bgp::AsnSet& reference, const bgp::AsnSet& observed) {
+  return std::includes(reference.begin(), reference.end(), observed.begin(), observed.end());
+}
+
+void write_asn_set(std::string& line, const bgp::AsnSet& set) {
+  line += ' ' + std::to_string(set.size());
+  for (const bgp::Asn asn : set) line += ' ' + std::to_string(asn);
+}
+
+bgp::AsnSet read_asn_set(LineParser& p) {
+  bgp::AsnSet set;
+  const std::uint64_t n = p.u64();
+  for (std::uint64_t i = 0; i < n; ++i) set.insert(static_cast<bgp::Asn>(p.u64()));
+  return set;
+}
+
+net::Prefix read_prefix(LineParser& p) {
+  const auto prefix = net::Prefix::parse(p.token());
+  MOAS_REQUIRE(prefix.has_value(), "checkpoint: bad prefix");
+  return *prefix;
+}
+
+void write_histogram(CheckpointWriter& w, const char* tag, const obs::FixedHistogram& h) {
+  std::string line = tag;
+  line += ' ' + std::to_string(h.underflow()) + ' ' + std::to_string(h.overflow()) + ' ' +
+          std::to_string(h.count()) + ' ' + double_bits(h.sum()) + ' ' + double_bits(h.min()) +
+          ' ' + double_bits(h.max());
+  for (const std::uint64_t c : h.bucket_counts()) line += ' ' + std::to_string(c);
+  w.line(line);
+}
+
+obs::FixedHistogram read_histogram(CheckpointReader& r, const char* tag,
+                                   const obs::HistogramSpec& spec) {
+  LineParser p(r.next());
+  p.expect(tag);
+  const std::uint64_t underflow = p.u64();
+  const std::uint64_t overflow = p.u64();
+  const std::uint64_t count = p.u64();
+  const double sum = p.f64();
+  const double min = p.f64();
+  const double max = p.f64();
+  std::vector<std::uint64_t> counts(spec.buckets);
+  for (auto& c : counts) c = p.u64();
+  return obs::FixedHistogram::restore(spec, std::move(counts), underflow, overflow, count, sum,
+                                      min, max);
+}
+
+}  // namespace
+
+obs::HistogramSpec duration_spec() { return obs::HistogramSpec{0.0, 1.0, 64}; }
+obs::HistogramSpec latency_spec() { return obs::HistogramSpec{0.0, 0.25, 120}; }
+
+DetectorShard::DetectorShard(ShardConfig config)
+    : config_(config),
+      durations_(duration_spec()),
+      latencies_(latency_spec()),
+      bytes_held_(kShardBaseBytes),
+      peak_bytes_(kShardBaseBytes) {
+  MOAS_REQUIRE(config.conflict_ttl_days > 0.0, "conflict TTL must be positive");
+  MOAS_REQUIRE(config.evict_idle_days >= 0, "idle window must be non-negative");
+  log_.set_retention(config.alarm_retention);
+}
+
+void DetectorShard::process(const int flush_day, const StreamUpdate& u, const bool full) {
+  auto [it, fresh] = states_.try_emplace(u.prefix);
+  PrefixState& st = it->second;
+  if (fresh) {
+    st.reference = u.origins;  // first sight: adopt as the MOAS list
+    st.first_day = u.day;
+  }
+
+  if (!covered_by(st.reference, u.origins)) {
+    st.observed = u.origins;
+    if (st.alarm_id < 0) {
+      core::MoasAlarm alarm;
+      alarm.at = u.at;
+      alarm.observer = kStreamObserver;
+      alarm.prefix = u.prefix;
+      alarm.reference_list = st.reference;
+      alarm.observed_list = u.origins;
+      for (const bgp::Asn asn : u.origins) {
+        if (!st.reference.contains(asn)) alarm.offending_origins.insert(asn);
+      }
+      alarm.cause = core::MoasAlarm::Cause::ListMismatch;
+      const std::size_t id = log_.record(std::move(alarm));
+      st.alarm_id = static_cast<std::int64_t>(id);
+      st.conflict_since = u.at;
+      st.conflict_day = u.day;
+      ++counters_.alarms_raised;
+      latencies_.add(static_cast<double>(flush_day) + 1.0 - u.at);
+
+      // Did the feed skip days between our last sighting and this one? The
+      // conflict may have started unseen inside the gap — park the alarm as
+      // Pending instead of asserting a fresh hijack story.
+      const int unseen_from = st.last_day + 1;
+      const int unseen_to = u.day - 1;
+      if (unseen_from <= unseen_to) {
+        for (const auto& g : gaps_) {
+          if (g.first_day <= unseen_to && g.last_day >= unseen_from) {
+            log_.settle(id, core::MoasAlarm::State::Pending, u.at);
+            ++counters_.alarms_parked;
+            break;
+          }
+        }
+      }
+    }
+  } else if (st.alarm_id >= 0) {
+    // The announced set is covered by the reference again: conflict over.
+    log_.settle(static_cast<std::size_t>(st.alarm_id), core::MoasAlarm::State::Resolved, u.at);
+    ++counters_.alarms_resolved;
+    st.alarm_id = -1;
+    st.conflict_since = -1.0;
+    st.conflict_day = -1;
+    st.observed.clear();
+  }
+
+  const bool accrues = u.origins.size() >= 2 && u.day > st.last_moas_day;
+  if (full) {
+    ++counters_.processed;
+    if (accrues) {
+      ++st.duration_days;
+      st.last_moas_day = u.day;
+    }
+    st.max_origins = std::max(st.max_origins, u.origins.size());
+  } else {
+    ++counters_.shed_updates;
+    if (accrues) ++counters_.moas_days_shed;
+  }
+  st.last_day = std::max(st.last_day, u.day);
+}
+
+void DetectorShard::process_day(const int day, const std::vector<chaos::GapWindow>& new_gaps,
+                                const std::vector<const StreamUpdate*>& batch) {
+  for (const auto& g : new_gaps) gaps_.push_back(g);
+
+  std::size_t full_used = 0;
+  for (const StreamUpdate* u : batch) {
+    MOAS_REQUIRE(!u->malformed, "malformed update reached a shard");
+    const auto it = states_.find(u->prefix);
+    const bool alarm_open = it != states_.end() && it->second.alarm_id >= 0;
+    // Admission control: alarm-carrying prefixes always get the full path;
+    // everyone else does until the day's capacity runs out.
+    const bool full =
+        alarm_open || config_.day_capacity == 0 || full_used < config_.day_capacity;
+    if (full && !alarm_open) ++full_used;
+    process(day, *u, full);
+  }
+  end_day(day);
+}
+
+void DetectorShard::end_day(const int day) {
+  // Conflict TTL: an alarm open this long is churn, not attack. Expire it
+  // and adopt the observed origins so the prefix stops alarming.
+  for (auto& [prefix, st] : states_) {
+    if (st.alarm_id < 0 || st.conflict_day < 0) continue;
+    if (static_cast<double>(day - st.conflict_day) < config_.conflict_ttl_days) continue;
+    log_.settle(static_cast<std::size_t>(st.alarm_id), core::MoasAlarm::State::Expired,
+                static_cast<double>(day) + 1.0);
+    ++counters_.alarms_expired;
+    for (const bgp::Asn asn : st.observed) st.reference.insert(asn);
+    st.alarm_id = -1;
+    st.conflict_since = -1.0;
+    st.conflict_day = -1;
+    st.observed.clear();
+  }
+
+  bytes_held_ = recompute_bytes();
+  if (config_.memory_budget_bytes > 0 && bytes_held_ > config_.memory_budget_bytes) {
+    // Two eviction passes over alarm-free prefixes, coldest first: idle
+    // ones, then (under sustained pressure) warm ones too.
+    std::vector<std::pair<int, net::Prefix>> idle;
+    std::vector<std::pair<int, net::Prefix>> warm;
+    for (const auto& [prefix, st] : states_) {
+      if (st.alarm_id >= 0) continue;
+      auto& bucket = (day - st.last_day >= config_.evict_idle_days) ? idle : warm;
+      bucket.emplace_back(st.last_day, prefix);
+    }
+    std::sort(idle.begin(), idle.end());
+    std::sort(warm.begin(), warm.end());
+
+    const auto evict_from = [&](const std::vector<std::pair<int, net::Prefix>>& order,
+                                const bool live) {
+      for (const auto& [last_day, prefix] : order) {
+        if (bytes_held_ <= config_.memory_budget_bytes) return;
+        const auto it = states_.find(prefix);
+        const PrefixState& st = it->second;
+        if (st.duration_days > 0) durations_.add(static_cast<double>(st.duration_days));
+        bytes_held_ -= state_bytes(st) + kMapNodeBytes;
+        ++counters_.evicted_prefixes;
+        if (live) ++counters_.evicted_live;
+        states_.erase(it);
+      }
+    };
+    evict_from(idle, false);
+    evict_from(warm, true);
+  }
+  peak_bytes_ = std::max(peak_bytes_, bytes_held_);
+}
+
+void DetectorShard::finish(const double at) {
+  for (auto& [prefix, st] : states_) {
+    if (st.alarm_id < 0) continue;
+    log_.settle(static_cast<std::size_t>(st.alarm_id), core::MoasAlarm::State::Expired, at);
+    ++counters_.alarms_expired;
+    st.alarm_id = -1;
+    st.conflict_since = -1.0;
+    st.conflict_day = -1;
+  }
+  bytes_held_ = recompute_bytes();
+  peak_bytes_ = std::max(peak_bytes_, bytes_held_);
+}
+
+std::size_t DetectorShard::open_alarms() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, st] : states_) n += st.alarm_id >= 0 ? 1 : 0;
+  return n;
+}
+
+std::uint64_t DetectorShard::recompute_bytes() const {
+  std::uint64_t bytes = kShardBaseBytes + 16 * static_cast<std::uint64_t>(gaps_.size());
+  for (const auto& [prefix, st] : states_) bytes += state_bytes(st) + kMapNodeBytes;
+  for (const auto& alarm : log_.alarms()) bytes += alarm_bytes(alarm);
+  return bytes;
+}
+
+obs::FixedHistogram DetectorShard::duration_histogram() const {
+  obs::FixedHistogram out = durations_;
+  for (const auto& [prefix, st] : states_) {
+    if (st.duration_days > 0) out.add(static_cast<double>(st.duration_days));
+  }
+  return out;
+}
+
+void DetectorShard::save(CheckpointWriter& w) const {
+  {
+    std::string line = "counters";
+    for (const std::uint64_t v :
+         {counters_.processed, counters_.shed_updates, counters_.moas_days_shed,
+          counters_.alarms_raised, counters_.alarms_resolved, counters_.alarms_expired,
+          counters_.alarms_parked, counters_.evicted_prefixes, counters_.evicted_live}) {
+      line += ' ' + std::to_string(v);
+    }
+    w.line(line);
+  }
+  w.line("bytes " + std::to_string(bytes_held_) + ' ' + std::to_string(peak_bytes_));
+
+  w.line("gaps " + std::to_string(gaps_.size()));
+  for (const auto& g : gaps_) {
+    w.line("gap " + std::to_string(g.first_day) + ' ' + std::to_string(g.last_day));
+  }
+
+  write_histogram(w, "durations", durations_);
+  write_histogram(w, "latencies", latencies_);
+
+  {
+    std::string line = "alarmlog " + std::to_string(log_.first_retained());
+    for (const std::uint64_t v : log_.compacted_by_state()) line += ' ' + std::to_string(v);
+    for (const std::uint64_t v : log_.compacted_by_cause()) line += ' ' + std::to_string(v);
+    line += ' ' + std::to_string(log_.alarms().size());
+    w.line(line);
+  }
+  for (const auto& a : log_.alarms()) {
+    std::string line = "alarm " + double_bits(a.at) + ' ' + double_bits(a.settled_at) + ' ' +
+                       std::to_string(a.observer) + ' ' +
+                       std::to_string(static_cast<unsigned>(a.cause)) + ' ' +
+                       std::to_string(static_cast<unsigned>(a.state)) + ' ' +
+                       a.prefix.to_string();
+    write_asn_set(line, a.reference_list);
+    write_asn_set(line, a.observed_list);
+    write_asn_set(line, a.offending_origins);
+    w.line(line);
+  }
+
+  w.line("states " + std::to_string(states_.size()));
+  for (const auto& [prefix, st] : states_) {
+    std::string line = "state " + prefix.to_string() + ' ' + std::to_string(st.first_day) + ' ' +
+                       std::to_string(st.last_day) + ' ' + std::to_string(st.last_moas_day) +
+                       ' ' + std::to_string(st.duration_days) + ' ' +
+                       std::to_string(st.max_origins) + ' ' + std::to_string(st.alarm_id) + ' ' +
+                       double_bits(st.conflict_since) + ' ' + std::to_string(st.conflict_day);
+    write_asn_set(line, st.reference);
+    write_asn_set(line, st.observed);
+    w.line(line);
+  }
+}
+
+void DetectorShard::load(CheckpointReader& r) {
+  MOAS_REQUIRE(states_.empty() && log_.empty(), "shard restore needs a fresh shard");
+
+  {
+    LineParser p(r.next());
+    p.expect("counters");
+    counters_.processed = p.u64();
+    counters_.shed_updates = p.u64();
+    counters_.moas_days_shed = p.u64();
+    counters_.alarms_raised = p.u64();
+    counters_.alarms_resolved = p.u64();
+    counters_.alarms_expired = p.u64();
+    counters_.alarms_parked = p.u64();
+    counters_.evicted_prefixes = p.u64();
+    counters_.evicted_live = p.u64();
+  }
+  {
+    LineParser p(r.next());
+    p.expect("bytes");
+    bytes_held_ = p.u64();
+    peak_bytes_ = p.u64();
+  }
+
+  {
+    LineParser p(r.next());
+    p.expect("gaps");
+    const std::uint64_t n = p.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      LineParser g(r.next());
+      g.expect("gap");
+      chaos::GapWindow window;
+      window.first_day = g.day();
+      window.last_day = g.day();
+      gaps_.push_back(window);
+    }
+  }
+
+  durations_ = read_histogram(r, "durations", duration_spec());
+  latencies_ = read_histogram(r, "latencies", latency_spec());
+
+  {
+    LineParser p(r.next());
+    p.expect("alarmlog");
+    const std::size_t base = p.u64();
+    std::array<std::uint64_t, 4> by_state{};
+    std::array<std::uint64_t, 3> by_cause{};
+    for (auto& v : by_state) v = p.u64();
+    for (auto& v : by_cause) v = p.u64();
+    const std::uint64_t retained = p.u64();
+    log_.restore_compacted(base, by_state, by_cause);
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      LineParser a(r.next());
+      a.expect("alarm");
+      core::MoasAlarm alarm;
+      alarm.at = a.f64();
+      alarm.settled_at = a.f64();
+      alarm.observer = static_cast<bgp::Asn>(a.u64());
+      alarm.cause = static_cast<core::MoasAlarm::Cause>(a.u64());
+      alarm.state = static_cast<core::MoasAlarm::State>(a.u64());
+      alarm.prefix = read_prefix(a);
+      alarm.reference_list = read_asn_set(a);
+      alarm.observed_list = read_asn_set(a);
+      alarm.offending_origins = read_asn_set(a);
+      log_.record(std::move(alarm));
+    }
+  }
+
+  {
+    LineParser p(r.next());
+    p.expect("states");
+    const std::uint64_t n = p.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      LineParser s(r.next());
+      s.expect("state");
+      const net::Prefix prefix = read_prefix(s);
+      PrefixState st;
+      st.first_day = s.day();
+      st.last_day = s.day();
+      st.last_moas_day = s.day();
+      st.duration_days = s.day();
+      st.max_origins = s.u64();
+      st.alarm_id = s.i64();
+      st.conflict_since = s.f64();
+      st.conflict_day = s.day();
+      st.reference = read_asn_set(s);
+      st.observed = read_asn_set(s);
+      states_.emplace(prefix, std::move(st));
+    }
+  }
+}
+
+bool DetectorShard::operator==(const DetectorShard& other) const {
+  return config_ == other.config_ && states_ == other.states_ && log_ == other.log_ &&
+         gaps_ == other.gaps_ && durations_ == other.durations_ &&
+         latencies_ == other.latencies_ && counters_ == other.counters_ &&
+         bytes_held_ == other.bytes_held_ && peak_bytes_ == other.peak_bytes_;
+}
+
+}  // namespace moas::stream

@@ -1,0 +1,117 @@
+#include "moas/chaos/feed_fault.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::chaos {
+namespace {
+
+TEST(FeedFaults, EmptyConfigIsANoOp) {
+  const FeedFaultSchedule schedule = compile_feed_faults(FeedFaultConfig{});
+  EXPECT_TRUE(schedule.gaps.empty());
+  EXPECT_EQ(schedule.gap_days(), 0);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const auto d = schedule.decide(seq);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_FALSE(d.garble);
+    EXPECT_EQ(d.reorder_skew, 0);
+  }
+}
+
+TEST(FeedFaults, ConfigValidation) {
+  FeedFaultConfig bad;
+  bad.duplicate_prob = 1.5;
+  EXPECT_THROW(compile_feed_faults(bad), std::invalid_argument);
+  bad = {};
+  bad.garble_prob = -0.1;
+  EXPECT_THROW(compile_feed_faults(bad), std::invalid_argument);
+  bad = {};
+  bad.gaps = 2.0;  // no horizon
+  EXPECT_THROW(compile_feed_faults(bad), std::invalid_argument);
+  bad = {};
+  bad.reorder_max_skew = -1;
+  EXPECT_THROW(compile_feed_faults(bad), std::invalid_argument);
+}
+
+TEST(FeedFaults, GapWindowsAreSortedMergedAndInHorizon) {
+  FeedFaultConfig config;
+  config.seed = 5;
+  config.horizon_days = 400;
+  config.gaps = 6.0;
+  config.gap_mean_days = 3.0;
+  const FeedFaultSchedule schedule = compile_feed_faults(config);
+  ASSERT_FALSE(schedule.gaps.empty());
+  int prev_last = -2;
+  for (const GapWindow& g : schedule.gaps) {
+    EXPECT_GT(g.first_day, prev_last + 1) << "windows must be merged and disjoint";
+    EXPECT_LE(g.first_day, g.last_day);
+    EXPECT_GE(g.first_day, 0);
+    EXPECT_LT(g.last_day, config.horizon_days);
+    prev_last = g.last_day;
+  }
+  // gapped() agrees with the windows day by day.
+  int dark = 0;
+  for (int day = 0; day < config.horizon_days; ++day) dark += schedule.gapped(day) ? 1 : 0;
+  EXPECT_EQ(dark, schedule.gap_days());
+}
+
+TEST(FeedFaults, SameSeedSameSchedule) {
+  FeedFaultConfig config;
+  config.seed = 17;
+  config.horizon_days = 300;
+  config.gaps = 4.0;
+  config.duplicate_prob = 0.01;
+  config.reorder_prob = 0.02;
+  config.garble_prob = 0.005;
+  const FeedFaultSchedule a = compile_feed_faults(config);
+  const FeedFaultSchedule b = compile_feed_faults(config);
+  EXPECT_EQ(a.gaps, b.gaps);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  config.seed = 18;
+  const FeedFaultSchedule c = compile_feed_faults(config);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FeedFaults, DecisionsArePureInSeq) {
+  FeedFaultConfig config;
+  config.seed = 23;
+  config.duplicate_prob = 0.05;
+  config.reorder_prob = 0.1;
+  config.reorder_max_skew = 6;
+  config.garble_prob = 0.02;
+  const FeedFaultSchedule schedule = compile_feed_faults(config);
+  // Query out of order, twice; answers must match and stay in bounds.
+  for (const std::uint64_t seq : {907ULL, 3ULL, 500000ULL, 3ULL, 907ULL}) {
+    const auto first = schedule.decide(seq);
+    const auto again = schedule.decide(seq);
+    EXPECT_EQ(first.duplicate, again.duplicate);
+    EXPECT_EQ(first.garble, again.garble);
+    EXPECT_EQ(first.reorder_skew, again.reorder_skew);
+    EXPECT_GE(first.reorder_skew, 0);
+    EXPECT_LE(first.reorder_skew, config.reorder_max_skew);
+  }
+}
+
+TEST(FeedFaults, FaultRatesTrackTheKnobs) {
+  FeedFaultConfig config;
+  config.seed = 31;
+  config.duplicate_prob = 0.05;
+  config.reorder_prob = 0.10;
+  config.garble_prob = 0.02;
+  const FeedFaultSchedule schedule = compile_feed_faults(config);
+  const std::uint64_t n = 200000;
+  std::uint64_t dups = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t garbles = 0;
+  for (std::uint64_t seq = 0; seq < n; ++seq) {
+    const auto d = schedule.decide(seq);
+    dups += d.duplicate ? 1 : 0;
+    reorders += d.reorder_skew > 0 ? 1 : 0;
+    garbles += d.garble ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dups) / static_cast<double>(n), 0.05, 0.005);
+  EXPECT_NEAR(static_cast<double>(reorders) / static_cast<double>(n), 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(garbles) / static_cast<double>(n), 0.02, 0.004);
+}
+
+}  // namespace
+}  // namespace moas::chaos

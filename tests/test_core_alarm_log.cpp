@@ -1,0 +1,132 @@
+// AlarmLog retention/compaction: the month-scale memory audit of the
+// streaming PR. The log must stay bounded under a retention cap, keep ids
+// stable across compaction, keep totals exact, and refuse to compact (or
+// settle) in ways that would lose an open alarm.
+#include "moas/core/alarm.h"
+
+#include <gtest/gtest.h>
+
+namespace moas::core {
+namespace {
+
+MoasAlarm alarm_for(double at, MoasAlarm::Cause cause = MoasAlarm::Cause::ListMismatch) {
+  MoasAlarm a;
+  a.at = at;
+  a.observer = 64512;
+  a.prefix = *net::Prefix::parse("10.0.0.0/24");
+  a.reference_list = {1, 2};
+  a.observed_list = {1, 2, 3};
+  a.offending_origins = {3};
+  a.cause = cause;
+  return a;
+}
+
+TEST(AlarmLogRetention, DefaultIsUnlimitedAppendOnly) {
+  AlarmLog log;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t id = log.record(alarm_for(i));
+    log.settle(id, MoasAlarm::State::Resolved, i + 0.5);
+  }
+  EXPECT_EQ(log.alarms().size(), 100u);
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.compacted(), 0u);
+}
+
+TEST(AlarmLogRetention, CapBoundsTheWindowAndKeepsTotals) {
+  AlarmLog log;
+  log.set_retention(10);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t id = log.record(alarm_for(i));
+    log.settle(id, i % 3 == 0 ? MoasAlarm::State::Expired : MoasAlarm::State::Resolved,
+               i + 0.5);
+  }
+  EXPECT_EQ(log.alarms().size(), 10u);
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.compacted(), 90u);
+  // Totals count compacted alarms too.
+  EXPECT_EQ(log.count_state(MoasAlarm::State::Expired), 34u);   // i = 0,3,...,99
+  EXPECT_EQ(log.count_state(MoasAlarm::State::Resolved), 66u);
+  EXPECT_EQ(log.count(MoasAlarm::Cause::ListMismatch), 100u);
+}
+
+TEST(AlarmLogRetention, IdsStayStableAcrossCompaction) {
+  AlarmLog log;
+  log.set_retention(4);
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(log.record(alarm_for(i)));
+    log.settle(ids.back(), MoasAlarm::State::Resolved, i + 0.5);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+  // The retained window holds the newest alarms, addressed by absolute id.
+  EXPECT_EQ(log.first_retained(), 16u);
+  EXPECT_EQ(log.alarms().front().at, 16.0);
+}
+
+TEST(AlarmLogRetention, OpenAlarmsBlockCompactionBehindThem) {
+  AlarmLog log;
+  log.set_retention(4);
+  const std::size_t open_id = log.record(alarm_for(0));  // never settled
+  for (int i = 1; i < 20; ++i) {
+    const std::size_t id = log.record(alarm_for(i));
+    log.settle(id, MoasAlarm::State::Resolved, i + 0.5);
+  }
+  // Nothing could compact: the oldest alarm is still open.
+  EXPECT_EQ(log.compacted(), 0u);
+  EXPECT_EQ(log.alarms().size(), 20u);
+  // Settle it; the next record() folds the backlog down to the cap.
+  log.settle(open_id, MoasAlarm::State::Expired, 99.0);
+  const std::size_t id = log.record(alarm_for(20));
+  log.settle(id, MoasAlarm::State::Resolved, 99.5);
+  EXPECT_EQ(log.alarms().size(), 4u);
+  EXPECT_EQ(log.size(), 21u);
+}
+
+TEST(AlarmLogRetention, SettlingACompactedIdThrows) {
+  AlarmLog log;
+  log.set_retention(2);
+  const std::size_t first = log.record(alarm_for(0));
+  log.settle(first, MoasAlarm::State::Resolved, 0.5);
+  for (int i = 1; i < 10; ++i) {
+    const std::size_t id = log.record(alarm_for(i));
+    log.settle(id, MoasAlarm::State::Resolved, i + 0.5);
+  }
+  ASSERT_GT(log.compacted(), 0u);
+  EXPECT_THROW(log.settle(first, MoasAlarm::State::Expired, 100.0), std::invalid_argument);
+}
+
+TEST(AlarmLogRetention, RestoreCompactedSeedsTallies) {
+  AlarmLog log;
+  std::array<std::uint64_t, 4> by_state{0, 0, 7, 3};  // 7 resolved, 3 expired
+  std::array<std::uint64_t, 3> by_cause{10, 0, 0};
+  log.restore_compacted(10, by_state, by_cause);
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.count_state(MoasAlarm::State::Resolved), 7u);
+  EXPECT_EQ(log.count(MoasAlarm::Cause::ListMismatch), 10u);
+  const std::size_t id = log.record(alarm_for(0));
+  EXPECT_EQ(id, 10u);  // ids continue after the compacted range
+  // Restoring into a non-fresh log is a precondition violation.
+  EXPECT_THROW(log.restore_compacted(5, by_state, by_cause), std::invalid_argument);
+}
+
+TEST(AlarmLogRetention, MonthScaleStreamStaysBounded) {
+  // Month-scale regression: a busy feed (300 alarms/day for 31 days) with a
+  // retention cap holds a bounded window while totals keep counting.
+  AlarmLog log;
+  log.set_retention(500);
+  std::size_t recorded = 0;
+  for (int day = 0; day < 31; ++day) {
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t id = log.record(alarm_for(day + i * 1e-4));
+      log.settle(id, MoasAlarm::State::Resolved, day + i * 1e-4 + 0.1);
+      ++recorded;
+    }
+    EXPECT_LE(log.alarms().size(), 500u + 1u);
+  }
+  EXPECT_EQ(log.size(), recorded);
+  EXPECT_EQ(log.count_state(MoasAlarm::State::Resolved), recorded);
+  EXPECT_EQ(log.alarms().size(), 500u);
+}
+
+}  // namespace
+}  // namespace moas::core

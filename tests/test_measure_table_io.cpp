@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "moas/measure/observer.h"
+#include "moas/util/strings.h"
 
 namespace moas::measure {
 namespace {
@@ -103,6 +104,114 @@ TEST(TableIo, ObserverSeesIdenticalStatsThroughTheArchive) {
   const auto b = via_archive.summarize(0);
   EXPECT_EQ(a.one_day_cases, b.one_day_cases);
   EXPECT_EQ(a.two_origin_fraction, b.two_origin_fraction);
+}
+
+TEST(TableIoTolerant, CleanArchiveLosesNothing) {
+  util::Rng rng(3);
+  TraceConfig config;
+  config.days = 20;
+  config.active_start = 5;
+  config.active_end = 6;
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  const SyntheticTrace trace = generate_trace(config, rng);
+
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  LoadStats stats;
+  const auto dumps = load_trace_tolerant(buffer, stats);
+  ASSERT_EQ(dumps.size(), 20u);
+  EXPECT_EQ(stats.rejected_lines, 0u);
+  EXPECT_EQ(stats.rejected_dumps, 0u);
+  EXPECT_EQ(stats.dumps, 20u);
+  for (int day = 0; day < 20; ++day) {
+    EXPECT_EQ(dumps[static_cast<std::size_t>(day)].origins, trace.day_dump(day).origins);
+  }
+}
+
+TEST(TableIoTolerant, SkipsAndCountsDamagedLines) {
+  std::stringstream buffer(
+      "day 0\n"
+      "10.1.0.0/16 1 2\n"
+      "garbled!!line\n"            // rejected
+      "10.2.0.0/16 3\n"            // fine (single origin is valid in a dump)
+      "day x\n"                    // bad header: next dump dropped whole
+      "10.3.0.0/16 4 5\n"          // unattributable -> rejected
+      "day 2\n"
+      "10.4.0.0/16 6 0\n"          // ASN 0 -> rejected
+      "10.5.0.0/16 7 8\n"
+      "day 1\n"                    // runs backwards -> dropped whole
+      "10.6.0.0/16 9 10\n"
+      "day 3\n"
+      "10.7.0.0/16 11 12\n");
+  LoadStats stats;
+  const auto dumps = load_trace_tolerant(buffer, stats);
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_EQ(dumps[0].day, 0);
+  EXPECT_EQ(dumps[0].origins.size(), 2u);
+  EXPECT_EQ(dumps[1].day, 2);
+  EXPECT_EQ(dumps[1].origins.size(), 1u);
+  EXPECT_EQ(dumps[2].day, 3);
+  EXPECT_EQ(stats.rejected_dumps, 2u);
+  // garbled line, "day x", its body line, the ASN-0 line, "day 1", its body.
+  EXPECT_EQ(stats.rejected_lines, 6u);
+}
+
+TEST(TableIoTolerant, SeededGarblingNeverThrowsAndKeepsTheRest) {
+  // Satellite regression: mutate a clean archive with a seeded garbler and
+  // require (a) no exception ever, (b) every undamaged dump survives
+  // intact, (c) the loss is fully accounted.
+  util::Rng rng(4);
+  TraceConfig config;
+  config.days = 40;
+  config.active_start = 8;
+  config.active_end = 10;
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  const SyntheticTrace trace = generate_trace(config, rng);
+
+  std::stringstream clean;
+  save_trace(trace, clean);
+  const std::string archive = clean.str();
+
+  util::Rng garbler(99);
+  for (int round = 0; round < 8; ++round) {
+    // Damage a handful of random lines in always-invalid ways.
+    std::vector<std::string> lines = util::split(archive, '\n');
+    std::size_t damaged_lines = 0;
+    for (auto& line : lines) {
+      if (line.empty() || line.front() == '#') continue;
+      if (!garbler.chance(0.05)) continue;
+      ++damaged_lines;
+      if (line.rfind("day ", 0) == 0) {
+        // A header destroyed beyond its "day" token is indistinguishable
+        // from a body line and the rows after it would merge into the
+        // neighbor dump (see load_trace_tolerant); damage the payload but
+        // keep the token so the dump is dropped whole instead.
+        line += " not-a-number";
+        continue;
+      }
+      switch (garbler.index(3)) {
+        case 0: line = line.substr(0, line.size() / 2) + "\x01\x02"; break;
+        case 1: line += " not-a-number"; break;
+        default: line.insert(0, "!!"); break;
+      }
+    }
+    std::stringstream damaged(util::join(lines, "\n"));
+    LoadStats stats;
+    std::vector<DailyDump> dumps;
+    ASSERT_NO_THROW(dumps = load_trace_tolerant(damaged, stats));
+    EXPECT_GE(stats.rejected_lines, damaged_lines > 0 ? 1u : 0u);
+    // Undamaged dumps must match the original bytes-for-bytes.
+    for (const auto& dump : dumps) {
+      const auto original = trace.day_dump(dump.day);
+      for (const auto& [prefix, origins] : dump.origins) {
+        const auto it = original.origins.find(prefix);
+        ASSERT_NE(it, original.origins.end());
+        EXPECT_EQ(origins, it->second);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -124,6 +124,14 @@ TEST(TraceEvent, EveryKindHasAStableName) {
   EXPECT_STREQ(to_string(EventKind::ErrorDegraded), "error-degraded");
   EXPECT_STREQ(to_string(EventKind::ErrorWithdraw), "error-withdraw");
   EXPECT_STREQ(to_string(EventKind::AttackInjected), "attack-injected");
+  EXPECT_STREQ(to_string(EventKind::ResolverRequest), "resolver-request");
+  EXPECT_STREQ(to_string(EventKind::ResolverTimeout), "resolver-timeout");
+  EXPECT_STREQ(to_string(EventKind::ResolverRetry), "resolver-retry");
+  EXPECT_STREQ(to_string(EventKind::ResolverBreaker), "resolver-breaker");
+  EXPECT_STREQ(to_string(EventKind::ResolverFallback), "resolver-fallback");
+  EXPECT_STREQ(to_string(EventKind::FeedGap), "feed-gap");
+  EXPECT_STREQ(to_string(EventKind::UpdatesShed), "updates-shed");
+  EXPECT_STREQ(to_string(EventKind::StateEvicted), "state-evicted");
 }
 
 }  // namespace

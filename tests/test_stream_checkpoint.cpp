@@ -1,0 +1,238 @@
+// Checkpoint/restore: framing integrity, bit-exact round-trips, and the
+// tentpole differential — crashing at ANY checkpoint boundary and restoring
+// yields byte-identical alarm logs and metrics versus an uninterrupted run,
+// at any --jobs value.
+#include "moas/stream/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "moas/stream/detector.h"
+#include "moas/stream/feed.h"
+#include "moas/stream/replay.h"
+
+namespace moas::stream {
+namespace {
+
+TEST(CheckpointFraming, WriterReaderRoundTrip) {
+  std::ostringstream os;
+  CheckpointWriter writer(os);
+  writer.line("alpha 1 2 3");
+  writer.line("beta " + double_bits(0.1));
+  writer.finish();
+
+  std::istringstream is(os.str());
+  CheckpointReader reader(is);
+  EXPECT_EQ(reader.next(), "alpha 1 2 3");
+  LineParser parser(reader.next());
+  parser.expect("beta");
+  EXPECT_EQ(parser.f64(), 0.1);
+  EXPECT_TRUE(reader.done());
+  EXPECT_THROW(reader.next(), std::invalid_argument);  // logical truncation
+}
+
+TEST(CheckpointFraming, DoubleBitsAreBitExact) {
+  for (const double v : {0.0, -0.0, 1.0 / 3.0, -123.456e-30, 0.1 + 0.2,
+                         std::numeric_limits<double>::denorm_min(),
+                         std::numeric_limits<double>::max()}) {
+    const std::string bits = double_bits(v);
+    EXPECT_EQ(bits.size(), 16u);
+    const double back = double_from_bits(bits);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << bits;
+  }
+  EXPECT_THROW(double_from_bits("nope"), std::invalid_argument);
+}
+
+TEST(CheckpointFraming, DamageIsDetectedBeforeParsing) {
+  std::ostringstream os;
+  CheckpointWriter writer(os);
+  writer.line("payload 42");
+  writer.finish();
+  const std::string good = os.str();
+
+  {  // flipped payload byte -> checksum mismatch
+    std::string bad = good;
+    bad[bad.find("42")] = '9';
+    std::istringstream is(bad);
+    EXPECT_THROW(CheckpointReader reader(is), std::invalid_argument);
+  }
+  {  // missing trailer (crash mid-write)
+    std::string bad = good.substr(0, good.find("checksum"));
+    std::istringstream is(bad);
+    EXPECT_THROW(CheckpointReader reader(is), std::invalid_argument);
+  }
+  {  // wrong version header
+    std::string bad = good;
+    bad.replace(bad.find("v1"), 2, "v2");
+    std::istringstream is(bad);
+    EXPECT_THROW(CheckpointReader reader(is), std::invalid_argument);
+  }
+  {  // empty stream
+    std::istringstream is("");
+    EXPECT_THROW(CheckpointReader reader(is), std::invalid_argument);
+  }
+}
+
+measure::SyntheticTrace crash_trace() {
+  util::Rng rng(41);
+  measure::TraceConfig config;
+  config.days = 70;
+  config.active_start = 10;
+  config.active_end = 13;
+  config.faults_per_day = 1.0;
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  return measure::generate_trace(config, rng);
+}
+
+StreamConfig crash_config() {
+  StreamConfig config;
+  config.shards = 4;
+  config.jobs = 2;
+  config.flush_margin = 8;
+  config.shard.day_capacity = 3;       // some shedding in play
+  config.shard.alarm_retention = 32;   // retention in play
+  config.shard.evict_idle_days = 10;   // eviction in play
+  config.shard.memory_budget_bytes = 16 * 1024;
+  return config;
+}
+
+chaos::FeedFaultSchedule crash_faults(int days) {
+  chaos::FeedFaultConfig config;
+  config.seed = 97;
+  config.horizon_days = days;
+  config.gaps = 1.5;
+  config.gap_mean_days = 2.0;
+  config.duplicate_prob = 0.01;
+  config.reorder_prob = 0.02;
+  config.reorder_max_skew = 8;
+  config.garble_prob = 0.005;
+  return chaos::compile_feed_faults(config);
+}
+
+std::string fingerprint(const StreamDetector& d) {
+  return d.alarm_log_text() + d.metrics().to_json();
+}
+
+TEST(StreamCheckpoint, MidRunSaveRestoreComparesEqual) {
+  const auto trace = crash_trace();
+  TraceReplaySource source(trace);
+  StreamDetector detector(crash_config());
+  for (int i = 0; i < 400; ++i) {
+    auto u = source.next();
+    ASSERT_TRUE(u.has_value());
+    detector.ingest(std::move(*u));
+  }
+
+  std::ostringstream os;
+  detector.save_checkpoint(os);
+  std::istringstream is(os.str());
+  StreamDetector restored = StreamDetector::restore_checkpoint(is, crash_config());
+  EXPECT_TRUE(restored == detector);
+  EXPECT_EQ(restored.consumed(), detector.consumed());
+  EXPECT_EQ(restored.last_flushed_day(), detector.last_flushed_day());
+
+  // A re-save of the restored detector is byte-identical: the format is
+  // canonical, not merely equivalent.
+  std::ostringstream os2;
+  restored.save_checkpoint(os2);
+  EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(StreamCheckpoint, StructuralConfigMismatchIsRejected) {
+  const auto trace = crash_trace();
+  TraceReplaySource source(trace);
+  StreamDetector detector(crash_config());
+  for (int i = 0; i < 50; ++i) detector.ingest(std::move(*source.next()));
+  std::ostringstream os;
+  detector.save_checkpoint(os);
+
+  StreamConfig wrong = crash_config();
+  wrong.shards = 8;
+  std::istringstream a(os.str());
+  EXPECT_THROW(StreamDetector::restore_checkpoint(a, wrong), std::invalid_argument);
+
+  wrong = crash_config();
+  wrong.flush_margin = 16;
+  std::istringstream b(os.str());
+  EXPECT_THROW(StreamDetector::restore_checkpoint(b, wrong), std::invalid_argument);
+
+  wrong = crash_config();
+  wrong.shard.conflict_ttl_days = 5.0;
+  std::istringstream c(os.str());
+  EXPECT_THROW(StreamDetector::restore_checkpoint(c, wrong), std::invalid_argument);
+
+  // jobs and checkpoint cadence are runtime choices, not structure.
+  StreamConfig runtime = crash_config();
+  runtime.jobs = 7;
+  runtime.checkpoint_every_days = 1;
+  std::istringstream d(os.str());
+  StreamDetector restored = StreamDetector::restore_checkpoint(d, runtime);
+  EXPECT_TRUE(restored == detector);
+}
+
+TEST(StreamCheckpoint, FinishedDetectorRefusesToCheckpoint) {
+  const auto trace = crash_trace();
+  TraceReplaySource source(trace);
+  StreamDetector detector(crash_config());
+  detector.run(source);
+  std::ostringstream os;
+  EXPECT_THROW(detector.save_checkpoint(os), std::invalid_argument);
+}
+
+// The tentpole acceptance test: take checkpoints on a cadence during a
+// faulted, attacked, churned run; then for EVERY checkpoint taken, pretend
+// the process died right after writing it — restore, rebuild the feed chain
+// from scratch, fast-forward past the consumed prefix, resume, and demand a
+// byte-identical alarm log + metrics manifest. Repeated across --jobs.
+TEST(StreamCheckpoint, CrashAtAnyCheckpointBoundaryIsLossless) {
+  const auto trace = crash_trace();
+  const auto churn = plan_churn(trace, ChurnConfig{.seed = 5, .share = 0.3});
+  const auto plans = plan_attacks(trace, AttackConfig{.seed = 13, .attacks = 4}, churn);
+  std::vector<OriginOverride> overrides = churn;
+  for (const auto& p : plans) overrides.push_back(p.inject);
+  const auto faults = crash_faults(trace.days);
+
+  const auto make_feed = [&](TraceReplaySource& source) {
+    return FaultyFeed(source, faults);
+  };
+
+  // Uninterrupted reference run, capturing every checkpoint image.
+  StreamConfig config = crash_config();
+  config.checkpoint_every_days = 7;
+  std::vector<std::pair<int, std::string>> checkpoints;
+  TraceReplaySource ref_source(trace, overrides);
+  FaultyFeed ref_feed = make_feed(ref_source);
+  StreamDetector reference(config);
+  reference.run(ref_feed, [&](const StreamDetector& d, int day) {
+    std::ostringstream os;
+    d.save_checkpoint(os);
+    checkpoints.emplace_back(day, os.str());
+  });
+  const std::string expected = fingerprint(reference);
+  ASSERT_GE(checkpoints.size(), 5u);
+
+  for (const auto& [day, image] : checkpoints) {
+    for (const std::size_t jobs : {1u, 2u, 4u}) {
+      StreamConfig resume_config = config;
+      resume_config.jobs = jobs;
+      std::istringstream is(image);
+      StreamDetector resumed = StreamDetector::restore_checkpoint(is, resume_config);
+      EXPECT_EQ(resumed.last_flushed_day(), day);
+
+      TraceReplaySource source(trace, overrides);
+      FaultyFeed feed = make_feed(source);
+      fast_forward(feed, resumed.consumed());
+      resumed.run(feed);
+      ASSERT_EQ(fingerprint(resumed), expected)
+          << "diverged after restoring the day-" << day << " checkpoint at jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moas::stream

@@ -1,0 +1,342 @@
+// The sharded streaming detector: detection correctness, robustness layers
+// (shedding, gap parking, TTL adoption, eviction), and --jobs determinism.
+#include "moas/stream/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "moas/measure/observer.h"
+#include "moas/stream/feed.h"
+#include "moas/stream/replay.h"
+
+namespace moas::stream {
+namespace {
+
+measure::SyntheticTrace small_trace(std::uint64_t seed = 1, int days = 60) {
+  util::Rng rng(seed);
+  measure::TraceConfig config;
+  config.days = days;
+  config.active_start = 12;
+  config.active_end = 15;
+  config.faults_per_day = 0.0;  // no short-lived fault churn unless asked
+  config.include_spike_1998 = false;
+  config.include_spike_2001 = false;
+  return measure::generate_trace(config, rng);
+}
+
+StreamConfig small_config() {
+  StreamConfig config;
+  config.shards = 4;
+  config.jobs = 2;
+  config.flush_margin = 8;
+  return config;
+}
+
+std::string fingerprint(const StreamDetector& d) {
+  return d.alarm_log_text() + d.metrics().to_json();
+}
+
+TEST(StreamDetector, CleanReplayRaisesNoAlarms) {
+  // Trace origin sets are constant per case, so a clean replay must be
+  // alarm-free and the duration accounting must match the batch observer.
+  const auto trace = small_trace(1);
+  TraceReplaySource source(trace);
+  StreamDetector detector(small_config());
+  detector.run(source);
+
+  EXPECT_TRUE(detector.merged_alarms().empty());
+  const auto metrics = detector.metrics();
+  EXPECT_EQ(metrics.counter("stream.alarms_raised"), 0u);
+  EXPECT_EQ(metrics.counter("stream.shed_updates"), 0u);
+  EXPECT_EQ(metrics.counter("stream.delivered"), source.emitted());
+
+  measure::MoasObserver observer;
+  observer.ingest_all(trace);
+  const auto durations = metrics.find_histogram("stream.case_duration_days");
+  ASSERT_NE(durations, nullptr);
+  EXPECT_EQ(durations->count(), observer.case_count());
+}
+
+TEST(StreamDetector, AttackRaisesThenResolves) {
+  const auto trace = small_trace(2);
+  const auto plans = plan_attacks(trace, AttackConfig{.seed = 3, .attacks = 4});
+  std::vector<OriginOverride> overrides;
+  for (const auto& p : plans) overrides.push_back(p.inject);
+
+  TraceReplaySource source(trace, overrides);
+  StreamDetector detector(small_config());
+  detector.run(source);
+
+  const auto outcomes = evaluate_attacks(plans, detector.merged_alarms(), nullptr);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.alarmed) << o.plan.inject.prefix.to_string();
+    EXPECT_TRUE(o.all_settled);
+    EXPECT_EQ(o.final_state, core::MoasAlarm::State::Resolved)
+        << "attack ends inside the case lifetime, so the conflict clears";
+    EXPECT_GE(o.latency_days, 0.0);
+  }
+  EXPECT_EQ(detector.metrics().counter("stream.alarms_raised"), 4u);
+  EXPECT_EQ(detector.metrics().counter("stream.alarms_resolved"), 4u);
+}
+
+TEST(StreamDetector, ChurnExpiresViaTtlAndAdopts) {
+  const auto trace = small_trace(3, 80);
+  auto churn = plan_churn(trace, ChurnConfig{.seed = 5, .share = 0.4, .min_active_days = 40});
+  ASSERT_FALSE(churn.empty());
+  // Keep only churn with >= TTL days of remaining lifetime so every alarm
+  // must expire-and-adopt rather than resolve at case end.
+  std::vector<OriginOverride> overrides;
+  for (const auto& o : churn) {
+    if (o.last_day - o.first_day >= 15) overrides.push_back(o);
+  }
+  ASSERT_FALSE(overrides.empty());
+
+  StreamConfig config = small_config();
+  config.shard.conflict_ttl_days = 10.0;
+  TraceReplaySource source(trace, overrides);
+  StreamDetector detector(config);
+  detector.run(source);
+
+  const auto metrics = detector.metrics();
+  EXPECT_EQ(metrics.counter("stream.alarms_raised"), overrides.size());
+  EXPECT_EQ(metrics.counter("stream.alarms_expired"), overrides.size());
+  EXPECT_EQ(metrics.counter("stream.alarms_resolved"), 0u);
+  EXPECT_EQ(metrics.gauge("stream.open_alarms"), 0.0);
+  // Adoption: exactly one alarm per churned prefix (no re-raise after the
+  // observed set was adopted).
+  for (const auto& o : overrides) {
+    std::size_t alarms = 0;
+    for (const auto& a : detector.merged_alarms()) alarms += a.prefix == o.prefix ? 1 : 0;
+    EXPECT_EQ(alarms, 1u) << o.prefix.to_string();
+  }
+}
+
+TEST(StreamDetector, GapCrossingConflictParksAsPending) {
+  // An attack that starts inside a feed gap: the first post-gap update
+  // shows a conflict whose onset was unobserved. The alarm must settle to
+  // Pending (parked), not stand as a firm Raised/hijack story.
+  const auto trace = small_trace(4, 60);
+  const auto plans = plan_attacks(
+      trace, AttackConfig{.seed = 11, .attacks = 2, .duration_mean_days = 8.0, .lead_days = 10});
+  std::vector<OriginOverride> overrides;
+  chaos::FeedFaultSchedule schedule;
+  for (const auto& p : plans) {
+    overrides.push_back(p.inject);
+    // Blackout the feed over the attack onset.
+    schedule.gaps.push_back({p.inject.first_day, p.inject.first_day + 1});
+  }
+  std::sort(schedule.gaps.begin(), schedule.gaps.end(),
+            [](const chaos::GapWindow& a, const chaos::GapWindow& b) {
+              return a.first_day < b.first_day;
+            });
+
+  TraceReplaySource source(trace, overrides);
+  FaultyFeed faulty(source, schedule);
+  StreamDetector detector(small_config());
+  detector.run(faulty);
+
+  EXPECT_EQ(detector.metrics().counter("stream.alarms_parked"), plans.size());
+  EXPECT_EQ(detector.metrics().counter("stream.gap_days"),
+            static_cast<std::uint64_t>(schedule.gap_days()));
+  // Parked alarms still settle eventually (here: resolved when the attack
+  // ends inside the case lifetime) — nothing is lost.
+  const auto outcomes = evaluate_attacks(plans, detector.merged_alarms(), &schedule);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.observable);  // only the onset was dark
+    EXPECT_TRUE(o.alarmed);
+    EXPECT_TRUE(o.all_settled);
+  }
+}
+
+TEST(StreamDetector, DuplicateDeliveryIsSuppressed) {
+  const auto trace = small_trace(5);
+  chaos::FeedFaultConfig fault_config;
+  fault_config.seed = 13;
+  fault_config.duplicate_prob = 0.05;
+  const auto schedule = chaos::compile_feed_faults(fault_config);
+
+  TraceReplaySource source(trace);
+  FaultyFeed faulty(source, schedule);
+  StreamDetector detector(small_config());
+  detector.run(faulty);
+
+  EXPECT_GT(faulty.counters().duplicated, 0u);
+  EXPECT_EQ(detector.front_counters().duplicates_suppressed, faulty.counters().duplicated);
+  EXPECT_TRUE(detector.merged_alarms().empty());
+
+  // Duplicates must not perturb measurement: durations equal the clean run.
+  TraceReplaySource clean(trace);
+  StreamDetector reference(small_config());
+  reference.run(clean);
+  EXPECT_EQ(detector.metrics().find_histogram("stream.case_duration_days")->count(),
+            reference.metrics().find_histogram("stream.case_duration_days")->count());
+}
+
+TEST(StreamDetector, GarbledLinesAreRejectedNotCrashed) {
+  const auto trace = small_trace(6);
+  chaos::FeedFaultConfig fault_config;
+  fault_config.seed = 17;
+  fault_config.garble_prob = 0.03;
+  const auto schedule = chaos::compile_feed_faults(fault_config);
+
+  TraceReplaySource source(trace);
+  FaultyFeed faulty(source, schedule);
+  StreamDetector detector(small_config());
+  detector.run(faulty);
+
+  EXPECT_GT(faulty.counters().garbled, 0u);
+  EXPECT_EQ(detector.front_counters().malformed_rejected, faulty.counters().garbled);
+  EXPECT_TRUE(detector.merged_alarms().empty());
+}
+
+TEST(StreamDetector, SheddingDegradesMeasurementNeverDetection) {
+  const auto trace = small_trace(7);
+  const auto plans = plan_attacks(trace, AttackConfig{.seed = 19, .attacks = 3});
+  std::vector<OriginOverride> overrides;
+  for (const auto& p : plans) overrides.push_back(p.inject);
+
+  StreamConfig config = small_config();
+  config.shard.day_capacity = 2;  // far below the per-shard daily volume
+  TraceReplaySource source(trace, overrides);
+  StreamDetector detector(config);
+  obs::TraceBus trace_bus(obs::TraceLevel::Summary);
+  detector.set_trace(&trace_bus);
+  detector.run(source);
+
+  const auto metrics = detector.metrics();
+  EXPECT_GT(metrics.counter("stream.shed_updates"), 0u);
+  EXPECT_GT(metrics.counter("stream.moas_days_shed"), 0u);
+  // Detection is intact: every attack alarmed and settled.
+  const auto outcomes = evaluate_attacks(plans, detector.merged_alarms(), nullptr);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.alarmed);
+    EXPECT_TRUE(o.all_settled);
+  }
+  // Shedding is observable on the trace bus.
+  bool saw_shed_event = false;
+  for (const auto& event : trace_bus.events()) {
+    saw_shed_event = saw_shed_event || event.kind == obs::EventKind::UpdatesShed;
+  }
+  EXPECT_TRUE(saw_shed_event);
+}
+
+TEST(StreamDetector, MemoryBudgetEvictsColdStateAndBoundsFootprint) {
+  // Heavy short-lived fault churn: dead prefix state piles up and must be
+  // evicted to stay inside the budget.
+  util::Rng rng(8);
+  measure::TraceConfig trace_config;
+  trace_config.days = 90;
+  trace_config.active_start = 4;
+  trace_config.active_end = 5;
+  trace_config.faults_per_day = 8.0;
+  trace_config.include_spike_1998 = false;
+  trace_config.include_spike_2001 = false;
+  const auto trace = measure::generate_trace(trace_config, rng);
+
+  StreamConfig config = small_config();
+  config.shard.memory_budget_bytes = 8 * 1024;
+  config.shard.evict_idle_days = 5;
+  TraceReplaySource source(trace);
+  StreamDetector detector(config);
+  obs::TraceBus trace_bus(obs::TraceLevel::Summary);
+  detector.set_trace(&trace_bus);
+  detector.run(source);
+
+  const auto metrics = detector.metrics();
+  EXPECT_GT(metrics.counter("stream.evicted_prefixes"), 0u);
+  EXPECT_LE(metrics.gauge("stream.peak_bytes_held"),
+            static_cast<double>(config.shards * config.shard.memory_budget_bytes));
+  bool saw_evict_event = false;
+  for (const auto& event : trace_bus.events()) {
+    saw_evict_event = saw_evict_event || event.kind == obs::EventKind::StateEvicted;
+  }
+  EXPECT_TRUE(saw_evict_event);
+
+  // Eviction folds durations instead of losing them: the histogram's total
+  // accrued days equal the batch observer's ground truth exactly (a case
+  // evicted mid-life and recreated splits into two entries, so the entry
+  // count may exceed the case count — the day total never changes).
+  measure::MoasObserver observer;
+  observer.ingest_all(trace);
+  double expected_days = 0.0;
+  for (const auto& c : observer.cases()) expected_days += static_cast<double>(c.duration_days);
+  const auto* durations = metrics.find_histogram("stream.case_duration_days");
+  ASSERT_NE(durations, nullptr);
+  EXPECT_EQ(durations->sum(), expected_days);
+  EXPECT_GE(durations->count(), observer.case_count());
+}
+
+TEST(StreamDetector, ByteIdenticalAcrossJobsAndShardsConfig) {
+  const auto trace = small_trace(9);
+  const auto plans = plan_attacks(trace, AttackConfig{.seed = 23, .attacks = 3});
+  std::vector<OriginOverride> overrides;
+  for (const auto& p : plans) overrides.push_back(p.inject);
+
+  chaos::FeedFaultConfig fault_config;
+  fault_config.seed = 29;
+  fault_config.duplicate_prob = 0.02;
+  fault_config.reorder_prob = 0.05;
+  fault_config.garble_prob = 0.01;
+  const auto schedule = chaos::compile_feed_faults(fault_config);
+
+  std::string reference;
+  for (const std::size_t jobs : {1u, 2u, 4u}) {
+    TraceReplaySource source(trace, overrides);
+    FaultyFeed faulty(source, schedule);
+    StreamConfig config = small_config();
+    config.jobs = jobs;
+    StreamDetector detector(config);
+    detector.run(faulty);
+    const std::string got = fingerprint(detector);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << "jobs=" << jobs;
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(StreamDetector, MonthScaleFaultedRunStaysBoundedAndLosesNothing) {
+  // The month-scale soak: ~90 days, attacks + churn + every fault family,
+  // tight memory and alarm retention. Gates: every observable attack
+  // alarmed, zero open alarms at the end, footprint within budget.
+  const auto trace = small_trace(10, 90);
+  const auto churn = plan_churn(trace, ChurnConfig{.seed = 31, .share = 0.1});
+  const auto plans = plan_attacks(trace, AttackConfig{.seed = 37, .attacks = 5}, churn);
+  std::vector<OriginOverride> overrides = churn;
+  for (const auto& p : plans) overrides.push_back(p.inject);
+
+  chaos::FeedFaultConfig fault_config;
+  fault_config.seed = 41;
+  fault_config.horizon_days = 90;
+  fault_config.gaps = 2.0;
+  fault_config.duplicate_prob = 0.02;
+  fault_config.reorder_prob = 0.04;
+  fault_config.garble_prob = 0.01;
+  const auto schedule = chaos::compile_feed_faults(fault_config);
+
+  StreamConfig config = small_config();
+  config.shard.memory_budget_bytes = 64 * 1024;
+  config.shard.alarm_retention = 64;
+  TraceReplaySource source(trace, overrides);
+  FaultyFeed faulty(source, schedule);
+  StreamDetector detector(config);
+  detector.run(faulty);
+
+  const auto metrics = detector.metrics();
+  EXPECT_EQ(metrics.gauge("stream.open_alarms"), 0.0);
+  EXPECT_LE(metrics.gauge("stream.peak_bytes_held"),
+            static_cast<double>(config.shards * config.shard.memory_budget_bytes));
+  const auto outcomes = evaluate_attacks(plans, detector.merged_alarms(), &schedule);
+  for (const auto& o : outcomes) {
+    if (!o.observable) continue;
+    EXPECT_TRUE(o.alarmed) << o.plan.inject.prefix.to_string();
+    EXPECT_TRUE(o.all_settled);
+  }
+}
+
+}  // namespace
+}  // namespace moas::stream
