@@ -83,12 +83,15 @@ AggregationResult aggregate_routes(const net::Prefix& target,
   if (!rest.empty()) path.append_set(std::move(rest));
   aggregate.attrs.path = std::move(path);
 
-  // Worst origin code wins; communities merge by union.
+  // Worst origin code wins; communities (both widths) merge by union.
   aggregate.attrs.origin_code = OriginCode::Igp;
   for (const Route& r : components) {
     aggregate.attrs.origin_code =
         std::max(aggregate.attrs.origin_code, r.attrs.origin_code);
     for (Community c : r.attrs.communities.values()) aggregate.attrs.communities.add(c);
+    for (const LargeCommunity& c : r.attrs.large_communities.values()) {
+      aggregate.attrs.large_communities.add(c);
+    }
   }
 
   // Exactness: do the component prefixes minimize to exactly {target}?

@@ -1,84 +1,96 @@
 #include "moas/bgp/as_path.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "moas/util/assert.h"
 #include "moas/util/strings.h"
 
 namespace moas::bgp {
 
+namespace {
+
+/// Append `asns` to a raw segment vector, extending a trailing sequence
+/// segment or starting one — the shared mutation core of append_sequence,
+/// the sequence constructor, and parse.
+void raw_append_sequence(std::vector<PathSegment>& segments, const std::vector<Asn>& asns) {
+  for (Asn asn : asns) {
+    MOAS_REQUIRE(asn != kNoAs, "cannot append the null ASN");
+    if (segments.empty() || segments.back().kind != PathSegment::Kind::Sequence) {
+      segments.push_back(PathSegment{PathSegment::Kind::Sequence, {asn}});
+    } else {
+      segments.back().asns.push_back(asn);
+    }
+  }
+}
+
+}  // namespace
+
 AsPath::AsPath(std::vector<Asn> sequence) {
   if (!sequence.empty()) {
-    segments_.push_back(PathSegment{PathSegment::Kind::Sequence, std::move(sequence)});
+    std::vector<PathSegment> segments;
+    segments.push_back(PathSegment{PathSegment::Kind::Sequence, std::move(sequence)});
+    data_ = intern::make_path(std::move(segments));
   }
 }
 
 void AsPath::prepend(Asn asn) {
   MOAS_REQUIRE(asn != kNoAs, "cannot prepend the null ASN");
-  if (segments_.empty() || segments_.front().kind != PathSegment::Kind::Sequence) {
-    segments_.insert(segments_.begin(), PathSegment{PathSegment::Kind::Sequence, {asn}});
+  std::vector<PathSegment> segments = this->segments();  // copy-on-write
+  if (segments.empty() || segments.front().kind != PathSegment::Kind::Sequence) {
+    segments.insert(segments.begin(), PathSegment{PathSegment::Kind::Sequence, {asn}});
   } else {
-    auto& seq = segments_.front().asns;
+    auto& seq = segments.front().asns;
     seq.insert(seq.begin(), asn);
   }
+  data_ = intern::make_path(std::move(segments));
 }
 
 void AsPath::append_set(AsnSet asns) {
   MOAS_REQUIRE(!asns.empty(), "AS_SET segment must be non-empty");
-  PathSegment seg{PathSegment::Kind::Set, {asns.begin(), asns.end()}};
-  segments_.push_back(std::move(seg));
+  std::vector<PathSegment> segments = this->segments();
+  segments.push_back(PathSegment{PathSegment::Kind::Set, {asns.begin(), asns.end()}});
+  data_ = intern::make_path(std::move(segments));
 }
 
 void AsPath::append_sequence(const std::vector<Asn>& asns) {
-  for (Asn asn : asns) {
-    MOAS_REQUIRE(asn != kNoAs, "cannot append the null ASN");
-    if (segments_.empty() || segments_.back().kind != PathSegment::Kind::Sequence) {
-      segments_.push_back(PathSegment{PathSegment::Kind::Sequence, {asn}});
-    } else {
-      segments_.back().asns.push_back(asn);
-    }
-  }
+  if (asns.empty()) return;
+  std::vector<PathSegment> segments = this->segments();
+  raw_append_sequence(segments, asns);
+  data_ = intern::make_path(std::move(segments));
 }
 
 bool AsPath::contains(Asn asn) const {
-  for (const auto& seg : segments_) {
+  for (const auto& seg : segments()) {
     if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end()) return true;
   }
   return false;
 }
 
-std::size_t AsPath::selection_length() const {
-  std::size_t n = 0;
-  for (const auto& seg : segments_) {
-    n += seg.kind == PathSegment::Kind::Sequence ? seg.asns.size() : 1;
-  }
-  return n;
-}
-
 std::optional<Asn> AsPath::first() const {
-  if (segments_.empty()) return std::nullopt;
-  const auto& seg = segments_.front();
+  if (empty()) return std::nullopt;
+  const auto& seg = segments().front();
   if (seg.kind == PathSegment::Kind::Sequence) return seg.asns.front();
   return std::nullopt;  // ambiguous: path starts with an aggregate set
 }
 
 std::optional<Asn> AsPath::origin() const {
-  if (segments_.empty()) return std::nullopt;
-  const auto& seg = segments_.back();
+  if (empty()) return std::nullopt;
+  const auto& seg = segments().back();
   if (seg.kind == PathSegment::Kind::Sequence) return seg.asns.back();
   return std::nullopt;
 }
 
 AsnSet AsPath::origin_candidates() const {
-  if (segments_.empty()) return {};
-  const auto& seg = segments_.back();
+  if (empty()) return {};
+  const auto& seg = segments().back();
   if (seg.kind == PathSegment::Kind::Sequence) return {seg.asns.back()};
   return {seg.asns.begin(), seg.asns.end()};
 }
 
 std::string AsPath::to_string() const {
   std::string out;
-  for (const auto& seg : segments_) {
+  for (const auto& seg : segments()) {
     if (seg.kind == PathSegment::Kind::Sequence) {
       for (Asn asn : seg.asns) {
         if (!out.empty()) out += ' ';
@@ -98,7 +110,7 @@ std::string AsPath::to_string() const {
 }
 
 std::optional<AsPath> AsPath::parse(std::string_view s) {
-  AsPath path;
+  std::vector<PathSegment> segments;
   for (const auto& raw : util::split(s, ' ')) {
     const auto token = util::trim(raw);
     if (token.empty()) continue;
@@ -111,21 +123,22 @@ std::optional<AsPath> AsPath::parse(std::string_view s) {
         set.insert(static_cast<Asn>(asn));
       }
       if (set.empty()) return std::nullopt;
-      path.append_set(std::move(set));
+      segments.push_back(PathSegment{PathSegment::Kind::Set, {set.begin(), set.end()}});
     } else {
       std::uint64_t asn = 0;
       if (!util::parse_u64(token, asn) || asn > ~0u) return std::nullopt;
-      // Extend a trailing sequence segment, or start one.
-      if (path.segments_.empty() ||
-          path.segments_.back().kind != PathSegment::Kind::Sequence) {
-        path.segments_.push_back(
+      // Extend a trailing sequence segment, or start one. (No null-ASN
+      // REQUIRE here: parse reports malformed input via nullopt, and the
+      // pre-intern parser accepted "0" — behavior is pinned by tests.)
+      if (segments.empty() || segments.back().kind != PathSegment::Kind::Sequence) {
+        segments.push_back(
             PathSegment{PathSegment::Kind::Sequence, {static_cast<Asn>(asn)}});
       } else {
-        path.segments_.back().asns.push_back(static_cast<Asn>(asn));
+        segments.back().asns.push_back(static_cast<Asn>(asn));
       }
     }
   }
-  return path;
+  return AsPath(intern::make_path(std::move(segments)));
 }
 
 }  // namespace moas::bgp

@@ -4,10 +4,20 @@
 // or an unordered AS_SET (produced by route aggregation — the paper's
 // footnote 1). The "origin AS" is the last element; when the last segment is
 // a set, any member is a candidate origin.
+//
+// Representation: AsPath is a handle onto a process-wide interned PathData
+// (see intern.h / DESIGN.md §13). A converged RIB holds the same few paths
+// hundreds of thousands of times; structural sharing makes each copy one
+// pointer, equality one pointer compare, and selection_length() a cached
+// field instead of an O(segments) walk per decision-process comparison.
+// Value semantics are unchanged: ordering still compares segment contents,
+// mutators rebuild and re-intern, and nothing observable depends on where
+// the shared data lives.
 #pragma once
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,6 +37,32 @@ struct PathSegment {
 
   friend auto operator<=>(const PathSegment&, const PathSegment&) = default;
 };
+
+namespace intern {
+
+/// One interned AS path: the canonical copy of a segment vector, plus the
+/// derived values every holder would otherwise recompute. Lives in the
+/// process-wide arena (stable address for the life of the process); all
+/// AsPath handles with equal contents point at the same PathData.
+struct PathData {
+  std::vector<PathSegment> segments;
+  /// Stable 32-bit id, unique per distinct path value within a process.
+  /// Assignment order depends on thread interleaving — ids are for
+  /// diagnostics and tests, never for output or ordering.
+  std::uint32_t id = 0;
+  /// Cached AsPath::selection_length().
+  std::uint32_t selection_length = 0;
+};
+
+/// Canonical handle for `segments`; nullptr for the empty path. Thread-safe;
+/// the returned pointer is valid for the rest of the process.
+const PathData* make_path(std::vector<PathSegment> segments);
+
+/// The shared empty segment vector (what AsPath::segments() returns for the
+/// empty path).
+const std::vector<PathSegment>& empty_path_segments();
+
+}  // namespace intern
 
 class AsPath {
  public:
@@ -51,8 +87,9 @@ class AsPath {
   bool contains(Asn asn) const;
 
   /// Route-selection length: each sequence member counts 1, each set segment
-  /// counts 1 total (RFC 4271 §9.1.2.2 rule).
-  std::size_t selection_length() const;
+  /// counts 1 total (RFC 4271 §9.1.2.2 rule). Cached on the interned data —
+  /// O(1), which is what the decision process compares on every candidate.
+  std::size_t selection_length() const { return data_ ? data_->selection_length : 0; }
 
   /// First AS on the path (the advertising neighbor), if any.
   std::optional<Asn> first() const;
@@ -65,8 +102,14 @@ class AsPath {
   /// trailing set. Empty for an empty path.
   AsnSet origin_candidates() const;
 
-  bool empty() const { return segments_.empty(); }
-  const std::vector<PathSegment>& segments() const { return segments_; }
+  bool empty() const { return data_ == nullptr; }
+  const std::vector<PathSegment>& segments() const {
+    return data_ ? data_->segments : intern::empty_path_segments();
+  }
+
+  /// The interned id (0 for the empty path). Diagnostics/tests only — ids
+  /// are process-local and interleaving-dependent; never emit them.
+  std::uint32_t intern_id() const { return data_ ? data_->id : 0; }
 
   /// "3 2 1" with set segments braced: "3 {4,5}".
   std::string to_string() const;
@@ -74,10 +117,19 @@ class AsPath {
   /// Parse the to_string format. Returns nullopt on malformed input.
   static std::optional<AsPath> parse(std::string_view s);
 
-  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+  /// Interning canonicalizes: equal contents == same pointer.
+  friend bool operator==(const AsPath& a, const AsPath& b) { return a.data_ == b.data_; }
+  /// Value ordering, identical to the pre-intern defaulted comparison over
+  /// the segment vector (with a pointer fast path for the equal case).
+  friend std::strong_ordering operator<=>(const AsPath& a, const AsPath& b) {
+    if (a.data_ == b.data_) return std::strong_ordering::equal;
+    return a.segments() <=> b.segments();
+  }
 
  private:
-  std::vector<PathSegment> segments_;
+  explicit AsPath(const intern::PathData* data) : data_(data) {}
+
+  const intern::PathData* data_ = nullptr;
 };
 
 }  // namespace moas::bgp

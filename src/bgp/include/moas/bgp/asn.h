@@ -6,9 +6,10 @@
 
 namespace moas::bgp {
 
-/// AS number. The paper predates 4-octet ASNs (RFC 4893), but nothing in the
-/// mechanism depends on width, so we use 32 bits and let the community
-/// encoding reject ASNs that do not fit its 2-octet field.
+/// AS number. The paper predates 4-octet ASNs, but nothing in the mechanism
+/// depends on width: the wire layer speaks RFC 6793 (AS4 capability,
+/// AS_TRANS + AS4_PATH fallback) and wide MOAS-list members ride RFC 8092
+/// large communities, so the full 32-bit range is usable end to end.
 using Asn = std::uint32_t;
 
 /// An unordered set of ASNs (origin sets, MOAS lists, attacker sets, ...).
@@ -16,6 +17,10 @@ using AsnSet = std::set<Asn>;
 
 /// Reserved value meaning "no AS" (0 is unallocated in the real registry).
 inline constexpr Asn kNoAs = 0;
+
+/// AS_TRANS (RFC 6793 §9): the 2-octet stand-in a 4-octet ASN travels as in
+/// 2-octet wire fields (OPEN my-AS, non-AS4 AS_PATH hops).
+inline constexpr Asn kAsTrans = 23456;
 
 /// Private-use ASN range (RFC 1930 era): used by the ASE multi-homing model.
 inline constexpr Asn kPrivateAsnFirst = 64512;

@@ -1,15 +1,21 @@
-// BGP COMMUNITIES attribute (RFC 1997).
+// BGP COMMUNITIES attribute (RFC 1997) and LARGE COMMUNITIES (RFC 8092).
 //
 // A community is a 4-octet value, conventionally written AS:value with the
 // AS number in the high two octets. The MOAS-list mechanism (the paper's
 // Section 4.2) reserves one value of the low two octets, MLVal, so that the
-// community X:MLVal means "AS X may originate this prefix".
+// community X:MLVal means "AS X may originate this prefix". The classic
+// attribute only has a 2-octet AS field; members with 4-octet ASNs (RFC
+// 6793) ride a large community <asn:MLVal:0> instead — see core/moas_list.h.
+//
+// CommunitySet / LargeCommunitySet are handles onto process-wide interned
+// sorted vectors (see intern.h / as_path.h for the representation
+// rationale): a MOAS list is carried by every copy of the route in every
+// Adj-RIB-In, so structural sharing is what keeps multi-prefix RIBs small.
 #pragma once
 
 #include <compare>
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,29 +53,127 @@ inline constexpr Community kNoExport{0xffffff01u};
 inline constexpr Community kNoAdvertise{0xffffff02u};
 inline constexpr Community kNoExportSubconfed{0xffffff03u};
 
+/// One RFC 8092 large community: 12 octets, <global_admin:data1:data2>,
+/// where global_admin is a full 4-octet ASN.
+class LargeCommunity {
+ public:
+  constexpr LargeCommunity() = default;
+  constexpr LargeCommunity(std::uint32_t global_admin, std::uint32_t data1, std::uint32_t data2)
+      : global_admin_(global_admin), data1_(data1), data2_(data2) {}
+
+  constexpr std::uint32_t global_admin() const { return global_admin_; }
+  constexpr std::uint32_t data1() const { return data1_; }
+  constexpr std::uint32_t data2() const { return data2_; }
+
+  /// "admin:data1:data2".
+  std::string to_string() const;
+
+  /// Parse "admin:data1:data2" (all decimal, all <= 2^32-1).
+  static std::optional<LargeCommunity> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(const LargeCommunity&, const LargeCommunity&) = default;
+
+ private:
+  std::uint32_t global_admin_ = 0;
+  std::uint32_t data1_ = 0;
+  std::uint32_t data2_ = 0;
+};
+
+namespace intern {
+
+/// One interned community set: the canonical sorted duplicate-free value
+/// vector. See as_path.h / PathData for the arena contract.
+struct CommunitySetData {
+  std::vector<Community> values;
+  std::uint32_t id = 0;
+};
+
+struct LargeCommunitySetData {
+  std::vector<LargeCommunity> values;
+  std::uint32_t id = 0;
+};
+
+/// Canonical handle for `values` (sorted + deduplicated internally);
+/// nullptr for the empty set. Thread-safe; pointers live for the process.
+const CommunitySetData* make_community_set(std::vector<Community> values);
+const LargeCommunitySetData* make_large_community_set(std::vector<LargeCommunity> values);
+
+const std::vector<Community>& empty_communities();
+const std::vector<LargeCommunity>& empty_large_communities();
+
+}  // namespace intern
+
 /// An (order-irrelevant, duplicate-free) set of communities, as carried on a
 /// route announcement.
 class CommunitySet {
  public:
   CommunitySet() = default;
-  CommunitySet(std::initializer_list<Community> cs) : values_(cs) {}
+  CommunitySet(std::initializer_list<Community> cs);
 
-  void add(Community c) { values_.insert(c); }
-  void remove(Community c) { values_.erase(c); }
-  bool contains(Community c) const { return values_.contains(c); }
-  bool empty() const { return values_.empty(); }
-  std::size_t size() const { return values_.size(); }
-  void clear() { values_.clear(); }
+  void add(Community c);
+  void remove(Community c);
+  bool contains(Community c) const;
+  bool empty() const { return data_ == nullptr; }
+  std::size_t size() const { return data_ ? data_->values.size() : 0; }
+  void clear() { data_ = nullptr; }
 
-  const std::set<Community>& values() const { return values_; }
+  /// Members in ascending raw order.
+  const std::vector<Community>& values() const {
+    return data_ ? data_->values : intern::empty_communities();
+  }
+
+  /// Diagnostics/tests only (see AsPath::intern_id).
+  std::uint32_t intern_id() const { return data_ ? data_->id : 0; }
 
   /// "AS:val AS:val ..." in ascending raw order.
   std::string to_string() const;
 
-  friend auto operator<=>(const CommunitySet&, const CommunitySet&) = default;
+  friend bool operator==(const CommunitySet& a, const CommunitySet& b) {
+    return a.data_ == b.data_;
+  }
+  friend std::strong_ordering operator<=>(const CommunitySet& a, const CommunitySet& b) {
+    if (a.data_ == b.data_) return std::strong_ordering::equal;
+    return a.values() <=> b.values();
+  }
 
  private:
-  std::set<Community> values_;
+  const intern::CommunitySetData* data_ = nullptr;
+};
+
+/// An (order-irrelevant, duplicate-free) set of large communities.
+class LargeCommunitySet {
+ public:
+  LargeCommunitySet() = default;
+  LargeCommunitySet(std::initializer_list<LargeCommunity> cs);
+
+  void add(LargeCommunity c);
+  void remove(LargeCommunity c);
+  bool contains(LargeCommunity c) const;
+  bool empty() const { return data_ == nullptr; }
+  std::size_t size() const { return data_ ? data_->values.size() : 0; }
+  void clear() { data_ = nullptr; }
+
+  /// Members in ascending (admin, data1, data2) order.
+  const std::vector<LargeCommunity>& values() const {
+    return data_ ? data_->values : intern::empty_large_communities();
+  }
+
+  std::uint32_t intern_id() const { return data_ ? data_->id : 0; }
+
+  /// "a:b:c a:b:c ..." in ascending order.
+  std::string to_string() const;
+
+  friend bool operator==(const LargeCommunitySet& a, const LargeCommunitySet& b) {
+    return a.data_ == b.data_;
+  }
+  friend std::strong_ordering operator<=>(const LargeCommunitySet& a,
+                                          const LargeCommunitySet& b) {
+    if (a.data_ == b.data_) return std::strong_ordering::equal;
+    return a.values() <=> b.values();
+  }
+
+ private:
+  const intern::LargeCommunitySetData* data_ = nullptr;
 };
 
 }  // namespace moas::bgp

@@ -1,14 +1,20 @@
 // Routing information bases and the BGP decision process.
+//
+// Storage is compact (DESIGN.md §13): per prefix, the candidates live in one
+// sorted small vector instead of a node-based map-of-maps, and a per-peer
+// prefix index makes session-scoped operations (mark_peer_stale, erase_peer)
+// proportional to the peer's routes instead of the whole table. Iteration
+// orders are identical to the std::map layout this replaces — prefix
+// ascending, peer ascending — so every output stays byte-identical.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "moas/bgp/route.h"
 #include "moas/net/prefix.h"
+#include "moas/util/flat_map.h"
 
 namespace moas::bgp {
 
@@ -35,6 +41,10 @@ int compare_candidates(const RibEntry& a, const RibEntry& b);
 const RibEntry* select_best(const std::vector<const RibEntry*>& candidates);
 
 /// Adj-RIB-In: per prefix, the latest route from each peer.
+///
+/// Pointers returned by candidates()/from_peer() are valid until the next
+/// mutation of the table (vector-backed rows; the old map layout only
+/// promised stability per row, and no caller held entries across writes).
 class AdjRibIn {
  public:
   /// Install/replace the route from `peer`. Returns true if this changed
@@ -44,7 +54,7 @@ class AdjRibIn {
   /// Drop the route for `prefix` from `peer`; true if one existed.
   bool erase(Asn peer, const net::Prefix& prefix);
 
-  /// All candidates for a prefix (may be empty).
+  /// All candidates for a prefix (may be empty), peer-ascending.
   std::vector<const RibEntry*> candidates(const net::Prefix& prefix) const;
 
   /// The entry from a specific peer, or nullptr.
@@ -55,13 +65,19 @@ class AdjRibIn {
   std::size_t erase_by_origin(const net::Prefix& prefix, const AsnSet& origins);
 
   /// Drop everything learned from `peer` (session reset); returns the
-  /// affected prefixes.
+  /// affected prefixes in ascending order. O(routes held from peer), via
+  /// the per-peer index.
   std::vector<net::Prefix> erase_peer(Asn peer);
 
   /// Prefixes with at least one candidate.
   std::vector<net::Prefix> prefixes() const;
 
   std::size_t size() const;
+
+  /// Heap bytes of the table containers themselves (rows, index, stale
+  /// bookkeeping) — excludes the interned attribute data the entries
+  /// share (intern::pool_stats() accounts for that once, process-wide).
+  std::size_t container_bytes() const;
 
   // --- graceful restart (RFC 4724) stale-route tracking ---------------------
   //
@@ -71,7 +87,8 @@ class AdjRibIn {
   // state ... MUST NOT be used in the route selection").
 
   /// Mark everything currently held from `peer` stale (the peer announced a
-  /// restart). Returns how many entries were marked.
+  /// restart). Returns how many entries were marked. O(routes held from
+  /// peer) — served from the per-peer index, not a table scan.
   std::size_t mark_peer_stale(Asn peer);
 
   /// True if the entry for (prefix, peer) exists and is marked stale.
@@ -91,13 +108,27 @@ class AdjRibIn {
   std::size_t stale_count() const;
 
  private:
-  void clear_stale(Asn peer, const net::Prefix& prefix);
+  /// Candidates for one prefix, sorted by learned_from (what the nested
+  /// std::map<Asn, RibEntry> used to give us, in one allocation).
+  using Row = std::vector<RibEntry>;
 
-  std::map<net::Prefix, std::map<Asn, RibEntry>> table_;
-  std::map<Asn, std::set<net::Prefix>> stale_;
+  void clear_stale(Asn peer, const net::Prefix& prefix);
+  void index_erase(Asn peer, const net::Prefix& prefix);
+  static Row::iterator row_find(Row& row, Asn peer);
+  static Row::const_iterator row_find(const Row& row, Asn peer);
+
+  util::FlatMap<net::Prefix, Row> table_;
+  /// Per-peer view: which prefixes hold an entry from this peer. Maintained
+  /// by every row mutation; keeps erase_peer / mark_peer_stale linear in
+  /// the peer's own routes.
+  util::FlatMap<Asn, util::FlatSet<net::Prefix>> by_peer_;
+  util::FlatMap<Asn, util::FlatSet<net::Prefix>> stale_;
 };
 
 /// Loc-RIB: the selected best route per prefix.
+///
+/// best() pointers are valid until a mutation for a *different* prefix
+/// (set() on an existing prefix assigns in place).
 class LocRib {
  public:
   void set(const net::Prefix& prefix, RibEntry entry);
@@ -106,8 +137,11 @@ class LocRib {
   std::vector<net::Prefix> prefixes() const;
   std::size_t size() const { return table_.size(); }
 
+  /// Heap bytes of the table container (see AdjRibIn::container_bytes).
+  std::size_t container_bytes() const { return table_.container_bytes(); }
+
  private:
-  std::map<net::Prefix, RibEntry> table_;
+  util::FlatMap<net::Prefix, RibEntry> table_;
 };
 
 }  // namespace moas::bgp

@@ -23,6 +23,10 @@ struct PathAttributes {
   std::uint32_t local_pref = 100;  // assigned by import policy, not transitive
   std::uint32_t med = 0;
   CommunitySet communities;
+  /// RFC 8092 large communities — the wide-ASN MOAS-list encoding rides
+  /// here (core/moas_list.h). Empty on every paper-topology route, so the
+  /// defaulted ordering below is unchanged for pre-4-octet workloads.
+  LargeCommunitySet large_communities;
 
   friend auto operator<=>(const PathAttributes&, const PathAttributes&) = default;
 };

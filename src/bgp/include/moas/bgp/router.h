@@ -22,6 +22,7 @@
 #include "moas/bgp/route.h"
 #include "moas/bgp/validator.h"
 #include "moas/sim/event_queue.h"
+#include "moas/util/flat_map.h"
 
 namespace moas::obs {
 class MetricsRegistry;
@@ -105,6 +106,13 @@ class Router final : public RouterContext {
 
   /// Originate a prefix locally (installs into Loc-RIB and advertises).
   void originate(const net::Prefix& prefix, CommunitySet communities = {},
+                 OriginCode origin_code = OriginCode::Igp);
+
+  /// Origination with both community widths — MOAS lists holding 4-octet
+  /// members ride RFC 8092 large communities (core::attach_moas_list splits
+  /// a mixed list across the two attributes).
+  void originate(const net::Prefix& prefix, CommunitySet communities,
+                 LargeCommunitySet large_communities,
                  OriginCode origin_code = OriginCode::Igp);
 
   /// Withdraw a local origination.
@@ -260,8 +268,10 @@ class Router final : public RouterContext {
     /// as advertised (updates cannot cross a dead session).
     bool session_up = true;
     /// What we last advertised for each prefix (for withdraw bookkeeping
-    /// and duplicate suppression).
-    std::map<net::Prefix, Route> advertised;
+    /// and duplicate suppression). Flat storage: at multi-prefix scale this
+    /// is the largest per-peer structure, and the routes inside it share
+    /// their attribute payloads through the interner anyway.
+    util::FlatMap<net::Prefix, Route> advertised;
     /// MRAI state per prefix.
     std::map<net::Prefix, sim::Time> next_allowed;
     std::map<net::Prefix, std::optional<Update>> pending;

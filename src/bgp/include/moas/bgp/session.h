@@ -69,6 +69,10 @@ class Session {
     /// treat-as-withdraw / attribute-discard instead of resetting the
     /// session. Off restores strict RFC 4271 behavior.
     bool revised_error_handling = false;
+    /// Advertise the RFC 6793 four-octet-AS capability (code 65) in our
+    /// OPEN. Forced on when local_as does not fit 2 octets — such a speaker
+    /// cannot introduce itself otherwise (my_as carries AS_TRANS).
+    bool four_octet_as = false;
   };
 
   /// Callbacks: `send` transmits raw wire bytes toward the peer; `on_up` /
@@ -117,6 +121,13 @@ class Session {
     return peer_gr_ ? static_cast<sim::Time>(peer_gr_->restart_time) : 0.0;
   }
 
+  /// RFC 6793 negotiated on the current or most recent session: both sides
+  /// advertised the four-octet-AS capability, so UPDATEs carry 4-octet
+  /// AS_PATHs natively (and AS4_PATH is discarded on receive).
+  bool as4_negotiated() const { return advertises_as4() && peer_as4_.has_value(); }
+  /// The peer's 4-octet ASN from its capability, if it sent one.
+  const std::optional<std::uint32_t>& peer_four_octet_as() const { return peer_as4_; }
+
   struct Stats {
     std::uint64_t opens_sent = 0;
     std::uint64_t keepalives_sent = 0;
@@ -146,6 +157,11 @@ class Session {
 
  private:
   void enter(SessionState next);
+  /// True when our OPEN carries the four-octet-AS capability (configured,
+  /// or forced by a wide local ASN).
+  bool advertises_as4() const {
+    return config_.four_octet_as || config_.local_as > 0xffffu;
+  }
   void send_open();
   void send_keepalive();
   void send_notification(std::uint8_t code, std::uint8_t subcode);
@@ -170,6 +186,7 @@ class Session {
   sim::Time negotiated_hold_ = 0.0;
   sim::Time next_connect_retry_ = 0.0;  // backoff state; 0 = start from base
   std::optional<wire::GracefulRestartCapability> peer_gr_;
+  std::optional<std::uint32_t> peer_as4_;
   util::Rng jitter_rng_;
   obs::TraceBus* trace_ = nullptr;
   Stats stats_;

@@ -102,6 +102,11 @@ enum class AttrType : std::uint8_t {
   Med = 4,
   LocalPref = 5,
   Communities = 8,
+  /// RFC 6793: the true 4-octet path backing AS_TRANS stand-ins in a
+  /// 2-octet AS_PATH. Optional transitive; emitted only when needed.
+  As4Path = 17,
+  /// RFC 8092 large communities; wide-ASN MOAS-list members ride here.
+  LargeCommunities = 32,
 };
 
 /// An attribute we do not implement but must not destroy: RFC 4271 §9 says
@@ -136,16 +141,26 @@ struct EncodeOptions {
   /// NEXT_HOP value; the AS-level simulator has no concrete next hop, so a
   /// placeholder is used unless the caller knows better.
   net::Ipv4Addr next_hop = net::Ipv4Addr(0u);
+  /// Encode AS_PATH with 4-octet ASNs (both peers negotiated the RFC 6793
+  /// capability). When false, ASNs above 0xffff are written as AS_TRANS in
+  /// AS_PATH and the true path is appended as a self-describing AS4_PATH —
+  /// so any decoder recovers the full path, negotiated or not, and byte
+  /// streams for all-narrow paths are identical to the pre-AS4 encoding.
+  bool four_octet_as = false;
 };
 
 /// Encode an UPDATE. Throws std::invalid_argument for unencodable input
-/// (ASN > 0xffff — this is the 2-octet era — or an over-long message).
+/// (an over-long message or path segment). ASNs of any width encode: wide
+/// ones travel natively or via AS_TRANS + AS4_PATH (see
+/// EncodeOptions::four_octet_as).
 std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
                                         const EncodeOptions& options = EncodeOptions());
 
 /// Decode an UPDATE (must include the header). Throws WireError at the
-/// first problem — the strict RFC 4271 discipline.
-UpdateMessage decode_update(std::span<const std::uint8_t> data);
+/// first problem — the strict RFC 4271 discipline. `four_octet_as` selects
+/// the negotiated AS_PATH width; when false, an AS4_PATH attribute is
+/// merged per RFC 6793 §4.2.3 to recover wide ASNs.
+UpdateMessage decode_update(std::span<const std::uint8_t> data, bool four_octet_as = false);
 
 /// One classified problem found while decoding an UPDATE under RFC 7606.
 struct AttributeIssue {
@@ -182,8 +197,10 @@ struct DecodeResult {
 /// aborting the parse. Still throws WireError for SessionReset-class
 /// damage — a broken header, withdrawn-routes section, attribute-section
 /// framing (Total Path Attribute Length overrunning the body), or NLRI —
-/// because then no prefix list can be trusted.
-DecodeResult decode_update_revised(std::span<const std::uint8_t> data);
+/// because then no prefix list can be trusted. `four_octet_as` as in
+/// decode_update.
+DecodeResult decode_update_revised(std::span<const std::uint8_t> data,
+                                   bool four_octet_as = false);
 
 /// An UPDATE with no withdrawn routes and no NLRI is the RFC 4724 §2
 /// End-of-RIB marker for IPv4 unicast.
@@ -210,14 +227,20 @@ struct GracefulRestartCapability {
 };
 
 /// OPEN message content (§4.2). The only optional parameter modeled is the
-/// Capabilities parameter carrying graceful restart; unknown parameters and
-/// capabilities are skipped on decode.
+/// Capabilities parameter carrying graceful restart and the RFC 6793
+/// four-octet-AS capability; unknown parameters and capabilities are
+/// skipped on decode.
 struct OpenMessage {
   std::uint8_t version = 4;
+  /// 2-octet "My Autonomous System" field; a speaker with a wide ASN puts
+  /// kAsTrans here and its true ASN in the four_octet_as capability.
   std::uint16_t my_as = 0;
   std::uint16_t hold_time = 180;
   std::uint32_t bgp_identifier = 0;
   std::optional<GracefulRestartCapability> graceful_restart;
+  /// RFC 6793 capability 65: the sender's full 4-octet ASN. Present iff the
+  /// speaker supports 4-octet AS_PATH encoding.
+  std::optional<std::uint32_t> four_octet_as;
 };
 
 std::vector<std::uint8_t> encode_open(const OpenMessage& open);

@@ -10,6 +10,8 @@ int compare_candidate_keys(const RibEntry& a, const RibEntry& b) {
   if (a.route.attrs.local_pref != b.route.attrs.local_pref) {
     return a.route.attrs.local_pref > b.route.attrs.local_pref ? -1 : 1;
   }
+  // selection_length() is O(1): the interner caches it on the shared path
+  // data, so the decision process no longer re-walks segments per comparison.
   const auto alen = a.route.attrs.path.selection_length();
   const auto blen = b.route.attrs.path.selection_length();
   if (alen != blen) return alen < blen ? -1 : 1;
@@ -37,29 +39,52 @@ const RibEntry* select_best(const std::vector<const RibEntry*>& candidates) {
   return best;
 }
 
+namespace {
+
+struct PeerLess {
+  bool operator()(const RibEntry& entry, Asn peer) const { return entry.learned_from < peer; }
+};
+
+}  // namespace
+
+AdjRibIn::Row::iterator AdjRibIn::row_find(Row& row, Asn peer) {
+  auto it = std::lower_bound(row.begin(), row.end(), peer, PeerLess{});
+  return (it != row.end() && it->learned_from == peer) ? it : row.end();
+}
+
+AdjRibIn::Row::const_iterator AdjRibIn::row_find(const Row& row, Asn peer) {
+  auto it = std::lower_bound(row.begin(), row.end(), peer, PeerLess{});
+  return (it != row.end() && it->learned_from == peer) ? it : row.end();
+}
+
 bool AdjRibIn::set(Asn peer, Route route) {
-  auto& per_peer = table_[route.prefix];
+  const net::Prefix prefix = route.prefix;
+  Row& row = table_[prefix];
   // Any announcement refreshes the entry: even a byte-identical replay
   // clears the graceful-restart stale mark (RFC 4724: the replayed route
   // replaces the stale one).
-  clear_stale(peer, route.prefix);
-  auto it = per_peer.find(peer);
-  if (it == per_peer.end()) {
-    per_peer.emplace(peer, RibEntry{std::move(route), peer});
+  clear_stale(peer, prefix);
+  auto it = std::lower_bound(row.begin(), row.end(), peer, PeerLess{});
+  if (it == row.end() || it->learned_from != peer) {
+    row.insert(it, RibEntry{std::move(route), peer});
+    by_peer_[peer].insert(prefix);
     return true;
   }
-  if (it->second.route == route) return false;  // learned_from is already `peer`
-  it->second.route = std::move(route);
+  if (it->route == route) return false;  // learned_from is already `peer`
+  it->route = std::move(route);
   return true;
 }
 
 bool AdjRibIn::erase(Asn peer, const net::Prefix& prefix) {
   auto it = table_.find(prefix);
   if (it == table_.end()) return false;
-  const bool erased = it->second.erase(peer) > 0;
-  if (erased) clear_stale(peer, prefix);
+  auto jt = row_find(it->second, peer);
+  if (jt == it->second.end()) return false;
+  it->second.erase(jt);
+  clear_stale(peer, prefix);
+  index_erase(peer, prefix);
   if (it->second.empty()) table_.erase(it);
-  return erased;
+  return true;
 }
 
 std::vector<const RibEntry*> AdjRibIn::candidates(const net::Prefix& prefix) const {
@@ -67,59 +92,73 @@ std::vector<const RibEntry*> AdjRibIn::candidates(const net::Prefix& prefix) con
   auto it = table_.find(prefix);
   if (it == table_.end()) return out;
   out.reserve(it->second.size());
-  for (const auto& [peer, entry] : it->second) out.push_back(&entry);
+  for (const RibEntry& entry : it->second) out.push_back(&entry);
   return out;
 }
 
 const RibEntry* AdjRibIn::from_peer(const net::Prefix& prefix, Asn peer) const {
   auto it = table_.find(prefix);
   if (it == table_.end()) return nullptr;
-  auto jt = it->second.find(peer);
-  return jt == it->second.end() ? nullptr : &jt->second;
+  auto jt = row_find(it->second, peer);
+  return jt == it->second.end() ? nullptr : &*jt;
 }
 
 std::size_t AdjRibIn::erase_by_origin(const net::Prefix& prefix, const AsnSet& origins) {
   auto it = table_.find(prefix);
   if (it == table_.end()) return 0;
   std::size_t erased = 0;
-  for (auto jt = it->second.begin(); jt != it->second.end();) {
-    const AsnSet cand = jt->second.route.origin_candidates();
+  Row& row = it->second;
+  for (auto jt = row.begin(); jt != row.end();) {
+    const AsnSet cand = jt->route.origin_candidates();
     const bool hit = std::any_of(cand.begin(), cand.end(),
                                  [&](Asn a) { return origins.contains(a); });
     if (hit) {
-      clear_stale(jt->first, prefix);
-      jt = it->second.erase(jt);
+      clear_stale(jt->learned_from, prefix);
+      index_erase(jt->learned_from, prefix);
+      jt = row.erase(jt);
       ++erased;
     } else {
       ++jt;
     }
   }
-  if (it->second.empty()) table_.erase(it);
+  if (row.empty()) table_.erase(it);
   return erased;
 }
 
 std::vector<net::Prefix> AdjRibIn::erase_peer(Asn peer) {
   std::vector<net::Prefix> affected;
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (it->second.erase(peer) > 0) affected.push_back(it->first);
-    if (it->second.empty()) {
-      it = table_.erase(it);
-    } else {
-      ++it;
-    }
+  auto idx = by_peer_.find(peer);
+  if (idx == by_peer_.end()) {
+    stale_.erase(peer);
+    return affected;
   }
+  affected.reserve(idx->second.size());
+  // The index is sorted, so `affected` comes out prefix-ascending — same
+  // order the old full-table scan produced.
+  for (const net::Prefix& prefix : idx->second) {
+    auto it = table_.find(prefix);
+    if (it == table_.end()) continue;
+    auto jt = row_find(it->second, peer);
+    if (jt == it->second.end()) continue;
+    it->second.erase(jt);
+    if (it->second.empty()) table_.erase(it);
+    affected.push_back(prefix);
+  }
+  by_peer_.erase(peer);
   stale_.erase(peer);
   return affected;
 }
 
 std::size_t AdjRibIn::mark_peer_stale(Asn peer) {
-  std::set<net::Prefix>& marks = stale_[peer];
-  for (const auto& [prefix, per_peer] : table_) {
-    if (per_peer.contains(peer)) marks.insert(prefix);
+  auto idx = by_peer_.find(peer);
+  if (idx == by_peer_.end()) {
+    stale_.erase(peer);
+    return 0;
   }
-  const std::size_t n = marks.size();
-  if (n == 0) stale_.erase(peer);
-  return n;
+  // stale_[peer] ⊆ by_peer_[peer] holds (every row erase clears the mark),
+  // so assigning the whole held set equals the old merge-into-marks scan.
+  stale_.insert_or_assign(peer, idx->second);
+  return idx->second.size();
 }
 
 bool AdjRibIn::is_stale(const net::Prefix& prefix, Asn peer) const {
@@ -134,8 +173,11 @@ std::vector<net::Prefix> AdjRibIn::sweep_stale(Asn peer) {
   for (const net::Prefix& prefix : it->second) {
     auto row = table_.find(prefix);
     if (row == table_.end()) continue;
-    if (row->second.erase(peer) == 0) continue;
+    auto jt = row_find(row->second, peer);
+    if (jt == row->second.end()) continue;
+    row->second.erase(jt);
     if (row->second.empty()) table_.erase(row);
+    index_erase(peer, prefix);
     affected.push_back(prefix);
   }
   stale_.erase(it);
@@ -163,6 +205,13 @@ void AdjRibIn::clear_stale(Asn peer, const net::Prefix& prefix) {
   if (it->second.empty()) stale_.erase(it);
 }
 
+void AdjRibIn::index_erase(Asn peer, const net::Prefix& prefix) {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return;
+  it->second.erase(prefix);
+  if (it->second.empty()) by_peer_.erase(it);
+}
+
 std::vector<net::Prefix> AdjRibIn::prefixes() const {
   std::vector<net::Prefix> out;
   out.reserve(table_.size());
@@ -172,13 +221,23 @@ std::vector<net::Prefix> AdjRibIn::prefixes() const {
 
 std::size_t AdjRibIn::size() const {
   std::size_t n = 0;
-  for (const auto& [_, per_peer] : table_) n += per_peer.size();
+  for (const auto& [_, row] : table_) n += row.size();
+  return n;
+}
+
+std::size_t AdjRibIn::container_bytes() const {
+  std::size_t n = table_.container_bytes();
+  for (const auto& [_, row] : table_) n += row.capacity() * sizeof(RibEntry);
+  n += by_peer_.container_bytes();
+  for (const auto& [_, s] : by_peer_) n += s.container_bytes();
+  n += stale_.container_bytes();
+  for (const auto& [_, s] : stale_) n += s.container_bytes();
   return n;
 }
 
 void LocRib::set(const net::Prefix& prefix, RibEntry entry) {
   MOAS_REQUIRE(entry.route.prefix == prefix, "loc-rib entry prefix mismatch");
-  table_[prefix] = std::move(entry);
+  table_.insert_or_assign(prefix, std::move(entry));
 }
 
 bool LocRib::erase(const net::Prefix& prefix) { return table_.erase(prefix) > 0; }

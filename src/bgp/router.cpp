@@ -58,12 +58,18 @@ void Router::set_graceful_restart(sim::Time restart_time) {
 
 void Router::originate(const net::Prefix& prefix, CommunitySet communities,
                        OriginCode origin_code) {
+  originate(prefix, std::move(communities), LargeCommunitySet{}, origin_code);
+}
+
+void Router::originate(const net::Prefix& prefix, CommunitySet communities,
+                       LargeCommunitySet large_communities, OriginCode origin_code) {
   Route route;
   route.prefix = prefix;
   route.attrs.path = AsPath({asn_});
   route.attrs.origin_code = origin_code;
   route.attrs.local_pref = kLocalRouteLocalPref;
   route.attrs.communities = std::move(communities);
+  route.attrs.large_communities = std::move(large_communities);
   local_[prefix] = std::move(route);
   decide(prefix);
 }
@@ -525,7 +531,10 @@ std::optional<Update> Router::build_export(const PeerState& state,
   if (out.attrs.path.first() != std::optional<Asn>(asn_)) out.attrs.path.prepend(asn_);
   // LOCAL_PREF is not transitive across EBGP; receivers assign their own.
   out.attrs.local_pref = 100;
-  if (strip_communities_ && !locally_originated) out.attrs.communities.clear();
+  if (strip_communities_ && !locally_originated) {
+    out.attrs.communities.clear();
+    out.attrs.large_communities.clear();  // same RFC-permitted strip, wide width
+  }
   return Update::announce(std::move(out));
 }
 

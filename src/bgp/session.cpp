@@ -40,7 +40,6 @@ Session::Session(Config config, sim::EventQueue& clock,
       on_down_(std::move(on_down)),
       jitter_rng_(config.seed ^ (0x5e5510ULL << 16) ^ config.local_as) {
   MOAS_REQUIRE(config_.local_as != kNoAs, "session needs a local ASN");
-  MOAS_REQUIRE(config_.local_as <= 0xffffu, "wire format carries 2-octet ASNs");
   MOAS_REQUIRE(static_cast<bool>(send_), "session needs a transmit callback");
   MOAS_REQUIRE(config_.hold_time == 0.0 || config_.hold_time >= 3.0,
                "hold time must be zero or >= 3 seconds");
@@ -119,8 +118,10 @@ void Session::receive(std::span<const std::uint8_t> data) {
       }
       negotiated_hold_ = std::min<sim::Time>(config_.hold_time, open.hold_time);
       // Whatever the peer's latest OPEN says wins — a peer that stopped
-      // advertising graceful restart loses the negotiation.
+      // advertising graceful restart (or four-octet ASNs) loses that
+      // negotiation.
       peer_gr_ = open.graceful_restart;
+      peer_as4_ = open.four_octet_as;
       send_keepalive();
       enter(SessionState::OpenConfirm);
       arm_hold_timer();
@@ -155,7 +156,7 @@ void Session::receive(std::span<const std::uint8_t> data) {
       if (config_.revised_error_handling) {
         wire::DecodeResult result;
         try {
-          result = wire::decode_update_revised(data);
+          result = wire::decode_update_revised(data, as4_negotiated());
         } catch (const wire::WireError& e) {
           // SessionReset class: the prefix lists themselves are untrustworthy.
           ++stats_.malformed_messages;
@@ -187,7 +188,7 @@ void Session::receive(std::span<const std::uint8_t> data) {
       }
       wire::UpdateMessage message;
       try {
-        message = wire::decode_update(data);
+        message = wire::decode_update(data, as4_negotiated());
       } catch (const wire::WireError& e) {
         ++stats_.malformed_messages;
         reset_to_idle(true, e.code_octet(), e.subcode());
@@ -243,9 +244,13 @@ void Session::collect_metrics(obs::MetricsRegistry& registry) const {
 
 void Session::send_open() {
   wire::OpenMessage open;
-  open.my_as = static_cast<std::uint16_t>(config_.local_as);
+  // RFC 6793 §4.1: a wide ASN cannot fit the 2-octet My-AS field; AS_TRANS
+  // goes there and the true ASN rides the capability.
+  open.my_as = config_.local_as <= 0xffffu ? static_cast<std::uint16_t>(config_.local_as)
+                                           : static_cast<std::uint16_t>(kAsTrans);
   open.hold_time = static_cast<std::uint16_t>(config_.hold_time);
   open.bgp_identifier = config_.bgp_identifier;
+  if (advertises_as4()) open.four_octet_as = config_.local_as;
   if (config_.graceful_restart) {
     wire::GracefulRestartCapability gr;
     gr.restart_state = config_.gr_restarting;

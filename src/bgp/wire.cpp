@@ -22,6 +22,7 @@ constexpr std::uint8_t kSegmentSequence = 2;
 // (RFC 4724 §3).
 constexpr std::uint8_t kOptParamCapabilities = 2;
 constexpr std::uint8_t kCapGracefulRestart = 64;
+constexpr std::uint8_t kCapFourOctetAs = 65;  // RFC 6793 §3
 constexpr std::uint16_t kGrRestartFlag = 0x8000;      // Restart-State "R" bit
 constexpr std::uint16_t kGrRestartTimeMask = 0x0fff;  // 12-bit restart time
 constexpr std::uint16_t kAfiIpv4 = 1;
@@ -159,9 +160,11 @@ std::pair<MessageType, Reader> open_message(std::span<const std::uint8_t> data) 
   return {static_cast<MessageType>(type), Reader(data.subspan(kHeaderSize))};
 }
 
+/// The 2-octet representation of an ASN: itself, or AS_TRANS (RFC 6793
+/// §4.2.1) when it does not fit — the true value then travels in AS4_PATH.
 std::uint16_t narrow_asn(Asn asn) {
-  MOAS_REQUIRE(asn <= 0xffffu, "2-octet wire format cannot carry ASN " + std::to_string(asn));
-  return static_cast<std::uint16_t>(asn);
+  return asn <= 0xffffu ? static_cast<std::uint16_t>(asn)
+                        : static_cast<std::uint16_t>(kAsTrans);
 }
 
 void write_attribute_header(Writer& w, std::uint8_t flags, AttrType type,
@@ -181,15 +184,26 @@ void write_attributes(Writer& w, const PathAttributes& attrs, const EncodeOption
   write_attribute_header(w, kFlagTransitive, AttrType::Origin, 1);
   w.u8(static_cast<std::uint8_t>(attrs.origin_code));
 
-  // AS_PATH — well-known mandatory.
+  // AS_PATH — well-known mandatory. In 4-octet mode (RFC 6793 negotiated)
+  // ASNs are written natively; otherwise wide ones travel as AS_TRANS here,
+  // with the true path in the AS4_PATH attribute appended further down.
+  const std::size_t asn_width = options.four_octet_as ? 4 : 2;
   std::size_t path_len = 0;
-  for (const auto& seg : attrs.path.segments()) path_len += 2 + 2 * seg.asns.size();
+  for (const auto& seg : attrs.path.segments()) path_len += 2 + asn_width * seg.asns.size();
   write_attribute_header(w, kFlagTransitive, AttrType::AsPath, path_len);
+  bool wide_asn = false;
   for (const auto& seg : attrs.path.segments()) {
     w.u8(seg.kind == PathSegment::Kind::Set ? kSegmentSet : kSegmentSequence);
     MOAS_REQUIRE(seg.asns.size() <= 255, "path segment too long for wire format");
     w.u8(static_cast<std::uint8_t>(seg.asns.size()));
-    for (Asn asn : seg.asns) w.u16(narrow_asn(asn));
+    for (Asn asn : seg.asns) {
+      if (asn > 0xffffu) wide_asn = true;
+      if (options.four_octet_as) {
+        w.u32(asn);
+      } else {
+        w.u16(narrow_asn(asn));
+      }
+    }
   }
 
   // NEXT_HOP — well-known mandatory.
@@ -214,6 +228,33 @@ void write_attributes(Writer& w, const PathAttributes& attrs, const EncodeOption
                            4 * attrs.communities.size());
     for (Community c : attrs.communities.values()) w.u32(c.raw());
   }
+
+  // LARGE_COMMUNITIES — optional transitive (RFC 8092); MOAS-list members
+  // with 4-octet ASNs ride here (the classic attribute cannot carry them).
+  if (!attrs.large_communities.empty()) {
+    write_attribute_header(w, kFlagOptional | kFlagTransitive, AttrType::LargeCommunities,
+                           12 * attrs.large_communities.size());
+    for (const LargeCommunity& c : attrs.large_communities.values()) {
+      w.u32(c.global_admin());
+      w.u32(c.data1());
+      w.u32(c.data2());
+    }
+  }
+
+  // AS4_PATH — optional transitive (RFC 6793 §4.2.2): the true 4-octet path
+  // behind the AS_TRANS stand-ins above. Self-describing, so a receiver
+  // reconstructs the full path whether or not it negotiated the capability;
+  // absent for all-narrow paths, keeping their byte streams unchanged.
+  if (wide_asn && !options.four_octet_as) {
+    std::size_t as4_len = 0;
+    for (const auto& seg : attrs.path.segments()) as4_len += 2 + 4 * seg.asns.size();
+    write_attribute_header(w, kFlagOptional | kFlagTransitive, AttrType::As4Path, as4_len);
+    for (const auto& seg : attrs.path.segments()) {
+      w.u8(seg.kind == PathSegment::Kind::Set ? kSegmentSet : kSegmentSequence);
+      w.u8(static_cast<std::uint8_t>(seg.asns.size()));
+      for (Asn asn : seg.asns) w.u32(asn);
+    }
+  }
 }
 
 /// The RFC 7606 action for a malformed attribute of a known type. The
@@ -226,9 +267,85 @@ ErrorAction action_for(AttrType type) {
     case AttrType::Med:
     case AttrType::LocalPref:
       return ErrorAction::AttributeDiscard;
+    case AttrType::As4Path:
+      // RFC 6793 §6: AS4_PATH is advisory reconstruction data — a broken
+      // one is discarded and the AS_TRANS path stands, never the routes.
+      return ErrorAction::AttributeDiscard;
     default:
+      // Includes LARGE_COMMUNITIES: the wide MOAS list rides there, so like
+      // classic COMMUNITIES a damaged one demotes to treat-as-withdraw.
       return ErrorAction::TreatAsWithdraw;
   }
+}
+
+/// Parse one AS_PATH/AS4_PATH attribute value: a run of segments with
+/// `four_octet`-wide members. Shared RFC 7607 (AS 0) and empty-AS_SET
+/// rejection. Throws WireError.
+AsPath read_as_path(Reader& value, bool four_octet) {
+  AsPath path;
+  const auto read_asn = [&]() -> Asn {
+    const Asn asn = four_octet ? value.u32() : static_cast<Asn>(value.u16());
+    if (asn == kNoAs) {
+      // RFC 7607: AS 0 anywhere in AS_PATH makes the UPDATE malformed.
+      throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "AS 0 in AS_PATH");
+    }
+    return asn;
+  };
+  while (!value.done()) {
+    const std::uint8_t seg_type = value.u8();
+    const std::uint8_t count = value.u8();
+    if (seg_type == kSegmentSequence) {
+      std::vector<Asn> asns;
+      for (unsigned i = 0; i < count; ++i) asns.push_back(read_asn());
+      path.append_sequence(asns);
+    } else if (seg_type == kSegmentSet) {
+      if (count == 0) {
+        throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "empty AS_SET segment");
+      }
+      AsnSet set;
+      for (unsigned i = 0; i < count; ++i) set.insert(read_asn());
+      path.append_set(std::move(set));
+    } else {
+      throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
+                      "unknown AS_PATH segment type");
+    }
+  }
+  return path;
+}
+
+/// RFC 6793 §4.2.3: reconstruct the true path from a 2-octet AS_PATH
+/// (AS_TRANS stand-ins) and its AS4_PATH. The AS4_PATH covers the trailing
+/// hops; any extra leading AS_PATH hops (prepended by old speakers that
+/// cannot update AS4_PATH) are kept verbatim. An AS4_PATH claiming more
+/// hops than AS_PATH is inconsistent and ignored, as the RFC instructs.
+AsPath merge_as4_path(const AsPath& path, const AsPath& as4) {
+  const std::size_t path_hops = path.selection_length();
+  const std::size_t as4_hops = as4.selection_length();
+  if (as4_hops > path_hops) return path;
+  std::size_t take = path_hops - as4_hops;  // leading hops kept from AS_PATH
+  AsPath merged;
+  for (const auto& seg : path.segments()) {
+    if (take == 0) break;
+    if (seg.kind == PathSegment::Kind::Set) {
+      merged.append_set(AsnSet(seg.asns.begin(), seg.asns.end()));
+      --take;  // a set counts as one hop
+    } else if (seg.asns.size() <= take) {
+      merged.append_sequence(seg.asns);
+      take -= seg.asns.size();
+    } else {
+      merged.append_sequence(std::vector<Asn>(
+          seg.asns.begin(), seg.asns.begin() + static_cast<std::ptrdiff_t>(take)));
+      take = 0;
+    }
+  }
+  for (const auto& seg : as4.segments()) {
+    if (seg.kind == PathSegment::Kind::Set) {
+      merged.append_set(AsnSet(seg.asns.begin(), seg.asns.end()));
+    } else {
+      merged.append_sequence(seg.asns);
+    }
+  }
+  return merged;
 }
 
 struct ParsedUpdate {
@@ -246,11 +363,12 @@ void add_issue(ParsedUpdate& out, ErrorAction action, std::uint8_t attr_type,
 /// Attribute Length octets), classifying every problem instead of throwing.
 /// Issues are recorded in encounter order, so strict RFC 4271 handling can
 /// throw the first one and match the old first-bad-byte behavior.
-void read_attributes_classified(Reader& section, ParsedUpdate& out) {
+void read_attributes_classified(Reader& section, ParsedUpdate& out, bool four_octet_as) {
   PathAttributes attrs;
   bool saw_origin = false;
   bool saw_as_path = false;
   bool saw_next_hop = false;
+  std::optional<AsPath> as4_path;
   while (!section.done()) {
     std::uint8_t flags = 0;
     std::uint8_t type = 0;
@@ -299,45 +417,14 @@ void read_attributes_classified(Reader& section, ParsedUpdate& out) {
           attrs.origin_code = static_cast<OriginCode>(code);
           break;
         }
-        case AttrType::AsPath: {
-          AsPath path;
-          while (!value.done()) {
-            const std::uint8_t seg_type = value.u8();
-            const std::uint8_t count = value.u8();
-            if (seg_type == kSegmentSequence) {
-              std::vector<Asn> asns;
-              for (unsigned i = 0; i < count; ++i) {
-                const Asn asn = value.u16();
-                if (asn == kNoAs) {
-                  // RFC 7607: AS 0 anywhere in AS_PATH makes the UPDATE malformed.
-                  throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
-                                  "AS 0 in AS_PATH");
-                }
-                asns.push_back(asn);
-              }
-              path.append_sequence(asns);
-            } else if (seg_type == kSegmentSet) {
-              if (count == 0) {
-                throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath, "empty AS_SET segment");
-              }
-              AsnSet set;
-              for (unsigned i = 0; i < count; ++i) {
-                const Asn asn = value.u16();
-                if (asn == kNoAs) {
-                  throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
-                                  "AS 0 in AS_PATH");
-                }
-                set.insert(asn);
-              }
-              path.append_set(std::move(set));
-            } else {
-              throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAsPath,
-                              "unknown AS_PATH segment type");
-            }
-          }
-          attrs.path = std::move(path);
+        case AttrType::AsPath:
+          attrs.path = read_as_path(value, four_octet_as);
           break;
-        }
+        case AttrType::As4Path:
+          // RFC 6793 §4.2.3: a speaker that negotiated 4-octet ASNs already
+          // has the true path in AS_PATH and discards AS4_PATH.
+          if (!four_octet_as) as4_path = read_as_path(value, /*four_octet=*/true);
+          break;
         case AttrType::NextHop:
           if (length != 4) {
             throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError, "NEXT_HOP must be 4 octets");
@@ -366,6 +453,21 @@ void read_attributes_classified(Reader& section, ParsedUpdate& out) {
           attrs.communities = std::move(communities);
           break;
         }
+        case AttrType::LargeCommunities: {
+          if (length % 12 != 0) {
+            throw WireError(ErrorCode::UpdateMessage, kUpdAttrLengthError,
+                            "LARGE_COMMUNITY length not a multiple of 12");
+          }
+          LargeCommunitySet large;
+          while (!value.done()) {
+            const std::uint32_t admin = value.u32();
+            const std::uint32_t data1 = value.u32();
+            const std::uint32_t data2 = value.u32();
+            large.add(LargeCommunity(admin, data1, data2));
+          }
+          attrs.large_communities = std::move(large);
+          break;
+        }
         default:
           if (!(flags & kFlagOptional)) {
             throw WireError(ErrorCode::UpdateMessage, kUpdUnrecognizedWellKnown,
@@ -388,6 +490,9 @@ void read_attributes_classified(Reader& section, ParsedUpdate& out) {
     add_issue(out, ErrorAction::TreatAsWithdraw, 0, kUpdMissingWellKnown,
               "missing well-known mandatory attribute");
   }
+  if (as4_path && saw_as_path) {
+    attrs.path = merge_as4_path(attrs.path, *as4_path);
+  }
   out.message.attrs = std::move(attrs);
 }
 
@@ -395,7 +500,7 @@ void read_attributes_classified(Reader& section, ParsedUpdate& out) {
 /// for SessionReset-class damage (header, withdrawn-routes section,
 /// attribute-section framing, NLRI); everything inside the attribute
 /// section is classified into `issues` instead.
-ParsedUpdate parse_update(std::span<const std::uint8_t> data) {
+ParsedUpdate parse_update(std::span<const std::uint8_t> data, bool four_octet_as) {
   auto [type, body] = open_message(data);
   if (type != MessageType::Update) {
     throw WireError(ErrorCode::MessageHeader, kHdrBadType, "not an UPDATE message");
@@ -415,7 +520,7 @@ ParsedUpdate parse_update(std::span<const std::uint8_t> data) {
       throw WireError(ErrorCode::UpdateMessage, kUpdMalformedAttrList, "attribute section truncated");
     }
     Reader section(r.bytes(attrs_len), ErrorCode::UpdateMessage, kUpdMalformedAttrList);
-    read_attributes_classified(section, out);
+    read_attributes_classified(section, out, four_octet_as);
   }
   while (!r.done()) out.message.nlri.push_back(read_prefix(r));
   if (!out.message.nlri.empty() && !out.message.attrs) {
@@ -466,8 +571,8 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
   return finish(w);
 }
 
-UpdateMessage decode_update(std::span<const std::uint8_t> data) {
-  ParsedUpdate parsed = parse_update(data);
+UpdateMessage decode_update(std::span<const std::uint8_t> data, bool four_octet_as) {
+  ParsedUpdate parsed = parse_update(data, four_octet_as);
   if (!parsed.issues.empty()) {
     // Strict RFC 4271 discipline: the first problem aborts the message with
     // the NOTIFICATION code it documents.
@@ -494,8 +599,8 @@ UpdateMessage DecodeResult::to_deliverable() const {
   return out;
 }
 
-DecodeResult decode_update_revised(std::span<const std::uint8_t> data) {
-  ParsedUpdate parsed = parse_update(data);
+DecodeResult decode_update_revised(std::span<const std::uint8_t> data, bool four_octet_as) {
+  ParsedUpdate parsed = parse_update(data, four_octet_as);
   return DecodeResult{std::move(parsed.message), std::move(parsed.issues)};
 }
 
@@ -516,27 +621,43 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
   w.u16(open.my_as);
   w.u16(open.hold_time);
   w.u32(open.bgp_identifier);
-  if (!open.graceful_restart) {
+
+  // Capability list (RFC 5492: one Capabilities optional parameter). Built
+  // separately so the two length prefixes can be written without patching.
+  // Graceful restart comes first — a GR-only OPEN is byte-identical to the
+  // pre-AS4 encoding.
+  Writer caps;
+  if (open.graceful_restart) {
+    const GracefulRestartCapability& gr = *open.graceful_restart;
+    MOAS_REQUIRE(gr.restart_time <= kGrRestartTimeMask,
+                 "graceful-restart time exceeds the 12-bit field");
+    const std::uint8_t cap_len = gr.ipv4_unicast ? 6 : 2;  // flags/time [+ tuple]
+    caps.u8(kCapGracefulRestart);
+    caps.u8(cap_len);
+    std::uint16_t flags_time = gr.restart_time;
+    if (gr.restart_state) flags_time |= kGrRestartFlag;
+    caps.u16(flags_time);
+    if (gr.ipv4_unicast) {
+      caps.u16(kAfiIpv4);
+      caps.u8(kSafiUnicast);
+      caps.u8(gr.forwarding_preserved ? kGrForwardingFlag : 0);
+    }
+  }
+  if (open.four_octet_as) {
+    caps.u8(kCapFourOctetAs);
+    caps.u8(4);
+    caps.u32(*open.four_octet_as);
+  }
+
+  const std::vector<std::uint8_t> cap_bytes = caps.take();
+  if (cap_bytes.empty()) {
     w.u8(0);  // no optional parameters
     return finish(w);
   }
-  const GracefulRestartCapability& gr = *open.graceful_restart;
-  MOAS_REQUIRE(gr.restart_time <= kGrRestartTimeMask,
-               "graceful-restart time exceeds the 12-bit field");
-  const std::uint8_t cap_len = gr.ipv4_unicast ? 6 : 2;  // flags/time [+ tuple]
-  w.u8(static_cast<std::uint8_t>(cap_len + 4));  // total optional-params length
+  w.u8(static_cast<std::uint8_t>(cap_bytes.size() + 2));  // total optional-params length
   w.u8(kOptParamCapabilities);
-  w.u8(static_cast<std::uint8_t>(cap_len + 2));  // parameter value length
-  w.u8(kCapGracefulRestart);
-  w.u8(cap_len);
-  std::uint16_t flags_time = gr.restart_time;
-  if (gr.restart_state) flags_time |= kGrRestartFlag;
-  w.u16(flags_time);
-  if (gr.ipv4_unicast) {
-    w.u16(kAfiIpv4);
-    w.u8(kSafiUnicast);
-    w.u8(gr.forwarding_preserved ? kGrForwardingFlag : 0);
-  }
+  w.u8(static_cast<std::uint8_t>(cap_bytes.size()));  // parameter value length
+  w.bytes(cap_bytes);
   return finish(w);
 }
 
@@ -570,6 +691,13 @@ OpenMessage decode_open(std::span<const std::uint8_t> data) {
       const std::uint8_t cap_code = value.u8();
       const std::uint8_t cap_len = value.u8();
       Reader cap(value.bytes(cap_len), ErrorCode::OpenMessage, 0);
+      if (cap_code == kCapFourOctetAs) {
+        if (cap_len != 4) {
+          throw WireError(ErrorCode::OpenMessage, 0, "four-octet-AS capability must be 4 octets");
+        }
+        out.four_octet_as = cap.u32();
+        continue;
+      }
       if (cap_code != kCapGracefulRestart) continue;  // unknown capability: skip
       if (cap_len < 2) {
         throw WireError(ErrorCode::OpenMessage, 0, "graceful-restart capability too short");

@@ -23,22 +23,27 @@ net::Prefix attack_prefix(const AttackPlan& plan) {
   return plan.target;
 }
 
-bgp::CommunitySet attack_communities(const AttackPlan& plan) {
+std::optional<AsnSet> attack_moas_list(const AttackPlan& plan) {
   switch (plan.strategy) {
     case AttackerStrategy::NoList:
     case AttackerStrategy::SubPrefixHijack:
-      return {};
+      return std::nullopt;
     case AttackerStrategy::OwnList:
-      return encode_moas_list({plan.attacker});
+      return AsnSet{plan.attacker};
     case AttackerStrategy::AugmentedList: {
       AsnSet list = plan.valid_origins;
       list.insert(plan.attacker);
-      return encode_moas_list(list);
+      return list;
     }
     case AttackerStrategy::ValidListForgedOrigin:
-      return encode_moas_list(plan.valid_origins);
+      return plan.valid_origins;
   }
-  return {};
+  return std::nullopt;
+}
+
+bgp::CommunitySet attack_communities(const AttackPlan& plan) {
+  std::optional<AsnSet> list = attack_moas_list(plan);
+  return list ? encode_moas_list(*list) : bgp::CommunitySet{};
 }
 
 void launch_attack(bgp::Network& network, const AttackPlan& plan) {
@@ -62,7 +67,14 @@ void install_suppression(bgp::Router& router, const AttackPlan& plan) {
 
 void launch_attack(bgp::Router& router, const AttackPlan& plan) {
   install_suppression(router, plan);
-  router.originate(attack_prefix(plan), attack_communities(plan));
+  // Split the forged list by ASN width so wide-ASN attackers (and wide
+  // members of a forged valid list) encode without hitting the 2-octet
+  // classic-community ceiling.
+  bgp::PathAttributes attrs;
+  if (std::optional<AsnSet> list = attack_moas_list(plan)) {
+    attach_moas_list(attrs, *list);
+  }
+  router.originate(attack_prefix(plan), attrs.communities, attrs.large_communities);
 }
 
 }  // namespace moas::core

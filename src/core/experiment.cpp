@@ -289,12 +289,13 @@ RunResult Experiment::run_event(const bgp::AsnSet& origins, const bgp::AsnSet& a
   // Origination. Valid origins attach the MOAS list when the prefix really
   // is multi-origin; a single-origin prefix carries no list (the paper:
   // "Routes that originate from a single AS need not attach a MOAS list").
-  bgp::CommunitySet origin_communities;
-  if (origins.size() > 1) origin_communities = encode_moas_list(origins);
+  bgp::PathAttributes origin_attrs;  // width-split MOAS list carrier
+  if (origins.size() > 1) attach_moas_list(origin_attrs, origins);
   for (bgp::Asn origin : origins) {
     const double at = rng.uniform01() * 0.5;
-    network.clock().schedule_after(at, [&network, origin, victim, origin_communities] {
-      network.router(origin).originate(victim, origin_communities);
+    network.clock().schedule_after(at, [&network, origin, victim, origin_attrs] {
+      network.router(origin).originate(victim, origin_attrs.communities,
+                                       origin_attrs.large_communities);
     });
   }
 
@@ -628,10 +629,11 @@ RunResult Experiment::run_wave(const bgp::AsnSet& origins, const bgp::AsnSet& at
   // to the fixpoint together. Under converge_before_attack the valid
   // routes reach their fixpoint first and the attack hits the converged
   // state incrementally — the wave analog of the two-phase event run.
-  bgp::CommunitySet origin_communities;
-  if (origins.size() > 1) origin_communities = encode_moas_list(origins);
+  bgp::PathAttributes origin_attrs;  // width-split MOAS list carrier
+  if (origins.size() > 1) attach_moas_list(origin_attrs, origins);
   for (bgp::Asn origin : origins) {
-    wave.router(origin).originate(victim, origin_communities);
+    wave.router(origin).originate(victim, origin_attrs.communities,
+                                  origin_attrs.large_communities);
   }
 
   RunResult result;

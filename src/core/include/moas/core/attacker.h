@@ -47,7 +47,14 @@ struct AttackPlan {
 /// block for SubPrefixHijack, the victim prefix otherwise).
 net::Prefix attack_prefix(const AttackPlan& plan);
 
-/// The communities the false announcement carries under `plan.strategy`.
+/// The MOAS list the false announcement advertises under `plan.strategy`
+/// (nullopt when the strategy attaches no list at all). Width-agnostic —
+/// launch_attack splits it across classic and large communities.
+std::optional<AsnSet> attack_moas_list(const AttackPlan& plan);
+
+/// The classic communities the false announcement carries under
+/// `plan.strategy`. Requires every list member <= 0xffff; wide-ASN plans go
+/// through attack_moas_list + the width-splitting attach.
 bgp::CommunitySet attack_communities(const AttackPlan& plan);
 
 /// Install only the suppression export filter, without originating. The

@@ -26,19 +26,38 @@ inline constexpr std::uint16_t kMoasListValue = 0xff9a;
 bool is_moas_community(bgp::Community c);
 
 /// The community encoding of one list member. Requires asn <= 0xffff (the
-/// community attribute has a 2-octet AS field; the paper predates 4-octet
-/// ASNs).
+/// classic attribute has a 2-octet AS field); wider members ride a large
+/// community instead — see moas_large_community.
 bgp::Community moas_community(Asn asn);
 
-/// Encode a full MOAS list. Requires every member <= 0xffff.
+/// True if `c` is a MOAS-list member large community (<asn:MLVal:0>).
+bool is_moas_large_community(const bgp::LargeCommunity& c);
+
+/// The RFC 8092 encoding of one list member: <asn:MLVal:0>, valid for the
+/// full 4-octet ASN range.
+bgp::LargeCommunity moas_large_community(Asn asn);
+
+/// Encode a full MOAS list into classic communities. Requires every member
+/// <= 0xffff; mixed-width lists go through the PathAttributes overload of
+/// attach_moas_list.
 bgp::CommunitySet encode_moas_list(const AsnSet& origins);
 
 /// Extract the MOAS list carried on a community set (empty if none).
 AsnSet decode_moas_list(const bgp::CommunitySet& communities);
 
+/// The full MOAS list of a route's attributes: classic members unioned with
+/// large-community members.
+AsnSet decode_moas_list(const bgp::PathAttributes& attrs);
+
 /// Merge a MOAS list into an existing community set, replacing any MOAS
 /// communities already present and leaving other communities untouched.
+/// Requires every member <= 0xffff.
 void attach_moas_list(bgp::CommunitySet& communities, const AsnSet& origins);
+
+/// Width-splitting attach: members that fit 2 octets go to the classic
+/// attribute, wider ones to large communities. Stale MOAS members are
+/// replaced in BOTH attributes, other communities stay untouched.
+void attach_moas_list(bgp::PathAttributes& attrs, const AsnSet& origins);
 
 /// The list a checker must use for a route (the paper's footnote 3):
 /// the explicit list if the route carries one, otherwise the implicit

@@ -20,10 +20,27 @@ bgp::CommunitySet encode_moas_list(const AsnSet& origins) {
   return out;
 }
 
+bool is_moas_large_community(const bgp::LargeCommunity& c) {
+  return c.data1() == kMoasListValue && c.data2() == 0;
+}
+
+bgp::LargeCommunity moas_large_community(Asn asn) {
+  MOAS_REQUIRE(asn != bgp::kNoAs, "MOAS list member must be a real ASN");
+  return bgp::LargeCommunity(asn, kMoasListValue, 0);
+}
+
 AsnSet decode_moas_list(const bgp::CommunitySet& communities) {
   AsnSet out;
   for (bgp::Community c : communities.values()) {
     if (is_moas_community(c)) out.insert(c.asn());
+  }
+  return out;
+}
+
+AsnSet decode_moas_list(const bgp::PathAttributes& attrs) {
+  AsnSet out = decode_moas_list(attrs.communities);
+  for (const bgp::LargeCommunity& c : attrs.large_communities.values()) {
+    if (is_moas_large_community(c)) out.insert(c.global_admin());
   }
   return out;
 }
@@ -37,14 +54,37 @@ void attach_moas_list(bgp::CommunitySet& communities, const AsnSet& origins) {
   for (Asn asn : origins) communities.add(moas_community(asn));
 }
 
+void attach_moas_list(bgp::PathAttributes& attrs, const AsnSet& origins) {
+  // Replace stale members in both attributes before splitting the new list
+  // by width — otherwise a member that changed width would survive in the
+  // attribute it no longer belongs to.
+  std::vector<bgp::Community> stale;
+  for (bgp::Community c : attrs.communities.values()) {
+    if (is_moas_community(c)) stale.push_back(c);
+  }
+  for (bgp::Community c : stale) attrs.communities.remove(c);
+  std::vector<bgp::LargeCommunity> stale_large;
+  for (const bgp::LargeCommunity& c : attrs.large_communities.values()) {
+    if (is_moas_large_community(c)) stale_large.push_back(c);
+  }
+  for (const bgp::LargeCommunity& c : stale_large) attrs.large_communities.remove(c);
+  for (Asn asn : origins) {
+    if (asn <= 0xffffu) {
+      attrs.communities.add(moas_community(asn));
+    } else {
+      attrs.large_communities.add(moas_large_community(asn));
+    }
+  }
+}
+
 AsnSet effective_moas_list(const bgp::Route& route) {
-  AsnSet explicit_list = decode_moas_list(route.attrs.communities);
+  AsnSet explicit_list = decode_moas_list(route.attrs);
   if (!explicit_list.empty()) return explicit_list;
   return route.origin_candidates();
 }
 
 bool has_explicit_moas_list(const bgp::Route& route) {
-  return !decode_moas_list(route.attrs.communities).empty();
+  return !decode_moas_list(route.attrs).empty();
 }
 
 bool lists_consistent(const AsnSet& a, const AsnSet& b) { return a == b; }

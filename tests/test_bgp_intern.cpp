@@ -1,0 +1,238 @@
+// Interning-layer tests: canonicalization (equal contents == same handle),
+// arena lifetime, cached selection length, id stability, mutator
+// re-interning, the thread-safety of the sharded pools, and the FlatMap /
+// FlatSet containers the compact RIBs are built on. This binary carries the
+// `intern` ctest label so the sanitizer CI subset exercises the arena and
+// the lock-free read paths under ASan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "moas/bgp/as_path.h"
+#include "moas/bgp/community.h"
+#include "moas/bgp/intern.h"
+#include "moas/util/flat_map.h"
+
+namespace {
+
+using namespace moas;
+using bgp::Asn;
+using bgp::AsPath;
+
+TEST(InternPath, EqualContentsShareOneHandle) {
+  AsPath a({3, 2, 1});
+  AsPath b({3, 2, 1});
+  EXPECT_EQ(a, b);  // pointer equality via interning
+  EXPECT_EQ(a.intern_id(), b.intern_id());
+  EXPECT_NE(a.intern_id(), 0u);
+
+  AsPath c({3, 2});
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.intern_id(), c.intern_id());
+}
+
+TEST(InternPath, EmptyPathIsTheNullHandle) {
+  AsPath empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.intern_id(), 0u);
+  EXPECT_EQ(empty.selection_length(), 0u);
+  EXPECT_TRUE(empty.segments().empty());
+  EXPECT_EQ(empty, AsPath());
+}
+
+TEST(InternPath, IdsAreStableAcrossRepeatedConstruction) {
+  const std::uint32_t id = AsPath({7, 6, 5}).intern_id();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(AsPath({7, 6, 5}).intern_id(), id);
+  }
+}
+
+TEST(InternPath, CachedSelectionLengthMatchesSegmentWalk) {
+  AsPath path({4, 3, 2, 1});
+  path.append_set({10, 11, 12});
+  path.append_sequence({20, 21});
+
+  // Recompute the RFC 4271 §9.1.2.2 rule from the raw segments.
+  std::size_t expected = 0;
+  for (const bgp::PathSegment& segment : path.segments()) {
+    expected += segment.kind == bgp::PathSegment::Kind::Set ? 1 : segment.asns.size();
+  }
+  EXPECT_EQ(expected, 4u + 1u + 2u);
+  EXPECT_EQ(path.selection_length(), expected);
+}
+
+TEST(InternPath, MutatorsReinternToCanonicalHandles) {
+  AsPath grown({2, 1});
+  grown.prepend(3);
+  EXPECT_EQ(grown, AsPath({3, 2, 1}));
+
+  AsPath appended({3});
+  appended.append_sequence({2, 1});
+  EXPECT_EQ(appended, AsPath({3, 2, 1}));
+  EXPECT_EQ(appended.intern_id(), grown.intern_id());
+
+  // Wide (4-octet) members intern like any other value.
+  AsPath wide({70'000, 3, 2});
+  wide.prepend(100'000);
+  EXPECT_EQ(wide, AsPath({100'000, 70'000, 3, 2}));
+  EXPECT_TRUE(wide.contains(70'000));
+}
+
+TEST(InternPath, ValueOrderingSurvivesInterning) {
+  AsPath a({1, 2});
+  AsPath b({1, 3});
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a <=> AsPath({1, 2}), std::strong_ordering::equal);
+}
+
+TEST(InternCommunitySet, DedupAndSortedValues) {
+  bgp::CommunitySet a;
+  a.add(bgp::Community(20, 200));
+  a.add(bgp::Community(10, 100));
+  bgp::CommunitySet b;
+  b.add(bgp::Community(10, 100));
+  b.add(bgp::Community(20, 200));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.intern_id(), b.intern_id());
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_LT(a.values()[0], a.values()[1]);  // canonical order is sorted
+
+  a.remove(bgp::Community(10, 100));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(InternLargeCommunitySet, DedupAcrossBuildOrder) {
+  bgp::LargeCommunity wide(70'000, 0xff9a, 0);
+  bgp::LargeCommunity wider(1'000'000, 0xff9a, 0);
+  bgp::LargeCommunitySet a;
+  a.add(wider);
+  a.add(wide);
+  bgp::LargeCommunitySet b;
+  b.add(wide);
+  b.add(wider);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.intern_id(), b.intern_id());
+  EXPECT_TRUE(a.contains(wide));
+
+  bgp::LargeCommunitySet empty;
+  EXPECT_EQ(empty.intern_id(), 0u);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(InternPools, StatsCountDistinctValuesAndGrowMonotonically) {
+  const bgp::intern::PoolStats before = bgp::intern::pool_stats();
+  // Fresh values (unique to this test) must add exactly these entries;
+  // re-interning them must add nothing.
+  AsPath p1({90'001, 90'002, 90'003});
+  bgp::CommunitySet c;
+  c.add(bgp::Community(901, 9001));
+  const bgp::intern::PoolStats after = bgp::intern::pool_stats();
+  EXPECT_GE(after.paths.entries, before.paths.entries + 1);
+  EXPECT_GE(after.community_sets.entries, before.community_sets.entries + 1);
+  EXPECT_GT(after.paths.payload_bytes, before.paths.payload_bytes);
+
+  AsPath p2({90'001, 90'002, 90'003});
+  EXPECT_EQ(p1, p2);
+  const bgp::intern::PoolStats again = bgp::intern::pool_stats();
+  EXPECT_EQ(again.paths.entries, after.paths.entries);
+  EXPECT_EQ(again.total_bytes(), after.total_bytes());
+}
+
+TEST(InternPools, ConcurrentInterningCanonicalizes) {
+  // 8 threads hammer the same 64 values plus thread-private ones; every
+  // equal-content handle must come back pointer-identical, and ASan must
+  // see no arena lifetime violation.
+  constexpr int kThreads = 8;
+  constexpr Asn kShardBase = 50'000;
+  std::vector<std::vector<AsPath>> shared(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &shared] {
+      for (int round = 0; round < 50; ++round) {
+        for (Asn base = 0; base < 64; ++base) {
+          AsPath path({kShardBase + base, kShardBase + base / 2, 65'600 + base});
+          if (round == 0) shared[t].push_back(path);
+          AsPath mine({kShardBase + static_cast<Asn>(t) * 1000 + base});
+          EXPECT_TRUE(mine.contains(kShardBase + static_cast<Asn>(t) * 1000 + base));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(shared[t].size(), shared[0].size());
+    for (std::size_t i = 0; i < shared[t].size(); ++i) {
+      EXPECT_EQ(shared[t][i], shared[0][i]);
+      EXPECT_EQ(shared[t][i].intern_id(), shared[0][i].intern_id());
+    }
+  }
+}
+
+TEST(FlatMap, IterationOrderMatchesStdMap) {
+  util::FlatMap<int, std::string> flat;
+  std::map<int, std::string> reference;
+  for (int key : {5, 1, 9, 3, 7, 1}) {
+    flat[key] = "v" + std::to_string(key);
+    reference[key] = "v" + std::to_string(key);
+  }
+  ASSERT_EQ(flat.size(), reference.size());
+  auto it = flat.begin();
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(it->first, key);
+    EXPECT_EQ(it->second, value);
+    ++it;
+  }
+}
+
+TEST(FlatMap, FindEraseAndAssignSemantics) {
+  util::FlatMap<int, int> flat;
+  EXPECT_TRUE(flat.empty());
+  flat[2] = 20;
+  flat[1] = 10;
+  EXPECT_TRUE(flat.contains(1));
+  EXPECT_FALSE(flat.contains(3));
+  ASSERT_NE(flat.find(2), flat.end());
+  EXPECT_EQ(flat.find(2)->second, 20);
+  EXPECT_EQ(flat.find(3), flat.end());
+
+  // insert_or_assign to an existing key assigns in place (no reordering).
+  int* slot = &flat.find(2)->second;
+  flat.insert_or_assign(2, 21);
+  EXPECT_EQ(flat.find(2)->second, 21);
+  EXPECT_EQ(&flat.find(2)->second, slot);
+
+  EXPECT_EQ(flat.erase(2), 1u);
+  EXPECT_EQ(flat.erase(2), 0u);
+  EXPECT_EQ(flat.size(), 1u);
+  EXPECT_GE(flat.container_bytes(), flat.size() * sizeof(std::pair<int, int>));
+
+  util::FlatMap<int, int> other;
+  other[1] = 10;
+  EXPECT_EQ(flat, other);
+}
+
+TEST(FlatSet, SortedUniqueMembership) {
+  util::FlatSet<int> set;
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(5));  // duplicate
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(*set.begin(), 1);
+
+  std::set<int> reference{5, 1};
+  auto it = set.begin();
+  for (int value : reference) EXPECT_EQ(*it++, value);
+
+  EXPECT_EQ(set.erase(5), 1u);
+  EXPECT_EQ(set.erase(5), 0u);
+  EXPECT_EQ(set, util::FlatSet<int>{1});
+}
+
+}  // namespace

@@ -73,6 +73,30 @@ TEST(Decision, SelectBestOverList) {
 
 TEST(Decision, SelectBestEmptyIsNull) { EXPECT_EQ(select_best({}), nullptr); }
 
+TEST(Decision, CachedSelectionLengthStaysConsistentUnderMutation) {
+  // Regression: compare_candidate_keys used to recompute the AS_SET-aware
+  // path length per comparison; it now serves the interner's cached value.
+  // The cache must track mutation (every mutator re-interns) and agree with
+  // a fresh walk over the segments.
+  auto a = entry("10.0.0.0/8", {1, 2}, 1);
+  auto b = entry("10.0.0.0/8", {4, 5}, 4);
+  EXPECT_EQ(compare_candidate_keys(a, b), 0);
+
+  a.route.attrs.path.prepend(9);  // length 3 vs 2: b must now win
+  EXPECT_EQ(a.route.attrs.path.selection_length(), 3u);
+  EXPECT_GT(compare_candidate_keys(a, b), 0);
+
+  b.route.attrs.path.append_set({7, 8});  // a set is one hop: tie again
+  EXPECT_EQ(b.route.attrs.path.selection_length(), 3u);
+  EXPECT_EQ(compare_candidate_keys(a, b), 0);
+
+  std::size_t walked = 0;
+  for (const PathSegment& segment : b.route.attrs.path.segments()) {
+    walked += segment.kind == PathSegment::Kind::Set ? 1 : segment.asns.size();
+  }
+  EXPECT_EQ(walked, b.route.attrs.path.selection_length());
+}
+
 TEST(AdjRibIn, SetAndCandidates) {
   AdjRibIn rib;
   EXPECT_TRUE(rib.set(1, make_route("10.0.0.0/8", {1, 9})));
@@ -121,6 +145,36 @@ TEST(AdjRibIn, EraseByOriginHandlesAsSets) {
   rib.set(1, r);
   // Candidate origins {7, 8} intersect {8} -> purged.
   EXPECT_EQ(rib.erase_by_origin(pfx("10.0.0.0/8"), {8}), 1u);
+}
+
+TEST(AdjRibIn, PeerIndexTracksEveryMutation) {
+  // The by-peer prefix index makes mark_peer_stale / erase_peer linear in
+  // the peer's routes; it must stay consistent through set, erase,
+  // erase_by_origin, and sweep_stale.
+  AdjRibIn rib;
+  rib.set(1, make_route("10.0.0.0/8", {1, 9}));
+  rib.set(1, make_route("11.0.0.0/8", {1, 9}));
+  rib.set(2, make_route("10.0.0.0/8", {2, 8}));
+
+  EXPECT_EQ(rib.mark_peer_stale(1), 2u);
+  EXPECT_TRUE(rib.is_stale(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(rib.is_stale(pfx("10.0.0.0/8"), 2));
+
+  // A re-announcement clears the stale bit; the other entry stays stale.
+  rib.set(1, make_route("10.0.0.0/8", {1, 7}));
+  EXPECT_FALSE(rib.is_stale(pfx("10.0.0.0/8"), 1));
+  const auto swept = rib.sweep_stale(1);
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0], pfx("11.0.0.0/8"));
+  EXPECT_EQ(rib.size(), 2u);
+
+  // erase_by_origin must keep the index honest: a later erase_peer finds
+  // exactly the surviving prefixes.
+  EXPECT_EQ(rib.erase_by_origin(pfx("10.0.0.0/8"), {7}), 1u);
+  const auto erased = rib.erase_peer(1);
+  EXPECT_TRUE(erased.empty());
+  EXPECT_EQ(rib.erase_peer(2), std::vector<net::Prefix>{pfx("10.0.0.0/8")});
+  EXPECT_EQ(rib.size(), 0u);
 }
 
 TEST(AdjRibIn, PrefixesEnumeration) {

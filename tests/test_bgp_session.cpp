@@ -358,5 +358,63 @@ TEST(Session, RevisedHandlingStillResetsOnFramingDamage) {
   EXPECT_EQ(pair.b->stats().resets_avoided, 0u);
 }
 
+TEST(Session, As4NegotiatedWhenBothSidesAdvertise) {
+  auto ca = SessionPair::config_for(1);
+  auto cb = SessionPair::config_for(2);
+  ca.four_octet_as = true;
+  cb.four_octet_as = true;
+  SessionPair pair(ca, cb);
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.a->as4_negotiated());
+  EXPECT_TRUE(pair.b->as4_negotiated());
+  EXPECT_EQ(pair.a->peer_four_octet_as(), std::optional<std::uint32_t>(2));
+  EXPECT_EQ(pair.b->peer_four_octet_as(), std::optional<std::uint32_t>(1));
+}
+
+TEST(Session, WideLocalAsForcesCapabilityAgainstPlainPeer) {
+  // RFC 6793: a speaker whose ASN does not fit 2 octets introduces itself
+  // with my_as = AS_TRANS plus the four-octet-AS capability — even when the
+  // operator never set the knob. The plain peer still establishes; nothing
+  // is negotiated (the wide side must keep sending AS_TRANS paths).
+  auto ca = SessionPair::config_for(1);
+  ca.local_as = 70'000;
+  SessionPair pair(ca, SessionPair::config_for(2));
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->established());
+  ASSERT_TRUE(pair.b->established());
+  EXPECT_EQ(pair.b->peer_four_octet_as(), std::optional<std::uint32_t>(70'000));
+  EXPECT_FALSE(pair.a->as4_negotiated()) << "peer b never advertised the capability";
+  EXPECT_FALSE(pair.b->as4_negotiated());
+}
+
+TEST(Session, NegotiatedSessionDeliversNativeFourOctetUpdate) {
+  auto ca = SessionPair::config_for(1);
+  auto cb = SessionPair::config_for(2);
+  ca.local_as = 70'000;  // forces the capability on a
+  cb.four_octet_as = true;
+  SessionPair pair(ca, cb);
+
+  std::vector<wire::UpdateMessage> delivered;
+  pair.b->set_update_handler(
+      [&delivered](const wire::UpdateMessage& m) { delivered.push_back(m); });
+  pair.bring_up();
+  ASSERT_TRUE(pair.b->established());
+  ASSERT_TRUE(pair.b->as4_negotiated());
+
+  Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  route.attrs.path = AsPath({70'000, 4'200'000'000});
+  wire::EncodeOptions options;
+  options.four_octet_as = true;
+  pair.b->receive(wire::encode_sim_update(Update::announce(route), options));
+
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_TRUE(delivered[0].attrs.has_value());
+  EXPECT_EQ(delivered[0].attrs->path, route.attrs.path)
+      << "a negotiated session must decode 4-octet AS_PATHs natively";
+  EXPECT_EQ(pair.b->stats().updates_received, 1u);
+}
+
 }  // namespace
 }  // namespace moas::bgp

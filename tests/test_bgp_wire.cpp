@@ -102,11 +102,100 @@ TEST(Wire, LocalPrefOnlyWhenRequested) {
   EXPECT_EQ(ibgp.attrs->local_pref, 300u);
 }
 
-TEST(Wire, RejectsWideAsn) {
+TEST(Wire, WideAsnTravelsAsTransPlusAs4Path) {
+  // RFC 6793 toward a non-negotiated peer: AS_PATH carries AS_TRANS
+  // stand-ins, the true 4-octet path rides the self-describing AS4_PATH,
+  // and a plain decoder recovers the full path by the §4.2.3 merge.
   UpdateMessage msg;
-  msg.attrs = attrs_for({70000});
+  msg.attrs = attrs_for({70'000, 1239, 4'200'000'000});
   msg.nlri = {pfx("10.0.0.0/8")};
-  EXPECT_THROW(encode_update(msg), std::invalid_argument);
+  const auto bytes = encode_update(msg);
+  // The 2-octet AS_PATH on the wire substitutes AS_TRANS (23456) for both
+  // wide hops: the big-endian pair must appear in the byte stream.
+  int trans_hops = 0;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == (kAsTrans >> 8) && bytes[i + 1] == (kAsTrans & 0xff)) ++trans_hops;
+  }
+  EXPECT_GE(trans_hops, 2);
+  const UpdateMessage decoded = decode_update(bytes);
+  ASSERT_TRUE(decoded.attrs.has_value());
+  EXPECT_EQ(decoded.attrs->path, msg.attrs->path);
+}
+
+TEST(Wire, NegotiatedFourOctetPathIsNative) {
+  UpdateMessage msg;
+  msg.attrs = attrs_for({70'000, 1239});
+  msg.attrs->path.append_set({90'000, 91'000});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  EncodeOptions options;
+  options.four_octet_as = true;
+  const auto bytes = encode_update(msg, options);
+  const UpdateMessage decoded = decode_update(bytes, /*four_octet_as=*/true);
+  ASSERT_TRUE(decoded.attrs.has_value());
+  EXPECT_EQ(decoded.attrs->path, msg.attrs->path);
+  // No AS4_PATH attribute on a negotiated session: scanning the stream for
+  // the attribute header (optional transitive, type 17) must find nothing.
+  for (std::size_t i = kHeaderSize; i + 1 < bytes.size(); ++i) {
+    EXPECT_FALSE(bytes[i] == 0xc0 && bytes[i + 1] == 17) << "AS4_PATH at offset " << i;
+  }
+}
+
+TEST(Wire, NarrowPathsCarryNoAs4Path) {
+  // All-narrow byte streams must be identical to the pre-AS4 encoding: no
+  // AS4_PATH attribute, and the non-negotiated decode round-trips.
+  UpdateMessage msg;
+  msg.attrs = attrs_for({701, 1239, 4006});
+  msg.nlri = {pfx("135.38.0.0/16")};
+  const auto bytes = encode_update(msg);
+  for (std::size_t i = kHeaderSize; i + 1 < bytes.size(); ++i) {
+    EXPECT_FALSE(bytes[i] == 0xc0 && bytes[i + 1] == 17) << "AS4_PATH at offset " << i;
+  }
+  EXPECT_EQ(decode_update(bytes).attrs->path, msg.attrs->path);
+}
+
+TEST(Wire, LargeCommunitiesRoundTrip) {
+  // RFC 8092: wide-ASN MOAS-list members ride large communities and must
+  // survive both the negotiated and the AS_TRANS encodings.
+  UpdateMessage msg;
+  msg.attrs = attrs_for({70'000, 4006});
+  msg.attrs->large_communities.add(LargeCommunity(70'000, 0xff9a, 0));
+  msg.attrs->large_communities.add(LargeCommunity(4'000'000'000, 7, 9));
+  msg.nlri = {pfx("10.0.0.0/8")};
+  for (bool negotiated : {false, true}) {
+    EncodeOptions options;
+    options.four_octet_as = negotiated;
+    const auto bytes = encode_update(msg, options);
+    const UpdateMessage decoded = decode_update(bytes, negotiated);
+    ASSERT_TRUE(decoded.attrs.has_value());
+    EXPECT_EQ(decoded.attrs->large_communities, msg.attrs->large_communities);
+    EXPECT_EQ(decoded.attrs->path, msg.attrs->path);
+  }
+}
+
+TEST(Wire, RevisedDecodeDiscardsBrokenAs4Path) {
+  // RFC 6793 §6: a malformed AS4_PATH is attribute-discarded — the routes
+  // stand on the AS_TRANS path instead of the session resetting.
+  UpdateMessage msg;
+  msg.attrs = attrs_for({70'000, 1239});
+  msg.nlri = {pfx("10.0.0.0/8")};
+  auto bytes = encode_update(msg);
+  // Corrupt the AS4_PATH segment header: find the attribute (flags 0xc0,
+  // type 17) and overwrite its segment type with garbage.
+  bool corrupted = false;
+  for (std::size_t i = kHeaderSize; i + 3 < bytes.size(); ++i) {
+    if (bytes[i] == 0xc0 && bytes[i + 1] == 17) {
+      bytes[i + 3] = 0x77;  // first value octet: bogus segment type
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const DecodeResult result = decode_update_revised(bytes);
+  EXPECT_EQ(result.severity(), ErrorAction::AttributeDiscard);
+  const UpdateMessage deliverable = result.to_deliverable();
+  ASSERT_TRUE(deliverable.attrs.has_value());
+  // The salvaged path is the 2-octet one: wide hops degraded to AS_TRANS.
+  EXPECT_EQ(deliverable.attrs->path, AsPath({kAsTrans, 1239}));
 }
 
 TEST(Wire, RejectsNlriWithoutAttributes) {

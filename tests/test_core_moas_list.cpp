@@ -85,6 +85,57 @@ TEST(MoasList, ListToString) {
   EXPECT_EQ(list_to_string({}), "{}");
 }
 
+TEST(MoasList, LargeCommunityEncoding) {
+  const bgp::LargeCommunity c = moas_large_community(70'000);
+  EXPECT_EQ(c.global_admin(), 70'000u);
+  EXPECT_EQ(c.data1(), kMoasListValue);
+  EXPECT_EQ(c.data2(), 0u);
+  EXPECT_TRUE(is_moas_large_community(c));
+  EXPECT_FALSE(is_moas_large_community(bgp::LargeCommunity(70'000, kMoasListValue, 1)));
+  EXPECT_FALSE(is_moas_large_community(bgp::LargeCommunity(70'000, 1, 0)));
+  EXPECT_THROW(moas_large_community(bgp::kNoAs), std::invalid_argument);
+}
+
+TEST(MoasList, AttachSplitsMembersByWidth) {
+  // RFC 1997 communities can only carry 2-octet members; wider ones ride
+  // RFC 8092 large communities. attach_moas_list splits, decode unions.
+  bgp::PathAttributes attrs;
+  attach_moas_list(attrs, {4006, 70'000, 4'200'000'000});
+  EXPECT_TRUE(attrs.communities.contains(moas_community(4006)));
+  EXPECT_EQ(attrs.communities.size(), 1u);
+  EXPECT_TRUE(attrs.large_communities.contains(moas_large_community(70'000)));
+  EXPECT_TRUE(attrs.large_communities.contains(moas_large_community(4'200'000'000)));
+  EXPECT_EQ(attrs.large_communities.size(), 2u);
+  EXPECT_EQ(decode_moas_list(attrs), (AsnSet{4006, 70'000, 4'200'000'000}));
+}
+
+TEST(MoasList, AttachToAttributesReplacesBothWidths) {
+  // A member that changes width between attachments must not survive in the
+  // stale attribute: {70'000} -> {70'000 narrow-co-member} reshuffles both.
+  bgp::PathAttributes attrs;
+  attrs.communities.add(bgp::Community(99, 42));  // foreign, must survive
+  attach_moas_list(attrs, {4006, 70'000});
+  attach_moas_list(attrs, {100'000});
+  EXPECT_EQ(decode_moas_list(attrs), AsnSet{100'000});
+  EXPECT_FALSE(attrs.communities.contains(moas_community(4006)));
+  EXPECT_FALSE(attrs.large_communities.contains(moas_large_community(70'000)));
+  EXPECT_TRUE(attrs.communities.contains(bgp::Community(99, 42)));
+}
+
+TEST(MoasList, EffectiveListSeesWideMembers) {
+  bgp::Route r;
+  r.prefix = *net::Prefix::parse("135.38.0.0/16");
+  r.attrs.path = bgp::AsPath({9, 70'001});
+  attach_moas_list(r.attrs, {70'001, 70'002});
+  EXPECT_TRUE(has_explicit_moas_list(r));
+  EXPECT_EQ(effective_moas_list(r), (AsnSet{70'001, 70'002}));
+
+  // Mixed widths: narrow members in the classic set, wide in the large set,
+  // one effective list.
+  attach_moas_list(r.attrs, {4006, 70'001});
+  EXPECT_EQ(effective_moas_list(r), (AsnSet{4006, 70'001}));
+}
+
 /// Property sweep: decode(encode(S)) == S for random sets.
 class MoasListRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 
